@@ -1,0 +1,332 @@
+//! Fixed-gap labeling (paper, Section 1: "one can leave gaps in between
+//! successive labels to reduce the number of relabelings upon updates …
+//! it is not clear how to assign the gaps").
+//!
+//! Labels start as multiples of a configurable `gap`. Insertion takes the
+//! midpoint of the surrounding gap; when a gap is exhausted the *entire*
+//! list is relabeled with fresh gaps (`O(n)`). Uniform workloads rarely
+//! relabel; a hotspot exhausts its gap after ~`log₂ gap` insertions and
+//! then pays `O(n)` again and again — exactly the failure mode the L-Tree
+//! fixes by localizing the relabeled region.
+//!
+//! Items form a doubly-linked list so the scheme's own bookkeeping is
+//! `O(1)` and the measured cost is purely about labels.
+
+use ltree_core::{LTreeError, LabelingScheme, LeafHandle, Result, SchemeStats};
+
+#[derive(Debug, Clone)]
+struct Item {
+    label: u128,
+    prev: Option<u32>,
+    next: Option<u32>,
+    deleted: bool,
+    alive: bool,
+}
+
+/// The fixed-gap labeling scheme. See the [module docs](self).
+#[derive(Debug)]
+pub struct GapLabeling {
+    gap: u128,
+    items: Vec<Item>,
+    head: Option<u32>,
+    tail: Option<u32>,
+    len: usize,
+    n_live: usize,
+    stats: SchemeStats,
+    /// Number of global relabel passes (exposed for the experiments).
+    global_relabels: u64,
+}
+
+impl GapLabeling {
+    /// Default gap used by the paper-era systems this models.
+    pub const DEFAULT_GAP: u128 = 32;
+
+    /// A scheme with the default gap.
+    pub fn new() -> Self {
+        Self::with_gap(Self::DEFAULT_GAP)
+    }
+
+    /// A scheme with a custom `gap ≥ 2`.
+    ///
+    /// # Panics
+    /// Panics if `gap < 2` (no room for any midpoint).
+    pub fn with_gap(gap: u128) -> Self {
+        assert!(gap >= 2, "gap must be at least 2");
+        GapLabeling {
+            gap,
+            items: Vec::new(),
+            head: None,
+            tail: None,
+            len: 0,
+            n_live: 0,
+            stats: SchemeStats::default(),
+            global_relabels: 0,
+        }
+    }
+
+    /// How many times the entire list was relabeled.
+    pub fn global_relabels(&self) -> u64 {
+        self.global_relabels
+    }
+
+    fn item(&self, h: LeafHandle) -> Result<&Item> {
+        let idx = usize::try_from(h.0).map_err(|_| LTreeError::UnknownHandle)?;
+        match self.items.get(idx) {
+            Some(item) if item.alive => Ok(item),
+            _ => Err(LTreeError::UnknownHandle),
+        }
+    }
+
+    /// Relabel everything as multiples of `gap` (1-based).
+    fn global_relabel(&mut self) {
+        let mut cur = self.head;
+        let mut label = self.gap;
+        while let Some(i) = cur {
+            self.items[i as usize].label = label;
+            label += self.gap;
+            cur = self.items[i as usize].next;
+            self.stats.label_writes += 1;
+            self.stats.node_touches += 1;
+        }
+        self.stats.relabel_events += 1;
+        self.global_relabels += 1;
+    }
+
+    /// Insert a fresh item between `prev` and `next` (either may be None).
+    fn insert_between(&mut self, prev: Option<u32>, next: Option<u32>) -> LeafHandle {
+        let idx = self.items.len() as u32;
+        self.items.push(Item { label: 0, prev, next, deleted: false, alive: true });
+        match prev {
+            Some(p) => self.items[p as usize].next = Some(idx),
+            None => self.head = Some(idx),
+        }
+        match next {
+            Some(nx) => self.items[nx as usize].prev = Some(idx),
+            None => self.tail = Some(idx),
+        }
+        self.len += 1;
+        self.n_live += 1;
+        self.stats.inserts += 1;
+
+        if !self.assign_label(idx) {
+            self.global_relabel();
+            let ok = self.assign_label(idx);
+            debug_assert!(ok, "a fresh global relabel always leaves room");
+        }
+        LeafHandle(u64::from(idx))
+    }
+
+    /// Try to give `idx` a label strictly between its neighbours.
+    fn assign_label(&mut self, idx: u32) -> bool {
+        let item = &self.items[idx as usize];
+        let lo = item.prev.map(|p| self.items[p as usize].label);
+        let hi = item.next.map(|n| self.items[n as usize].label);
+        let label = match (lo, hi) {
+            (None, None) => self.gap,
+            (Some(l), None) => l.saturating_add(self.gap),
+            (None, Some(h)) => {
+                if h < 2 {
+                    return false;
+                }
+                h / 2
+            }
+            (Some(l), Some(h)) => {
+                if h - l < 2 {
+                    return false;
+                }
+                l + (h - l) / 2
+            }
+        };
+        self.items[idx as usize].label = label;
+        self.stats.label_writes += 1;
+        true
+    }
+}
+
+impl Default for GapLabeling {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelingScheme for GapLabeling {
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        if self.len != 0 {
+            return Err(LTreeError::NotEmpty);
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let prev = if i == 0 { None } else { Some(i as u32 - 1) };
+            let next = if i + 1 == n { None } else { Some(i as u32 + 1) };
+            self.items.push(Item {
+                label: (i as u128 + 1) * self.gap,
+                prev,
+                next,
+                deleted: false,
+                alive: true,
+            });
+            out.push(LeafHandle(i as u64));
+        }
+        if n > 0 {
+            self.head = Some(0);
+            self.tail = Some(n as u32 - 1);
+        }
+        self.len = n;
+        self.n_live = n;
+        self.stats = SchemeStats::default();
+        Ok(out)
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        Ok(self.insert_between(None, self.head))
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let idx = anchor.0 as u32;
+        let next = self.item(anchor)?.next;
+        Ok(self.insert_between(Some(idx), next))
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let idx = anchor.0 as u32;
+        let prev = self.item(anchor)?.prev;
+        Ok(self.insert_between(prev, Some(idx)))
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        let idx = usize::try_from(h.0).map_err(|_| LTreeError::UnknownHandle)?;
+        match self.items.get_mut(idx) {
+            Some(item) if item.alive => {
+                if item.deleted {
+                    return Err(LTreeError::DeletedLeaf);
+                }
+                item.deleted = true;
+                self.n_live -= 1;
+                self.stats.deletes += 1;
+                Ok(())
+            }
+            _ => Err(LTreeError::UnknownHandle),
+        }
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.item(h)?.label)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn live_len(&self) -> usize {
+        self.n_live
+    }
+
+    fn handles_in_order(&self) -> Vec<LeafHandle> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while let Some(i) = cur {
+            out.push(LeafHandle(u64::from(i)));
+            cur = self.items[i as usize].next;
+        }
+        out
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        let max = self.tail.map(|t| self.items[t as usize].label).unwrap_or(0);
+        128 - max.leading_zeros()
+    }
+
+    fn scheme_stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        self.stats = SchemeStats::default();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.items.capacity() * std::mem::size_of::<Item>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_is_consistent(s: &GapLabeling) {
+        let mut cur = s.head;
+        let mut last: Option<u128> = None;
+        while let Some(i) = cur {
+            let item = &s.items[i as usize];
+            if let Some(prev) = last {
+                assert!(prev < item.label, "labels must increase along the list");
+            }
+            last = Some(item.label);
+            cur = item.next;
+        }
+    }
+
+    #[test]
+    fn bulk_leaves_gaps() {
+        let mut s = GapLabeling::with_gap(10);
+        let hs = s.bulk_build(3).unwrap();
+        assert_eq!(s.label_of(hs[0]).unwrap(), 10);
+        assert_eq!(s.label_of(hs[2]).unwrap(), 30);
+        order_is_consistent(&s);
+    }
+
+    #[test]
+    fn midpoint_insertion() {
+        let mut s = GapLabeling::with_gap(10);
+        let hs = s.bulk_build(2).unwrap();
+        let mid = s.insert_after(hs[0]).unwrap();
+        assert_eq!(s.label_of(mid).unwrap(), 15);
+        assert_eq!(s.global_relabels(), 0);
+        order_is_consistent(&s);
+    }
+
+    #[test]
+    fn hotspot_forces_global_relabel() {
+        let mut s = GapLabeling::with_gap(8);
+        let hs = s.bulk_build(100).unwrap();
+        let mut anchor = hs[50];
+        for _ in 0..20 {
+            anchor = s.insert_after(anchor).unwrap();
+            order_is_consistent(&s);
+        }
+        assert!(s.global_relabels() > 0, "a hotspot must exhaust the fixed gap");
+        // Each global relabel writes all ~100+ labels.
+        assert!(s.scheme_stats().label_writes > 100);
+    }
+
+    #[test]
+    fn front_and_back_insertion() {
+        let mut s = GapLabeling::new();
+        let a = s.insert_first().unwrap();
+        let b = s.insert_first().unwrap();
+        let c = s.insert_after(a).unwrap();
+        assert!(s.label_of(b).unwrap() < s.label_of(a).unwrap());
+        assert!(s.label_of(a).unwrap() < s.label_of(c).unwrap());
+        order_is_consistent(&s);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut s = GapLabeling::new();
+        let hs = s.bulk_build(4).unwrap();
+        s.delete(hs[2]).unwrap();
+        assert_eq!(s.live_len(), 3);
+        assert!(s.label_of(hs[2]).is_ok());
+        assert!(s.delete(hs[2]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be at least 2")]
+    fn tiny_gap_rejected() {
+        let _ = GapLabeling::with_gap(1);
+    }
+}

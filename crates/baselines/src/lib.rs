@@ -1,0 +1,29 @@
+//! # `labeling-baselines` — the schemes the L-Tree paper argues against
+//!
+//! The introduction and related-work sections of the paper position the
+//! L-Tree against three families of order-preserving labeling schemes.
+//! This crate implements one representative of each, all behind the same
+//! [`ltree_core::LabelingScheme`] trait so the benchmark harness can put
+//! them side by side:
+//!
+//! * [`NaiveLabeling`] — consecutive integers, the scheme of Figure 1:
+//!   "this leads to relabeling of half the nodes on average, even for a
+//!   single node insertion" (`O(n)` per insert, minimal bits);
+//! * [`GapLabeling`] — "leave gaps in between successive labels":
+//!   midpoint insertion with a *global* relabel whenever a gap is
+//!   exhausted — cheap until a hotspot kills it;
+//! * [`ListLabeling`] — classic even-redistribution list labeling in the
+//!   style of Itai–Konheim–Rodeh / Dietz–Sleator ([8, 9, 10] in the
+//!   paper), the lineage the L-Tree generalizes: `O(log² n)` amortized
+//!   relabelings in a fixed-size universe that doubles when exhausted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gap;
+mod list_label;
+mod naive;
+
+pub use gap::GapLabeling;
+pub use list_label::ListLabeling;
+pub use naive::NaiveLabeling;

@@ -1,0 +1,201 @@
+//! Consecutive-integer labeling (paper, Section 1 / Figure 1).
+//!
+//! Labels are exactly the document positions `0..n`. Every insertion
+//! shifts the labels of everything to its right: `O(n)` label writes per
+//! update — the behaviour the paper opens with ("relabeling of half the
+//! nodes on average"). Deletions tombstone (like the L-Tree) so the
+//! comparison stays apples-to-apples.
+
+use ltree_core::{LTreeError, LabelingScheme, LeafHandle, Result, SchemeStats};
+
+#[derive(Debug, Clone)]
+struct Item {
+    pos: usize,
+    deleted: bool,
+    alive: bool,
+}
+
+/// The naive sequential labeling scheme. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct NaiveLabeling {
+    /// Document order: item indices (tombstones included).
+    order: Vec<u32>,
+    items: Vec<Item>,
+    n_live: usize,
+    stats: SchemeStats,
+}
+
+impl NaiveLabeling {
+    /// An empty scheme.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn item(&self, h: LeafHandle) -> Result<&Item> {
+        let idx = usize::try_from(h.0).map_err(|_| LTreeError::UnknownHandle)?;
+        match self.items.get(idx) {
+            Some(item) if item.alive => Ok(item),
+            _ => Err(LTreeError::UnknownHandle),
+        }
+    }
+
+    fn insert_at(&mut self, pos: usize) -> LeafHandle {
+        let idx = self.items.len() as u32;
+        self.items.push(Item { pos, deleted: false, alive: true });
+        self.order.insert(pos, idx);
+        // Shift every item to the right: each is one label write.
+        let shifted = self.order.len() - pos - 1;
+        for &i in &self.order[pos + 1..] {
+            self.items[i as usize].pos += 1;
+        }
+        self.n_live += 1;
+        self.stats.inserts += 1;
+        self.stats.label_writes += shifted as u64 + 1;
+        self.stats.node_touches += shifted as u64;
+        self.stats.relabel_events += u64::from(shifted > 0);
+        LeafHandle(u64::from(idx))
+    }
+}
+
+impl LabelingScheme for NaiveLabeling {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        if !self.order.is_empty() {
+            return Err(LTreeError::NotEmpty);
+        }
+        self.items = (0..n).map(|pos| Item { pos, deleted: false, alive: true }).collect();
+        self.order = (0..n as u32).collect();
+        self.n_live = n;
+        self.stats = SchemeStats::default();
+        Ok((0..n as u64).map(LeafHandle).collect())
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        Ok(self.insert_at(0))
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let pos = self.item(anchor)?.pos;
+        Ok(self.insert_at(pos + 1))
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let pos = self.item(anchor)?.pos;
+        Ok(self.insert_at(pos))
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        let idx = usize::try_from(h.0).map_err(|_| LTreeError::UnknownHandle)?;
+        match self.items.get_mut(idx) {
+            Some(item) if item.alive => {
+                if item.deleted {
+                    return Err(LTreeError::DeletedLeaf);
+                }
+                item.deleted = true;
+                self.n_live -= 1;
+                self.stats.deletes += 1;
+                Ok(())
+            }
+            _ => Err(LTreeError::UnknownHandle),
+        }
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.item(h)?.pos as u128)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.n_live
+    }
+
+    fn handles_in_order(&self) -> Vec<LeafHandle> {
+        self.order.iter().map(|&idx| LeafHandle(u64::from(idx))).collect()
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        usize::BITS - self.order.len().saturating_sub(1).leading_zeros()
+    }
+
+    fn scheme_stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        self.stats = SchemeStats::default();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.order.capacity() * std::mem::size_of::<u32>()
+            + self.items.capacity() * std::mem::size_of::<Item>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(s: &NaiveLabeling, hs: &[LeafHandle]) -> Vec<u128> {
+        hs.iter().map(|&h| s.label_of(h).unwrap()).collect()
+    }
+
+    #[test]
+    fn bulk_is_sequential() {
+        let mut s = NaiveLabeling::new();
+        let hs = s.bulk_build(5).unwrap();
+        assert_eq!(labels(&s, &hs), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.label_space_bits(), 3);
+    }
+
+    #[test]
+    fn insert_shifts_right_neighbours() {
+        let mut s = NaiveLabeling::new();
+        let hs = s.bulk_build(4).unwrap();
+        let mid = s.insert_after(hs[1]).unwrap();
+        assert_eq!(s.label_of(mid).unwrap(), 2);
+        assert_eq!(labels(&s, &hs), vec![0, 1, 3, 4]);
+        // 2 shifted labels + 1 initial assignment.
+        assert_eq!(s.scheme_stats().label_writes, 3);
+    }
+
+    #[test]
+    fn insert_before_and_first() {
+        let mut s = NaiveLabeling::new();
+        let first = s.insert_first().unwrap();
+        let before = s.insert_before(first).unwrap();
+        assert_eq!(s.label_of(before).unwrap(), 0);
+        assert_eq!(s.label_of(first).unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_is_tombstone() {
+        let mut s = NaiveLabeling::new();
+        let hs = s.bulk_build(3).unwrap();
+        s.delete(hs[1]).unwrap();
+        assert_eq!(s.live_len(), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.label_of(hs[1]).unwrap(), 1, "tombstones keep labels");
+        assert!(s.delete(hs[1]).is_err());
+    }
+
+    #[test]
+    fn average_shift_is_half_n() {
+        // The paper's claim: "relabeling of half the nodes on average".
+        let mut s = NaiveLabeling::new();
+        let hs = s.bulk_build(1000).unwrap();
+        s.reset_scheme_stats();
+        // Insert at uniformly spread anchors.
+        for i in (0..1000).step_by(10) {
+            s.insert_after(hs[i]).unwrap();
+        }
+        let per_insert = s.scheme_stats().amortized_label_writes();
+        assert!(per_insert > 300.0 && per_insert < 800.0, "expected ~n/2, got {per_insert}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment X8 (wall-clock side): batch insertion throughput vs batch
+//! size (paper §4.1 — larger subtrees amortize better).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ltree_core::{LTree, Params};
+use xmlgen::{run_workload, Workload};
+
+fn bench_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_insert");
+    group.sample_size(10);
+    let n = 20_000usize;
+    let total = 8_192usize;
+    group.throughput(Throughput::Elements(total as u64));
+    for &k in &[1usize, 8, 64, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = LTree::new(Params::new(4, 2).unwrap());
+                run_workload(&mut s, Workload::Batches { batch: k }, n, total, 17).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate microbenchmarks: the counted B-tree behind the virtual
+//! L-Tree (insert / rank / range-count / drain+extend).
+
+use counted_btree::CountedBTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build(n: u64) -> CountedBTree<u64> {
+    CountedBTree::from_sorted((0..n).map(|k| (u128::from(k) * 3, k)).collect())
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counted_btree");
+    for &n in &[10_000u64, 100_000] {
+        let tree = build(n);
+        group.bench_with_input(BenchmarkId::new("rank", n), &n, |b, &n| {
+            let mut k = 0u128;
+            b.iter(|| {
+                k = (k + 9973) % (u128::from(n) * 3);
+                std::hint::black_box(tree.rank(k))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("count_range", n), &n, |b, &n| {
+            let mut k = 0u128;
+            b.iter(|| {
+                k = (k + 9973) % (u128::from(n) * 2);
+                std::hint::black_box(tree.count_range(k, k + 1000))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, &n| {
+            let mut tree = build(n);
+            let mut k = 1u128;
+            b.iter(|| {
+                k = (k + 9973) % (u128::from(n) * 3);
+                let key = k | 1; // odd keys are free (build uses multiples of 3... mostly)
+                if tree.insert(key, 0).is_ok() {
+                    tree.remove(key);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("drain_extend_1k", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n),
+                |mut tree| {
+                    let lo = u128::from(n);
+                    let drained = tree.drain_range(lo, lo + 3000);
+                    let shifted = drained.into_iter().map(|(k, v)| (k + 1, v)).collect();
+                    tree.extend_sorted(shifted).unwrap();
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

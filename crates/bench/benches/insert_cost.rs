@@ -1,0 +1,87 @@
+//! Experiment X3 (wall-clock side): single-insert throughput of every
+//! labeling scheme at several document sizes.
+//!
+//! The shape to look for (paper §1/§3.1): the naive scheme degrades
+//! linearly with n; the L-Tree stays logarithmic; gap labeling is fast
+//! until relabels hit; list labeling sits between.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
+use ltree_core::{LTree, LabelingScheme, Params};
+use ltree_virtual::VirtualLTree;
+use xmlgen::{run_workload, Workload};
+
+fn bench_uniform_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_insert");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let ops = (n / 5).max(500);
+        group.bench_with_input(BenchmarkId::new("ltree_4_2", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = LTree::new(Params::new(4, 2).unwrap());
+                run_workload(&mut s, Workload::Uniform, n, ops, 1).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ltree_16_4", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = LTree::new(Params::new(16, 4).unwrap());
+                run_workload(&mut s, Workload::Uniform, n, ops, 1).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("virtual_4_2", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = VirtualLTree::new(Params::new(4, 2).unwrap());
+                run_workload(&mut s, Workload::Uniform, n, ops, 1).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = GapLabeling::new();
+                run_workload(&mut s, Workload::Uniform, n, ops, 1).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("list_label", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = ListLabeling::new();
+                run_workload(&mut s, Workload::Uniform, n, ops, 1).unwrap()
+            })
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut s = NaiveLabeling::new();
+                    run_workload(&mut s, Workload::Uniform, n, ops, 1).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_label_reads(c: &mut Criterion) {
+    // Label lookup is O(1) for the materialized tree and the virtual
+    // handle map alike — "we can retrieve the label of a given node for
+    // free" (paper §3.1).
+    let mut group = c.benchmark_group("label_read");
+    let (tree, leaves) = LTree::bulk_load(Params::new(4, 2).unwrap(), 100_000).unwrap();
+    group.bench_function("ltree_label", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % leaves.len();
+            std::hint::black_box(tree.label(leaves[i]).unwrap())
+        })
+    });
+    let mut vt = VirtualLTree::new(Params::new(4, 2).unwrap());
+    let handles = vt.bulk_build(100_000).unwrap();
+    group.bench_function("virtual_label", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % handles.len();
+            std::hint::black_box(vt.label_of(handles[i]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform_inserts, bench_label_reads);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment X13 (wall-clock side): label-join query evaluation vs
+//! navigational evaluation on generated auction documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltree_core::{LTree, Params};
+use xmldb::{Document, Path};
+use xmlgen::{auction_profile, generate};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_query");
+    group.sample_size(20);
+    for &n in &[2_000usize, 20_000] {
+        let tree = generate(&auction_profile(n), 99);
+        let doc = Document::from_tree(tree, LTree::new(Params::new(8, 2).unwrap())).unwrap();
+        for q in ["//item", "/site/regions//item", "/site//description"] {
+            let path = Path::parse(q).unwrap();
+            group.bench_with_input(BenchmarkId::new(format!("nav {q}"), n), &n, |b, _| {
+                b.iter(|| path.eval_navigational(&doc).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new(format!("join {q}"), n), &n, |b, _| {
+                b.iter(|| path.eval_labeled(&doc).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ancestor_test(c: &mut Criterion) {
+    // The headline query primitive: one ancestor test = two label
+    // comparisons (paper, Figure 1).
+    let tree = generate(&auction_profile(20_000), 7);
+    let doc = Document::from_tree(tree, LTree::new(Params::new(8, 2).unwrap())).unwrap();
+    let all = doc.tree().all_elements();
+    let root = doc.tree().root().unwrap();
+    c.bench_function("is_ancestor_label_test", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 101) % all.len();
+            std::hint::black_box(doc.is_ancestor(root, all[i]).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries, bench_ancestor_test);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment X10 (wall-clock side): adaptivity to uneven insertion
+//! rates — hotspot and append streams vs uniform, L-Tree vs fixed-gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labeling_baselines::GapLabeling;
+use ltree_core::{LTree, Params};
+use xmlgen::{run_workload, Workload};
+
+fn bench_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skewed_workloads");
+    group.sample_size(10);
+    let n = 20_000usize;
+    let ops = 5_000usize;
+    let workloads = [
+        ("uniform", Workload::Uniform),
+        ("hotspot", Workload::Hotspot { hot_fraction: 0.05, hot_weight: 0.9 }),
+        ("append", Workload::Append),
+    ];
+    for (name, w) in workloads {
+        group.bench_with_input(BenchmarkId::new("ltree_4_2", name), &w, |b, &w| {
+            b.iter(|| {
+                let mut s = LTree::new(Params::new(4, 2).unwrap());
+                run_workload(&mut s, w, n, ops, 29).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gap", name), &w, |b, &w| {
+            b.iter(|| {
+                let mut s = GapLabeling::new();
+                run_workload(&mut s, w, n, ops, 29).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment X9 (wall-clock side): the §4.2 trade-off — materialized
+//! pointer structure vs label-only counted B-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltree_core::{LTree, Params};
+use ltree_virtual::VirtualLTree;
+use xmlgen::{run_workload, Workload};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_vs_materialized");
+    group.sample_size(10);
+    for &n in &[5_000usize, 50_000] {
+        let ops = n / 5;
+        group.bench_with_input(BenchmarkId::new("materialized", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = LTree::new(Params::new(4, 2).unwrap());
+                run_workload(&mut s, Workload::Uniform, n, ops, 23).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("virtual", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = VirtualLTree::new(Params::new(4, 2).unwrap());
+                run_workload(&mut s, Workload::Uniform, n, ops, 23).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,613 @@
+//! The X1–X13 experiment runners (see DESIGN.md §3 for the mapping from
+//! paper artifacts to experiments).
+
+use crate::table::{f, Table};
+use crate::Scale;
+use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
+use ltree_core::cost_model;
+use ltree_core::{LTree, LabelingScheme, Params};
+use ltree_tuning as tuning;
+use ltree_virtual::VirtualLTree;
+use xmldb::{Document, Path, XmlTree};
+use xmlgen::{auction_profile, generate, run_workload, Workload};
+
+/// A scheme entry for comparison tables: display name, boxed scheme and,
+/// for L-Tree variants, the `(f, s)` pair to evaluate the model bound.
+type SchemeEntry = (String, Box<dyn LabelingScheme>, Option<(f64, f64)>);
+
+fn ltree(fan: u32, s: u32) -> LTree {
+    LTree::new(Params::new(fan, s).expect("experiment params are valid"))
+}
+
+fn vtree(fan: u32, s: u32) -> VirtualLTree {
+    VirtualLTree::new(Params::new(fan, s).expect("experiment params are valid"))
+}
+
+/// Run one experiment by id ("x1".."x13"); `None` for unknown ids.
+pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    Some(match id {
+        "x1" => x1(),
+        "x2" => x2(),
+        "x3" => x3(scale),
+        "x4" => x4(scale),
+        "x5" => x5(scale),
+        "x6" => x6(scale),
+        "x7" => x7(scale),
+        "x8" => x8(scale),
+        "x9" => x9(scale),
+        "x10" => x10(scale),
+        "x11" => x11(scale),
+        "x12" => x12(scale),
+        "x13" => x13(scale),
+        "x14" => x14(scale),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub fn all_ids() -> &'static [&'static str] {
+    &["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14"]
+}
+
+// ----------------------------------------------------------------------
+// X1 — Figure 1: region labeling answers book//title by label tests
+// ----------------------------------------------------------------------
+
+pub fn x1() -> Vec<Table> {
+    let xml = "<book><chapter><title>t</title></chapter><title>top</title></book>";
+    let doc = Document::parse_str(xml, ltree(4, 2)).expect("figure 1 document parses");
+    let mut regions = Table::new("X1 — Figure 1: region labels of the example document", &[
+        "element", "begin", "end",
+    ]);
+    regions.note("Paper labels: book(0,7) chapter(1,4) title(2,3) title(5,6); ours keep the");
+    regions.note("same containment structure with L-Tree slack between labels.");
+    let root = doc.tree().root().expect("document has a root");
+    for id in doc.tree().dfs(root).expect("root is live") {
+        let (b, e) = doc.span(id).expect("element is labeled");
+        regions.row(vec![doc.tree().tag_name(id).expect("live").to_owned(), b.to_string(), e.to_string()]);
+    }
+
+    let mut query = Table::new("X1 — `/book//title` via interval containment", &[
+        "evaluator", "results (begin labels)",
+    ]);
+    let path = Path::parse("/book//title").expect("valid path");
+    for (name, result) in [
+        ("navigational", path.eval_navigational(&doc).expect("eval")),
+        ("label joins", path.eval_labeled(&doc).expect("eval")),
+    ] {
+        let labels: Vec<String> =
+            result.iter().map(|&id| doc.span(id).expect("labeled").0.to_string()).collect();
+        query.row(vec![name.into(), labels.join(", ")]);
+    }
+    query.note("Both evaluators return the two titles; the descendant test is one pair of");
+    query.note("label comparisons per candidate (paper, Section 1).");
+    vec![regions, query]
+}
+
+// ----------------------------------------------------------------------
+// X2 — Figure 2: bulk load + two insertions, one split
+// ----------------------------------------------------------------------
+
+pub fn x2() -> Vec<Table> {
+    let params = Params::new(4, 2).expect("figure params");
+    let (mut tree, leaves) = LTree::bulk_load(params, 8).expect("bulk load");
+    let snapshot = |tree: &LTree| -> String {
+        tree.leaves()
+            .map(|l| tree.label(l).expect("labeled").get().to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let mut t = Table::new("X2 — Figure 2 walkthrough (f = 4, s = 2, base f+1 = 5)", &[
+        "stage", "leaf labels", "splits",
+    ]);
+    t.note("Structure-exact replay of the paper's Figure 2; see DESIGN.md on the base-5");
+    t.note("numbers (the figure's art uses base 3, the paper's formulas mandate f+1).");
+    t.row(vec!["(a) bulk load 8 tags".into(), snapshot(&tree), "0".into()]);
+    let d = tree.insert_before(leaves[2]).expect("insert D");
+    t.row(vec!["(c) insert begin tag D".into(), snapshot(&tree), tree.stats().splits.to_string()]);
+    tree.insert_after(d).expect("insert /D");
+    t.row(vec!["(d) insert end tag /D".into(), snapshot(&tree), tree.stats().splits.to_string()]);
+    tree.check_invariants().expect("invariants hold");
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X3 — amortized insertion cost vs n (the O(log n) claim)
+// ----------------------------------------------------------------------
+
+pub fn x3(scale: Scale) -> Vec<Table> {
+    let sizes: &[usize] = scale.pick(&[1_000, 8_000][..], &[1_000, 10_000, 100_000][..]);
+    let ops_for = |n: usize| scale.pick(2_000.min(n), 20_000.min(n));
+    let mut t = Table::new("X3 — amortized insertion cost vs document size (uniform inserts)", &[
+        "n", "scheme", "labelWrites/op", "cost/op", "model bound", "bits",
+    ]);
+    t.note("cost/op = (label writes + structure touches) per inserted leaf — the paper's");
+    t.note("'nodes accessed for searching or relabeling'. Model bound = cost(f,s,n) of §3.1.");
+    t.note("naive is the Figure-1 scheme (O(n)); gap = fixed-gap midpoints; list-label =");
+    t.note("classic even redistribution (O(log² n) am.).");
+    for &n in sizes {
+        let ops = ops_for(n);
+        let mut entries: Vec<SchemeEntry> = vec![
+            ("ltree(4,2)".into(), Box::new(ltree(4, 2)), Some((4.0, 2.0))),
+            ("ltree(8,2)".into(), Box::new(ltree(8, 2)), Some((8.0, 2.0))),
+            ("ltree(16,4)".into(), Box::new(ltree(16, 4)), Some((16.0, 4.0))),
+            ("virtual(4,2)".into(), Box::new(vtree(4, 2)), Some((4.0, 2.0))),
+            ("list-label".into(), Box::new(ListLabeling::new()), None),
+            ("gap".into(), Box::new(GapLabeling::new()), None),
+        ];
+        if n <= 100_000 {
+            entries.push(("naive".into(), Box::new(NaiveLabeling::new()), None));
+        }
+        for (name, mut scheme, model) in entries {
+            let r = run_workload(&mut scheme, Workload::Uniform, n, ops, 42).expect("workload runs");
+            let bound = model
+                .map(|(pf, ps)| f(cost_model::amortized_cost(pf, ps, (n + ops) as f64)))
+                .unwrap_or_else(|| "—".into());
+            t.row(vec![
+                n.to_string(),
+                name,
+                f(r.amortized_label_writes()),
+                f(r.amortized_cost()),
+                bound,
+                r.label_space_bits.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X4 — label width vs n (the O(log n) bits claim)
+// ----------------------------------------------------------------------
+
+pub fn x4(scale: Scale) -> Vec<Table> {
+    let sizes: &[usize] = scale.pick(&[1_000, 8_000][..], &[1_000, 10_000, 100_000, 1_000_000][..]);
+    let mut t = Table::new("X4 — label width vs document size", &[
+        "n", "params", "measured bits", "model bits", "model/measured",
+    ]);
+    t.note("measured = bits of the label space (f+1)^H after bulk load + 10% uniform");
+    t.note("inserts; model = log2(f+1)·log2(n)/log2(f/s) (paper §3.1).");
+    for &n in sizes {
+        for (fan, s) in [(4u32, 2u32), (8, 2), (16, 4), (32, 4)] {
+            let mut scheme = ltree(fan, s);
+            let ops = (n / 10).max(1);
+            let r = run_workload(&mut scheme, Workload::Uniform, n, ops, 7).expect("workload runs");
+            let model = cost_model::label_bits(fan as f64, s as f64, (n + ops) as f64);
+            t.row(vec![
+                n.to_string(),
+                format!("({fan},{s})"),
+                r.label_space_bits.to_string(),
+                f(model),
+                f(model / r.label_space_bits as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X5 — parameter sweep: measured cost surface vs the model optimum
+// ----------------------------------------------------------------------
+
+pub fn x5(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(5_000, 50_000);
+    let ops = scale.pick(5_000, 20_000);
+    let arities = [2u32, 3, 4, 6, 8];
+    let widths = [2u32, 3, 4];
+    let mut measured = Table::new(
+        format!("X5 — measured amortized cost over the (f/s, s) grid (n = {n}, {ops} uniform inserts)"),
+        &["s \\ a", "2", "3", "4", "6", "8"],
+    );
+    let mut best = (f64::INFINITY, (0u32, 0u32));
+    for &s in &widths {
+        let mut row = vec![s.to_string()];
+        for &a in &arities {
+            let fan = a * s;
+            let mut scheme = ltree(fan, s);
+            let r = run_workload(&mut scheme, Workload::Uniform, n, ops, 11).expect("workload runs");
+            let c = r.amortized_cost();
+            if c < best.0 {
+                best = (c, (fan, s));
+            }
+            row.push(f(c));
+        }
+        measured.row(row);
+    }
+    let mut model = Table::new("X5 — model cost(f,s,n) over the same grid", &[
+        "s \\ a", "2", "3", "4", "6", "8",
+    ]);
+    for &s in &widths {
+        let mut row = vec![s.to_string()];
+        for &a in &arities {
+            row.push(f(cost_model::amortized_cost((a * s) as f64, s as f64, (n + ops) as f64)));
+        }
+        model.row(row);
+    }
+    let tuned = tuning::optimize_cost((n + ops) as u64);
+    model.note(format!(
+        "Analytic optimizer picks (f,s) = ({},{}) with predicted cost {}; empirical grid minimum is (f,s) = ({},{}) at {}.",
+        tuned.params.f(),
+        tuned.params.s(),
+        f(tuned.predicted_cost),
+        best.1 .0,
+        best.1 .1,
+        f(best.0),
+    ));
+    vec![measured, model]
+}
+
+// ----------------------------------------------------------------------
+// X6 — bit-budget-constrained tuning
+// ----------------------------------------------------------------------
+
+pub fn x6(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(20_000u64, 100_000u64);
+    let mut t = Table::new(
+        format!("X6 — minimize cost subject to a label-bit budget (n = {n})"),
+        &["budget β", "chosen (f,s)", "model bits", "model cost", "measured bits", "within budget"],
+    );
+    t.note("Paper §3.2 'Minimize the Update Cost for Given Number of Bits': interior");
+    t.note("optimum if feasible, otherwise the boundary optimum (Lagrange condition).");
+    let ops = (n / 10) as usize;
+    for beta in [32u32, 40, 48, 64, 96] {
+        match tuning::optimize_cost_with_bits(n + ops as u64, beta) {
+            Ok(tuned) => {
+                let mut scheme = LTree::new(tuned.params);
+                let r = run_workload(&mut scheme, Workload::Uniform, n as usize, ops, 13)
+                    .expect("workload runs");
+                t.row(vec![
+                    beta.to_string(),
+                    format!("({},{})", tuned.params.f(), tuned.params.s()),
+                    f(tuned.predicted_bits),
+                    f(tuned.predicted_cost),
+                    r.label_space_bits.to_string(),
+                    (r.label_space_bits <= beta).to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![beta.to_string(), "infeasible".into(), "—".into(), "—".into(), "—".into(), e.to_string()]);
+            }
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X7 — workload-weighted tuning
+// ----------------------------------------------------------------------
+
+pub fn x7(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(1u64 << 16, 1u64 << 20);
+    // The paper is from the 32-bit era: one machine word = 32 bits, so
+    // the optimum genuinely shifts once the mix becomes query-heavy.
+    let word = 32u32;
+    let mut t = Table::new(
+        format!("X7 — overall query+update optimum vs workload mix (n = {n}, {word}-bit words)"),
+        &["queries per update", "chosen (f,s)", "model bits", "words/cmp", "model update cost", "model total"],
+    );
+    t.note("Paper §3.2 'Minimize the Overall Cost': once labels spill past one machine");
+    t.note("word, each comparison costs proportionally more, pushing the optimum toward");
+    t.note("narrower labels as the mix becomes query-heavy.");
+    for q in [0.01f64, 1.0, 100.0, 10_000.0, 1_000_000.0] {
+        let tuned =
+            tuning::optimize_workload(&tuning::Workload { n, queries_per_update: q, word_bits: word });
+        let total = cost_model::overall_cost(
+            f64::from(tuned.params.f()),
+            f64::from(tuned.params.s()),
+            n as f64,
+            q,
+            word,
+        );
+        t.row(vec![
+            format!("{q}"),
+            format!("({},{})", tuned.params.f(), tuned.params.s()),
+            f(tuned.predicted_bits),
+            f(cost_model::query_cost(tuned.predicted_bits, word)),
+            f(tuned.predicted_cost),
+            f(total),
+        ]);
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X8 — batch insertion (Section 4.1)
+// ----------------------------------------------------------------------
+
+pub fn x8(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(10_000, 100_000);
+    let total = scale.pick(8_192, 32_768);
+    let mut t = Table::new(
+        format!("X8 — batch insertion: amortized cost per leaf vs batch size (n = {n}, {total} leaves)"),
+        &["batch k", "labelWrites/leaf", "cost/leaf", "model cost/leaf", "speedup vs k=1"],
+    );
+    t.note("Paper §4.1: 'the larger the size of inserting subtree, the lower the");
+    t.note("amortized cost … the decrease is roughly logarithmic in the insertion size'.");
+    let mut base_cost = None;
+    for k in [1usize, 4, 16, 64, 256, 1024] {
+        let mut scheme = ltree(4, 2);
+        let r = run_workload(&mut scheme, Workload::Batches { batch: k }, n, total, 17)
+            .expect("workload runs");
+        let cost = r.amortized_cost();
+        if base_cost.is_none() {
+            base_cost = Some(cost);
+        }
+        let model = cost_model::batch_amortized_cost(4.0, 2.0, (n + total) as f64, k as f64);
+        t.row(vec![
+            k.to_string(),
+            f(r.amortized_label_writes()),
+            f(cost),
+            f(model),
+            f(base_cost.expect("set on first iteration") / cost.max(1e-9)),
+        ]);
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X9 — materialized vs virtual L-Tree (Section 4.2)
+// ----------------------------------------------------------------------
+
+pub fn x9(scale: Scale) -> Vec<Table> {
+    let sizes: &[usize] = scale.pick(&[2_000, 10_000][..], &[10_000, 100_000][..]);
+    let mut t = Table::new("X9 — materialized vs virtual L-Tree (f=4, s=2, uniform inserts)", &[
+        "n", "variant", "ns/insert", "labelWrites/op", "touches/op", "memory (KiB)", "bits",
+    ]);
+    t.note("Paper §4.2: 'a tradeoff between the extra computation required by the range");
+    t.note("queries and the storage space necessary for materializing the L-Tree'.");
+    t.note("Labels are verified identical between the two variants on every size.");
+    for &n in sizes {
+        let ops = (n / 2).max(1_000);
+        let mut m = ltree(4, 2);
+        let rm = run_workload(&mut m, Workload::Uniform, n, ops, 23).expect("workload runs");
+        let mut v = vtree(4, 2);
+        let rv = run_workload(&mut v, Workload::Uniform, n, ops, 23).expect("workload runs");
+        // Equivalence: identical label sequences after identical streams.
+        let mat: Vec<u128> = m.leaves().map(|l| m.label(l).expect("labeled").get()).collect();
+        assert_eq!(mat, v.labels_in_order(), "virtual/materialized labels diverged");
+        for (variant, r, mem) in
+            [("materialized", &rm, m.memory_bytes()), ("virtual", &rv, LabelingScheme::memory_bytes(&v))]
+        {
+            t.row(vec![
+                n.to_string(),
+                variant.into(),
+                f(r.scheme_wall.as_nanos() as f64 / r.inserted.max(1) as f64),
+                f(r.amortized_label_writes()),
+                f(r.stats.node_touches as f64 / r.inserted.max(1) as f64),
+                (mem / 1024).to_string(),
+                r.label_space_bits.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X10 — adaptivity to uneven insertion rates
+// ----------------------------------------------------------------------
+
+pub fn x10(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(5_000, 50_000);
+    let ops = scale.pick(5_000, 20_000);
+    let mut t = Table::new(
+        format!("X10 — uneven insertion rates (n = {n}, {ops} inserts)"),
+        &["workload", "scheme", "labelWrites/op", "cost/op", "global relabels"],
+    );
+    t.note("Paper §6: the L-Tree 'automatically adapts to uneven insertion rates …");
+    t.note("creating more slack between labels' where insertions are heavy; the fixed-gap");
+    t.note("scheme instead degenerates to global relabels under a hotspot.");
+    for workload in [
+        Workload::Uniform,
+        Workload::Hotspot { hot_fraction: 0.05, hot_weight: 0.9 },
+        Workload::Append,
+    ] {
+        let mut lt = ltree(4, 2);
+        let r = run_workload(&mut lt, workload, n, ops, 29).expect("workload runs");
+        t.row(vec![
+            workload.name().into(),
+            "ltree(4,2)".into(),
+            f(r.amortized_label_writes()),
+            f(r.amortized_cost()),
+            "0".into(),
+        ]);
+        let mut gap = GapLabeling::new();
+        let r = run_workload(&mut gap, workload, n, ops, 29).expect("workload runs");
+        t.row(vec![
+            workload.name().into(),
+            "gap".into(),
+            f(r.amortized_label_writes()),
+            f(r.amortized_cost()),
+            gap.global_relabels().to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X11 — structural guarantees (Propositions 2 and 3)
+// ----------------------------------------------------------------------
+
+pub fn x11(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(2_000, 20_000);
+    let ops = scale.pick(4_000, 20_000);
+    let mut t = Table::new("X11 — structural guarantees under randomized single-insert streams", &[
+        "params", "workload", "splits", "root rebuilds", "cascades", "invariants",
+    ]);
+    t.note("Proposition 2: fanout and leaf-count bounds (checked by the full invariant");
+    t.note("walker). Proposition 3: 'cascade splitting … is not possible' — the cascade");
+    t.note("counter must stay 0 for every single-insert workload.");
+    for params in Params::presets() {
+        for workload in [Workload::Uniform, Workload::Hotspot { hot_fraction: 0.02, hot_weight: 0.95 }] {
+            let mut tree = LTree::new(params);
+            run_workload(&mut tree, workload, n, ops, 31).expect("workload runs");
+            let ok = tree.check_invariants().is_ok();
+            let s = tree.stats();
+            t.row(vec![
+                params.to_string(),
+                workload.name().into(),
+                s.splits.to_string(),
+                s.root_rebuilds.to_string(),
+                s.cascade_splits.to_string(),
+                if ok { "pass".into() } else { "FAIL".to_string() },
+            ]);
+            assert_eq!(s.cascade_splits, 0, "Proposition 3 violated");
+            assert!(ok, "invariants violated");
+        }
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X12 — deletions never relabel
+// ----------------------------------------------------------------------
+
+pub fn x12(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(5_000, 50_000);
+    let mut t = Table::new("X12 — deletions are tombstones (no relabeling)", &[
+        "scheme", "deletes", "label writes during deletes", "cost during deletes",
+    ]);
+    t.note("Paper §2.3: 'for deletions we can just mark as deleted the corresponding");
+    t.note("leaves in the L-Tree without any relabeling.'");
+    for (name, mut scheme) in [
+        ("ltree(4,2)", Box::new(ltree(4, 2)) as Box<dyn LabelingScheme>),
+        ("virtual(4,2)", Box::new(vtree(4, 2)) as Box<dyn LabelingScheme>),
+    ] {
+        let handles = scheme.bulk_build(n).expect("bulk build");
+        scheme.reset_scheme_stats();
+        for h in handles.iter().step_by(2) {
+            scheme.delete(*h).expect("delete succeeds");
+        }
+        let s = scheme.scheme_stats();
+        t.row(vec![
+            name.into(),
+            s.deletes.to_string(),
+            s.label_writes.to_string(),
+            s.node_touches.to_string(),
+        ]);
+        assert_eq!(s.label_writes, 0, "deletes must not write labels");
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X13 — query processing: navigation vs label joins
+// ----------------------------------------------------------------------
+
+pub fn x13(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(2_000, 20_000);
+    let tree = generate(&auction_profile(n), 99);
+    let mut doc = Document::from_tree(tree, ltree(8, 2)).expect("document builds");
+    // Make it a *dynamic* scenario: splice in some subtrees first.
+    let root = doc.tree().root().expect("root");
+    let (mut frag, fr) = XmlTree::with_root("open_auction");
+    let b = frag.add_child(fr, "bidder").expect("live");
+    frag.add_child(b, "price").expect("live");
+    for i in 0..scale.pick(20, 200) {
+        doc.insert_fragment(root, i % 3, &frag).expect("fragment inserts");
+    }
+    doc.validate().expect("document is consistent after updates");
+
+    let queries = ["//item", "/site/regions//item", "//person/name", "/site//description", "//bidder/price", "//*"];
+    let mut t = Table::new(
+        format!("X13 — path queries over a generated auction document ({} elements)", doc.element_count()),
+        &["query", "results", "navigational µs", "label-join µs", "identical"],
+    );
+    t.note("Label-join evaluation = per-step sort-merge structural join over (begin,");
+    t.note("end, depth) from the tag index — the paper's one-self-join story; the");
+    t.note("navigational evaluator is the pointer-chasing ground truth.");
+    for q in queries {
+        let path = Path::parse(q).expect("valid query");
+        let t0 = std::time::Instant::now();
+        let nav = path.eval_navigational(&doc).expect("eval");
+        let nav_us = t0.elapsed().as_micros();
+        let t1 = std::time::Instant::now();
+        let lab = path.eval_labeled(&doc).expect("eval");
+        let lab_us = t1.elapsed().as_micros();
+        let same = nav == lab;
+        assert!(same, "evaluators disagree on {q}");
+        t.row(vec![
+            q.into(),
+            nav.len().to_string(),
+            nav_us.to_string(),
+            lab_us.to_string(),
+            same.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// ----------------------------------------------------------------------
+// X14 — the RDBMS context: edge-table self-joins vs region-label join
+// ----------------------------------------------------------------------
+
+pub fn x14(scale: Scale) -> Vec<Table> {
+    use reldb::{descendants_via_edge_joins, descendants_via_region_join, shred};
+    let n = scale.pick(3_000, 30_000);
+    let tree = generate(&auction_profile(n), 77);
+    let doc = Document::from_tree(tree, ltree(8, 2)).expect("document builds");
+    let (edge, region) = shred(&doc);
+    let mut t = Table::new(
+        format!("X14 — relational plans for //a₁//…//aₖ over {n} elements"),
+        &["query", "results", "plan", "joins", "rows touched", "µs"],
+    );
+    t.note("The paper's introduction: the edge table needs 'one self-join … for each");
+    t.note("parent-child relationship' and 'many self-joins' for '//', while region");
+    t.note("labels need 'exactly one self-join with label comparisons as predicates'");
+    t.note("per step. Row touches are the cost unit; both plans return identical ids.");
+    let queries: &[&[&str]] = &[
+        &["site", "item"],
+        &["regions", "item", "name"],
+        &["site", "open_auctions", "bidder"],
+        &["site", "regions", "europe", "item", "description"],
+    ];
+    for tags in queries {
+        let t0 = std::time::Instant::now();
+        let e = descendants_via_edge_joins(&edge, tags, 14);
+        let e_us = t0.elapsed().as_micros();
+        let t1 = std::time::Instant::now();
+        let r = descendants_via_region_join(&region, tags);
+        let r_us = t1.elapsed().as_micros();
+        assert_eq!(e.result_ids, r.result_ids, "plans must agree on //{}", tags.join("//"));
+        let query = format!("//{}", tags.join("//"));
+        t.row(vec![
+            query.clone(),
+            e.result_ids.len().to_string(),
+            e.plan.into(),
+            e.joins.to_string(),
+            e.rows_touched.to_string(),
+            e_us.to_string(),
+        ]);
+        t.row(vec![
+            query,
+            r.result_ids.len().to_string(),
+            r.plan.into(),
+            r.joins.to_string(),
+            r.rows_touched.to_string(),
+            r_us.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs_at_quick_scale() {
+        for id in all_ids() {
+            let tables = run(id, Scale::Quick).expect("known id");
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{id} produced an empty table");
+                let md = t.to_markdown();
+                assert!(md.contains("###"));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("x99", Scale::Quick).is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # `ltree-bench` — the reproduction harness
+//!
+//! One runner per experiment of DESIGN.md §3 (X1–X13). Each runner
+//! returns [`table::Table`]s that the `repro` binary prints as markdown —
+//! the exact content recorded in `EXPERIMENTS.md`. The Criterion benches
+//! under `benches/` reuse the same workload drivers for wall-clock
+//! measurements.
+//!
+//! Everything is seeded; two runs of `repro` produce identical counter
+//! columns (wall-clock columns naturally vary).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+/// Experiment scale: `quick` keeps every experiment under a few seconds;
+/// `full` uses the sizes recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for smoke runs and CI.
+    Quick,
+    /// The sizes used in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Pick between the quick and full variant of a parameter.
+    pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

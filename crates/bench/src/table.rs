@@ -1,0 +1,122 @@
+//! Minimal markdown table rendering for the experiment reports.
+
+/// One experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Heading (e.g. "X3 — amortized insertion cost vs n").
+    pub title: String,
+    /// Free-text notes printed under the heading.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in '{}'", self.title);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a github-flavoured markdown table with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.note("a note");
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### T"));
+        assert!(md.contains("> a note"));
+        assert!(md.contains("| a "));
+        assert!(md.contains("| 1 "));
+        assert!(md.lines().any(|l| l.starts_with("|--")));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(3.17159), "3.17");
+        assert_eq!(f(42.123), "42.1");
+        assert_eq!(f(12345.6), "12346");
+    }
+}

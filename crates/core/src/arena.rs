@@ -1,0 +1,227 @@
+//! A generational slab arena for L-Tree nodes.
+//!
+//! Splits free and recreate interior nodes constantly, so node identity is
+//! index-based with a generation counter: a stale [`NodeId`] (freed slot or
+//! recycled slot) is detected rather than silently aliased. Leaves are only
+//! freed by [`crate::LTree::compact`], so the public [`crate::LeafId`]
+//! handles stay valid across arbitrary updates.
+
+use std::num::NonZeroU32;
+
+use crate::node::Node;
+
+/// Identifier of an arena slot: a 1-based index plus a generation stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    idx: NonZeroU32,
+    gen: u32,
+}
+
+impl NodeId {
+    /// Pack into a `u64` (used by the `LabelingScheme` handle type).
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        (u64::from(self.idx.get()) << 32) | u64::from(self.gen)
+    }
+
+    /// Unpack from a `u64`; `None` if the index half is zero.
+    #[inline]
+    pub fn from_u64(v: u64) -> Option<Self> {
+        let idx = NonZeroU32::new((v >> 32) as u32)?;
+        Some(NodeId { idx, gen: v as u32 })
+    }
+
+    #[inline]
+    fn slot(self) -> usize {
+        (self.idx.get() - 1) as usize
+    }
+}
+
+enum Slot {
+    Occupied { gen: u32, node: Node },
+    Free { gen: u32, next: Option<u32> },
+}
+
+/// The arena. Nodes are allocated/freed in O(1); lookups validate the
+/// generation stamp.
+pub struct Arena {
+    slots: Vec<Slot>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl Arena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Arena { slots: Vec::new(), free_head: None, len: 0 }
+    }
+
+    /// Empty arena with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena { slots: Vec::with_capacity(cap), free_head: None, len: 0 }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no nodes are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocate a node, reusing a free slot when available.
+    pub fn alloc(&mut self, node: Node) -> NodeId {
+        self.len += 1;
+        if let Some(free) = self.free_head {
+            let slot = &mut self.slots[free as usize];
+            match *slot {
+                Slot::Free { gen, next } => {
+                    self.free_head = next;
+                    let gen = gen.wrapping_add(1);
+                    *slot = Slot::Occupied { gen, node };
+                    NodeId { idx: NonZeroU32::new(free + 1).expect("index+1 is nonzero"), gen }
+                }
+                Slot::Occupied { .. } => unreachable!("free list points at an occupied slot"),
+            }
+        } else {
+            self.slots.push(Slot::Occupied { gen: 0, node });
+            let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 indices");
+            NodeId { idx: NonZeroU32::new(idx).expect("len is nonzero after push"), gen: 0 }
+        }
+    }
+
+    /// Free a node. Panics on stale ids (internal misuse is a bug).
+    pub fn free(&mut self, id: NodeId) {
+        let slot = &mut self.slots[id.slot()];
+        match slot {
+            Slot::Occupied { gen, .. } if *gen == id.gen => {
+                *slot = Slot::Free { gen: id.gen, next: self.free_head };
+                self.free_head = Some(id.slot() as u32);
+                self.len -= 1;
+            }
+            _ => panic!("freeing a stale NodeId"),
+        }
+    }
+
+    /// Borrow a node if the id is current.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&Node> {
+        match self.slots.get(id.slot()) {
+            Some(Slot::Occupied { gen, node }) if *gen == id.gen => Some(node),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow a node if the id is current.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        match self.slots.get_mut(id.slot()) {
+            Some(Slot::Occupied { gen, node }) if *gen == id.gen => Some(node),
+            _ => None,
+        }
+    }
+
+    /// Borrow without an Option; panics on stale ids. For internal use on
+    /// ids the tree knows to be live.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.get(id).expect("stale NodeId in tree structure")
+    }
+
+    /// Mutable twin of [`node`](Arena::node).
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.get_mut(id).expect("stale NodeId in tree structure")
+    }
+
+    /// Iterate over `(NodeId, &Node)` for all live nodes (slot order).
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { gen, node } => Some((
+                NodeId { idx: NonZeroU32::new(i as u32 + 1).expect("index+1 nonzero"), gen: *gen },
+                node,
+            )),
+            Slot::Free { .. } => None,
+        })
+    }
+
+    /// Approximate heap footprint in bytes (used by the space experiment).
+    pub fn memory_bytes(&self) -> usize {
+        let slot_size = std::mem::size_of::<Slot>();
+        let mut total = self.slots.capacity() * slot_size;
+        for (_, node) in self.iter() {
+            total += node.children_capacity() * std::mem::size_of::<NodeId>();
+        }
+        total
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Node, NodeData};
+
+    fn leaf() -> Node {
+        Node::new_leaf(None)
+    }
+
+    #[test]
+    fn alloc_get_free_cycle() {
+        let mut a = Arena::new();
+        let id = a.alloc(leaf());
+        assert!(a.get(id).is_some());
+        assert_eq!(a.len(), 1);
+        a.free(id);
+        assert!(a.get(id).is_none(), "freed id must be stale");
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn recycled_slot_gets_new_generation() {
+        let mut a = Arena::new();
+        let id1 = a.alloc(leaf());
+        a.free(id1);
+        let id2 = a.alloc(leaf());
+        assert_ne!(id1, id2, "generation must differ");
+        assert!(a.get(id1).is_none());
+        assert!(a.get(id2).is_some());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut a = Arena::new();
+        let id = a.alloc(leaf());
+        assert_eq!(NodeId::from_u64(id.to_u64()), Some(id));
+        assert_eq!(NodeId::from_u64(0), None);
+    }
+
+    #[test]
+    fn iter_skips_free_slots() {
+        let mut a = Arena::new();
+        let id1 = a.alloc(leaf());
+        let _id2 = a.alloc(leaf());
+        a.free(id1);
+        assert_eq!(a.iter().count(), 1);
+    }
+
+    #[test]
+    fn internal_nodes_counted_in_memory() {
+        let mut a = Arena::new();
+        let l = a.alloc(leaf());
+        let mut internal = Node::new_internal(None, 1);
+        if let NodeData::Internal { children, leaf_count } = &mut internal.data {
+            children.push(l);
+            *leaf_count = 1;
+        }
+        a.alloc(internal);
+        assert!(a.memory_bytes() > 0);
+    }
+}

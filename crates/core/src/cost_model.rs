@@ -1,0 +1,138 @@
+//! The paper's closed-form cost model (Section 3), used by the tuner
+//! (`ltree-tuning`) and by the experiment harness to overlay predicted
+//! curves over measured ones.
+//!
+//! All formulas take real-valued `f`, `s` (the optimization of Section 3.2
+//! treats them as continuous and rounds afterwards) and `n`, the current
+//! document size in tags.
+
+/// Amortized insertion cost (paper, Section 3.1):
+///
+/// ```text
+/// cost(f, s, n) = (1 + 2 f / (s − 1)) · log n / log (f/s)  +  f
+/// ```
+///
+/// composed of the ancestor count updates (`H = log n / log(f/s)`), the
+/// per-level amortized split charge (`2 f / (s − 1)` each), and the sibling
+/// relabel bound `f`.
+pub fn amortized_cost(f: f64, s: f64, n: f64) -> f64 {
+    debug_assert!(f > s && s > 1.0 && n >= 2.0);
+    let h = n.ln() / (f / s).ln();
+    (1.0 + 2.0 * f / (s - 1.0)) * h + f
+}
+
+/// Bits per label (paper, Section 3.1):
+///
+/// ```text
+/// bits(f, s, n) = log₂(f + 1) · log₂ n / log₂(f/s)
+/// ```
+///
+/// i.e. `log₂ N` with `N ≤ (f+1)^H`.
+pub fn label_bits(f: f64, s: f64, n: f64) -> f64 {
+    debug_assert!(f > s && s > 1.0 && n >= 2.0);
+    (f + 1.0).log2() * n.log2() / (f / s).log2()
+}
+
+/// Amortized per-leaf cost of inserting a batch of `k` leaves at one point
+/// (paper, Section 4.1):
+///
+/// ```text
+/// cost(f, s, n, k) ≤ log n / (k·log(f/s)) + f/k
+///                    + (2 f / (s−1)) · (log(n/k) / log(f/s) + 1)
+/// ```
+///
+/// The first two terms are the one-off path/sibling costs shared by the
+/// `k` leaves; the last is the split charge over the `H − h₀ + 1` ancestor
+/// levels that can still split after the batch lands (`h₀ ≈ log_a k`).
+pub fn batch_amortized_cost(f: f64, s: f64, n: f64, k: f64) -> f64 {
+    debug_assert!(k >= 1.0);
+    let la = (f / s).ln();
+    let shared = n.ln() / (k * la) + f / k;
+    let levels = ((n / k).max(1.0)).ln() / la + 1.0;
+    shared + (2.0 * f / (s - 1.0)) * levels
+}
+
+/// Integer-height label width: the bits actually needed by an L-Tree
+/// holding `n` leaves, `⌈log₂((f+1)^H)⌉` with `H` the minimal bulk-load
+/// height. The continuous [`label_bits`] can undershoot this by up to one
+/// level's worth of bits because real heights are integers — budget
+/// checks should use the max of the two.
+pub fn label_bits_integer(params: &crate::Params, n: u64) -> u32 {
+    let h = params.height_for(n.max(1));
+    match params.interval(h) {
+        Ok(space) => 128 - (space - 1).leading_zeros(),
+        Err(_) => 128,
+    }
+}
+
+/// Query-side cost of one label comparison (paper, Section 3.2, "Minimize
+/// the Overall Cost"): free (1 unit) while a label fits a machine word,
+/// proportional to the word count beyond that.
+pub fn query_cost(bits: f64, word_bits: u32) -> f64 {
+    let w = f64::from(word_bits);
+    if bits <= w {
+        1.0
+    } else {
+        (bits / w).ceil()
+    }
+}
+
+/// Workload-weighted overall cost (paper, Section 3.2): `q` label
+/// comparisons per update on average.
+pub fn overall_cost(f: f64, s: f64, n: f64, queries_per_update: f64, word_bits: u32) -> f64 {
+    amortized_cost(f, s, n) + queries_per_update * query_cost(label_bits(f, s, n), word_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_logarithmic_in_n() {
+        let c1 = amortized_cost(8.0, 2.0, 1e3);
+        let c2 = amortized_cost(8.0, 2.0, 1e6);
+        // Doubling the exponent doubles the log-term, far from 1000x.
+        assert!(c2 < 2.5 * c1, "cost must grow logarithmically: {c1} vs {c2}");
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn bits_formula_matches_hand_computation() {
+        // f = 4, s = 2: bits = log2(5)/log2(2) * log2(n) = 2.3219 * log2 n.
+        let b = label_bits(4.0, 2.0, 1024.0);
+        assert!((b - 2.321928 * 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_cost_decreases_with_k() {
+        let n = 1e5;
+        let c1 = batch_amortized_cost(4.0, 2.0, n, 1.0);
+        let c16 = batch_amortized_cost(4.0, 2.0, n, 16.0);
+        let c256 = batch_amortized_cost(4.0, 2.0, n, 256.0);
+        assert!(c1 > c16 && c16 > c256, "larger batches amortize better: {c1} {c16} {c256}");
+        // "the decrease of the cost is roughly logarithmic in the increase
+        // of insertion size": halving is much slower than 1/k.
+        assert!(c256 > c1 / 256.0 * 4.0);
+    }
+
+    #[test]
+    fn query_cost_word_boundary() {
+        assert_eq!(query_cost(32.0, 64), 1.0);
+        assert_eq!(query_cost(64.0, 64), 1.0);
+        assert_eq!(query_cost(65.0, 64), 2.0);
+        assert_eq!(query_cost(200.0, 64), 4.0);
+    }
+
+    #[test]
+    fn overall_cost_prefers_narrow_labels_when_query_heavy() {
+        let n = 1e6;
+        // (f=32, s=16) has wide labels (arity 2, base 33); (8,2) is narrow.
+        let update_heavy_wide = overall_cost(32.0, 16.0, n, 0.1, 64);
+        let update_heavy_narrow = overall_cost(8.0, 2.0, n, 0.1, 64);
+        let query_heavy_wide = overall_cost(32.0, 16.0, n, 1e4, 64);
+        let query_heavy_narrow = overall_cost(8.0, 2.0, n, 1e4, 64);
+        // Wide labels pay multi-word comparisons under heavy querying.
+        assert!(query_heavy_narrow < query_heavy_wide);
+        let _ = (update_heavy_wide, update_heavy_narrow);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the L-Tree crates.
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LTreeError>;
+
+/// Errors produced by L-Tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LTreeError {
+    /// The `(f, s)` pair violates the paper's requirements.
+    InvalidParams {
+        /// Offending `f`.
+        f: u32,
+        /// Offending `s`.
+        s: u32,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+    /// The label space `B^H` no longer fits in a `u128`. This only happens
+    /// for astronomically deep trees (the tuner never produces them) and is
+    /// reported *before* any mutation takes place.
+    LabelOverflow {
+        /// Height at which `B^height` overflowed.
+        height: u8,
+    },
+    /// A handle did not refer to a live node of this tree (wrong tree,
+    /// freed by `compact`, or internal node where a leaf was expected).
+    UnknownHandle,
+    /// The referenced leaf exists but was already tombstoned.
+    DeletedLeaf,
+    /// The operation requires a non-empty tree.
+    EmptyTree,
+    /// `bulk_build` was invoked on a scheme that already holds items.
+    NotEmpty,
+    /// The requested batch size was zero.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for LTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LTreeError::InvalidParams { f: pf, s, reason } => {
+                write!(f, "invalid L-Tree parameters (f={pf}, s={s}): {reason}")
+            }
+            LTreeError::LabelOverflow { height } => write!(
+                f,
+                "label space (f+1)^{height} exceeds u128; choose smaller f or rebuild with larger s"
+            ),
+            LTreeError::UnknownHandle => write!(f, "handle does not refer to a live leaf of this structure"),
+            LTreeError::DeletedLeaf => write!(f, "leaf was already deleted"),
+            LTreeError::EmptyTree => write!(f, "operation requires a non-empty structure"),
+            LTreeError::NotEmpty => write!(f, "bulk_build requires an empty structure"),
+            LTreeError::EmptyBatch => write!(f, "batch insertion of zero leaves is not meaningful"),
+        }
+    }
+}
+
+impl std::error::Error for LTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LTreeError::InvalidParams { f: 5, s: 2, reason: "nope" };
+        assert!(e.to_string().contains("f=5"));
+        assert!(e.to_string().contains("nope"));
+        let e = LTreeError::LabelOverflow { height: 200 };
+        assert!(e.to_string().contains("200"));
+    }
+}

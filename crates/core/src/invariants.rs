@@ -1,0 +1,164 @@
+//! Full structural checker for the materialized L-Tree.
+//!
+//! Verifies, after any sequence of operations, every property the paper
+//! states or that the implementation relies on:
+//!
+//! 1. the root is an interior node with `num = 0` and no parent;
+//! 2. heights decrease by exactly one along every edge and all leaves sit
+//!    at height 0 / depth `H` (paper, Proposition 2.3);
+//! 3. parent links agree with child lists;
+//! 4. fanout never exceeds `f` (paper, Proposition 2.2 — the transient
+//!    `f`-fanout state is resolved within the same operation);
+//! 5. the **global labeling invariant**
+//!    `num(child_i) = num(parent) + i · B^{h(child)}` — the property that
+//!    makes the virtual L-Tree (Section 4.2) possible;
+//! 6. leaf counts are consistent and strictly below the split threshold
+//!    `s · a^h` (the criterion is restored by the end of each operation);
+//! 7. the stored totals (`len`, `live_len`) match the structure;
+//! 8. no arena slots leak (every live slot is reachable from the root);
+//! 9. every label fits the label space `[0, B^H)`.
+
+use crate::arena::NodeId;
+use crate::node::NodeData;
+use crate::tree::LTree;
+
+/// A violated invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantError(pub String);
+
+impl std::fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L-Tree invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            return Err(InvariantError(format!($($arg)*)));
+        }
+    };
+}
+
+/// Run every check described in the [module docs](self).
+pub fn check(tree: &LTree) -> Result<(), InvariantError> {
+    let arena = tree.arena_ref();
+    let params = tree.params();
+    let root = tree.root_id();
+
+    let root_node = arena.get(root).ok_or_else(|| InvariantError("root id is stale".into()))?;
+    ensure!(!root_node.is_leaf(), "root must be an interior node");
+    ensure!(root_node.parent.is_none(), "root must have no parent");
+    ensure!(root_node.num == 0, "root must be numbered 0, found {}", root_node.num);
+    ensure!(root_node.height == tree.height(), "stored height {} != root height {}", tree.height(), root_node.height);
+
+    let mut reachable = 0usize;
+    let mut leaf_total = 0u64;
+    let mut live_total = 0u64;
+    let mut last_label: Option<u128> = None;
+    let space = params
+        .interval(tree.height())
+        .map_err(|_| InvariantError("label space B^H overflows u128".into()))?;
+
+    // DFS in document order.
+    let mut stack: Vec<NodeId> = vec![root];
+    while let Some(id) = stack.pop() {
+        reachable += 1;
+        let node = arena.get(id).ok_or_else(|| InvariantError("dangling child pointer".into()))?;
+        ensure!(node.num < space, "num {} outside label space {}", node.num, space);
+        match &node.data {
+            NodeData::Leaf { deleted } => {
+                ensure!(node.height == 0, "leaf at height {}", node.height);
+                leaf_total += 1;
+                if !deleted {
+                    live_total += 1;
+                }
+                if let Some(prev) = last_label {
+                    ensure!(prev < node.num, "leaf labels not strictly increasing: {} then {}", prev, node.num);
+                }
+                last_label = Some(node.num);
+            }
+            NodeData::Internal { children, leaf_count } => {
+                if id != root {
+                    ensure!(!children.is_empty(), "non-root interior node with no children");
+                }
+                ensure!(
+                    children.len() <= params.f() as usize,
+                    "fanout {} exceeds f = {} at height {}",
+                    children.len(),
+                    params.f(),
+                    node.height
+                );
+                let threshold = params.split_threshold(node.height);
+                ensure!(
+                    *leaf_count < threshold,
+                    "leaf count {} at height {} reached split threshold {}",
+                    leaf_count,
+                    node.height,
+                    threshold
+                );
+                let interval = params
+                    .interval(node.height - 1)
+                    .map_err(|_| InvariantError("child interval overflows u128".into()))?;
+                let mut sum = 0u64;
+                for (i, &c) in children.iter().enumerate() {
+                    let child = arena.get(c).ok_or_else(|| InvariantError("dangling child pointer".into()))?;
+                    ensure!(child.parent == Some(id), "child parent link is wrong");
+                    ensure!(
+                        child.height + 1 == node.height,
+                        "child height {} under parent height {}",
+                        child.height,
+                        node.height
+                    );
+                    let expect = node.num + i as u128 * interval;
+                    ensure!(
+                        child.num == expect,
+                        "labeling invariant broken: child {} of node num={} h={} has num {}, expected {}",
+                        i,
+                        node.num,
+                        node.height,
+                        child.num,
+                        expect
+                    );
+                    sum += child.leaf_count();
+                }
+                ensure!(sum == *leaf_count, "leaf_count {} != sum of children {}", leaf_count, sum);
+                for &c in children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    ensure!(leaf_total == tree.leaf_total(), "stored leaf total {} != found {}", tree.leaf_total(), leaf_total);
+    ensure!(live_total == tree.live_total(), "stored live total {} != found {}", tree.live_total(), live_total);
+    ensure!(
+        reachable == arena.len(),
+        "arena leak: {} slots live but only {} reachable",
+        arena.len(),
+        reachable
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::Params;
+    use crate::tree::LTree;
+
+    #[test]
+    fn fresh_trees_pass() {
+        for n in [0usize, 1, 5, 17, 64] {
+            let (tree, _) = LTree::bulk_load(Params::example(), n).unwrap();
+            tree.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn error_message_is_descriptive() {
+        let e = super::InvariantError("fanout 9 exceeds f = 4 at height 2".into());
+        assert!(e.to_string().contains("fanout 9"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Order-preserving labels.
+//!
+//! A label is a `u128` drawn from `[0, B^H)` where `B = f+1` and `H` is the
+//! current height of the L-Tree. Its base-`B` digit expansion spells out the
+//! child indices on the root-to-leaf path (paper, Section 4.2) — the key
+//! observation behind the *virtual* L-Tree.
+
+use crate::params::Params;
+
+/// An order-preserving label. Compare labels to compare document positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Label(u128);
+
+impl Label {
+    /// Wrap a raw value.
+    #[inline]
+    pub const fn new(v: u128) -> Self {
+        Label(v)
+    }
+
+    /// The raw integer value.
+    #[inline]
+    pub const fn get(self) -> u128 {
+        self.0
+    }
+
+    /// Number of bits needed to store this label (`0` needs 0 bits).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        128 - self.0.leading_zeros()
+    }
+
+    /// The label of this leaf's ancestor at `height` — obtained by zeroing
+    /// the `height` least-significant base-`B` digits (paper, Section 4.2:
+    /// "the base (f+1) digits of num(v) provide an encoding of all the
+    /// ancestors of v").
+    ///
+    /// ```
+    /// use ltree_core::{Label, Params};
+    /// let p = Params::new(4, 2).unwrap(); // base 5
+    /// let l = Label::new(31); // digits (1,1,1) in base 5
+    /// assert_eq!(l.ancestor(&p, 1).get(), 30);
+    /// assert_eq!(l.ancestor(&p, 2).get(), 25);
+    /// assert_eq!(l.ancestor(&p, 3).get(), 0);
+    /// ```
+    pub fn ancestor(self, params: &Params, height: u8) -> Label {
+        let interval = params
+            .interval(height)
+            .expect("ancestor height must fit the label space");
+        Label(self.0 / interval * interval)
+    }
+
+    /// Base-`B` digits of the label, least significant first, up to
+    /// `height` digits. Digit `j` is the child index of the leaf's
+    /// ancestor at height `j` within its parent.
+    pub fn digits(self, params: &Params, height: u8) -> Vec<u32> {
+        let base = params.base();
+        let mut v = self.0;
+        let mut out = Vec::with_capacity(usize::from(height));
+        for _ in 0..height {
+            out.push((v % base) as u32);
+            v /= base;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<u128> for Label {
+    fn from(v: u128) -> Self {
+        Label(v)
+    }
+}
+
+impl From<Label> for u128 {
+    fn from(l: Label) -> Self {
+        l.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Label::new(3) < Label::new(10));
+        assert_eq!(Label::new(7), Label::new(7));
+    }
+
+    #[test]
+    fn bits_width() {
+        assert_eq!(Label::new(0).bits(), 0);
+        assert_eq!(Label::new(1).bits(), 1);
+        assert_eq!(Label::new(255).bits(), 8);
+        assert_eq!(Label::new(256).bits(), 9);
+        assert_eq!(Label::new(u128::MAX).bits(), 128);
+    }
+
+    #[test]
+    fn digit_decomposition_roundtrip() {
+        let p = Params::new(4, 2).unwrap(); // base 5
+        let l = Label::new(2 * 25 + 3 * 5 + 4);
+        assert_eq!(l.digits(&p, 3), vec![4, 3, 2]);
+        assert_eq!(l.ancestor(&p, 0), l);
+        assert_eq!(l.ancestor(&p, 1).get(), 2 * 25 + 3 * 5);
+        assert_eq!(l.ancestor(&p, 2).get(), 2 * 25);
+    }
+}

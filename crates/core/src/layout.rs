@@ -1,0 +1,229 @@
+//! Pure label-layout arithmetic shared by the materialized and the
+//! *virtual* L-Tree.
+//!
+//! Section 4.2 of the paper observes that the whole L-Tree structure is
+//! implicit in the base-`(f+1)` digits of the leaf labels. The functions in
+//! this module are the single source of truth for how labels are assigned
+//! when subtrees are (re)built, so the virtual implementation
+//! (`ltree-virtual`) reproduces the materialized labels bit-for-bit — a
+//! property the integration test-suite checks exhaustively.
+
+use crate::error::Result;
+use crate::params::Params;
+
+/// Ceiling division for `u64`, with `ceil_div(0, b) == 0`.
+#[inline]
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// Sizes of the `pieces` near-equal shares of `total` leaves: the first
+/// `total % pieces` shares get one extra leaf. A split replaces an overfull
+/// node with pieces of these sizes, in order.
+///
+/// For the paper's single-insert regime `total = s · a^h` and
+/// `pieces = s`, so every share is exactly `a^h` — a complete tree.
+pub fn even_split(total: u64, pieces: u64) -> Vec<u64> {
+    debug_assert!(pieces > 0 && total >= pieces);
+    let base = total / pieces;
+    let extra = total % pieces;
+    (0..pieces).map(|q| base + u64::from(q < extra)).collect()
+}
+
+/// Label offset (relative to the subtree's own number) of the `r`-th leaf
+/// in a *leftmost-complete* `a`-ary subtree of height `h`: the base-`a`
+/// digits of `r` spread over base-`B` positions,
+/// `Σ_j ((r / a^j) mod a) · B^j`.
+///
+/// This is exactly what rebuilding a subtree and then relabeling it with
+/// the paper's `num(v) = num(u) + i · B^{h(v)}` rule produces.
+pub fn complete_offset(r: u64, height: u8, params: &Params) -> Result<u128> {
+    let a = u64::from(params.arity());
+    let base = params.base();
+    let mut offset: u128 = 0;
+    let mut rem = r;
+    let mut weight: u128 = 1;
+    for level in 0..height {
+        let digit = rem % a;
+        rem /= a;
+        offset += u128::from(digit) * weight;
+        if level + 1 < height {
+            weight = weight.checked_mul(base).ok_or(crate::LTreeError::LabelOverflow { height })?;
+        }
+    }
+    debug_assert_eq!(rem, 0, "r must be below a^height");
+    Ok(offset)
+}
+
+/// All leaf offsets of a leftmost-complete `a`-ary subtree of height `h`
+/// holding `count` leaves, in order.
+pub fn complete_offsets(count: u64, height: u8, params: &Params) -> Result<Vec<u128>> {
+    (0..count).map(|r| complete_offset(r, height, params)).collect()
+}
+
+/// Result of planning a root rebuild: the new tree height and the label of
+/// every leaf, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootRebuild {
+    /// Height of the tree after the rebuild.
+    pub new_height: u8,
+    /// Number of height-`old_height` pieces the leaves were split into.
+    pub pieces: u64,
+    /// Number of `a`-ary grouping levels added above the pieces.
+    pub grouping_levels: u8,
+}
+
+impl RootRebuild {
+    /// Plan the rebuild that replaces an overfull root (paper, Algorithm 1
+    /// lines 18–20, generalized to batch insertions): the `total` leaves
+    /// are split into `m = ceil(total / a^H)` near-equal pieces of height
+    /// `H = old_height`; while more than `f` pieces remain they are grouped
+    /// `a` at a time under new parents; a fresh root is put on top.
+    ///
+    /// For a single-leaf insertion `total = s · a^H`, so `m = s ≤ f` and
+    /// the result is the paper's "new root with the s top-level nodes as
+    /// children".
+    pub fn plan(params: &Params, total: u64, old_height: u8) -> RootRebuild {
+        debug_assert!(total > 0);
+        let cap = params.subtree_capacity(old_height);
+        let pieces = ceil_div(total, cap);
+        let a = u64::from(params.arity());
+        let mut m = pieces;
+        let mut grouping_levels: u8 = 0;
+        while m > u64::from(params.f()) {
+            m = ceil_div(m, a);
+            grouping_levels += 1;
+        }
+        RootRebuild { new_height: old_height + grouping_levels + 1, pieces, grouping_levels }
+    }
+
+    /// Label of piece `q` (relative to the new root, i.e. absolute since
+    /// the root is numbered 0).
+    pub fn piece_num(&self, params: &Params, old_height: u8, q: u64) -> Result<u128> {
+        let a = u64::from(params.arity());
+        let base = params.base();
+        let mut num: u128 = 0;
+        // Positions inside the grouping levels: base-a digits of q.
+        let mut rem = q;
+        for j in 0..self.grouping_levels {
+            let digit = rem % a;
+            rem /= a;
+            let weight = base
+                .checked_pow(u32::from(old_height) + u32::from(j))
+                .ok_or(crate::LTreeError::LabelOverflow { height: self.new_height })?;
+            num += u128::from(digit) * weight;
+        }
+        // Root-child index: whatever remains (may exceed a, bounded by f).
+        let weight = base
+            .checked_pow(u32::from(self.new_height) - 1)
+            .ok_or(crate::LTreeError::LabelOverflow { height: self.new_height })?;
+        num += u128::from(rem) * weight;
+        Ok(num)
+    }
+
+    /// Labels for all `total` leaves after the rebuild, in order.
+    pub fn leaf_labels(&self, params: &Params, total: u64, old_height: u8) -> Result<Vec<u128>> {
+        let sizes = even_split(total, self.pieces);
+        let mut out = Vec::with_capacity(total as usize);
+        for (q, &size) in sizes.iter().enumerate() {
+            let piece_base = self.piece_num(params, old_height, q as u64)?;
+            for r in 0..size {
+                out.push(piece_base + complete_offset(r, old_height, params)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Labels produced by bulk loading `n` leaves (paper, Section 2.2): a
+/// leftmost-complete `a`-ary tree of minimal height.
+pub fn bulk_load_labels(params: &Params, n: u64) -> Result<(u8, Vec<u128>)> {
+    let height = params.height_for(n);
+    let labels = complete_offsets(n, height, params)?;
+    Ok((height, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p42() -> Params {
+        Params::new(4, 2).unwrap()
+    }
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(0, 3), 0);
+        assert_eq!(ceil_div(1, 3), 1);
+        assert_eq!(ceil_div(3, 3), 1);
+        assert_eq!(ceil_div(4, 3), 2);
+    }
+
+    #[test]
+    fn even_split_shares() {
+        assert_eq!(even_split(8, 2), vec![4, 4]);
+        assert_eq!(even_split(9, 2), vec![5, 4]);
+        assert_eq!(even_split(10, 4), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn complete_offsets_match_figure2_bulk_load() {
+        // f=4, s=2 (base 5, arity 2), 8 leaves, height 3:
+        // base-2 digits of 0..8 spread over base-5 positions.
+        let p = p42();
+        let (h, labels) = bulk_load_labels(&p, 8).unwrap();
+        assert_eq!(h, 3);
+        assert_eq!(labels, vec![0, 1, 5, 6, 25, 26, 30, 31]);
+    }
+
+    #[test]
+    fn complete_offsets_partial_tree() {
+        let p = p42();
+        // 3 leaves need height 2; leftmost-complete: 0, 1, 5.
+        let (h, labels) = bulk_load_labels(&p, 3).unwrap();
+        assert_eq!(h, 2);
+        assert_eq!(labels, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn root_rebuild_single_insert_case() {
+        // total = s * a^H = 2 * 8 = 16, H = 3: the paper's exact case:
+        // s = 2 pieces, no grouping, new root at height 4.
+        let p = p42();
+        let plan = RootRebuild::plan(&p, 16, 3);
+        assert_eq!(plan.pieces, 2);
+        assert_eq!(plan.grouping_levels, 0);
+        assert_eq!(plan.new_height, 4);
+        let labels = plan.leaf_labels(&p, 16, 3).unwrap();
+        assert_eq!(labels.len(), 16);
+        // First piece at 0, second piece at B^3 = 125.
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[8], 125);
+        assert!(labels.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn root_rebuild_grouping_when_many_pieces() {
+        // Force > f pieces: total = 100 leaves over height 1 (cap a = 2):
+        // 50 pieces > f = 4 -> grouped by 2 until <= 4: 50 -> 25 -> 13 -> 7 -> 4.
+        let p = p42();
+        let plan = RootRebuild::plan(&p, 100, 1);
+        assert_eq!(plan.pieces, 50);
+        assert_eq!(plan.grouping_levels, 4);
+        assert_eq!(plan.new_height, 6);
+        let labels = plan.leaf_labels(&p, 100, 1).unwrap();
+        assert_eq!(labels.len(), 100);
+        assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels strictly increasing");
+        // Every label fits the new label space.
+        let space = p.interval(plan.new_height).unwrap();
+        assert!(labels.iter().all(|&l| l < space));
+    }
+
+    #[test]
+    fn complete_offset_rejects_out_of_range_in_debug() {
+        let p = p42();
+        // r = 7 < 2^3: fine.
+        assert!(complete_offset(7, 3, &p).is_ok());
+    }
+}

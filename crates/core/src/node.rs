@@ -1,0 +1,126 @@
+//! L-Tree node representation.
+
+use crate::arena::NodeId;
+
+/// One node of the materialized L-Tree.
+#[derive(Debug)]
+pub struct Node {
+    /// Parent link (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// The node's number `num(v)` — for a leaf this is its label.
+    /// Maintained so that `num(child_i) = num(parent) + i · B^{h(child)}`
+    /// holds globally (see `invariants`).
+    pub num: u128,
+    /// Height: leaves are 0, parents of leaves are 1, …
+    pub height: u8,
+    /// Kind-specific payload.
+    pub data: NodeData,
+}
+
+/// Internal/leaf payload.
+#[derive(Debug)]
+pub enum NodeData {
+    /// An internal node: ordered children plus the leaf-descendant count
+    /// `L(v)` that drives the split criterion.
+    Internal {
+        /// Ordered child list (fanout is bounded by `f`).
+        children: Vec<NodeId>,
+        /// Number of leaf descendants, tombstones included.
+        leaf_count: u64,
+    },
+    /// A leaf carrying one tag of the document.
+    Leaf {
+        /// Tombstone flag: deletions never relabel (paper, Section 2.3).
+        deleted: bool,
+    },
+}
+
+impl Node {
+    /// Fresh leaf (label assigned by a later relabel pass).
+    pub fn new_leaf(parent: Option<NodeId>) -> Node {
+        Node { parent, num: 0, height: 0, data: NodeData::Leaf { deleted: false } }
+    }
+
+    /// Fresh internal node at `height` with no children yet.
+    pub fn new_internal(parent: Option<NodeId>, height: u8) -> Node {
+        Node {
+            parent,
+            num: 0,
+            height,
+            data: NodeData::Internal { children: Vec::new(), leaf_count: 0 },
+        }
+    }
+
+    /// Is this a leaf?
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.data, NodeData::Leaf { .. })
+    }
+
+    /// Leaf-descendant count: 1 for leaves, `L(v)` for internal nodes.
+    #[inline]
+    pub fn leaf_count(&self) -> u64 {
+        match &self.data {
+            NodeData::Internal { leaf_count, .. } => *leaf_count,
+            NodeData::Leaf { .. } => 1,
+        }
+    }
+
+    /// Child list of an internal node; panics on leaves (internal misuse).
+    #[inline]
+    pub fn children(&self) -> &[NodeId] {
+        match &self.data {
+            NodeData::Internal { children, .. } => children,
+            NodeData::Leaf { .. } => panic!("children() on a leaf"),
+        }
+    }
+
+    /// Mutable child list; panics on leaves.
+    #[inline]
+    pub fn children_mut(&mut self) -> &mut Vec<NodeId> {
+        match &mut self.data {
+            NodeData::Internal { children, .. } => children,
+            NodeData::Leaf { .. } => panic!("children_mut() on a leaf"),
+        }
+    }
+
+    /// Capacity of the child vector (memory accounting).
+    pub fn children_capacity(&self) -> usize {
+        match &self.data {
+            NodeData::Internal { children, .. } => children.capacity(),
+            NodeData::Leaf { .. } => 0,
+        }
+    }
+
+    /// Tombstone status; `false` for internal nodes.
+    #[inline]
+    pub fn is_deleted(&self) -> bool {
+        matches!(self.data, NodeData::Leaf { deleted: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = Node::new_leaf(None);
+        assert!(l.is_leaf());
+        assert_eq!(l.leaf_count(), 1);
+        assert!(!l.is_deleted());
+
+        let i = Node::new_internal(None, 3);
+        assert!(!i.is_leaf());
+        assert_eq!(i.height, 3);
+        assert_eq!(i.leaf_count(), 0);
+        assert!(i.children().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "children() on a leaf")]
+    fn children_on_leaf_panics() {
+        let l = Node::new_leaf(None);
+        let _ = l.children();
+    }
+}

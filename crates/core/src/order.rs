@@ -1,0 +1,285 @@
+//! [`OrderedList<T, S>`] — the order-maintenance problem as a container.
+//!
+//! The paper frames the L-Tree around XML tags, but the underlying
+//! machinery solves the classic *ordered list maintenance* problem of
+//! Dietz/Sleator ([8, 9] in the paper): keep a list under insertions such
+//! that "which of x, y comes first?" is O(1). This module packages any
+//! [`LabelingScheme`] as a value container with that API, which is the
+//! form a downstream (non-XML) user would adopt.
+//!
+//! ```
+//! use ltree_core::order::OrderedList;
+//! use ltree_core::{LTree, Params};
+//!
+//! let mut list = OrderedList::new(LTree::new(Params::new(4, 2).unwrap()));
+//! let a = list.push_back("alpha").unwrap();
+//! let c = list.push_back("gamma").unwrap();
+//! let b = list.insert_after(a, "beta").unwrap();
+//! assert!(list.cmp(a, b).unwrap().is_lt());
+//! assert!(list.cmp(b, c).unwrap().is_lt());
+//! let items: Vec<&&str> = list.iter().map(|(_, v)| v).collect();
+//! assert_eq!(items, [&"alpha", &"beta", &"gamma"]);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::error::{LTreeError, Result};
+use crate::scheme::{LabelingScheme, LeafHandle};
+
+/// Identifier of one list item; stable across relabelings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ItemId(LeafHandle);
+
+/// An ordered list of values over a labeling scheme. See the
+/// [module docs](self).
+pub struct OrderedList<T, S: LabelingScheme> {
+    scheme: S,
+    values: HashMap<u64, T>,
+}
+
+impl<T, S: LabelingScheme> OrderedList<T, S> {
+    /// Wrap an empty scheme.
+    ///
+    /// # Panics
+    /// Panics if the scheme already holds items (a fresh scheme is part
+    /// of the contract).
+    pub fn new(scheme: S) -> Self {
+        assert!(scheme.is_empty(), "OrderedList requires a fresh scheme");
+        OrderedList { scheme, values: HashMap::new() }
+    }
+
+    /// Bulk load values in order (cheaper than repeated appends).
+    pub fn bulk_load(mut scheme: S, values: Vec<T>) -> Result<(Self, Vec<ItemId>)> {
+        let handles = scheme.bulk_build(values.len())?;
+        let mut map = HashMap::with_capacity(values.len());
+        let ids: Vec<ItemId> = handles.iter().map(|&h| ItemId(h)).collect();
+        for (h, v) in handles.into_iter().zip(values) {
+            map.insert(h.0, v);
+        }
+        Ok((OrderedList { scheme, values: map }, ids))
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the list holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying scheme (stats, label space, …).
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Append a value at the end.
+    pub fn push_back(&mut self, value: T) -> Result<ItemId> {
+        let handle = match self.last() {
+            Some(last) => self.scheme.insert_after(last.0)?,
+            None => self.scheme.insert_first()?,
+        };
+        self.values.insert(handle.0, value);
+        Ok(ItemId(handle))
+    }
+
+    /// Prepend a value at the front.
+    pub fn push_front(&mut self, value: T) -> Result<ItemId> {
+        let handle = self.scheme.insert_first()?;
+        self.values.insert(handle.0, value);
+        Ok(ItemId(handle))
+    }
+
+    /// Insert a value right after `anchor`.
+    pub fn insert_after(&mut self, anchor: ItemId, value: T) -> Result<ItemId> {
+        self.check_live(anchor)?;
+        let handle = self.scheme.insert_after(anchor.0)?;
+        self.values.insert(handle.0, value);
+        Ok(ItemId(handle))
+    }
+
+    /// Insert a value right before `anchor`.
+    pub fn insert_before(&mut self, anchor: ItemId, value: T) -> Result<ItemId> {
+        self.check_live(anchor)?;
+        let handle = self.scheme.insert_before(anchor.0)?;
+        self.values.insert(handle.0, value);
+        Ok(ItemId(handle))
+    }
+
+    /// Insert several values right after `anchor`, as one batch
+    /// (paper §4.1 semantics — cheaper than repeated singles).
+    pub fn insert_many_after(&mut self, anchor: ItemId, values: Vec<T>) -> Result<Vec<ItemId>> {
+        self.check_live(anchor)?;
+        let handles = self.scheme.insert_many_after(anchor.0, values.len())?;
+        let ids: Vec<ItemId> = handles.iter().map(|&h| ItemId(h)).collect();
+        for (h, v) in handles.into_iter().zip(values) {
+            self.values.insert(h.0, v);
+        }
+        Ok(ids)
+    }
+
+    /// Remove an item, returning its value. The scheme-side slot is
+    /// tombstoned (or physically removed, scheme-dependent).
+    pub fn remove(&mut self, id: ItemId) -> Result<T> {
+        let value = self.values.remove(&id.0 .0).ok_or(LTreeError::UnknownHandle)?;
+        self.scheme.delete(id.0)?;
+        Ok(value)
+    }
+
+    /// Borrow the value of a live item.
+    pub fn get(&self, id: ItemId) -> Option<&T> {
+        self.values.get(&id.0 .0)
+    }
+
+    /// Mutably borrow the value of a live item.
+    pub fn get_mut(&mut self, id: ItemId) -> Option<&mut T> {
+        self.values.get_mut(&id.0 .0)
+    }
+
+    /// The item's current order label (may change on any mutation).
+    pub fn label(&self, id: ItemId) -> Result<u128> {
+        self.check_live(id)?;
+        self.scheme.label_of(id.0)
+    }
+
+    /// Compare two items in list order — two label reads, O(1).
+    pub fn cmp(&self, a: ItemId, b: ItemId) -> Result<Ordering> {
+        Ok(self.label(a)?.cmp(&self.label(b)?))
+    }
+
+    /// First live item.
+    pub fn first(&self) -> Option<ItemId> {
+        self.ordered_live().into_iter().next()
+    }
+
+    /// Last live item.
+    pub fn last(&self) -> Option<ItemId> {
+        self.ordered_live().into_iter().next_back()
+    }
+
+    /// Iterate `(id, &value)` in list order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &T)> {
+        self.ordered_live().into_iter().map(|id| (id, &self.values[&id.0 .0]))
+    }
+
+    fn ordered_live(&self) -> Vec<ItemId> {
+        self.scheme
+            .handles_in_order()
+            .into_iter()
+            .filter(|h| self.values.contains_key(&h.0))
+            .map(ItemId)
+            .collect()
+    }
+
+    fn check_live(&self, id: ItemId) -> Result<()> {
+        if self.values.contains_key(&id.0 .0) {
+            Ok(())
+        } else {
+            Err(LTreeError::UnknownHandle)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LTree, Params};
+
+    fn list() -> OrderedList<String, LTree> {
+        OrderedList::new(LTree::new(Params::new(4, 2).unwrap()))
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut l = list();
+        l.push_back("b".into()).unwrap();
+        l.push_front("a".into()).unwrap();
+        l.push_back("c".into()).unwrap();
+        let got: Vec<&String> = l.iter().map(|(_, v)| v).collect();
+        assert_eq!(got, ["a", "b", "c"]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn insert_relative_and_compare() {
+        let mut l = list();
+        let a = l.push_back("a".into()).unwrap();
+        let c = l.push_back("c".into()).unwrap();
+        let b = l.insert_before(c, "b".into()).unwrap();
+        assert!(l.cmp(a, b).unwrap().is_lt());
+        assert!(l.cmp(b, c).unwrap().is_lt());
+        assert!(l.cmp(c, a).unwrap().is_gt());
+        assert!(l.cmp(b, b).unwrap().is_eq());
+    }
+
+    #[test]
+    fn remove_returns_value_and_invalidates() {
+        let mut l = list();
+        let a = l.push_back("x".into()).unwrap();
+        assert_eq!(l.remove(a).unwrap(), "x");
+        assert!(l.get(a).is_none());
+        assert!(l.remove(a).is_err());
+        assert!(l.label(a).is_err());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn batch_insert_keeps_order() {
+        let mut l: OrderedList<i32, LTree> = OrderedList::new(LTree::new(Params::new(4, 2).unwrap()));
+        let a = l.push_back(0).unwrap();
+        let z = l.push_back(99).unwrap();
+        let ids = l.insert_many_after(a, vec![1, 2, 3]).unwrap();
+        let got: Vec<i32> = l.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, [0, 1, 2, 3, 99]);
+        assert!(l.cmp(ids[2], z).unwrap().is_lt());
+    }
+
+    #[test]
+    fn bulk_load_preserves_order() {
+        let scheme = LTree::new(Params::new(8, 2).unwrap());
+        let (l, ids) = OrderedList::bulk_load(scheme, (0..100).collect::<Vec<i32>>()).unwrap();
+        assert_eq!(l.len(), 100);
+        for w in ids.windows(2) {
+            assert!(l.cmp(w[0], w[1]).unwrap().is_lt());
+        }
+        assert_eq!(*l.get(ids[42]).unwrap(), 42);
+    }
+
+    #[test]
+    fn heavy_editing_session() {
+        let mut l = list();
+        let mut cursor = l.push_back("line0".into()).unwrap();
+        for i in 1..500 {
+            cursor = l.insert_after(cursor, format!("line{i}")).unwrap();
+            if i % 7 == 0 {
+                let before = l.insert_before(cursor, format!("note{i}")).unwrap();
+                l.remove(before).unwrap();
+            }
+        }
+        assert_eq!(l.len(), 500);
+        let got: Vec<&String> = l.iter().map(|(_, v)| v).collect();
+        assert_eq!(got[0], "line0");
+        assert_eq!(got[499], "line499");
+        l.scheme().scheme_stats();
+    }
+
+    #[test]
+    fn works_over_other_schemes() {
+        // Same contract over the virtual tree's trait sibling — here the
+        // naive baseline, which exercises a physically different layout.
+        let mut l: OrderedList<u8, crate::LTree> =
+            OrderedList::new(LTree::new(Params::new(16, 4).unwrap()));
+        let a = l.push_back(1).unwrap();
+        l.insert_after(a, 2).unwrap();
+        assert_eq!(l.iter().map(|(_, v)| *v).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh scheme")]
+    fn rejects_non_empty_scheme() {
+        let (tree, _) = LTree::bulk_load(Params::new(4, 2).unwrap(), 4).unwrap();
+        let _ = OrderedList::<u8, _>::new(tree);
+    }
+}

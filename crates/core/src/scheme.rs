@@ -1,0 +1,375 @@
+//! The [`LabelingScheme`] abstraction.
+//!
+//! The paper compares the L-Tree against the labeling alternatives of its
+//! introduction (sequential labels, gapped labels) and of related work
+//! (classic list labeling [8, 9, 10]). This trait is the common contract:
+//! an *order-maintenance structure with integer labels*. Every scheme —
+//! the materialized L-Tree, the virtual L-Tree, and the three baselines in
+//! `labeling-baselines` — implements it, so the workload drivers and the
+//! benchmark harness treat them uniformly.
+//!
+//! The contract: labels are `u128`s; at any point in time, the label order
+//! of live items equals their list order; labels may change arbitrarily
+//! during *any* mutation (that is the cost being studied), but reads
+//! ([`LabelingScheme::label_of`]) are always cheap.
+
+use crate::error::Result;
+
+/// An opaque, scheme-specific handle to one list item. Handles are stable
+/// across relabelings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeafHandle(pub u64);
+
+/// Scheme-agnostic cost counters, in the paper's unit of "nodes accessed
+/// for searching or relabeling".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Items inserted since the last reset.
+    pub inserts: u64,
+    /// Items deleted since the last reset.
+    pub deletes: u64,
+    /// Item labels written (initial assignment + relabelings).
+    pub label_writes: u64,
+    /// All maintenance node/entry accesses, including interior bookkeeping.
+    pub node_touches: u64,
+    /// Number of relabeling events (each may write many labels).
+    pub relabel_events: u64,
+}
+
+impl SchemeStats {
+    /// Amortized label writes per inserted item.
+    pub fn amortized_label_writes(&self) -> f64 {
+        self.label_writes as f64 / (self.inserts.max(1)) as f64
+    }
+
+    /// Amortized total maintenance cost per inserted item.
+    pub fn amortized_cost(&self) -> f64 {
+        (self.label_writes + self.node_touches) as f64 / (self.inserts.max(1)) as f64
+    }
+}
+
+/// An order-maintenance structure with integer labels. See the
+/// [module docs](self).
+pub trait LabelingScheme {
+    /// Short scheme name for tables ("ltree", "naive", …).
+    fn name(&self) -> &'static str;
+
+    /// Load `n` items into an empty scheme; returns handles in list order.
+    /// Fails with [`crate::LTreeError::NotEmpty`] if items already exist.
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>>;
+
+    /// Insert a new first item (must work on an empty scheme).
+    fn insert_first(&mut self) -> Result<LeafHandle>;
+
+    /// Insert an item immediately after `anchor`.
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle>;
+
+    /// Insert an item immediately before `anchor`.
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle>;
+
+    /// Insert `k` consecutive items immediately after `anchor` (paper,
+    /// Section 4.1). Schemes without a batch fast-path fall back to `k`
+    /// repeated single insertions.
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = anchor;
+        for _ in 0..k {
+            cur = self.insert_after(cur)?;
+            out.push(cur);
+        }
+        Ok(out)
+    }
+
+    /// Delete an item. Whether this tombstones or physically removes is
+    /// scheme-specific; either way it must not disturb the order of the
+    /// remaining items.
+    fn delete(&mut self, h: LeafHandle) -> Result<()>;
+
+    /// Current label of an item.
+    fn label_of(&self, h: LeafHandle) -> Result<u128>;
+
+    /// Total items tracked (tombstones included, where applicable).
+    fn len(&self) -> usize;
+
+    /// Items not deleted.
+    fn live_len(&self) -> usize;
+
+    /// True when no items are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All handles in list order, tombstones included where the scheme
+    /// keeps them. `O(n)` (ordered collection walk).
+    fn handles_in_order(&self) -> Vec<LeafHandle>;
+
+    /// Bits needed to encode any label the scheme may currently hand out.
+    fn label_space_bits(&self) -> u32;
+
+    /// Cost counters in the common currency.
+    fn scheme_stats(&self) -> SchemeStats;
+
+    /// Reset the cost counters.
+    fn reset_scheme_stats(&mut self);
+
+    /// Approximate heap usage in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+impl<T: LabelingScheme + ?Sized> LabelingScheme for &mut T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        (**self).bulk_build(n)
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        (**self).insert_first()
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        (**self).insert_after(anchor)
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        (**self).insert_before(anchor)
+    }
+
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        (**self).insert_many_after(anchor, k)
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        (**self).delete(h)
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        (**self).label_of(h)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn live_len(&self) -> usize {
+        (**self).live_len()
+    }
+
+    fn handles_in_order(&self) -> Vec<LeafHandle> {
+        (**self).handles_in_order()
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        (**self).label_space_bits()
+    }
+
+    fn scheme_stats(&self) -> SchemeStats {
+        (**self).scheme_stats()
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        (**self).reset_scheme_stats()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+impl<T: LabelingScheme + ?Sized> LabelingScheme for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        (**self).bulk_build(n)
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        (**self).insert_first()
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        (**self).insert_after(anchor)
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        (**self).insert_before(anchor)
+    }
+
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        (**self).insert_many_after(anchor, k)
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        (**self).delete(h)
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        (**self).label_of(h)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn live_len(&self) -> usize {
+        (**self).live_len()
+    }
+
+    fn handles_in_order(&self) -> Vec<LeafHandle> {
+        (**self).handles_in_order()
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        (**self).label_space_bits()
+    }
+
+    fn scheme_stats(&self) -> SchemeStats {
+        (**self).scheme_stats()
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        (**self).reset_scheme_stats()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+impl LabelingScheme for crate::LTree {
+    fn name(&self) -> &'static str {
+        "ltree"
+    }
+
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        if !self.is_empty() {
+            return Err(crate::LTreeError::NotEmpty);
+        }
+        // Rebuild in place via the constructor path.
+        let (tree, leaves) = crate::LTree::bulk_load(self.params(), n)?;
+        *self = tree;
+        Ok(leaves.into_iter().map(|l| LeafHandle(l.to_u64())).collect())
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        Ok(LeafHandle(crate::LTree::insert_first(self)?.to_u64()))
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let leaf = decode(anchor)?;
+        Ok(LeafHandle(crate::LTree::insert_after(self, leaf)?.to_u64()))
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let leaf = decode(anchor)?;
+        Ok(LeafHandle(crate::LTree::insert_before(self, leaf)?.to_u64()))
+    }
+
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        let leaf = decode(anchor)?;
+        let ids = crate::LTree::insert_many_after(self, leaf, k)?;
+        Ok(ids.into_iter().map(|l| LeafHandle(l.to_u64())).collect())
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        crate::LTree::delete(self, decode(h)?)
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.label(decode(h)?)?.get())
+    }
+
+    fn len(&self) -> usize {
+        crate::LTree::len(self)
+    }
+
+    fn live_len(&self) -> usize {
+        crate::LTree::live_len(self)
+    }
+
+    fn handles_in_order(&self) -> Vec<LeafHandle> {
+        self.leaves().map(|l| LeafHandle(l.to_u64())).collect()
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        crate::LTree::label_space_bits(self)
+    }
+
+    fn scheme_stats(&self) -> SchemeStats {
+        let s = self.stats();
+        SchemeStats {
+            inserts: s.leaves_inserted,
+            deletes: s.deletes,
+            label_writes: s.leaf_label_writes,
+            node_touches: s.count_updates + s.nodes_visited + (s.nodes_relabeled - s.leaf_label_writes),
+            relabel_events: s.relabel_events,
+        }
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        self.reset_stats();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        crate::LTree::memory_bytes(self)
+    }
+}
+
+fn decode(h: LeafHandle) -> Result<crate::LeafId> {
+    crate::LeafId::from_u64(h.0).ok_or(crate::LTreeError::UnknownHandle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LTree, Params};
+
+    #[test]
+    fn ltree_through_the_trait() {
+        let mut scheme: Box<dyn LabelingScheme> = Box::new(LTree::new(Params::example()));
+        let handles = scheme.bulk_build(8).unwrap();
+        assert_eq!(scheme.len(), 8);
+        let mid = scheme.insert_after(handles[3]).unwrap();
+        assert!(scheme.label_of(handles[3]).unwrap() < scheme.label_of(mid).unwrap());
+        assert!(scheme.label_of(mid).unwrap() < scheme.label_of(handles[4]).unwrap());
+        scheme.delete(mid).unwrap();
+        assert_eq!(scheme.live_len(), 8);
+        assert_eq!(scheme.len(), 9);
+        assert!(scheme.scheme_stats().inserts >= 1);
+    }
+
+    #[test]
+    fn bulk_build_rejects_non_empty() {
+        let mut t = LTree::new(Params::example());
+        LabelingScheme::bulk_build(&mut t, 4).unwrap();
+        assert!(LabelingScheme::bulk_build(&mut t, 4).is_err());
+    }
+
+    #[test]
+    fn default_batch_falls_back_to_singles() {
+        // A scheme that only customizes what it must still gets batches.
+        let mut t = LTree::new(Params::example());
+        let hs = LabelingScheme::bulk_build(&mut t, 4).unwrap();
+        let batch = LabelingScheme::insert_many_after(&mut t, hs[0], 5).unwrap();
+        assert_eq!(batch.len(), 5);
+        for w in batch.windows(2) {
+            assert!(t.label_of(w[0]).unwrap() < t.label_of(w[1]).unwrap());
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let mut t = LTree::new(Params::example());
+        let hs = LabelingScheme::bulk_build(&mut t, 16).unwrap();
+        LabelingScheme::insert_after(&mut t, hs[7]).unwrap();
+        let st = t.scheme_stats();
+        assert_eq!(st.inserts, 1);
+        assert!(st.label_writes >= 1);
+        t.reset_scheme_stats();
+        assert_eq!(t.scheme_stats().inserts, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Experiment X2 — structure-exact replay of Figure 2 of the paper
+//! (f = 4, s = 2).
+//!
+//! Figure 2 shows: (a) bulk loading the document
+//! `<A><B><C/></B><D/></A>` (8 tags), then inserting a node `D` before
+//! `C` — (b)/(c) a plain sibling relabel — then inserting `/D` right
+//! after — (d) which trips the split criterion of the height-1 node
+//! holding the dense region: it splits into `s = 2` complete binary
+//! subtrees and its parent's subtree is relabeled.
+//!
+//! As documented in DESIGN.md, the figure's printed numbers use label
+//! base 3 while the paper's own formulas (`N ≤ (f+1)^H`) mandate base
+//! `f+1 = 5`; we assert the base-5 numbers for the identical structural
+//! trace: the same split happens at the same moment on the same node.
+
+use ltree_core::{LTree, Params};
+
+fn all_labels(tree: &LTree) -> Vec<u128> {
+    tree.leaves().map(|l| tree.label(l).unwrap().get()).collect()
+}
+
+#[test]
+fn figure2_walkthrough() {
+    let params = Params::new(4, 2).unwrap();
+    assert_eq!(params.arity(), 2, "f/s = 2: bulk load builds a binary tree");
+    assert_eq!(params.base(), 5, "label base f+1 = 5");
+
+    // ---- Figure 2(a): bulk load the 8 tags A B C /C /B D /D /A -------
+    let (mut tree, leaves) = LTree::bulk_load(params, 8).unwrap();
+    assert_eq!(tree.height(), 3, "complete binary tree over 8 leaves");
+    assert_eq!(
+        all_labels(&tree),
+        vec![0, 1, 5, 6, 25, 26, 30, 31],
+        "base-5 analogue of the figure's bulk-load labels"
+    );
+    // Element regions: A=(0,31), B=(1,25), C=(5,6), D=(26,30).
+    let (a_b, a_e) = (leaves[0], leaves[7]);
+    let (b_b, b_e) = (leaves[1], leaves[4]);
+    let (c_b, c_e) = (leaves[2], leaves[3]);
+    let (d_b, d_e) = (leaves[5], leaves[6]);
+    fn region_of(tree: &LTree, b: ltree_core::LeafId, e: ltree_core::LeafId) -> (u128, u128) {
+        (tree.label(b).unwrap().get(), tree.label(e).unwrap().get())
+    }
+    macro_rules! region {
+        ($b:expr, $e:expr) => {
+            region_of(&tree, $b, $e)
+        };
+    }
+    assert_eq!(region!(a_b, a_e), (0, 31));
+    assert_eq!(region!(b_b, b_e), (1, 25));
+    assert_eq!(region!(c_b, c_e), (5, 6));
+    assert_eq!(region!(d_b, d_e), (26, 30));
+
+    // ---- Figure 2(b)/(c): insert begin tag "D" before "C" ------------
+    // No ancestor reaches its threshold: only the new leaf and its right
+    // siblings inside one height-1 node are relabeled.
+    let new_d_begin = tree.insert_before(c_b).unwrap();
+    assert_eq!(tree.stats().splits, 0, "first insertion must not split");
+    assert_eq!(
+        all_labels(&tree),
+        vec![0, 1, 5, 6, 7, 25, 26, 30, 31],
+        "D takes C's slot; C and /C shift by one within their parent"
+    );
+    assert_eq!(tree.label(new_d_begin).unwrap().get(), 5);
+    assert_eq!(region!(c_b, c_e), (6, 7), "analogue of the figure's C(4,5)");
+    tree.check_invariants().unwrap();
+
+    // ---- Figure 2(d): insert end tag "/D" after the new "D" ----------
+    // The height-1 node now holds 4 = s·(f/s) leaves: it splits into two
+    // complete binary subtrees and the parent's subtree is relabeled.
+    let new_d_end = tree.insert_after(new_d_begin).unwrap();
+    assert_eq!(tree.stats().splits, 1, "the second insertion splits a height-1 node");
+    assert_eq!(tree.stats().pieces_created, 2, "split produces s = 2 pieces");
+    assert_eq!(tree.stats().cascade_splits, 0, "Proposition 3: no cascading");
+    assert_eq!(tree.height(), 3, "no root rebuild");
+    assert_eq!(
+        all_labels(&tree),
+        vec![0, 1, 5, 6, 10, 11, 25, 26, 30, 31],
+        "base-5 analogue of figure 2(d): the dense region got its own subtree"
+    );
+    assert_eq!(region!(new_d_begin, new_d_end), (5, 6), "new element D'(5,6)");
+    assert_eq!(region!(c_b, c_e), (10, 11), "C moved into the second piece, figure's C(6,7)");
+    // The outer regions were untouched by the localized relabeling.
+    assert_eq!(region!(a_b, a_e), (0, 31));
+    assert_eq!(region!(b_b, b_e), (1, 25));
+    assert_eq!(region!(d_b, d_e), (26, 30));
+    tree.check_invariants().unwrap();
+
+    // Interval containment still answers ancestor-descendant queries
+    // (Figure 1 semantics): C is inside B, B inside A, D' inside B.
+    let contains = |outer: (u128, u128), inner: (u128, u128)| outer.0 < inner.0 && inner.1 < outer.1;
+    assert!(contains(region!(a_b, a_e), region!(b_b, b_e)));
+    assert!(contains(region!(b_b, b_e), region!(c_b, c_e)));
+    assert!(contains(region!(b_b, b_e), region!(new_d_begin, new_d_end)));
+    assert!(!contains(region!(c_b, c_e), region!(new_d_begin, new_d_end)));
+}

@@ -1,0 +1,160 @@
+//! Property-based tests on the materialized L-Tree: every structural and
+//! labeling invariant of the paper holds after arbitrary op streams, for
+//! arbitrary valid parameters.
+
+use ltree_core::{LTree, LeafId, Params};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    After(usize),
+    Before(usize),
+    Many(usize, usize),
+    Delete(usize),
+    Compact,
+}
+
+fn params_strategy() -> impl Strategy<Value = Params> {
+    // s in 2..=6, arity in 2..=6 — small params stress splits hardest.
+    (2u32..=6, 2u32..=6).prop_map(|(s, a)| Params::new(s * a, s).expect("constructed valid"))
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (0usize..1 << 20).prop_map(Op::After),
+            2 => (0usize..1 << 20).prop_map(Op::Before),
+            2 => ((0usize..1 << 20), 1usize..25).prop_map(|(i, k)| Op::Many(i, k)),
+            2 => (0usize..1 << 20).prop_map(Op::Delete),
+            1 => Just(Op::Compact),
+        ],
+        1..70,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn invariants_hold_under_any_stream(
+        params in params_strategy(),
+        initial in 0usize..60,
+        ops in ops_strategy(),
+    ) {
+        let (mut tree, leaves) = LTree::bulk_load(params, initial).unwrap();
+        let mut live: Vec<LeafId> = leaves;
+        for op in &ops {
+            match *op {
+                Op::After(i) => {
+                    let leaf = if live.is_empty() {
+                        tree.insert_first().unwrap()
+                    } else {
+                        let i = i % live.len();
+                        tree.insert_after(live[i]).unwrap()
+                    };
+                    live.push(leaf);
+                }
+                Op::Before(i) => {
+                    let leaf = if live.is_empty() {
+                        tree.insert_first().unwrap()
+                    } else {
+                        let i = i % live.len();
+                        tree.insert_before(live[i]).unwrap()
+                    };
+                    live.push(leaf);
+                }
+                Op::Many(i, k) => {
+                    if live.is_empty() {
+                        live.extend(tree.insert_many_first(k).unwrap());
+                    } else {
+                        let i = i % live.len();
+                        live.extend(tree.insert_many_after(live[i], k).unwrap());
+                    }
+                }
+                Op::Delete(i) => {
+                    if !live.is_empty() {
+                        let i = i % live.len();
+                        let _ = tree.delete(live[i]); // double delete is a typed error
+                    }
+                }
+                Op::Compact => {
+                    tree.compact().unwrap();
+                    // Tombstoned ids died; keep only survivors.
+                    live.retain(|&l| tree.contains(l));
+                }
+            }
+            tree.check_invariants().unwrap();
+        }
+        // Order contract across the final tree.
+        let labels: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+        prop_assert!(labels.windows(2).all(|w| w[0] < w[1]));
+        // Label space is as declared.
+        let space = params.interval(tree.height()).unwrap();
+        prop_assert!(labels.iter().all(|&l| l < space));
+    }
+
+    #[test]
+    fn no_cascades_for_single_insert_streams(
+        params in params_strategy(),
+        anchors in prop::collection::vec(0usize..1 << 20, 1..300),
+    ) {
+        // Proposition 3, property-tested: single-leaf insertions never
+        // cascade, for any parameters and any anchor sequence.
+        let (mut tree, leaves) = LTree::bulk_load(params, 8).unwrap();
+        let mut live = leaves;
+        for &a in &anchors {
+            let i = a % live.len();
+            live.push(tree.insert_after(live[i]).unwrap());
+        }
+        prop_assert_eq!(tree.stats().cascade_splits, 0);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn next_prev_walks_agree_with_iteration(
+        params in params_strategy(),
+        initial in 1usize..50,
+        anchors in prop::collection::vec(0usize..1 << 20, 0..40),
+    ) {
+        let (mut tree, leaves) = LTree::bulk_load(params, initial).unwrap();
+        let mut live = leaves;
+        for &a in &anchors {
+            let i = a % live.len();
+            live.push(tree.insert_after(live[i]).unwrap());
+        }
+        let iter_order: Vec<LeafId> = tree.leaves().collect();
+        let mut walk = vec![tree.first_leaf().unwrap()];
+        while let Some(next) = tree.next_leaf(*walk.last().unwrap()).unwrap() {
+            walk.push(next);
+        }
+        prop_assert_eq!(&walk, &iter_order);
+        let mut back = vec![tree.last_leaf().unwrap()];
+        while let Some(prev) = tree.prev_leaf(*back.last().unwrap()).unwrap() {
+            back.push(prev);
+        }
+        back.reverse();
+        prop_assert_eq!(&back, &iter_order);
+    }
+
+    #[test]
+    fn batch_equals_leaf_count_semantics(
+        params in params_strategy(),
+        k in 1usize..200,
+    ) {
+        // A batch of k leaves lands contiguously between anchor and its
+        // old successor, in order.
+        let (mut tree, leaves) = LTree::bulk_load(params, 10).unwrap();
+        let batch = tree.insert_many_after(leaves[4], k).unwrap();
+        prop_assert_eq!(batch.len(), k);
+        let la = tree.label(leaves[4]).unwrap();
+        let lb = tree.label(leaves[5]).unwrap();
+        let mut prev = la;
+        for &b in &batch {
+            let l = tree.label(b).unwrap();
+            prop_assert!(prev < l);
+            prev = l;
+        }
+        prop_assert!(prev < lb);
+        tree.check_invariants().unwrap();
+    }
+}

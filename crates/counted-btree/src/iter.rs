@@ -1,0 +1,72 @@
+//! In-order iteration over a [`crate::CountedBTree`].
+
+use crate::node::Node;
+
+/// Borrowing iterator over `(key, &value)` pairs in key order.
+pub struct Iter<'a, V> {
+    /// Stack of (interior node, next child index) frames.
+    stack: Vec<(&'a Node<V>, usize)>,
+    /// Current leaf and position within it.
+    leaf: Option<(&'a Node<V>, usize)>,
+    remaining: usize,
+}
+
+impl<'a, V> Iter<'a, V> {
+    pub(crate) fn new(root: &'a Node<V>, len: usize) -> Self {
+        let mut it = Iter { stack: Vec::new(), leaf: None, remaining: len };
+        it.descend(root);
+        it
+    }
+
+    fn descend(&mut self, mut node: &'a Node<V>) {
+        loop {
+            match node {
+                Node::Leaf { .. } => {
+                    self.leaf = Some((node, 0));
+                    return;
+                }
+                Node::Internal { children, .. } => {
+                    self.stack.push((node, 1));
+                    node = &children[0];
+                }
+            }
+        }
+    }
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u128, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((leaf, idx)) = &mut self.leaf {
+                if let Node::Leaf { keys, vals } = leaf {
+                    if *idx < keys.len() {
+                        let out = (keys[*idx], &vals[*idx]);
+                        *idx += 1;
+                        self.remaining -= 1;
+                        return Some(out);
+                    }
+                }
+                self.leaf = None;
+            }
+            // Advance to the next leaf via the frame stack.
+            loop {
+                let (node, next_child) = self.stack.pop()?;
+                if let Node::Internal { children, .. } = node {
+                    if next_child < children.len() {
+                        self.stack.push((node, next_child + 1));
+                        self.descend(&children[next_child]);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<V> ExactSizeIterator for Iter<'_, V> {}

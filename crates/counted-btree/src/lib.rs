@@ -1,0 +1,522 @@
+//! # `counted-btree` — an order-statistic B+-tree
+//!
+//! Section 4.2 of the L-Tree paper ("Virtual L-Tree") requires the leaf
+//! labels to be "maintained in a B-tree whose internal nodes also maintain
+//! counts", so that *range counting* — "how many leaf labels are in the
+//! range `[num(v), num(v) + (f+1)^h)`" — runs in logarithmic time.
+//!
+//! This crate is that substrate, built from scratch:
+//!
+//! * a B+-tree over `u128` keys with values of any type `V`;
+//! * every interior node caches its subtree entry count, giving
+//!   `O(log n)` [`rank`](CountedBTree::rank), [`kth`](CountedBTree::kth)
+//!   and [`count_range`](CountedBTree::count_range);
+//! * ordered iteration, range iteration, successor/predecessor queries;
+//! * [`drain_range`](CountedBTree::drain_range) +
+//!   [`extend_sorted`](CountedBTree::extend_sorted) — the primitive pair
+//!   the virtual L-Tree uses to relabel a dense region in place;
+//! * an instrumentation counter ([`touches`](CountedBTree::touches)) so
+//!   the experiment harness can report maintenance cost in the paper's
+//!   "nodes accessed" unit.
+//!
+//! ```
+//! use counted_btree::CountedBTree;
+//!
+//! let mut t = CountedBTree::new();
+//! for k in [10u128, 20, 30, 40] {
+//!     t.insert(k, format!("v{k}")).unwrap();
+//! }
+//! assert_eq!(t.len(), 4);
+//! assert_eq!(t.rank(25), 2);             // keys < 25
+//! assert_eq!(t.count_range(15, 45), 3);  // 20, 30, 40
+//! assert_eq!(t.kth(1).map(|(k, _)| k), Some(20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod iter;
+mod node;
+
+pub use iter::Iter;
+use node::{InsertResult, Node};
+
+use std::cell::Cell;
+
+/// Maximum entries in a leaf / children in an interior node.
+pub(crate) const MAX_LEN: usize = 16;
+/// Minimum fill for non-root nodes.
+pub(crate) const MIN_LEN: usize = MAX_LEN / 2;
+
+/// Error returned by [`CountedBTree::insert`] when the key already exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateKey(
+    /// The offending key.
+    pub u128,
+);
+
+impl std::fmt::Display for DuplicateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "key {} already present", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateKey {}
+
+/// An order-statistic B+-tree over `u128` keys. See the
+/// [crate docs](crate).
+pub struct CountedBTree<V> {
+    root: Node<V>,
+    len: usize,
+    touches: Cell<u64>,
+}
+
+impl<V> Default for CountedBTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> CountedBTree<V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        CountedBTree { root: Node::empty_leaf(), len: 0, touches: Cell::new(0) }
+    }
+
+    /// Build from strictly-increasing `(key, value)` pairs in `O(n)`.
+    ///
+    /// # Panics
+    /// Panics if the keys are not strictly increasing.
+    pub fn from_sorted(items: Vec<(u128, V)>) -> Self {
+        assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly increasing keys"
+        );
+        let len = items.len();
+        let root = Node::build_from_sorted(items);
+        CountedBTree { root, len, touches: Cell::new(0) }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.root = Node::empty_leaf();
+        self.len = 0;
+    }
+
+    /// Node accesses since the last [`reset_touches`](Self::reset_touches)
+    /// — the paper's cost unit for the virtual L-Tree's "extra
+    /// computation".
+    pub fn touches(&self) -> u64 {
+        self.touches.get()
+    }
+
+    /// Reset the access counter.
+    pub fn reset_touches(&self) {
+        self.touches.set(0);
+    }
+
+    #[inline]
+    fn touch(&self, n: u64) {
+        self.touches.set(self.touches.get() + n);
+    }
+
+    /// Insert an entry; errors on duplicate keys.
+    pub fn insert(&mut self, key: u128, value: V) -> Result<(), DuplicateKey> {
+        let mut touched = 0u64;
+        match self.root.insert(key, value, &mut touched) {
+            InsertResult::Done => {}
+            InsertResult::Duplicate(v) => {
+                self.touch(touched);
+                let _ = v;
+                return Err(DuplicateKey(key));
+            }
+            InsertResult::Split(sep, right) => {
+                let old_root = std::mem::replace(&mut self.root, Node::empty_leaf());
+                self.root = Node::new_root(old_root, sep, right);
+                touched += 1;
+            }
+        }
+        self.touch(touched);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Remove an entry by key, returning its value.
+    pub fn remove(&mut self, key: u128) -> Option<V> {
+        let mut touched = 0u64;
+        let out = self.root.remove(key, &mut touched);
+        if out.is_some() {
+            self.len -= 1;
+            self.root.collapse_root();
+        }
+        self.touch(touched);
+        out
+    }
+
+    /// Borrow the value stored under `key`.
+    pub fn get(&self, key: u128) -> Option<&V> {
+        let mut touched = 0u64;
+        let out = self.root.get(key, &mut touched);
+        self.touch(touched);
+        out
+    }
+
+    /// Mutably borrow the value stored under `key`.
+    pub fn get_mut(&mut self, key: u128) -> Option<&mut V> {
+        let mut touched = 0u64;
+        let out = self.root.get_mut(key, &mut touched);
+        self.touches.set(self.touches.get() + touched);
+        out
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: u128) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of keys strictly below `key` — `O(log n)` thanks to the
+    /// per-node counts.
+    pub fn rank(&self, key: u128) -> usize {
+        let mut touched = 0u64;
+        let out = self.root.rank(key, &mut touched);
+        self.touch(touched);
+        out
+    }
+
+    /// Number of keys in the half-open range `[lo, hi)`.
+    pub fn count_range(&self, lo: u128, hi: u128) -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        self.rank(hi) - self.rank(lo)
+    }
+
+    /// The `i`-th smallest entry (0-based), `O(log n)`.
+    pub fn kth(&self, i: usize) -> Option<(u128, &V)> {
+        if i >= self.len {
+            return None;
+        }
+        let mut touched = 0u64;
+        let out = self.root.kth(i, &mut touched);
+        self.touch(touched);
+        out
+    }
+
+    /// Smallest entry with key `≥ key`.
+    pub fn successor(&self, key: u128) -> Option<(u128, &V)> {
+        self.kth(self.rank(key))
+    }
+
+    /// Largest entry with key `< key`.
+    pub fn predecessor(&self, key: u128) -> Option<(u128, &V)> {
+        let r = self.rank(key);
+        if r == 0 {
+            None
+        } else {
+            self.kth(r - 1)
+        }
+    }
+
+    /// Smallest key, if any.
+    pub fn min_key(&self) -> Option<u128> {
+        self.kth(0).map(|(k, _)| k)
+    }
+
+    /// Largest key, if any.
+    pub fn max_key(&self) -> Option<u128> {
+        if self.len == 0 {
+            None
+        } else {
+            self.kth(self.len - 1).map(|(k, _)| k)
+        }
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter::new(&self.root, self.len)
+    }
+
+    /// Call `f` on every entry with key in `[lo, hi)`, in key order.
+    pub fn for_each_range<F: FnMut(u128, &V)>(&self, lo: u128, hi: u128, mut f: F) {
+        if hi <= lo {
+            return;
+        }
+        let mut touched = 0u64;
+        self.root.for_each_range(lo, hi, &mut f, &mut touched);
+        self.touch(touched);
+    }
+
+    /// Remove and return all entries with key in `[lo, hi)`, in key order.
+    /// This plus [`extend_sorted`](Self::extend_sorted) is how the virtual
+    /// L-Tree relabels a region.
+    pub fn drain_range(&mut self, lo: u128, hi: u128) -> Vec<(u128, V)> {
+        let mut out = Vec::new();
+        if hi <= lo {
+            return out;
+        }
+        // Collect the keys first (cheap), then remove them one by one.
+        let mut keys = Vec::new();
+        self.for_each_range(lo, hi, |k, _| keys.push(k));
+        out.reserve(keys.len());
+        for k in keys {
+            let v = self.remove(k).expect("key listed by range scan");
+            out.push((k, v));
+        }
+        out
+    }
+
+    /// Insert strictly-increasing entries (typically the relabeled output
+    /// of a [`drain_range`](Self::drain_range)).
+    pub fn extend_sorted(&mut self, items: Vec<(u128, V)>) -> Result<(), DuplicateKey> {
+        debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
+        for (k, v) in items {
+            self.insert(k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.root.memory_bytes()
+    }
+
+    /// Validate every structural invariant (tests; `O(n)`).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let (count, depth) = self.root.check(None, None, true)?;
+        if count != self.len {
+            return Err(format!("cached len {} != counted {}", self.len, count));
+        }
+        let _ = depth;
+        Ok(())
+    }
+}
+
+impl<V: Clone> Clone for CountedBTree<V> {
+    fn clone(&self) -> Self {
+        CountedBTree::from_sorted(self.iter().map(|(k, v)| (k, v.clone())).collect())
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for CountedBTree<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: CountedBTree<i32> = CountedBTree::new();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.rank(100), 0);
+        assert_eq!(t.kth(0), None);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = CountedBTree::new();
+        for k in 0..200u128 {
+            t.insert(k * 3, k).unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.get(30), Some(&10));
+        assert_eq!(t.get(31), None);
+        assert_eq!(t.remove(30), Some(10));
+        assert_eq!(t.remove(30), None);
+        assert_eq!(t.len(), 199);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut t = CountedBTree::new();
+        t.insert(5, "a").unwrap();
+        assert_eq!(t.insert(5, "b"), Err(DuplicateKey(5)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), Some(&"a"));
+    }
+
+    #[test]
+    fn rank_and_kth() {
+        let mut t = CountedBTree::new();
+        for k in (0..500u128).rev() {
+            t.insert(k * 2, ()).unwrap();
+        }
+        for k in 0..500u128 {
+            assert_eq!(t.rank(k * 2), k as usize, "rank of existing key");
+            assert_eq!(t.rank(k * 2 + 1), k as usize + 1, "rank between keys");
+            assert_eq!(t.kth(k as usize).map(|(kk, _)| kk), Some(k * 2));
+        }
+        assert_eq!(t.rank(0), 0);
+        assert_eq!(t.rank(u128::MAX), 500);
+    }
+
+    #[test]
+    fn count_range_matches_filter() {
+        let mut t = CountedBTree::new();
+        for k in 0..100u128 {
+            let key = k * 7 % 1000;
+            if !t.contains(key) {
+                t.insert(key, k).unwrap();
+            }
+        }
+        let keys: Vec<u128> = t.iter().map(|(k, _)| k).collect();
+        for (lo, hi) in [(0, 1000), (50, 300), (299, 300), (300, 50), (0, 0)] {
+            let expect = keys.iter().filter(|&&k| k >= lo && k < hi).count();
+            assert_eq!(t.count_range(lo, hi), expect, "range [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn successor_predecessor() {
+        let t = CountedBTree::from_sorted(vec![(10, 'a'), (20, 'b'), (30, 'c')]);
+        assert_eq!(t.successor(10).map(|(k, _)| k), Some(10));
+        assert_eq!(t.successor(11).map(|(k, _)| k), Some(20));
+        assert_eq!(t.successor(31), None);
+        assert_eq!(t.predecessor(10), None);
+        assert_eq!(t.predecessor(11).map(|(k, _)| k), Some(10));
+        assert_eq!(t.predecessor(u128::MAX).map(|(k, _)| k), Some(30));
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental() {
+        let items: Vec<(u128, u64)> = (0..1000).map(|k| (k as u128 * 5, k)).collect();
+        let bulk = CountedBTree::from_sorted(items.clone());
+        bulk.check_invariants().unwrap();
+        let mut inc = CountedBTree::new();
+        for (k, v) in items {
+            inc.insert(k, v).unwrap();
+        }
+        assert_eq!(bulk.len(), inc.len());
+        assert!(bulk.iter().eq(inc.iter()));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = CountedBTree::from_sorted(vec![(2, ()), (1, ())]);
+    }
+
+    #[test]
+    fn drain_range_and_extend() {
+        let mut t = CountedBTree::from_sorted((0..50u128).map(|k| (k, k as i32)).collect());
+        let drained = t.drain_range(10, 20);
+        assert_eq!(drained.len(), 10);
+        assert_eq!(t.len(), 40);
+        t.check_invariants().unwrap();
+        // Re-insert shifted by 100 (still clear of existing keys).
+        t.extend_sorted(drained.into_iter().map(|(k, v)| (k + 100, v)).collect()).unwrap();
+        assert_eq!(t.len(), 50);
+        t.check_invariants().unwrap();
+        assert_eq!(t.count_range(10, 20), 0);
+        assert_eq!(t.count_range(110, 120), 10);
+    }
+
+    #[test]
+    fn removal_heavy_shrinks_back() {
+        let mut t = CountedBTree::new();
+        for k in 0..2000u128 {
+            t.insert(k, ()).unwrap();
+        }
+        for k in 0..2000u128 {
+            assert!(t.remove(k).is_some());
+            if k % 97 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+        // Reusable after emptying.
+        t.insert(7, ()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_against_std_btreemap() {
+        use std::collections::BTreeMap;
+        let mut model = BTreeMap::new();
+        let mut t = CountedBTree::new();
+        let mut x: u64 = 0x12345678;
+        let mut next = || {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..5000 {
+            let k = u128::from(next() % 800);
+            match next() % 3 {
+                0 => {
+                    let r1 = t.insert(k, k).is_ok();
+                    let r2 = !model.contains_key(&k);
+                    assert_eq!(r1, r2);
+                    if r2 {
+                        model.insert(k, k);
+                    }
+                }
+                1 => {
+                    assert_eq!(t.remove(k), model.remove(&k));
+                }
+                _ => {
+                    assert_eq!(t.get(k), model.get(&k));
+                    let rank = model.range(..k).count();
+                    assert_eq!(t.rank(k), rank);
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        assert!(t.iter().map(|(k, _)| k).eq(model.keys().copied()));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn touch_counter_moves() {
+        let mut t = CountedBTree::new();
+        for k in 0..100u128 {
+            t.insert(k, ()).unwrap();
+        }
+        t.reset_touches();
+        assert_eq!(t.touches(), 0);
+        let _ = t.rank(50);
+        assert!(t.touches() > 0);
+    }
+
+    #[test]
+    fn clone_and_debug() {
+        let t = CountedBTree::from_sorted(vec![(1, 'x'), (2, 'y')]);
+        let c = t.clone();
+        assert!(t.iter().eq(c.iter()));
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains('x'));
+    }
+
+    #[test]
+    fn for_each_range_boundaries() {
+        let t = CountedBTree::from_sorted((0..100u128).map(|k| (k * 2, k)).collect());
+        let mut seen = Vec::new();
+        t.for_each_range(10, 20, |k, _| seen.push(k));
+        assert_eq!(seen, vec![10, 12, 14, 16, 18]);
+        seen.clear();
+        t.for_each_range(20, 10, |k, _| seen.push(k));
+        assert!(seen.is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! B+-tree node machinery: routing, splits, merges, rank/kth arithmetic.
+//!
+//! Structure: a classic B+-tree. Interior nodes hold `children.len() - 1`
+//! separators; `seps[i]` routes keys `>= seps[i]` to `children[i+1]`.
+//! Separators are lower bounds of their right subtree but need not remain
+//! actual keys after removals ("ghost" separators) — routing stays valid.
+//! Every interior node caches its subtree entry `count` for order
+//! statistics.
+
+use crate::{MAX_LEN, MIN_LEN};
+
+pub(crate) enum Node<V> {
+    Leaf { keys: Vec<u128>, vals: Vec<V> },
+    Internal { seps: Vec<u128>, children: Vec<Node<V>>, count: usize },
+}
+
+pub(crate) enum InsertResult<V> {
+    Done,
+    Duplicate(V),
+    Split(u128, Node<V>),
+}
+
+/// Route `key` to a child slot: first child whose separator exceeds `key`.
+#[inline]
+fn route(seps: &[u128], key: u128) -> usize {
+    seps.partition_point(|s| *s <= key)
+}
+
+impl<V> Node<V> {
+    pub(crate) fn empty_leaf() -> Self {
+        Node::Leaf { keys: Vec::new(), vals: Vec::new() }
+    }
+
+    pub(crate) fn new_root(left: Node<V>, sep: u128, right: Node<V>) -> Self {
+        let count = left.len() + right.len();
+        Node::Internal { seps: vec![sep], children: vec![left, right], count }
+    }
+
+    /// Entries in this subtree.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { count, .. } => *count,
+        }
+    }
+
+    fn is_underfull(&self) -> bool {
+        match self {
+            Node::Leaf { keys, .. } => keys.len() < MIN_LEN,
+            Node::Internal { children, .. } => children.len() < MIN_LEN,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: u128, value: V, touched: &mut u64) -> InsertResult<V> {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, vals } => {
+                let idx = keys.partition_point(|k| *k < key);
+                if idx < keys.len() && keys[idx] == key {
+                    return InsertResult::Duplicate(value);
+                }
+                keys.insert(idx, key);
+                vals.insert(idx, value);
+                if keys.len() > MAX_LEN {
+                    let mid = keys.len() / 2;
+                    let right_keys = keys.split_off(mid);
+                    let right_vals = vals.split_off(mid);
+                    let sep = right_keys[0];
+                    InsertResult::Split(sep, Node::Leaf { keys: right_keys, vals: right_vals })
+                } else {
+                    InsertResult::Done
+                }
+            }
+            Node::Internal { seps, children, count } => {
+                let i = route(seps, key);
+                match children[i].insert(key, value, touched) {
+                    InsertResult::Done => {
+                        *count += 1;
+                        InsertResult::Done
+                    }
+                    InsertResult::Duplicate(v) => InsertResult::Duplicate(v),
+                    InsertResult::Split(sep, right) => {
+                        *count += 1;
+                        seps.insert(i, sep);
+                        children.insert(i + 1, right);
+                        if children.len() > MAX_LEN {
+                            let mid = children.len() / 2;
+                            let right_children: Vec<Node<V>> = children.split_off(mid);
+                            let mut right_seps = seps.split_off(mid - 1);
+                            let promoted = right_seps.remove(0);
+                            let right_count: usize = right_children.iter().map(Node::len).sum();
+                            *count -= right_count;
+                            InsertResult::Split(
+                                promoted,
+                                Node::Internal {
+                                    seps: right_seps,
+                                    children: right_children,
+                                    count: right_count,
+                                },
+                            )
+                        } else {
+                            InsertResult::Done
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, key: u128, touched: &mut u64) -> Option<V> {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, vals } => {
+                let idx = keys.partition_point(|k| *k < key);
+                if idx < keys.len() && keys[idx] == key {
+                    keys.remove(idx);
+                    Some(vals.remove(idx))
+                } else {
+                    None
+                }
+            }
+            Node::Internal { seps, children, count } => {
+                let i = route(seps, key);
+                let out = children[i].remove(key, touched)?;
+                *count -= 1;
+                if children[i].is_underfull() {
+                    rebalance(seps, children, i, touched);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// If the root is an interior node with a single child, hoist the
+    /// child (called only on the root after removals).
+    pub(crate) fn collapse_root(&mut self) {
+        loop {
+            match self {
+                Node::Internal { children, .. } if children.len() == 1 => {
+                    let child = children.pop().expect("one child present");
+                    *self = child;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, key: u128, touched: &mut u64) -> Option<&V> {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, vals } => {
+                let idx = keys.partition_point(|k| *k < key);
+                if idx < keys.len() && keys[idx] == key {
+                    Some(&vals[idx])
+                } else {
+                    None
+                }
+            }
+            Node::Internal { seps, children, .. } => children[route(seps, key)].get(key, touched),
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, key: u128, touched: &mut u64) -> Option<&mut V> {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, vals } => {
+                let idx = keys.partition_point(|k| *k < key);
+                if idx < keys.len() && keys[idx] == key {
+                    Some(&mut vals[idx])
+                } else {
+                    None
+                }
+            }
+            Node::Internal { seps, children, .. } => {
+                let i = route(seps, key);
+                children[i].get_mut(key, touched)
+            }
+        }
+    }
+
+    pub(crate) fn rank(&self, key: u128, touched: &mut u64) -> usize {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, .. } => keys.partition_point(|k| *k < key),
+            Node::Internal { seps, children, .. } => {
+                let i = route(seps, key);
+                let below: usize = children[..i].iter().map(Node::len).sum();
+                below + children[i].rank(key, touched)
+            }
+        }
+    }
+
+    pub(crate) fn kth(&self, mut i: usize, touched: &mut u64) -> Option<(u128, &V)> {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, vals } => keys.get(i).map(|k| (*k, &vals[i])),
+            Node::Internal { children, .. } => {
+                for child in children {
+                    let l = child.len();
+                    if i < l {
+                        return child.kth(i, touched);
+                    }
+                    i -= l;
+                }
+                None
+            }
+        }
+    }
+
+    pub(crate) fn for_each_range<F: FnMut(u128, &V)>(
+        &self,
+        lo: u128,
+        hi: u128,
+        f: &mut F,
+        touched: &mut u64,
+    ) {
+        *touched += 1;
+        match self {
+            Node::Leaf { keys, vals } => {
+                let start = keys.partition_point(|k| *k < lo);
+                let end = keys.partition_point(|k| *k < hi);
+                for idx in start..end {
+                    f(keys[idx], &vals[idx]);
+                }
+            }
+            Node::Internal { seps, children, .. } => {
+                let start = route(seps, lo);
+                // Last child that may contain a key < hi.
+                let end = seps.partition_point(|s| *s < hi);
+                for child in &children[start..=end] {
+                    child.for_each_range(lo, hi, f, touched);
+                }
+            }
+        }
+    }
+
+    /// O(n) bottom-up construction from sorted entries.
+    pub(crate) fn build_from_sorted(items: Vec<(u128, V)>) -> Node<V> {
+        if items.len() <= MAX_LEN {
+            let mut keys = Vec::with_capacity(items.len());
+            let mut vals = Vec::with_capacity(items.len());
+            for (k, v) in items {
+                keys.push(k);
+                vals.push(v);
+            }
+            return Node::Leaf { keys, vals };
+        }
+        // Leaf level: near-equal chunks with every chunk in [MIN, MAX].
+        let target = (MAX_LEN * 3) / 4;
+        let n = items.len();
+        let chunks = n.div_ceil(target);
+        let base = n / chunks;
+        let extra = n % chunks;
+        let mut level: Vec<(u128, Node<V>)> = Vec::with_capacity(chunks);
+        let mut it = items.into_iter();
+        for c in 0..chunks {
+            let size = base + usize::from(c < extra);
+            let mut keys = Vec::with_capacity(size);
+            let mut vals = Vec::with_capacity(size);
+            for _ in 0..size {
+                let (k, v) = it.next().expect("chunk sizes sum to n");
+                keys.push(k);
+                vals.push(v);
+            }
+            level.push((keys[0], Node::Leaf { keys, vals }));
+        }
+        // Interior levels.
+        while level.len() > 1 {
+            if level.len() <= MAX_LEN {
+                return make_internal(level);
+            }
+            let n = level.len();
+            let chunks = n.div_ceil(target);
+            let base = n / chunks;
+            let extra = n % chunks;
+            let mut next: Vec<(u128, Node<V>)> = Vec::with_capacity(chunks);
+            let mut it = level.into_iter();
+            for c in 0..chunks {
+                let size = base + usize::from(c < extra);
+                let group: Vec<(u128, Node<V>)> = (&mut it).take(size).collect();
+                let min = group[0].0;
+                next.push((min, make_internal(group)));
+            }
+            level = next;
+        }
+        level.pop().expect("non-empty level").1
+    }
+
+    pub(crate) fn memory_bytes(&self) -> usize {
+        match self {
+            Node::Leaf { keys, vals } => {
+                keys.capacity() * std::mem::size_of::<u128>()
+                    + vals.capacity() * std::mem::size_of::<V>()
+            }
+            Node::Internal { seps, children, .. } => {
+                seps.capacity() * std::mem::size_of::<u128>()
+                    + children.capacity() * std::mem::size_of::<Node<V>>()
+                    + children.iter().map(Node::memory_bytes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Recursive invariant check; returns (entry count, depth).
+    pub(crate) fn check(
+        &self,
+        lower: Option<u128>,
+        upper: Option<u128>,
+        is_root: bool,
+    ) -> Result<(usize, usize), String> {
+        let in_bounds = |k: u128| lower.map(|l| k >= l).unwrap_or(true) && upper.map(|u| k < u).unwrap_or(true);
+        match self {
+            Node::Leaf { keys, vals } => {
+                if keys.len() != vals.len() {
+                    return Err("keys/vals length mismatch".into());
+                }
+                if !is_root && keys.len() < MIN_LEN {
+                    return Err(format!("underfull leaf: {}", keys.len()));
+                }
+                if keys.len() > MAX_LEN {
+                    return Err(format!("overfull leaf: {}", keys.len()));
+                }
+                if !keys.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("leaf keys not strictly increasing".into());
+                }
+                if !keys.iter().all(|&k| in_bounds(k)) {
+                    return Err("leaf key outside separator bounds".into());
+                }
+                Ok((keys.len(), 0))
+            }
+            Node::Internal { seps, children, count } => {
+                if children.len() != seps.len() + 1 {
+                    return Err("children/seps arity mismatch".into());
+                }
+                if !is_root && children.len() < MIN_LEN {
+                    return Err(format!("underfull interior: {}", children.len()));
+                }
+                if children.len() > MAX_LEN {
+                    return Err(format!("overfull interior: {}", children.len()));
+                }
+                if is_root && children.len() < 2 {
+                    return Err("interior root with fewer than 2 children".into());
+                }
+                if !seps.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("separators not strictly increasing".into());
+                }
+                if !seps.iter().all(|&s| in_bounds(s)) {
+                    return Err("separator outside parent bounds".into());
+                }
+                let mut total = 0usize;
+                let mut depth = None;
+                for (i, child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(seps[i - 1]) };
+                    let hi = if i == seps.len() { upper } else { Some(seps[i]) };
+                    let (c, d) = child.check(lo, hi, false)?;
+                    total += c;
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) if prev != d => return Err("leaves at different depths".into()),
+                        _ => {}
+                    }
+                }
+                if total != *count {
+                    return Err(format!("cached count {count} != sum {total}"));
+                }
+                Ok((total, depth.unwrap_or(0) + 1))
+            }
+        }
+    }
+}
+
+fn make_internal<V>(group: Vec<(u128, Node<V>)>) -> Node<V> {
+    debug_assert!(group.len() >= 2);
+    let mut seps = Vec::with_capacity(group.len() - 1);
+    let mut children = Vec::with_capacity(group.len());
+    let mut count = 0usize;
+    for (i, (min, node)) in group.into_iter().enumerate() {
+        if i > 0 {
+            seps.push(min);
+        }
+        count += node.len();
+        children.push(node);
+    }
+    Node::Internal { seps, children, count }
+}
+
+/// Fix an underfull `children[i]` by borrowing from a sibling or merging.
+fn rebalance<V>(seps: &mut Vec<u128>, children: &mut Vec<Node<V>>, i: usize, touched: &mut u64) {
+    *touched += 2;
+    // Try borrowing from the left sibling.
+    if i > 0 && can_lend(&children[i - 1]) {
+        let (left_part, right_part) = children.split_at_mut(i);
+        let left = &mut left_part[i - 1];
+        let cur = &mut right_part[0];
+        match (left, cur) {
+            (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: ck, vals: cv }) => {
+                let k = lk.pop().expect("left can lend");
+                let v = lv.pop().expect("left can lend");
+                ck.insert(0, k);
+                cv.insert(0, v);
+                seps[i - 1] = k;
+            }
+            (
+                Node::Internal { seps: ls, children: lc, count: lcount },
+                Node::Internal { seps: cs, children: cc, count: ccount },
+            ) => {
+                let moved = lc.pop().expect("left can lend");
+                let moved_len = moved.len();
+                *lcount -= moved_len;
+                *ccount += moved_len;
+                cs.insert(0, seps[i - 1]);
+                seps[i - 1] = ls.pop().expect("left interior has seps");
+                cc.insert(0, moved);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+        return;
+    }
+    // Try borrowing from the right sibling.
+    if i + 1 < children.len() && can_lend(&children[i + 1]) {
+        let (left_part, right_part) = children.split_at_mut(i + 1);
+        let cur = &mut left_part[i];
+        let right = &mut right_part[0];
+        match (cur, right) {
+            (Node::Leaf { keys: ck, vals: cv }, Node::Leaf { keys: rk, vals: rv }) => {
+                let k = rk.remove(0);
+                let v = rv.remove(0);
+                ck.push(k);
+                cv.push(v);
+                seps[i] = rk[0];
+            }
+            (
+                Node::Internal { seps: cs, children: cc, count: ccount },
+                Node::Internal { seps: rs, children: rc, count: rcount },
+            ) => {
+                let moved = rc.remove(0);
+                let moved_len = moved.len();
+                *rcount -= moved_len;
+                *ccount += moved_len;
+                cs.push(seps[i]);
+                seps[i] = rs.remove(0);
+                cc.push(moved);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+        return;
+    }
+    // Merge with a sibling (prefer left).
+    let (l, r) = if i > 0 { (i - 1, i) } else { (i, i + 1) };
+    debug_assert!(r < children.len(), "a non-root interior node has >= 2 children");
+    let right = children.remove(r);
+    let sep = seps.remove(l);
+    match (&mut children[l], right) {
+        (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: rk, vals: rv }) => {
+            lk.extend(rk);
+            lv.extend(rv);
+        }
+        (
+            Node::Internal { seps: ls, children: lc, count: lcount },
+            Node::Internal { seps: rs, children: rc, count: rcount },
+        ) => {
+            ls.push(sep);
+            ls.extend(rs);
+            *lcount += rcount;
+            lc.extend(rc);
+        }
+        _ => unreachable!("siblings are at the same level"),
+    }
+}
+
+fn can_lend<V>(node: &Node<V>) -> bool {
+    match node {
+        Node::Leaf { keys, .. } => keys.len() > MIN_LEN,
+        Node::Internal { children, .. } => children.len() > MIN_LEN,
+    }
+}

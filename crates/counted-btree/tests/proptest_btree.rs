@@ -1,0 +1,111 @@
+//! Property tests: the counted B-tree agrees with `std::BTreeMap` on
+//! every operation, including the order statistics the standard map
+//! cannot answer directly.
+
+use counted_btree::CountedBTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    Rank(u16),
+    Kth(u16),
+    CountRange(u16, u16),
+    Successor(u16),
+    Predecessor(u16),
+    DrainRange(u16, u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => any::<u16>().prop_map(Op::Insert),
+            3 => any::<u16>().prop_map(Op::Remove),
+            2 => any::<u16>().prop_map(Op::Rank),
+            2 => any::<u16>().prop_map(Op::Kth),
+            2 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::CountRange(a, b)),
+            1 => any::<u16>().prop_map(Op::Successor),
+            1 => any::<u16>().prop_map(Op::Predecessor),
+            1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::DrainRange(a, b)),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn agrees_with_btreemap(stream in ops()) {
+        let mut tree: CountedBTree<u16> = CountedBTree::new();
+        let mut model: BTreeMap<u128, u16> = BTreeMap::new();
+        for op in &stream {
+            match *op {
+                Op::Insert(k) => {
+                    let k128 = u128::from(k);
+                    let ours = tree.insert(k128, k).is_ok();
+                    let theirs = !model.contains_key(&k128);
+                    prop_assert_eq!(ours, theirs);
+                    if theirs {
+                        model.insert(k128, k);
+                    }
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(u128::from(k)), model.remove(&u128::from(k)));
+                }
+                Op::Rank(k) => {
+                    let expect = model.range(..u128::from(k)).count();
+                    prop_assert_eq!(tree.rank(u128::from(k)), expect);
+                }
+                Op::Kth(i) => {
+                    let i = usize::from(i);
+                    let expect = model.iter().nth(i).map(|(&k, v)| (k, v));
+                    prop_assert_eq!(tree.kth(i), expect);
+                }
+                Op::CountRange(a, b) => {
+                    let (lo, hi) = (u128::from(a), u128::from(b));
+                    let expect = model.range(lo..hi.max(lo)).count();
+                    let expect = if hi <= lo { 0 } else { expect };
+                    prop_assert_eq!(tree.count_range(lo, hi), expect);
+                }
+                Op::Successor(k) => {
+                    let expect = model.range(u128::from(k)..).next().map(|(&kk, v)| (kk, v));
+                    prop_assert_eq!(tree.successor(u128::from(k)), expect);
+                }
+                Op::Predecessor(k) => {
+                    let expect = model.range(..u128::from(k)).next_back().map(|(&kk, v)| (kk, v));
+                    prop_assert_eq!(tree.predecessor(u128::from(k)), expect);
+                }
+                Op::DrainRange(a, b) => {
+                    let (lo, hi) = (u128::from(a), u128::from(b));
+                    let drained = tree.drain_range(lo, hi);
+                    let expect: Vec<(u128, u16)> = if hi <= lo {
+                        Vec::new()
+                    } else {
+                        let keys: Vec<u128> = model.range(lo..hi).map(|(&k, _)| k).collect();
+                        keys.into_iter().map(|k| (k, model.remove(&k).unwrap())).collect()
+                    };
+                    prop_assert_eq!(drained, expect);
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Full iteration agreement at the end.
+        prop_assert!(tree.iter().map(|(k, v)| (k, *v)).eq(model.iter().map(|(&k, &v)| (k, v))));
+    }
+
+    #[test]
+    fn from_sorted_equals_incremental(keys in prop::collection::btree_set(any::<u16>(), 0..500)) {
+        let items: Vec<(u128, u16)> = keys.iter().map(|&k| (u128::from(k), k)).collect();
+        let bulk = CountedBTree::from_sorted(items.clone());
+        bulk.check_invariants().map_err(TestCaseError::fail)?;
+        let mut inc = CountedBTree::new();
+        for (k, v) in items {
+            inc.insert(k, v).unwrap();
+        }
+        prop_assert!(bulk.iter().eq(inc.iter()));
+    }
+}

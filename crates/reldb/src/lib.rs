@@ -1,0 +1,32 @@
+//! # `reldb` — the relational storage context of the paper
+//!
+//! The L-Tree paper's introduction is set inside an RDBMS storing XML:
+//!
+//! * the **edge table** approach ([11] Florescu/Kossmann) "generated a
+//!   tuple for every XML node with its parent node identifier … to
+//!   process queries with structural navigation, one self-join is needed
+//!   to obtain each parent-child relationship", and "to answer
+//!   descendant-axis `//` … many self-joins are needed";
+//! * the **region-label** approach (Figure 1, [17] Zhang et al.) stores
+//!   `(begin, end)` per node so that "ancestor-descendant queries can be
+//!   processed by exactly one self-join with label comparisons as
+//!   predicates, which is as efficient as child-axis".
+//!
+//! This crate is that substrate, built from scratch: a tiny in-memory
+//! row-store with scans, filters, hash self-joins and a sort-merge
+//! interval join; a shredder that turns any labeled
+//! [`xmldb::Document`] into the two relational layouts; and the two query
+//! plans the paper contrasts. Experiment X14 regenerates the comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plans;
+pub mod shred;
+pub mod table;
+pub mod value;
+
+pub use plans::{descendants_via_edge_joins, descendants_via_region_join, PlanReport};
+pub use shred::{shred, EdgeTable, RegionTable};
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,163 @@
+//! The two query plans of the paper's introduction, side by side.
+//!
+//! Query shape: `//a₁//a₂//…//aₖ` — find all elements with tag `aₖ` that
+//! have an `aₖ₋₁` ancestor which has an `aₖ₋₂` ancestor, and so on.
+//!
+//! * **Edge plan**: the descendant axis over the `edge(id, parent, tag)`
+//!   table has no direct operator — it must transitively close the
+//!   parent relation, "many self-joins" (one per tree level).
+//! * **Region plan**: each `//` step is *one* sort-merge interval
+//!   containment join over `(begin, end)` — "exactly one self-join with
+//!   label comparisons as predicates".
+
+use crate::shred::{EdgeTable, RegionTable};
+use crate::table::Table;
+use crate::value::Value;
+
+/// What a plan did, for the X14 table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Plan name.
+    pub plan: &'static str,
+    /// Node ids of the final result, sorted ascending.
+    pub result_ids: Vec<i64>,
+    /// Rows touched by all operators (the paper's cost unit).
+    pub rows_touched: u64,
+    /// Number of join operators executed.
+    pub joins: u64,
+}
+
+/// Evaluate `//a₁//…//aₖ` over the edge table by fixpoint self-joins:
+/// every descendant step closes the parent relation level by level
+/// (`max_depth` bounds the iteration — the document height).
+pub fn descendants_via_edge_joins(edge: &EdgeTable, tags: &[&str], max_depth: usize) -> PlanReport {
+    let table = &edge.0;
+    let mut touched = 0u64;
+    let mut joins = 0u64;
+    // Current frontier: ids whose subtrees we are inside of.
+    let mut frontier = table.filter_eq("tag", &Value::from(tags[0]), &mut touched).project(&["id"]);
+    for tag in &tags[1..] {
+        // Descendants of the frontier: iterate child self-joins to a
+        // fixpoint (bounded by the document height).
+        let mut reachable = Table::new("reach", &["id"]);
+        let mut current = frontier.renamed("cur");
+        for _ in 0..max_depth {
+            if current.is_empty() {
+                break;
+            }
+            // child step: edge.parent IN current.id — one self-join.
+            joins += 1;
+            let children = current
+                .hash_join(table, "id", "parent", &mut touched)
+                .project(&["r.id"])
+                .strip_prefixes();
+            let mut next = Table::new("cur", &["id"]);
+            for row in children.rows() {
+                reachable.insert(row.clone());
+                next.insert(row.clone());
+            }
+            next.sort_dedup_by("id");
+            current = next;
+        }
+        reachable.sort_dedup_by("id");
+        // Filter the reachable set by the step's tag (join with edge).
+        joins += 1;
+        let joined = reachable.hash_join(table, "id", "id", &mut touched);
+        let tag_idx = joined.col("r.tag");
+        frontier = joined
+            .filter(|row| row[tag_idx].as_str() == Some(*tag), &mut touched)
+            .project(&["l.id"])
+            .strip_prefixes();
+        frontier.sort_dedup_by("id");
+    }
+    let id = frontier.col("id");
+    let mut result_ids: Vec<i64> =
+        frontier.rows().iter().map(|r| r[id].as_int().expect("id is Int")).collect();
+    result_ids.sort_unstable();
+    result_ids.dedup();
+    PlanReport { plan: "edge self-joins", result_ids, rows_touched: touched, joins }
+}
+
+/// Evaluate `//a₁//…//aₖ` over the region table: one tag selection per
+/// step plus one interval containment join per `//`.
+pub fn descendants_via_region_join(region: &RegionTable, tags: &[&str]) -> PlanReport {
+    let table = &region.0;
+    let mut touched = 0u64;
+    let mut joins = 0u64;
+    let mut frontier = table.filter_eq("tag", &Value::from(tags[0]), &mut touched);
+    for tag in &tags[1..] {
+        let candidates = table.filter_eq("tag", &Value::from(*tag), &mut touched);
+        joins += 1;
+        frontier = frontier.interval_containment_semijoin(&candidates, "begin", "end", &mut touched);
+    }
+    let id = frontier.col("id");
+    let mut result_ids: Vec<i64> =
+        frontier.rows().iter().map(|r| r[id].as_int().expect("id is Int")).collect();
+    result_ids.sort_unstable();
+    result_ids.dedup();
+    PlanReport { plan: "region interval join", result_ids, rows_touched: touched, joins }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shred::shred;
+    use ltree_core::{LTree, Params};
+    use xmldb::Document;
+
+    use super::*;
+
+    fn doc() -> Document<LTree> {
+        Document::parse_str(
+            "<site><regions><europe><item><name>n1</name></item></europe>\
+             <asia><item><name>n2</name></item></asia></regions>\
+             <people><person><name>n3</name></person></people></site>",
+            LTree::new(Params::new(4, 2).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plans_agree_and_match_ground_truth() {
+        let d = doc();
+        let (edge, region) = shred(&d);
+        for tags in [&["site", "item"][..], &["regions", "name"][..], &["site", "regions", "item", "name"][..]] {
+            let e = descendants_via_edge_joins(&edge, tags, 8);
+            let r = descendants_via_region_join(&region, tags);
+            assert_eq!(e.result_ids, r.result_ids, "plans disagree on {tags:?}");
+            // Ground truth through the DOM query engine.
+            let path = format!("//{}", tags.join("//"));
+            let truth = xmldb::Path::parse(&path)
+                .unwrap()
+                .eval_navigational(&d)
+                .unwrap()
+                .iter()
+                .map(|id| i64::from(id.raw()))
+                .collect::<std::collections::BTreeSet<i64>>();
+            let got: std::collections::BTreeSet<i64> = e.result_ids.iter().copied().collect();
+            assert_eq!(got, truth, "plan result wrong for {path}");
+        }
+    }
+
+    #[test]
+    fn region_plan_uses_one_join_per_step() {
+        let d = doc();
+        let (edge, region) = shred(&d);
+        let tags = ["site", "regions", "item"];
+        let e = descendants_via_edge_joins(&edge, &tags, 8);
+        let r = descendants_via_region_join(&region, &tags);
+        assert_eq!(r.joins, 2, "one interval join per // step");
+        assert!(e.joins > r.joins, "edge plan needs a join per level per step");
+        assert!(e.rows_touched > r.rows_touched, "and touches more rows");
+    }
+
+    #[test]
+    fn missing_tags_yield_empty_results() {
+        let d = doc();
+        let (edge, region) = shred(&d);
+        let tags = ["site", "nonexistent"];
+        let e = descendants_via_edge_joins(&edge, &tags, 8);
+        let r = descendants_via_region_join(&region, &tags);
+        assert!(e.result_ids.is_empty());
+        assert!(r.result_ids.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! A minimal row-store table with the operators the paper's plans need:
+//! scan, filter, projection, hash (equi) self-join and sort-merge
+//! interval join. Every operator reports the number of rows it touched,
+//! which is the cost unit of experiment X14.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One relation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Empty table with a schema.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Table {
+            name: name.to_owned(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column index by name.
+    ///
+    /// # Panics
+    /// Panics on an unknown column (schema errors are programming errors
+    /// in this embedded setting).
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch for {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Borrow the raw rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Filter into a new table; `touched` counts scanned rows.
+    pub fn filter<F: Fn(&[Value]) -> bool>(&self, pred: F, touched: &mut u64) -> Table {
+        let mut out = Table::new(&format!("σ({})", self.name), &self.column_refs());
+        for row in &self.rows {
+            *touched += 1;
+            if pred(row) {
+                out.rows.push(row.clone());
+            }
+        }
+        out
+    }
+
+    /// Select rows whose `column` equals `value` (index-free scan).
+    pub fn filter_eq(&self, column: &str, value: &Value, touched: &mut u64) -> Table {
+        let idx = self.col(column);
+        self.filter(|row| &row[idx] == value, touched)
+    }
+
+    /// Hash equi-join: rows of `self` joined with rows of `right` where
+    /// `self.left_key == right.right_key`. Output columns are the
+    /// concatenation. `touched` counts build+probe rows.
+    pub fn hash_join(&self, right: &Table, left_key: &str, right_key: &str, touched: &mut u64) -> Table {
+        let lk = self.col(left_key);
+        let rk = right.col(right_key);
+        let mut cols: Vec<String> = self.columns.iter().map(|c| format!("l.{c}")).collect();
+        cols.extend(right.columns.iter().map(|c| format!("r.{c}")));
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut out = Table::new(&format!("({} ⋈ {})", self.name, right.name), &col_refs);
+        // Build on the smaller side for form; probe with the other.
+        let mut build: HashMap<&Value, Vec<&Vec<Value>>> = HashMap::new();
+        for row in &self.rows {
+            *touched += 1;
+            if !row[lk].is_null() {
+                build.entry(&row[lk]).or_default().push(row);
+            }
+        }
+        for rrow in &right.rows {
+            *touched += 1;
+            if let Some(matches) = build.get(&rrow[rk]) {
+                for lrow in matches {
+                    let mut joined = (*lrow).clone();
+                    joined.extend(rrow.iter().cloned());
+                    out.rows.push(joined);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sort-merge **interval containment join** — the paper's "exactly
+    /// one self-join with label comparisons as predicates". Joins each
+    /// row of `inner` (candidate descendants) to any row of `self`
+    /// (candidate ancestors) with
+    /// `self.begin < inner.begin && inner.end < self.end`,
+    /// returning the matching `inner` rows (set semantics, document
+    /// order). Both inputs are sorted by `begin` internally.
+    pub fn interval_containment_semijoin(
+        &self,
+        inner: &Table,
+        begin_col: &str,
+        end_col: &str,
+        touched: &mut u64,
+    ) -> Table {
+        let (ob, oe) = (self.col(begin_col), self.col(end_col));
+        let (ib, ie) = (inner.col(begin_col), inner.col(end_col));
+        let mut outer_idx: Vec<(u128, u128)> = self
+            .rows
+            .iter()
+            .map(|r| (r[ob].as_big().expect("begin is Big"), r[oe].as_big().expect("end is Big")))
+            .collect();
+        outer_idx.sort_unstable();
+        let mut inner_rows: Vec<(u128, u128, &Vec<Value>)> = inner
+            .rows
+            .iter()
+            .map(|r| (r[ib].as_big().expect("begin is Big"), r[ie].as_big().expect("end is Big"), r))
+            .collect();
+        inner_rows.sort_unstable_by_key(|&(b, ..)| b);
+        *touched += (self.rows.len() + inner.rows.len()) as u64;
+
+        let mut out = Table::new(&format!("({} ⊇ {})", self.name, inner.name), &inner.column_refs());
+        let mut stack: Vec<(u128, u128)> = Vec::new();
+        let mut oi = 0usize;
+        for (b, e, row) in inner_rows {
+            while oi < outer_idx.len() && outer_idx[oi].0 < b {
+                let a = outer_idx[oi];
+                oi += 1;
+                while let Some(&top) = stack.last() {
+                    if top.1 < a.0 {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                stack.push(a);
+            }
+            while let Some(&top) = stack.last() {
+                if top.1 < b {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&top) = stack.last() {
+                if b > top.0 && e < top.1 {
+                    out.rows.push(row.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Keep only the given columns (by name), in order.
+    pub fn project(&self, keep: &[&str]) -> Table {
+        let idxs: Vec<usize> = keep.iter().map(|c| self.col(c)).collect();
+        let mut out = Table::new(&format!("π({})", self.name), keep);
+        for row in &self.rows {
+            out.rows.push(idxs.iter().map(|&i| row[i].clone()).collect());
+        }
+        out
+    }
+
+    /// Sort by a column (ascending) and drop duplicate rows.
+    pub fn sort_dedup_by(&mut self, column: &str) {
+        let idx = self.col(column);
+        self.rows.sort_by(|a, b| a[idx].cmp(&b[idx]));
+        self.rows.dedup();
+    }
+
+    /// Rename (used by self-join plans to keep names readable).
+    pub fn renamed(mut self, name: &str) -> Table {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Strip join prefixes like `l.`/`r.` back to plain names, keeping
+    /// the **last** occurrence of duplicated names.
+    pub fn strip_prefixes(mut self) -> Table {
+        for c in &mut self.columns {
+            if let Some(stripped) = c.rsplit('.').next() {
+                *c = stripped.to_owned();
+            }
+        }
+        self
+    }
+
+    fn column_refs(&self) -> Vec<&str> {
+        self.columns.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new("people", &["id", "name", "boss"]);
+        t.insert(vec![Value::Int(1), "ada".into(), Value::Null]);
+        t.insert(vec![Value::Int(2), "bob".into(), Value::Int(1)]);
+        t.insert(vec![Value::Int(3), "eve".into(), Value::Int(1)]);
+        t.insert(vec![Value::Int(4), "kim".into(), Value::Int(2)]);
+        t
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let t = people();
+        let mut touched = 0;
+        let bosses = t.filter_eq("boss", &Value::Int(1), &mut touched);
+        assert_eq!(bosses.len(), 2);
+        assert_eq!(touched, 4);
+        let names = bosses.project(&["name"]);
+        assert_eq!(names.rows()[0][0], Value::from("bob"));
+        assert_eq!(names.columns(), &["name".to_string()]);
+    }
+
+    #[test]
+    fn hash_self_join_finds_reports() {
+        // One self-join per parent-child step, exactly like the edge
+        // table approach of the paper.
+        let t = people();
+        let mut touched = 0;
+        let joined = t.hash_join(&t, "id", "boss", &mut touched);
+        // ada->bob, ada->eve, bob->kim.
+        assert_eq!(joined.len(), 3);
+        assert_eq!(touched, 8, "build + probe each row once");
+    }
+
+    #[test]
+    fn interval_join_matches_containment() {
+        let mut outer = Table::new("anc", &["begin", "end"]);
+        outer.insert(vec![Value::Big(0), Value::Big(100)]);
+        outer.insert(vec![Value::Big(10), Value::Big(20)]);
+        let mut inner = Table::new("desc", &["begin", "end"]);
+        inner.insert(vec![Value::Big(11), Value::Big(12)]); // in both
+        inner.insert(vec![Value::Big(50), Value::Big(60)]); // in first only
+        inner.insert(vec![Value::Big(200), Value::Big(201)]); // in none
+        let mut touched = 0;
+        let out = outer.interval_containment_semijoin(&inner, "begin", "end", &mut touched);
+        assert_eq!(out.len(), 2);
+        assert!(touched >= 5);
+    }
+
+    #[test]
+    fn sort_dedup() {
+        let mut t = Table::new("t", &["v"]);
+        t.insert(vec![Value::Int(3)]);
+        t.insert(vec![Value::Int(1)]);
+        t.insert(vec![Value::Int(3)]);
+        t.sort_dedup_by("v");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no column")]
+    fn unknown_column_panics() {
+        people().col("nope");
+    }
+}

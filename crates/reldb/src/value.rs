@@ -1,0 +1,95 @@
+//! Cell values for the row store.
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit integer (node ids, depths).
+    Int(i64),
+    /// 128-bit unsigned integer (region labels).
+    Big(u128),
+    /// Interned-ish string (tag names).
+    Str(String),
+    /// SQL-ish NULL (absent parent, etc.).
+    Null,
+}
+
+impl Value {
+    /// The contained `i64`, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The contained `u128`, if this is a [`Value::Big`].
+    pub fn as_big(&self) -> Option<u128> {
+        match self {
+            Value::Big(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The contained string, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => v.fmt(f),
+            Value::Big(v) => v.fmt(f),
+            Value::Str(s) => s.fmt(f),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u128> for Value {
+    fn from(v: u128) -> Self {
+        Value::Big(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_big(), None);
+        assert_eq!(Value::Big(9).as_big(), Some(9));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn ordering_within_variants() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Big(1) < Value::Big(2));
+    }
+}

@@ -1,0 +1,318 @@
+//! # `ltree-tuning` — choosing `(f, s)` (paper, Section 3.2)
+//!
+//! The paper derives exact cost and label-width formulas and then tunes
+//! the two L-Tree parameters for three application settings:
+//!
+//! 1. **Minimize the update cost** — unconstrained minimization of
+//!    `cost(f, s, n)` (the paper solves `∂cost/∂f = ∂cost/∂s = 0`);
+//! 2. **Minimize the update cost for a given number of bits** — the
+//!    constrained problem `min cost s.t. bits ≤ β`, solved by checking
+//!    whether the interior optimum is feasible and otherwise optimizing
+//!    on the boundary `bits = β` (the paper uses a Lagrange multiplier);
+//! 3. **Minimize the overall cost of queries and updates** — a workload-
+//!    weighted sum where a label comparison is free while labels fit a
+//!    machine word and costs proportionally more beyond it.
+//!
+//! We solve all three numerically and *integer-feasibly*: the returned
+//! `(f, s)` always satisfies the structural requirements (`s ≥ 2`,
+//! `f = s·a`, `a ≥ 2`), so the result can be fed straight into
+//! [`ltree_core::LTree`]. A continuous optimizer (golden-section on both
+//! axes) is also provided; the tests verify the integer grid answer
+//! brackets it.
+//!
+//! ```
+//! use ltree_tuning::optimize_cost;
+//!
+//! let tuned = optimize_cost(100_000);
+//! // For n = 1e5 the model favours a small split width and moderate arity.
+//! assert!(tuned.params.s() >= 2);
+//! assert!(tuned.predicted_cost > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ltree_core::cost_model::{amortized_cost, label_bits, overall_cost};
+use ltree_core::Params;
+
+/// Search bounds: arity and split width up to 64, fanout up to 4096.
+const MAX_A: u32 = 64;
+const MAX_S: u32 = 64;
+const MAX_F: u32 = 4096;
+
+/// A tuned parameter choice with its model predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedParams {
+    /// The integer-feasible parameters.
+    pub params: Params,
+    /// Predicted amortized insertion cost (node accesses).
+    pub predicted_cost: f64,
+    /// Predicted label width in bits.
+    pub predicted_bits: f64,
+}
+
+/// Errors from the constrained optimizers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuningError {
+    /// No integer-feasible `(f, s)` satisfies the bit budget for this `n`.
+    NoFeasibleParams {
+        /// The bit budget that could not be met.
+        max_bits: u32,
+    },
+}
+
+impl std::fmt::Display for TuningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuningError::NoFeasibleParams { max_bits } => {
+                write!(f, "no (f, s) meets the {max_bits}-bit label budget at this document size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuningError {}
+
+/// A query/update workload description for the third tuning mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Current / expected document size in tags.
+    pub n: u64,
+    /// Average number of label comparisons issued per update.
+    pub queries_per_update: f64,
+    /// Machine word width (label comparisons are free up to this).
+    pub word_bits: u32,
+}
+
+fn grid<F: FnMut(Params, f64, f64) -> Option<f64>>(n: u64, mut score: F) -> Option<TunedParams> {
+    let nf = (n.max(2)) as f64;
+    let mut best: Option<(f64, TunedParams)> = None;
+    for s in 2..=MAX_S {
+        for a in 2..=MAX_A {
+            let f = s * a;
+            if f > MAX_F {
+                break;
+            }
+            let Ok(params) = Params::new(f, s) else { continue };
+            let cost = amortized_cost(f as f64, s as f64, nf);
+            let bits = label_bits(f as f64, s as f64, nf);
+            let Some(sc) = score(params, cost, bits) else { continue };
+            let candidate = TunedParams { params, predicted_cost: cost, predicted_bits: bits };
+            match &best {
+                Some((b, _)) if *b <= sc => {}
+                _ => best = Some((sc, candidate)),
+            }
+        }
+    }
+    best.map(|(_, t)| t)
+}
+
+/// Mode 1 — minimize the amortized update cost (paper: "Minimize the
+/// Update Cost"). Always succeeds.
+pub fn optimize_cost(n: u64) -> TunedParams {
+    grid(n, |_, cost, _| Some(cost)).expect("unconstrained grid is never empty")
+}
+
+/// Mode 2 — minimize the update cost subject to `bits(f,s,n) ≤ max_bits`
+/// (paper: "Minimize the Update Cost for Given Number of Bits").
+///
+/// Mirrors the paper's procedure: if the interior (unconstrained) optimum
+/// satisfies the budget it is returned directly; otherwise the optimum is
+/// sought along the feasible region whose active boundary is
+/// `bits = max_bits`.
+pub fn optimize_cost_with_bits(n: u64, max_bits: u32) -> Result<TunedParams, TuningError> {
+    // Feasibility uses the *integer-height* width (what a real tree of
+    // size n needs) alongside the continuous model, which can undershoot
+    // by a fraction of a level.
+    let feasible = |p: Params, bits: f64| {
+        bits <= f64::from(max_bits) && ltree_core::cost_model::label_bits_integer(&p, n) <= max_bits
+    };
+    let unconstrained = optimize_cost(n);
+    if feasible(unconstrained.params, unconstrained.predicted_bits) {
+        return Ok(unconstrained);
+    }
+    grid(n, |p, cost, bits| if feasible(p, bits) { Some(cost) } else { None })
+        .ok_or(TuningError::NoFeasibleParams { max_bits })
+}
+
+/// Mode 3 — minimize the workload-weighted overall cost (paper:
+/// "Minimize the Overall Cost of Query and Updates").
+pub fn optimize_workload(w: &Workload) -> TunedParams {
+    let nf = (w.n.max(2)) as f64;
+    grid(w.n, |p, _, _| {
+        Some(overall_cost(f64::from(p.f()), f64::from(p.s()), nf, w.queries_per_update, w.word_bits))
+    })
+    .expect("unconstrained grid is never empty")
+}
+
+/// Continuous (real-valued) minimizer of `cost(s·a, s, n)` via nested
+/// golden-section search — the numeric analogue of the paper's
+/// `∂cost/∂f = ∂cost/∂s = 0`. Returns `(f, s)`.
+pub fn continuous_optimum(n: f64) -> (f64, f64) {
+    let cost_of = |a: f64, s: f64| amortized_cost(a * s, s, n);
+    let best_a_for = |s: f64| golden_min(2.0, MAX_A as f64, |a| cost_of(a, s));
+    let s = golden_min(2.0, MAX_S as f64, |s| {
+        let a = best_a_for(s);
+        cost_of(a, s)
+    });
+    let a = best_a_for(s);
+    (a * s, s)
+}
+
+/// For a fixed `s`, find the arity `a` on the bit-budget boundary
+/// `bits(s·a, s, n) = beta` by bisection (larger arity ⇒ fewer bits).
+/// Returns `None` when even the widest arity exceeds the budget.
+pub fn boundary_arity(n: f64, beta: f64, s: f64) -> Option<f64> {
+    let bits_of = |a: f64| label_bits(a * s, s, n);
+    if bits_of(MAX_A as f64) > beta {
+        return None;
+    }
+    if bits_of(2.0) <= beta {
+        return Some(2.0);
+    }
+    let (mut lo, mut hi) = (2.0f64, MAX_A as f64); // bits(lo) > beta >= bits(hi)
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if bits_of(mid) > beta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+fn golden_min<F: Fn(f64) -> f64>(mut lo: f64, mut hi: f64, f: F) -> f64 {
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let mut c = hi - PHI * (hi - lo);
+    let mut d = lo + PHI * (hi - lo);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..120 {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - PHI * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + PHI * (hi - lo);
+            fd = f(d);
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_is_locally_optimal_on_the_grid() {
+        for n in [1_000u64, 100_000, 10_000_000] {
+            let t = optimize_cost(n);
+            let nf = n as f64;
+            let (f, s) = (t.params.f(), t.params.s());
+            let a = t.params.arity();
+            // Every integer-feasible neighbour must be no better.
+            for (da, ds) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1), (1, 1), (-1, -1)] {
+                let (na, ns) = (a as i64 + da, s as i64 + ds);
+                if na < 2 || ns < 2 {
+                    continue;
+                }
+                let (nf_, ns_) = ((na * ns) as f64, ns as f64);
+                let neighbour = amortized_cost(nf_, ns_, nf);
+                assert!(
+                    t.predicted_cost <= neighbour + 1e-9,
+                    "n={n}: ({f},{s}) cost {} beaten by neighbour ({},{}) cost {}",
+                    t.predicted_cost,
+                    na * ns,
+                    ns,
+                    neighbour
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_brackets_continuous_optimum() {
+        let n = 1e6;
+        let (cf, cs) = continuous_optimum(n);
+        let continuous_cost = amortized_cost(cf, cs, n);
+        let t = optimize_cost(1_000_000);
+        // Integer rounding loses little.
+        assert!(t.predicted_cost <= continuous_cost * 1.25 + 2.0);
+        assert!(t.predicted_cost + 1e-9 >= continuous_cost, "grid cannot beat the continuous min");
+    }
+
+    #[test]
+    fn bit_budget_is_respected() {
+        let n = 100_000u64;
+        for beta in [40u32, 48, 64, 96, 128] {
+            match optimize_cost_with_bits(n, beta) {
+                Ok(t) => {
+                    assert!(
+                        t.predicted_bits <= f64::from(beta) + 1e-9,
+                        "budget {beta} violated: {}",
+                        t.predicted_bits
+                    );
+                }
+                Err(TuningError::NoFeasibleParams { .. }) => {
+                    // Acceptable only for tiny budgets.
+                    assert!(beta < 48, "budget {beta} should be feasible at n = 1e5");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_costs_more() {
+        let n = 1_000_000u64;
+        let loose = optimize_cost_with_bits(n, 127).unwrap();
+        let tight = optimize_cost_with_bits(n, 48).unwrap();
+        assert!(
+            tight.predicted_cost >= loose.predicted_cost,
+            "a tighter bit budget cannot reduce the optimum"
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let e = optimize_cost_with_bits(u64::MAX / 2, 8).unwrap_err();
+        assert!(matches!(e, TuningError::NoFeasibleParams { max_bits: 8 }));
+        assert!(e.to_string().contains("8-bit"));
+    }
+
+    #[test]
+    fn boundary_arity_sits_on_the_budget() {
+        let (n, beta, s) = (1e6, 50.0, 2.0);
+        let a = boundary_arity(n, beta, s).unwrap();
+        let bits = label_bits(a * s, s, n);
+        assert!((bits - beta).abs() < 0.1 || a == 2.0, "bits {bits} vs beta {beta}");
+    }
+
+    #[test]
+    fn query_heavy_workloads_get_narrow_labels() {
+        let n = 1 << 20;
+        let update_heavy = optimize_workload(&Workload { n, queries_per_update: 0.01, word_bits: 64 });
+        let query_heavy = optimize_workload(&Workload { n, queries_per_update: 1e5, word_bits: 64 });
+        let nf = n as f64;
+        let bits_q = label_bits(f64::from(query_heavy.params.f()), f64::from(query_heavy.params.s()), nf);
+        // The query-heavy optimum must fit a machine word if at all possible.
+        assert!(bits_q <= 64.0 + 1e-9, "query-heavy labels must fit a word, got {bits_q}");
+        // And it should not be costlier on queries than the update-heavy one.
+        let bits_u = label_bits(f64::from(update_heavy.params.f()), f64::from(update_heavy.params.s()), nf);
+        assert!(bits_q <= bits_u + 1e-9);
+    }
+
+    #[test]
+    fn presets_are_near_optimal_for_mid_sizes() {
+        // Sanity: the paper's example (4,2) is within a small factor of
+        // the model optimum for moderate documents.
+        let t = optimize_cost(10_000);
+        let example = amortized_cost(4.0, 2.0, 10_000.0);
+        assert!(example < 4.0 * t.predicted_cost, "(4,2) is a sane default");
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors for the XML substrate.
+
+use ltree_core::LTreeError;
+
+/// Everything that can go wrong in `xmldb`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed document text.
+    Parse {
+        /// 1-based line of the offending byte.
+        line: u32,
+        /// 1-based column of the offending byte.
+        col: u32,
+        /// What was wrong.
+        msg: String,
+    },
+    /// Malformed path expression.
+    PathParse(String),
+    /// An [`crate::XmlNodeId`] that does not refer to a live element.
+    UnknownNode,
+    /// The operation would detach the document root.
+    CannotRemoveRoot,
+    /// A subtree cannot be moved into itself (or onto itself).
+    InvalidMove,
+    /// An error bubbled up from the labeling scheme.
+    Label(LTreeError),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::Parse { line, col, msg } => write!(f, "XML parse error at {line}:{col}: {msg}"),
+            XmlError::PathParse(msg) => write!(f, "path parse error: {msg}"),
+            XmlError::UnknownNode => write!(f, "node id does not refer to a live element"),
+            XmlError::CannotRemoveRoot => write!(f, "the document root cannot be removed"),
+            XmlError::InvalidMove => write!(f, "a subtree cannot be moved into itself"),
+            XmlError::Label(e) => write!(f, "labeling scheme error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<LTreeError> for XmlError {
+    fn from(e: LTreeError) -> Self {
+        XmlError::Label(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = XmlError::Parse { line: 3, col: 7, msg: "unexpected '<'".into() };
+        assert_eq!(e.to_string(), "XML parse error at 3:7: unexpected '<'");
+        let e: XmlError = LTreeError::UnknownHandle.into();
+        assert!(e.to_string().contains("labeling scheme error"));
+    }
+}

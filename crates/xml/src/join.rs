@@ -1,0 +1,144 @@
+//! Stack-based structural join over region labels.
+//!
+//! The paper's query story (Section 1): with order-preserving `(begin,
+//! end)` labels, "the ancestor-descendant queries can be processed by
+//! exactly one self-join with label comparisons as predicates". This
+//! module is that join, in its classic stack-merge form (cf. the holistic
+//! twig-join line of work the paper cites): both inputs sorted by begin
+//! label, one linear pass, `O(|A| + |D| + matches)`.
+
+use crate::dom::XmlNodeId;
+use crate::query::Axis;
+
+/// One element's region: `(begin, end)` labels plus depth and identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Label of the begin tag.
+    pub begin: u128,
+    /// Label of the end tag.
+    pub end: u128,
+    /// Depth in the document (root = 0) — what makes the child axis a
+    /// label-only test (`containment ∧ depth+1`).
+    pub depth: u32,
+    /// The element this span belongs to.
+    pub node: XmlNodeId,
+}
+
+/// Join candidate descendants against candidate ancestors.
+///
+/// Both slices must be sorted by `begin` (the tag-index accessors of
+/// [`crate::Document`] produce exactly that). Returns the matching
+/// *descendant-side* elements in document order, each at most once.
+pub fn structural_join(ancestors: &[SpanRec], descendants: &[SpanRec], axis: Axis) -> Vec<XmlNodeId> {
+    debug_assert!(ancestors.windows(2).all(|w| w[0].begin < w[1].begin));
+    debug_assert!(descendants.windows(2).all(|w| w[0].begin < w[1].begin));
+    let mut out = Vec::new();
+    let mut stack: Vec<SpanRec> = Vec::new();
+    let mut ai = 0usize;
+    for d in descendants {
+        // Open every ancestor that starts before this descendant.
+        while ai < ancestors.len() && ancestors[ai].begin < d.begin {
+            let a = ancestors[ai];
+            ai += 1;
+            // Close finished ancestors first.
+            while let Some(top) = stack.last() {
+                if top.end < a.begin {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(a);
+        }
+        // Close ancestors that end before this descendant starts.
+        while let Some(top) = stack.last() {
+            if top.end < d.begin {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // The stack now holds exactly the candidate ancestors whose
+        // region contains d.begin, nested (depths strictly increase).
+        let matched = match axis {
+            Axis::Descendant => stack.last().map(|a| d.begin > a.begin && d.end < a.end).unwrap_or(false),
+            Axis::Child => {
+                // Depths along the (nested) stack strictly increase, so
+                // scan from the deepest entry and stop once too shallow.
+                d.depth > 0
+                    && stack
+                        .iter()
+                        .rev()
+                        .take_while(|a| a.depth + 1 >= d.depth)
+                        .any(|a| a.depth + 1 == d.depth && d.begin > a.begin && d.end < a.end)
+            }
+        };
+        if matched {
+            out.push(d.node);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(begin: u128, end: u128, depth: u32, id: u32) -> SpanRec {
+        SpanRec { begin, end, depth, node: XmlNodeId(id) }
+    }
+
+    #[test]
+    fn descendant_axis_containment() {
+        // A(0,13) { B(1,9) { C(3,4) } D(10,12) }  — the paper's Figure 2 doc.
+        let ancestors = vec![span(1, 9, 1, 1)]; // B
+        let descendants = vec![span(3, 4, 2, 2), span(10, 12, 1, 3)]; // C, D
+        let got = structural_join(&ancestors, &descendants, Axis::Descendant);
+        assert_eq!(got, vec![XmlNodeId(2)], "only C is inside B");
+    }
+
+    #[test]
+    fn child_axis_requires_depth_adjacency() {
+        // A(0,20) { B(1,10) { C(2,3) } }  — C is a descendant of A but
+        // a child only of B.
+        let a = span(0, 20, 0, 0);
+        let b = span(1, 10, 1, 1);
+        let c = span(2, 3, 2, 2);
+        assert_eq!(structural_join(&[a, b], &[c], Axis::Descendant), vec![XmlNodeId(2)]);
+        assert_eq!(structural_join(&[b], &[c], Axis::Child), vec![XmlNodeId(2)]);
+        assert_eq!(structural_join(&[a], &[c], Axis::Child), Vec::<XmlNodeId>::new());
+    }
+
+    #[test]
+    fn siblings_do_not_match() {
+        let a = span(1, 9, 1, 1);
+        let sibling = span(10, 12, 1, 2);
+        assert!(structural_join(&[a], &[sibling], Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn many_nested_levels() {
+        // a(0,99) > b(1,50) > c(2,40) > d(3,4)
+        let spans = [span(0, 99, 0, 0), span(1, 50, 1, 1), span(2, 40, 2, 2), span(3, 4, 3, 3)];
+        let got = structural_join(&spans[..3], &[spans[3]], Axis::Descendant);
+        assert_eq!(got, vec![XmlNodeId(3)]);
+        let got = structural_join(&[spans[0]], &spans[1..], Axis::Descendant);
+        assert_eq!(got.len(), 3, "all of b, c, d are inside a");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(structural_join(&[], &[span(1, 2, 1, 0)], Axis::Descendant).is_empty());
+        assert!(structural_join(&[span(1, 2, 1, 0)], &[], Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn interleaved_regions_stress() {
+        // Ancestors: [0,9], [10,19], [20,29]; descendants inside each.
+        let ancestors: Vec<SpanRec> = (0..3).map(|i| span(i * 10, i * 10 + 9, 1, i as u32)).collect();
+        let descendants: Vec<SpanRec> =
+            (0..3).map(|i| span(i * 10 + 2, i * 10 + 3, 2, 100 + i as u32)).collect();
+        let got = structural_join(&ancestors, &descendants, Axis::Descendant);
+        assert_eq!(got.len(), 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! Path expressions and their two evaluators.
+//!
+//! Grammar (a practical XPath subset):
+//!
+//! ```text
+//! path  := step+
+//! step  := ('/' | '//') name
+//! name  := tag | '*'
+//! ```
+//!
+//! `/a/b` — child steps from the document root; `//b` — descendant step;
+//! `*` — any tag. Two evaluators are provided:
+//!
+//! * [`Path::eval_navigational`] — pointer-chasing over the DOM, the
+//!   ground truth (and the thing the paper wants to *avoid* doing in an
+//!   RDBMS, where each step is a self-join on parent ids);
+//! * [`Path::eval_labeled`] — per-step sort-merge [`structural
+//!   join`](crate::join::structural_join) over `(begin, end, depth)`
+//!   labels from the tag index: the paper's "exactly one self-join with
+//!   label comparisons as predicates" per axis step.
+//!
+//! Both return elements in document order; the test-suites assert they
+//! agree on randomized documents and after arbitrary updates.
+
+use crate::document::Document;
+use crate::dom::XmlNodeId;
+use crate::error::{Result, XmlError};
+use crate::join::structural_join;
+use ltree_core::LabelingScheme;
+
+/// Navigation axis of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children (`/`).
+    Child,
+    /// All proper descendants (`//`).
+    Descendant,
+}
+
+/// One step: an axis plus a tag test (`None` = `*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// Tag name filter; `None` matches any element.
+    pub tag: Option<String>,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+impl Path {
+    /// Parse a path expression.
+    ///
+    /// ```
+    /// use xmldb::Path;
+    /// let p = Path::parse("/book//title").unwrap();
+    /// assert_eq!(p.steps().len(), 2);
+    /// assert!(Path::parse("book/title").is_err(), "must start with / or //");
+    /// ```
+    pub fn parse(input: &str) -> Result<Path> {
+        let s = input.trim();
+        if !s.starts_with('/') {
+            return Err(XmlError::PathParse(format!("path must start with '/' or '//': {input:?}")));
+        }
+        let mut steps = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            let axis = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                Axis::Descendant
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                Axis::Child
+            } else {
+                return Err(XmlError::PathParse(format!("expected '/' before {rest:?}")));
+            };
+            let end = rest.find('/').unwrap_or(rest.len());
+            let name = &rest[..end];
+            if name.is_empty() {
+                return Err(XmlError::PathParse(format!("empty step name in {input:?}")));
+            }
+            if name != "*" && !name.chars().all(|c| c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | ':')) {
+                return Err(XmlError::PathParse(format!("invalid step name {name:?}")));
+            }
+            steps.push(Step { axis, tag: if name == "*" { None } else { Some(name.to_owned()) } });
+            rest = &rest[end..];
+        }
+        if steps.is_empty() {
+            return Err(XmlError::PathParse("empty path".into()));
+        }
+        Ok(Path { steps })
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Ground-truth evaluation by DOM navigation. Results in document
+    /// order, each element at most once.
+    pub fn eval_navigational<S: LabelingScheme>(&self, doc: &Document<S>) -> Result<Vec<XmlNodeId>> {
+        let Some(root) = doc.tree().root() else { return Ok(Vec::new()) };
+        // Frontier starts as the virtual super-root.
+        let mut frontier: Vec<XmlNodeId> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let sources: Vec<XmlNodeId> = if i == 0 { vec![] } else { frontier.clone() };
+            let mut next = Vec::new();
+            let matches_tag = |doc: &Document<S>, id: XmlNodeId| -> Result<bool> {
+                Ok(match &step.tag {
+                    Some(t) => doc.tree().tag_name(id)? == t,
+                    None => true,
+                })
+            };
+            if i == 0 {
+                match step.axis {
+                    Axis::Child => {
+                        if matches_tag(doc, root)? {
+                            next.push(root);
+                        }
+                    }
+                    Axis::Descendant => {
+                        for id in doc.tree().dfs(root)? {
+                            if matches_tag(doc, id)? {
+                                next.push(id);
+                            }
+                        }
+                    }
+                }
+            } else {
+                for src in sources {
+                    match step.axis {
+                        Axis::Child => {
+                            for c in doc.tree().child_elements(src)? {
+                                if matches_tag(doc, c)? {
+                                    next.push(c);
+                                }
+                            }
+                        }
+                        Axis::Descendant => {
+                            for id in doc.tree().dfs(src)? {
+                                if id != src && matches_tag(doc, id)? {
+                                    next.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Dedup (descendant steps from nested sources overlap),
+            // keeping document order via the begin labels.
+            let mut with_key: Vec<(u128, XmlNodeId)> = next
+                .into_iter()
+                .map(|id| Ok((doc.span(id)?.0, id)))
+                .collect::<Result<_>>()?;
+            with_key.sort_unstable();
+            with_key.dedup();
+            frontier = with_key.into_iter().map(|(_, id)| id).collect();
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(frontier)
+    }
+
+    /// Label-based evaluation: each step is one structural join between
+    /// the frontier spans and the tag index (paper, Section 1).
+    pub fn eval_labeled<S: LabelingScheme>(&self, doc: &Document<S>) -> Result<Vec<XmlNodeId>> {
+        if doc.tree().root().is_none() {
+            return Ok(Vec::new());
+        }
+        let mut frontier = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let candidates = match &step.tag {
+                Some(t) => doc.spans_with_tag(t)?,
+                None => doc.all_spans()?,
+            };
+            if i == 0 {
+                frontier = match step.axis {
+                    Axis::Child => candidates.into_iter().filter(|s| s.depth == 0).collect(),
+                    Axis::Descendant => candidates,
+                };
+            } else {
+                let matched = structural_join(&frontier, &candidates, step.axis);
+                frontier = matched.into_iter().map(|id| doc.span_rec(id)).collect::<Result<_>>()?;
+            }
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(frontier.into_iter().map(|s| s.node).collect())
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for step in &self.steps {
+            f.write_str(match step.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            })?;
+            f.write_str(step.tag.as_deref().unwrap_or("*"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_shapes() {
+        let p = Path::parse("/book//title").unwrap();
+        assert_eq!(p.steps().len(), 2);
+        assert_eq!(p.steps()[0].axis, Axis::Child);
+        assert_eq!(p.steps()[0].tag.as_deref(), Some("book"));
+        assert_eq!(p.steps()[1].axis, Axis::Descendant);
+        assert_eq!(p.to_string(), "/book//title");
+
+        let p = Path::parse("//*").unwrap();
+        assert_eq!(p.steps()[0].tag, None);
+        assert_eq!(p.to_string(), "//*");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("book").is_err());
+        assert!(Path::parse("/").is_err());
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("/a//").is_err());
+        assert!(Path::parse("/a b").is_err());
+    }
+
+    #[test]
+    fn deep_paths_parse() {
+        let p = Path::parse("/site/regions//item/description").unwrap();
+        assert_eq!(p.steps().len(), 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! XML serialization (the inverse of [`crate::parser`]).
+
+use crate::dom::{Content, XmlNodeId, XmlTree};
+use crate::error::Result;
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_element(tree: &XmlTree, id: XmlNodeId, out: &mut String, indent: Option<usize>, depth: usize) -> Result<()> {
+    if let Some(step) = indent {
+        if depth > 0 {
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push('<');
+    out.push_str(tree.tag_name(id)?);
+    for (name, value) in tree.attrs(id)? {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_attr(value, out);
+        out.push('"');
+    }
+    let content = tree.content(id)?;
+    if content.is_empty() {
+        out.push_str("/>");
+        return Ok(());
+    }
+    out.push('>');
+    let mut had_child_element = false;
+    for c in content {
+        match c {
+            Content::Text(t) => escape_text(t, out),
+            Content::Element(e) => {
+                had_child_element = true;
+                write_element(tree, *e, out, indent, depth + 1)?;
+            }
+        }
+    }
+    if indent.is_some() && had_child_element {
+        out.push('\n');
+        out.push_str(&" ".repeat(indent.unwrap_or(0) * depth));
+    }
+    out.push_str("</");
+    out.push_str(tree.tag_name(id)?);
+    out.push('>');
+    Ok(())
+}
+
+/// Serialize the tree to a compact string.
+pub fn to_string(tree: &XmlTree) -> Result<String> {
+    let mut out = String::new();
+    if let Some(root) = tree.root() {
+        write_element(tree, root, &mut out, None, 0)?;
+    }
+    Ok(out)
+}
+
+/// Serialize with newlines and `indent`-space indentation.
+pub fn to_string_pretty(tree: &XmlTree, indent: usize) -> Result<String> {
+    let mut out = String::new();
+    if let Some(root) = tree.root() {
+        write_element(tree, root, &mut out, Some(indent), 0)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<book year="2004"><title>1 &lt; 2 &amp; 3</title><empty/></book>"#;
+        let tree = parse(src).unwrap();
+        let out = to_string(&tree).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn reparse_of_serialized_is_identical() {
+        let src = "<a x=\"q&quot;q\"><b>t1<c/>t2</b><d/></a>";
+        let t1 = parse(src).unwrap();
+        let s1 = to_string(&t1).unwrap();
+        let t2 = parse(&s1).unwrap();
+        let s2 = to_string(&t2).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let tree = parse("<a><b><c/></b></a>").unwrap();
+        let out = to_string_pretty(&tree, 2).unwrap();
+        assert!(out.contains("\n  <b>"));
+        assert!(out.contains("\n    <c/>"));
+        // And it reparses to the same structure.
+        let again = parse(&out).unwrap();
+        assert_eq!(again.element_count(), 3);
+    }
+
+    #[test]
+    fn empty_tree_serializes_empty() {
+        let tree = XmlTree::new();
+        assert_eq!(to_string(&tree).unwrap(), "");
+    }
+}

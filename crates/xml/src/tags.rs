@@ -1,0 +1,73 @@
+//! Tag-name interning. The paper recommends clustering XML nodes by tag
+//! (Section 3.1, citing [17]); interning makes the tag index a dense map.
+
+use std::collections::HashMap;
+
+/// Interned tag identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub u32);
+
+/// A string interner for element names.
+#[derive(Debug, Default, Clone)]
+pub struct TagInterner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl TagInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.map.get(name) {
+            return TagId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        TagId(id)
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.map.get(name).copied().map(TagId)
+    }
+
+    /// The name behind an id.
+    pub fn resolve(&self, id: TagId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = TagInterner::new();
+        let a = t.intern("book");
+        let b = t.intern("title");
+        let a2 = t.intern("book");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "book");
+        assert_eq!(t.resolve(b), "title");
+        assert_eq!(t.get("book"), Some(a));
+        assert_eq!(t.get("nope"), None);
+        assert_eq!(t.len(), 2);
+    }
+}

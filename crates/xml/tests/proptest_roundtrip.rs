@@ -1,0 +1,108 @@
+//! Property tests: serializer ∘ parser is the identity on the DOM, for
+//! arbitrary generated trees (structure, attributes, text with
+//! meta-characters, unicode).
+
+use proptest::prelude::*;
+use xmldb::{parse, to_string, to_string_pretty, XmlTree};
+
+/// A recipe for building a random tree deterministically.
+#[derive(Debug, Clone)]
+struct Recipe {
+    /// (parent index among already-created elements, tag pick, text pick)
+    nodes: Vec<(usize, u8, Option<String>)>,
+    attrs: Vec<(usize, u8, String)>,
+}
+
+fn tag_name(pick: u8) -> &'static str {
+    const TAGS: &[&str] = &["a", "b", "c", "item", "ns:elem", "x-y", "_private", "d.e"];
+    TAGS[pick as usize % TAGS.len()]
+}
+
+fn attr_name(pick: u8) -> &'static str {
+    const ATTRS: &[&str] = &["id", "class", "data-x", "xml:lang"];
+    ATTRS[pick as usize % ATTRS.len()]
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Include every metacharacter the escapers must handle.
+    proptest::collection::vec(
+        prop_oneof![
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just("plain ".to_string()),
+            Just("ünïcödé 🚀".to_string()),
+            Just("]]>".to_string()),
+        ],
+        1..5,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let node = (0usize..64, any::<u8>(), proptest::option::of(text_strategy()));
+    let attr = (0usize..64, any::<u8>(), text_strategy());
+    (proptest::collection::vec(node, 0..40), proptest::collection::vec(attr, 0..10))
+        .prop_map(|(nodes, attrs)| Recipe { nodes, attrs })
+}
+
+fn build(recipe: &Recipe) -> XmlTree {
+    let (mut tree, root) = XmlTree::with_root("root");
+    let mut ids = vec![root];
+    for (parent_pick, tag, text) in &recipe.nodes {
+        let parent = ids[parent_pick % ids.len()];
+        let id = tree.add_child(parent, tag_name(*tag)).unwrap();
+        if let Some(t) = text {
+            if !t.trim().is_empty() {
+                tree.add_text(id, t).unwrap();
+            }
+        }
+        ids.push(id);
+    }
+    for (target_pick, name, value) in &recipe.attrs {
+        let target = ids[target_pick % ids.len()];
+        tree.set_attr(target, attr_name(*name), value).unwrap();
+    }
+    tree
+}
+
+fn doms_equal(a: &XmlTree, b: &XmlTree) -> bool {
+    // Structural comparison via canonical serialization.
+    to_string(a).unwrap() == to_string(b).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_parse_roundtrip(recipe in recipe_strategy()) {
+        let tree = build(&recipe);
+        let text = to_string(&tree).unwrap();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back.element_count(), tree.element_count());
+        prop_assert!(doms_equal(&tree, &back), "roundtrip changed the DOM:\n{}", text);
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_structure(recipe in recipe_strategy()) {
+        // Pretty-printing inserts whitespace-only text, which the parser
+        // drops — element structure and attributes must survive.
+        let tree = build(&recipe);
+        let pretty = to_string_pretty(&tree, 2).unwrap();
+        let back = parse(&pretty).unwrap();
+        prop_assert_eq!(back.element_count(), tree.element_count());
+        // Tag sequence in document order is preserved.
+        let tags = |t: &XmlTree| -> Vec<String> {
+            t.all_elements().iter().map(|&id| t.tag_name(id).unwrap().to_owned()).collect()
+        };
+        prop_assert_eq!(tags(&tree), tags(&back));
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(noise in "[<>&;a-z\"'=/ ]{0,120}") {
+        // Arbitrary near-XML byte soup must error gracefully, not panic.
+        let _ = parse(&noise);
+    }
+}

@@ -1,0 +1,244 @@
+//! Seeded random XML document generation.
+//!
+//! Documents are grown by random attachment under a small *schema*: each
+//! profile maps a parent tag to the child tags it may contain, so the
+//! generated trees answer realistic path queries (`/site/regions//item`)
+//! with non-empty results instead of tag soup. Growth is biased towards
+//! recently created elements to produce the long spines real documents
+//! have.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use xmldb::{XmlNodeId, XmlTree};
+
+/// A document shape description (a miniature schema plus growth knobs).
+#[derive(Debug, Clone)]
+pub struct DocProfile {
+    /// Profile name (for experiment tables).
+    pub name: &'static str,
+    /// Root element tag.
+    pub root: &'static str,
+    /// Parent tag → child-tag vocabulary. Tags without an entry are
+    /// leaves.
+    pub rules: Vec<(&'static str, Vec<&'static str>)>,
+    /// Number of elements to generate (including the root).
+    pub target_elements: usize,
+    /// Maximum element depth (root = 0).
+    pub max_depth: u32,
+    /// Probability that an element gets a text run.
+    pub text_prob: f64,
+    /// Bias towards attaching to recently created elements (0 = uniform;
+    /// towards 1 = strongly prefer recent parents → deeper, spikier trees).
+    pub recency_bias: f64,
+}
+
+/// A generic profile with `n` elements and a free-form recursive schema.
+pub fn uniform_profile(n: usize) -> DocProfile {
+    DocProfile {
+        name: "uniform",
+        root: "root",
+        rules: vec![
+            ("root", vec!["a", "b", "c", "d"]),
+            ("a", vec!["x", "y", "b"]),
+            ("b", vec!["y", "z"]),
+            ("c", vec!["x", "z", "a"]),
+            ("d", vec!["p", "q"]),
+            ("x", vec!["p"]),
+            ("y", vec!["q", "p"]),
+        ],
+        target_elements: n,
+        max_depth: 8,
+        text_prob: 0.3,
+        recency_bias: 0.3,
+    }
+}
+
+/// An XMark-flavoured auction-site profile with `n` elements.
+pub fn auction_profile(n: usize) -> DocProfile {
+    DocProfile {
+        name: "auction",
+        root: "site",
+        rules: vec![
+            ("site", vec!["regions", "people", "open_auctions", "categories"]),
+            ("regions", vec!["africa", "asia", "europe", "namerica"]),
+            ("africa", vec!["item"]),
+            ("asia", vec!["item"]),
+            ("europe", vec!["item"]),
+            ("namerica", vec!["item"]),
+            ("item", vec!["name", "description", "location", "quantity"]),
+            ("people", vec!["person"]),
+            ("person", vec!["name", "emailaddress", "profile"]),
+            ("profile", vec!["interest", "education"]),
+            ("open_auctions", vec!["open_auction"]),
+            ("open_auction", vec!["bidder", "initial", "current", "itemref"]),
+            ("bidder", vec!["date", "increase"]),
+            ("categories", vec!["category"]),
+            ("category", vec!["name", "description"]),
+            ("description", vec!["text", "parlist"]),
+            ("parlist", vec!["listitem"]),
+            ("listitem", vec!["text", "parlist"]),
+        ],
+        target_elements: n,
+        max_depth: 12,
+        text_prob: 0.5,
+        recency_bias: 0.45,
+    }
+}
+
+/// The paper's motivating `book/chapter/title` shape, with `n` elements.
+pub fn book_catalog_profile(n: usize) -> DocProfile {
+    DocProfile {
+        name: "books",
+        root: "catalog",
+        rules: vec![
+            ("catalog", vec!["book"]),
+            ("book", vec!["title", "author", "chapter", "isbn"]),
+            ("chapter", vec!["title", "section", "para"]),
+            ("section", vec!["title", "section", "para"]),
+            ("para", vec!["emph"]),
+        ],
+        target_elements: n,
+        max_depth: 9,
+        text_prob: 0.6,
+        recency_bias: 0.35,
+    }
+}
+
+/// Generate a document for `profile` with a deterministic `seed`.
+pub fn generate(profile: &DocProfile, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rules: HashMap<&str, &Vec<&'static str>> =
+        profile.rules.iter().map(|(p, c)| (*p, c)).collect();
+    let (mut tree, root) = XmlTree::with_root(profile.root);
+    if profile.target_elements <= 1 {
+        return tree;
+    }
+    // Fertile nodes: can still take children (non-leaf tag, depth room).
+    let mut fertile: Vec<(XmlNodeId, u32, &Vec<&'static str>)> = Vec::new();
+    if let Some(vocab) = rules.get(profile.root) {
+        fertile.push((root, 0, vocab));
+    }
+    assert!(
+        !fertile.is_empty(),
+        "profile '{}' gives the root tag no children; nothing can grow",
+        profile.name
+    );
+    let mut texts = 0usize;
+    // Skeleton pass: materialize one element of every reachable tag so
+    // schema queries always have answers, regardless of seed.
+    let mut created: HashMap<&str, (XmlNodeId, u32)> = HashMap::new();
+    created.insert(profile.root, (root, 0));
+    let mut changed = true;
+    while changed && tree.element_count() < profile.target_elements {
+        changed = false;
+        for (ptag, vocab) in &profile.rules {
+            let Some(&(pid, pdepth)) = created.get(ptag) else { continue };
+            if pdepth + 1 >= profile.max_depth {
+                continue;
+            }
+            for tag in vocab {
+                if created.contains_key(tag) || tree.element_count() >= profile.target_elements {
+                    continue;
+                }
+                let id = tree.add_child(pid, tag).expect("parent is live");
+                created.insert(tag, (id, pdepth + 1));
+                if pdepth + 1 < profile.max_depth {
+                    if let Some(child_vocab) = rules.get(tag) {
+                        fertile.push((id, pdepth + 1, child_vocab));
+                    }
+                }
+                changed = true;
+            }
+        }
+    }
+    while tree.element_count() < profile.target_elements && !fertile.is_empty() {
+        let idx = if rng.gen_bool(profile.recency_bias.clamp(0.0, 1.0)) {
+            let lo = fertile.len().saturating_sub((fertile.len() / 4).max(1));
+            rng.gen_range(lo..fertile.len())
+        } else {
+            rng.gen_range(0..fertile.len())
+        };
+        let (parent, pdepth, vocab) = fertile[idx];
+        let tag = vocab[rng.gen_range(0..vocab.len())];
+        let id = tree.add_child(parent, tag).expect("parent is live");
+        if rng.gen_bool(profile.text_prob) {
+            texts += 1;
+            tree.add_text(id, &format!("text{texts}")).expect("element is live");
+        }
+        let depth = pdepth + 1;
+        if depth < profile.max_depth {
+            if let Some(child_vocab) = rules.get(tag) {
+                fertile.push((id, depth, child_vocab));
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        for n in [1usize, 2, 10, 500] {
+            let t = generate(&uniform_profile(n), 42);
+            assert_eq!(t.element_count(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = generate(&auction_profile(200), 7);
+        let b = generate(&auction_profile(200), 7);
+        assert_eq!(xmldb::to_string(&a).unwrap(), xmldb::to_string(&b).unwrap());
+        let c = generate(&auction_profile(200), 8);
+        assert_ne!(xmldb::to_string(&a).unwrap(), xmldb::to_string(&c).unwrap());
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let profile = DocProfile { max_depth: 3, ..uniform_profile(300) };
+        let t = generate(&profile, 1);
+        for id in t.all_elements() {
+            assert!(t.depth(id).unwrap() <= 3);
+        }
+    }
+
+    #[test]
+    fn respects_schema_rules() {
+        let profile = auction_profile(800);
+        let rules: HashMap<&str, &Vec<&'static str>> =
+            profile.rules.iter().map(|(p, c)| (*p, c)).collect();
+        let t = generate(&profile, 11);
+        assert_eq!(t.element_count(), 800);
+        for id in t.all_elements() {
+            if let Some(parent) = t.parent(id).unwrap() {
+                let ptag = t.tag_name(parent).unwrap();
+                let tag = t.tag_name(id).unwrap();
+                let vocab = rules.get(ptag).unwrap_or_else(|| panic!("{ptag} must be fertile"));
+                assert!(vocab.contains(&tag), "{tag} not allowed under {ptag}");
+            }
+        }
+    }
+
+    #[test]
+    fn auction_queries_have_answers() {
+        // The experiments rely on these paths matching something.
+        let t = generate(&auction_profile(1500), 99);
+        let tags: std::collections::HashSet<String> =
+            t.all_elements().iter().map(|&id| t.tag_name(id).unwrap().to_owned()).collect();
+        for needed in ["regions", "item", "person", "name", "description"] {
+            assert!(tags.contains(needed), "generated document lacks <{needed}>");
+        }
+    }
+
+    #[test]
+    fn generated_documents_parse_back() {
+        let t = generate(&book_catalog_profile(120), 3);
+        let s = xmldb::to_string(&t).unwrap();
+        let back = xmldb::parse(&s).unwrap();
+        assert_eq!(back.element_count(), 120);
+    }
+}

@@ -1,0 +1,21 @@
+//! # `xmlgen` — synthetic documents and update workloads
+//!
+//! The 2004 paper has no public corpus; this crate substitutes seeded,
+//! reproducible generators (see DESIGN.md, "Substitutions"):
+//!
+//! * [`gen`] — random XML documents with layered tag vocabularies,
+//!   including an XMark-flavoured *auction site* profile and a *book
+//!   catalog* profile matching the paper's motivating examples;
+//! * [`workload`] — update streams against any
+//!   [`ltree_core::LabelingScheme`]: uniform, hotspot, append/prepend,
+//!   batch (subtree-shaped) and mixed insert/delete, with a
+//!   [`workload::WorkloadReport`] capturing the paper's cost metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod workload;
+
+pub use gen::{auction_profile, book_catalog_profile, generate, uniform_profile, DocProfile};
+pub use workload::{run_workload, verify_order, Workload, WorkloadReport};

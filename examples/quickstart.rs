@@ -1,0 +1,61 @@
+//! Quickstart: the L-Tree as an order-maintenance structure.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ltree::{LTree, Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's example parameters: f = 4, s = 2 (Figure 2).
+    // Splits carve an overfull region into s = 2 half-full binary
+    // subtrees; labels live in base f+1 = 5.
+    let params = Params::new(4, 2)?;
+    println!("L-Tree with {params}: arity {}, label base {}", params.arity(), params.base());
+
+    // Bulk load the eight tags of `<A><B><C/></B><D/></A>`.
+    let (mut tree, leaves) = LTree::bulk_load(params, 8)?;
+    let names = ["<A>", "<B>", "<C>", "</C>", "</B>", "<D>", "</D>", "</A>"];
+    println!("\nAfter bulk load (height {}):", tree.height());
+    for (name, leaf) in names.iter().zip(&leaves) {
+        println!("  {name:5} -> label {}", tree.label(*leaf)?);
+    }
+
+    // Insert a new element <E/> between <C> and </C>: two leaf inserts.
+    let e_begin = tree.insert_after(leaves[2])?;
+    let e_end = tree.insert_after(e_begin)?;
+    println!("\nInserted <E/> inside <C>:");
+    println!("  <E>   -> label {}", tree.label(e_begin)?);
+    println!("  </E>  -> label {}", tree.label(e_end)?);
+
+    // Order queries are label comparisons.
+    assert!(tree.label(leaves[2])? < tree.label(e_begin)?);
+    assert!(tree.label(e_end)? < tree.label(leaves[3])?);
+    println!("\nDocument order after the insertion:");
+    let labels: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+    println!("  {labels:?}");
+
+    // Hammer one spot; the L-Tree splits locally and stays balanced.
+    let mut anchor = e_begin;
+    for _ in 0..500 {
+        anchor = tree.insert_after(anchor)?;
+    }
+    tree.check_invariants().expect("structure is sound");
+    let stats = tree.stats();
+    println!("\nAfter 502 single insertions at one hotspot:");
+    println!("  height               : {}", tree.height());
+    println!("  label space          : {} bits", tree.label_space_bits());
+    println!("  splits               : {}", stats.splits);
+    println!("  root rebuilds        : {}", stats.root_rebuilds);
+    println!("  cascade splits       : {} (Proposition 3 says always 0)", stats.cascade_splits);
+    println!("  amortized relabels/op: {:.2}", stats.amortized_relabels());
+    println!("  amortized cost/op    : {:.2} node accesses", stats.amortized_cost());
+
+    // Deletion is a tombstone: no labels move.
+    let before: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+    tree.delete(leaves[5])?;
+    let after: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+    assert_eq!(before, after);
+    println!("\nDeleted <D> — zero labels changed (tombstone semantics).");
+    Ok(())
+}

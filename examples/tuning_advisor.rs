@@ -1,0 +1,85 @@
+//! Parameter tuning advisor (paper, Section 3.2).
+//!
+//! ```sh
+//! cargo run --example tuning_advisor -- [n] [bit-budget] [queries-per-update]
+//! cargo run --example tuning_advisor -- 1000000 64 100
+//! ```
+
+use ltree::cost_model;
+use ltree::tuning::{self, Workload};
+use ltree::{LTree, LabelingScheme, Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(1_000_000);
+    let budget: u32 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(64);
+    let qpu: f64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(10.0);
+
+    println!("Tuning an L-Tree for a document of n = {n} tags\n");
+
+    // Mode 1: minimize the update cost.
+    let best = tuning::optimize_cost(n);
+    println!("1) Minimal update cost (unconstrained):");
+    println!("   (f, s) = ({}, {})", best.params.f(), best.params.s());
+    println!("   predicted cost : {:.1} node accesses/insert", best.predicted_cost);
+    println!("   predicted bits : {:.1}", best.predicted_bits);
+
+    // Mode 2: bit budget.
+    println!("\n2) Minimal update cost within a {budget}-bit label budget:");
+    match tuning::optimize_cost_with_bits(n, budget) {
+        Ok(t) => {
+            println!("   (f, s) = ({}, {})", t.params.f(), t.params.s());
+            println!("   predicted cost : {:.1}", t.predicted_cost);
+            println!("   predicted bits : {:.1} (≤ {budget})", t.predicted_bits);
+            let penalty = t.predicted_cost / best.predicted_cost;
+            println!("   cost penalty vs unconstrained: {penalty:.2}x");
+        }
+        Err(e) => println!("   {e}"),
+    }
+
+    // Mode 3: workload-weighted.
+    println!("\n3) Overall optimum at {qpu} label comparisons per update (64-bit words):");
+    let t = tuning::optimize_workload(&Workload { n, queries_per_update: qpu, word_bits: 64 });
+    println!("   (f, s) = ({}, {})", t.params.f(), t.params.s());
+    println!("   predicted bits : {:.1}", t.predicted_bits);
+    println!(
+        "   overall cost   : {:.1}",
+        cost_model::overall_cost(
+            f64::from(t.params.f()),
+            f64::from(t.params.s()),
+            n as f64,
+            qpu,
+            64
+        )
+    );
+
+    // Validate the recommendation empirically on a scaled-down document.
+    let sample_n = (n as usize).min(50_000);
+    let ops = sample_n / 5;
+    println!("\nEmpirical check on a {sample_n}-tag sample ({ops} uniform inserts):");
+    for (tag, params) in [("recommended", best.params), ("paper example", Params::new(4, 2)?)] {
+        let mut tree = LTree::new(params);
+        let handles = tree.bulk_build(sample_n)?;
+        tree.reset_scheme_stats();
+        // Simple deterministic uniform-ish stream.
+        let mut order = handles;
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..ops {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % order.len() as u64) as usize;
+            let h = LabelingScheme::insert_after(&mut tree, order[i])?;
+            order.insert(i + 1, h);
+        }
+        let st = tree.scheme_stats();
+        println!(
+            "   {tag:13} {:10} -> {:.1} writes/op, {:.1} cost/op, {} bits",
+            params.to_string(),
+            st.amortized_label_writes(),
+            st.amortized_cost(),
+            tree.label_space_bits()
+        );
+    }
+    Ok(())
+}

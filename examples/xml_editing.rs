@@ -1,0 +1,90 @@
+//! An editable XML document over the L-Tree: parse, query, update,
+//! re-query — the full paper scenario.
+//!
+//! ```sh
+//! cargo run --example xml_editing
+//! ```
+
+use ltree::prelude::*;
+use ltree::xml::XmlTree;
+
+const CATALOG: &str = r#"<catalog>
+  <book year="2004">
+    <title>L-Trees in practice</title>
+    <chapter><title>Labeling</title></chapter>
+    <chapter><title>Splitting</title></chapter>
+  </book>
+  <book year="2002">
+    <title>Dynamic XML</title>
+    <chapter><title>Updates</title></chapter>
+  </book>
+</catalog>"#;
+
+fn show_titles<S: ltree::LabelingScheme>(doc: &Document<S>, label: &str) {
+    let path = Path::parse("/catalog//title").expect("valid path");
+    let nav = path.eval_navigational(doc).expect("eval");
+    let lab = path.eval_labeled(doc).expect("eval");
+    assert_eq!(nav, lab, "both evaluators agree");
+    println!("{label}: {} titles via one structural join", lab.len());
+    for id in lab {
+        let (b, e) = doc.span(id).expect("labeled");
+        println!("  ({b:>6}, {e:>6})  {}", doc.tree().text_of(id).expect("live"));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut doc = Document::parse_str(CATALOG, LTree::new(Params::new(4, 2)?))?;
+    println!("Parsed catalog: {} elements\n", doc.element_count());
+    show_titles(&doc, "Initial document");
+
+    // Ancestor tests are two label comparisons.
+    let root = doc.tree().root().expect("root exists");
+    let first_book = doc.tree().child_elements(root)?[0];
+    let some_title = Path::parse("//chapter/title")?.eval_labeled(&doc)?[0];
+    println!(
+        "\nIs book #1 an ancestor of that chapter title? {} (two label comparisons)",
+        doc.is_ancestor(first_book, some_title)?
+    );
+
+    // Insert a whole appendix subtree in ONE batch leaf insertion
+    // (paper §4.1: subtree insertions amortize better than singles).
+    let (mut frag, fr) = XmlTree::with_root("book");
+    frag.set_attr(fr, "year", "2026")?;
+    let t = frag.add_child(fr, "title")?;
+    frag.add_text(t, "The Reproduction")?;
+    let ch = frag.add_child(fr, "chapter")?;
+    let ct = frag.add_child(ch, "title")?;
+    frag.add_text(ct, "Experiments")?;
+    let inserted = doc.insert_fragment(root, 1, &frag)?;
+    println!("\nInserted a {}-element book as one batch;", inserted.len());
+    show_titles(&doc, "After subtree insertion");
+
+    // Hotspot editing inside one chapter.
+    let chapter = doc.tree().child_elements(first_book)?[1];
+    for i in 0..25 {
+        let sec = doc.insert_element(chapter, i, "section")?;
+        let st = doc.insert_element(sec, 0, "title")?;
+        doc.add_text(st, &format!("Section {i}"))?;
+    }
+    doc.validate()?;
+    show_titles(&doc, "\nAfter 25 hotspot section insertions");
+
+    // Delete the oldest book: tombstones only, labels of the rest frozen.
+    let writes_before = doc.scheme().scheme_stats().label_writes;
+    let books = doc.tree().child_elements(root)?;
+    let removed = doc.delete_subtree(*books.last().expect("non-empty"))?;
+    println!(
+        "\nDeleted the 2002 book ({} elements) — label writes during delete: {}",
+        removed,
+        doc.scheme().scheme_stats().label_writes - writes_before
+    );
+    doc.validate()?;
+
+    println!("\nScheme stats for the whole session:");
+    let s = doc.scheme().scheme_stats();
+    println!("  inserts: {}, deletes: {}", s.inserts, s.deletes);
+    println!("  label writes: {}, relabel events: {}", s.label_writes, s.relabel_events);
+    println!("  label space: {} bits", doc.scheme().label_space_bits());
+    println!("\nFinal document:\n{}", ltree::xml::to_string_pretty(doc.tree(), 2)?);
+    Ok(())
+}

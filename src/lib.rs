@@ -1,0 +1,81 @@
+//! # `ltree` — facade crate for the L-Tree reproduction
+//!
+//! Reproduction of *"L-Tree: a Dynamic Labeling Structure for Ordered XML
+//! Data"* (Chen, Mihaila, Bordawekar, Padmanabhan — EDBT 2004 Workshops).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`ltree_core`] (re-exported at the root) — the materialized
+//!   [`LTree`], its parameters, cost model and the [`LabelingScheme`]
+//!   abstraction;
+//! * [`vtree`] — the *virtual* L-Tree of Section 4.2 (labels only, backed
+//!   by a counted B-tree);
+//! * [`btree`] — the order-statistic (counted) B-tree substrate;
+//! * [`baselines`] — the labeling schemes the paper argues against;
+//! * [`tuning`] — the Section 3.2 parameter tuner;
+//! * [`xml`] — the XML substrate: parser, DOM, region-labeled documents
+//!   and the path-query engine;
+//! * [`gen`] — synthetic document and update-workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ltree::{LTree, Params};
+//!
+//! let (mut tree, leaves) = LTree::bulk_load(Params::new(4, 2).unwrap(), 8).unwrap();
+//! let l = tree.insert_after(leaves[3]).unwrap();
+//! assert!(tree.label(leaves[3]).unwrap() < tree.label(l).unwrap());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction details.
+
+#![forbid(unsafe_code)]
+
+pub use ltree_core::*;
+
+/// Order-statistic (counted) B-tree substrate (paper, Section 4.2).
+pub mod btree {
+    pub use counted_btree::*;
+}
+
+/// The virtual L-Tree: structure recomputed from labels (Section 4.2).
+pub mod vtree {
+    pub use ltree_virtual::*;
+}
+
+/// Baseline labeling schemes (sequential, gapped, list-labeling).
+pub mod baselines {
+    pub use labeling_baselines::*;
+}
+
+/// The `(f, s)` parameter tuner (Section 3.2).
+pub mod tuning {
+    pub use ltree_tuning::*;
+}
+
+/// XML parser, DOM, labeled documents and path queries.
+pub mod xml {
+    pub use xmldb::*;
+}
+
+/// Synthetic XML documents and update workloads.
+pub mod gen {
+    pub use xmlgen::*;
+}
+
+/// The relational storage context (edge table vs region labels).
+pub mod rel {
+    pub use reldb::*;
+}
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use counted_btree::CountedBTree;
+    pub use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
+    pub use ltree_core::order::OrderedList;
+    pub use ltree_core::{LTree, LabelingScheme, LeafHandle, LeafId, Label, Params};
+    pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
+    pub use ltree_virtual::VirtualLTree;
+    pub use xmldb::{Document, Path, XmlTree};
+}

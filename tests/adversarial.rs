@@ -1,0 +1,165 @@
+//! Adversarial stress tests: the access patterns most likely to break an
+//! order-maintenance structure, each with full invariant checking.
+
+use ltree::prelude::*;
+use ltree::LabelingScheme;
+
+#[test]
+fn zipper_alternating_front_back() {
+    for params in Params::presets() {
+        let mut tree = LTree::new(params);
+        tree.push_back().unwrap();
+        for i in 0..400 {
+            if i % 2 == 0 {
+                tree.insert_first().unwrap();
+            } else {
+                tree.push_back().unwrap();
+            }
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 401);
+        assert_eq!(tree.stats().cascade_splits, 0);
+    }
+}
+
+#[test]
+fn single_point_hammer() {
+    // Every insert lands at the same gap — the densest possible hotspot.
+    for params in [Params::new(4, 2).unwrap(), Params::new(16, 4).unwrap()] {
+        let (mut tree, leaves) = LTree::bulk_load(params, 64).unwrap();
+        let anchor = leaves[31];
+        for _ in 0..2_000 {
+            tree.insert_after(anchor).unwrap();
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.stats().cascade_splits, 0, "Prop 3 under the worst hotspot");
+        // The amortized relabel cost stays logarithmic-ish: far below n.
+        let per_op = tree.stats().nodes_relabeled as f64 / 2_000.0;
+        assert!(per_op < 64.0, "amortized relabels exploded: {per_op}");
+    }
+}
+
+#[test]
+fn walking_hotspot() {
+    // The anchor follows the most recent insert: a moving dense front.
+    let (mut tree, leaves) = LTree::bulk_load(Params::new(4, 2).unwrap(), 16).unwrap();
+    let mut anchor = leaves[7];
+    for _ in 0..3_000 {
+        anchor = tree.insert_after(anchor).unwrap();
+    }
+    tree.check_invariants().unwrap();
+    assert_eq!(tree.len(), 3_016);
+}
+
+#[test]
+fn interleaved_batches_and_deletes() {
+    let (mut tree, leaves) = LTree::bulk_load(Params::new(8, 2).unwrap(), 32).unwrap();
+    let mut all = leaves;
+    for round in 0..60 {
+        let anchor = all[round * 37 % all.len()];
+        if tree.is_deleted(anchor).unwrap_or(true) {
+            continue;
+        }
+        let batch = tree.insert_many_after(anchor, (round % 17) + 1).unwrap();
+        all.extend(batch);
+        // Tombstone a stride of leaves.
+        for i in (0..all.len()).step_by(11) {
+            let _ = tree.delete(all[i]); // AlreadyDeleted is fine
+        }
+        tree.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn giant_batch_then_single_inserts() {
+    let (mut tree, leaves) = LTree::bulk_load(Params::new(4, 2).unwrap(), 4).unwrap();
+    let batch = tree.insert_many_after(leaves[1], 50_000).unwrap();
+    tree.check_invariants().unwrap();
+    // The structure after a massive batch must absorb singles normally.
+    let mut anchor = batch[25_000];
+    for _ in 0..500 {
+        anchor = tree.insert_after(anchor).unwrap();
+    }
+    tree.check_invariants().unwrap();
+    assert!(tree.stats().cascade_splits <= 1, "at most the batch itself cascades");
+}
+
+#[test]
+fn compact_under_pressure() {
+    let (mut tree, leaves) = LTree::bulk_load(Params::new(4, 2).unwrap(), 512).unwrap();
+    for (i, l) in leaves.iter().enumerate() {
+        if i % 3 != 0 {
+            tree.delete(*l).unwrap();
+        }
+    }
+    tree.compact().unwrap();
+    tree.check_invariants().unwrap();
+    assert_eq!(tree.len(), tree.live_len());
+    // Survivors keep working as anchors.
+    let survivor = tree.first_leaf().unwrap();
+    for _ in 0..100 {
+        tree.insert_after(survivor).unwrap();
+    }
+    tree.check_invariants().unwrap();
+}
+
+#[test]
+fn virtual_zipper_and_hammer() {
+    let params = Params::new(4, 2).unwrap();
+    let mut v = VirtualLTree::new(params);
+    let mut first = v.insert_first().unwrap();
+    let mut last = first;
+    for i in 0..300 {
+        if i % 2 == 0 {
+            first = v.insert_before(first).unwrap();
+        } else {
+            last = v.insert_after(last).unwrap();
+        }
+    }
+    v.check_invariants().unwrap();
+    let mut anchor = first;
+    for _ in 0..500 {
+        anchor = v.insert_after(anchor).unwrap();
+    }
+    v.check_invariants().unwrap();
+    assert_eq!(v.len(), 801);
+}
+
+#[test]
+fn error_paths_are_typed() {
+    let mut tree = LTree::new(Params::new(4, 2).unwrap());
+    // Unknown handle from thin air.
+    assert!(matches!(
+        ltree::LabelingScheme::insert_after(&mut tree, LeafHandle(u64::MAX)),
+        Err(ltree::LTreeError::UnknownHandle)
+    ));
+    // Invalid params.
+    assert!(matches!(Params::new(5, 2), Err(ltree::LTreeError::InvalidParams { .. })));
+    // Double delete.
+    let l = tree.push_back().unwrap();
+    tree.delete(l).unwrap();
+    assert!(matches!(tree.delete(l), Err(ltree::LTreeError::DeletedLeaf)));
+    // Zero batch.
+    let l2 = tree.push_back().unwrap();
+    assert!(matches!(tree.insert_many_after(l2, 0), Err(ltree::LTreeError::EmptyBatch)));
+}
+
+#[test]
+fn labels_always_fit_the_declared_space() {
+    let params = Params::new(4, 2).unwrap();
+    let (mut tree, leaves) = LTree::bulk_load(params, 100).unwrap();
+    let mut anchor = leaves[50];
+    for i in 0..2_000 {
+        anchor = if i % 5 == 0 { leaves[i % 100] } else { tree.insert_after(anchor).unwrap() };
+        if tree.is_deleted(anchor).unwrap_or(true) {
+            anchor = tree.first_leaf().unwrap();
+        }
+    }
+    let space = params.interval(tree.height()).unwrap();
+    let bits = tree.label_space_bits();
+    for l in tree.leaves() {
+        let label = tree.label(l).unwrap();
+        assert!(label.get() < space);
+        assert!(label.bits() <= bits);
+    }
+}

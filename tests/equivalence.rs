@@ -1,0 +1,127 @@
+//! Experiment X9 (correctness half) — the virtual L-Tree (paper §4.2)
+//! produces *identical labels* to the materialized L-Tree under any
+//! operation stream: the structure really is "implicit in the labels
+//! themselves". Property-based, across parameter presets.
+
+use ltree::prelude::*;
+use ltree::LabelingScheme;
+use proptest::prelude::*;
+
+/// An abstract op over item indices (interpreted against the live list).
+#[derive(Debug, Clone)]
+enum Op {
+    InsertAfter(usize),
+    InsertBefore(usize),
+    InsertMany(usize, usize),
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..10_000).prop_map(Op::InsertAfter),
+        2 => (0usize..10_000).prop_map(Op::InsertBefore),
+        1 => ((0usize..10_000), (1usize..40)).prop_map(|(a, k)| Op::InsertMany(a, k)),
+        1 => (0usize..10_000).prop_map(Op::Delete),
+    ]
+}
+
+fn materialized_labels(t: &LTree) -> Vec<u128> {
+    t.leaves().map(|l| t.label(l).unwrap().get()).collect()
+}
+
+fn run_stream(params: Params, initial: usize, ops: &[Op]) {
+    let (mut mat, mat_handles) = LTree::bulk_load(params, initial).unwrap();
+    let mut mat_order: Vec<LeafId> = mat_handles;
+    let mut virt = VirtualLTree::new(params);
+    let mut virt_order: Vec<LeafHandle> = virt.bulk_build(initial).unwrap();
+
+    for op in ops {
+        match *op {
+            Op::InsertAfter(i) => {
+                if mat_order.is_empty() {
+                    continue;
+                }
+                let i = i % mat_order.len();
+                let m = mat.insert_after(mat_order[i]).unwrap();
+                let v = virt.insert_after(virt_order[i]).unwrap();
+                mat_order.insert(i + 1, m);
+                virt_order.insert(i + 1, v);
+            }
+            Op::InsertBefore(i) => {
+                if mat_order.is_empty() {
+                    continue;
+                }
+                let i = i % mat_order.len();
+                let m = mat.insert_before(mat_order[i]).unwrap();
+                let v = virt.insert_before(virt_order[i]).unwrap();
+                mat_order.insert(i, m);
+                virt_order.insert(i, v);
+            }
+            Op::InsertMany(i, k) => {
+                if mat_order.is_empty() {
+                    continue;
+                }
+                let i = i % mat_order.len();
+                let ms = mat.insert_many_after(mat_order[i], k).unwrap();
+                let vs = LabelingScheme::insert_many_after(&mut virt, virt_order[i], k).unwrap();
+                for (j, (m, v)) in ms.into_iter().zip(vs).enumerate() {
+                    mat_order.insert(i + 1 + j, m);
+                    virt_order.insert(i + 1 + j, v);
+                }
+            }
+            Op::Delete(i) => {
+                if mat_order.is_empty() {
+                    continue;
+                }
+                let i = i % mat_order.len();
+                // Tombstone (idempotence errors are part of the contract:
+                // both sides must agree).
+                let m = mat.delete(mat_order[i]);
+                let v = virt.delete(virt_order[i]);
+                assert_eq!(m.is_ok(), v.is_ok());
+            }
+        }
+        // Bit-for-bit label equivalence after *every* op.
+        assert_eq!(materialized_labels(&mat), virt.labels_in_order());
+        assert_eq!(mat.height(), virt.height(), "heights track together");
+    }
+    mat.check_invariants().unwrap();
+    virt.check_invariants().unwrap();
+    // Handle-level agreement too.
+    for (m, v) in mat_order.iter().zip(&virt_order) {
+        assert_eq!(mat.label(*m).unwrap().get(), virt.label_of(*v).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn virtual_equals_materialized_f4s2(initial in 0usize..40, ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_stream(Params::new(4, 2).unwrap(), initial, &ops);
+    }
+
+    #[test]
+    fn virtual_equals_materialized_f9s3(initial in 0usize..40, ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_stream(Params::new(9, 3).unwrap(), initial, &ops);
+    }
+
+    #[test]
+    fn virtual_equals_materialized_f16s4(initial in 0usize..40, ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_stream(Params::new(16, 4).unwrap(), initial, &ops);
+    }
+}
+
+#[test]
+fn long_hotspot_stream_equivalence() {
+    let params = Params::new(4, 2).unwrap();
+    let ops: Vec<Op> = (0..600).map(|i| Op::InsertAfter(i / 3)).collect();
+    run_stream(params, 8, &ops);
+}
+
+#[test]
+fn batch_heavy_stream_equivalence() {
+    let params = Params::new(8, 2).unwrap();
+    let ops: Vec<Op> = (0..40).map(|i| Op::InsertMany(i * 7, (i % 13) + 1)).collect();
+    run_stream(params, 4, &ops);
+}

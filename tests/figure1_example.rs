@@ -1,0 +1,63 @@
+//! Experiment X1 — Figure 1 of the paper as an executable test, through
+//! the facade crate.
+//!
+//! The paper labels `<book><chapter><title/></chapter><title/></book>` as
+//! book(0,7) chapter(1,4) title(2,3) title(5,6) with dense sequential
+//! integers and converts `book//title` into interval containment. We
+//! reproduce the same query semantics with L-Tree labels (same structure,
+//! slack between labels).
+
+use ltree::prelude::*;
+
+const DOC: &str = "<book><chapter><title>Intro</title></chapter><title>Top</title></book>";
+
+#[test]
+fn interval_containment_answers_book_title() {
+    let doc = Document::parse_str(DOC, LTree::new(Params::new(4, 2).unwrap())).unwrap();
+    let root = doc.tree().root().unwrap();
+    let kids = doc.tree().child_elements(root).unwrap();
+    let (chapter, top_title) = (kids[0], kids[1]);
+    let inner_title = doc.tree().child_elements(chapter).unwrap()[0];
+
+    // The ancestor test is two label comparisons (paper, Section 1).
+    let (bb, be) = doc.span(root).unwrap();
+    let (tb, te) = doc.span(inner_title).unwrap();
+    assert!(bb < tb && te < be, "book contains the inner title");
+    assert!(doc.is_ancestor(root, inner_title).unwrap());
+    assert!(doc.is_ancestor(root, top_title).unwrap());
+    assert!(doc.is_ancestor(chapter, inner_title).unwrap());
+    assert!(!doc.is_ancestor(chapter, top_title).unwrap());
+
+    // `/book//title` via both evaluators.
+    let path = Path::parse("/book//title").unwrap();
+    let nav = path.eval_navigational(&doc).unwrap();
+    let lab = path.eval_labeled(&doc).unwrap();
+    assert_eq!(nav, lab);
+    assert_eq!(nav, vec![inner_title, top_title], "both titles, in document order");
+}
+
+#[test]
+fn figure1_shape_is_preserved_under_updates() {
+    let mut doc = Document::parse_str(DOC, LTree::new(Params::new(4, 2).unwrap())).unwrap();
+    let root = doc.tree().root().unwrap();
+    let chapter = doc.tree().child_elements(root).unwrap()[0];
+
+    // Grow a hotspot inside the chapter; the query must keep working.
+    for i in 0..50 {
+        let sect = doc.insert_element(chapter, i % 2, "section").unwrap();
+        doc.insert_element(sect, 0, "title").unwrap();
+    }
+    doc.validate().unwrap();
+    let path = Path::parse("/book//title").unwrap();
+    let nav = path.eval_navigational(&doc).unwrap();
+    let lab = path.eval_labeled(&doc).unwrap();
+    assert_eq!(nav, lab);
+    assert_eq!(nav.len(), 52, "two original titles plus fifty new ones");
+
+    // Child-axis through labels needs the maintained depths.
+    let child_titles = Path::parse("/book/chapter/section/title").unwrap();
+    assert_eq!(
+        child_titles.eval_navigational(&doc).unwrap(),
+        child_titles.eval_labeled(&doc).unwrap()
+    );
+}

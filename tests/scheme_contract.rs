@@ -1,0 +1,147 @@
+//! The `LabelingScheme` order contract, property-tested across every
+//! scheme in the workspace: after any stream of insertions/deletions,
+//! live labels strictly increase along list order, and handles stay
+//! stable across relabelings.
+
+use ltree::prelude::*;
+use ltree::LabelingScheme;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    After(usize),
+    Before(usize),
+    Many(usize, usize),
+    Delete(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0usize..1 << 16).prop_map(Op::After),
+            2 => (0usize..1 << 16).prop_map(Op::Before),
+            1 => ((0usize..1 << 16), 1usize..20).prop_map(|(a, k)| Op::Many(a, k)),
+            1 => (0usize..1 << 16).prop_map(Op::Delete),
+        ],
+        1..80,
+    )
+}
+
+/// First live index at or after `i % len`, wrapping; anchoring on
+/// deleted items is scheme-specific (the L-Tree allows it, schemes with
+/// physical removal do not), so the contract only anchors on live ones.
+fn live_at(order: &[(LeafHandle, bool)], i: usize) -> Option<usize> {
+    let n = order.len();
+    (0..n).map(|d| (i + d) % n).find(|&j| order[j].1)
+}
+
+fn exercise<S: LabelingScheme>(mut scheme: S, initial: usize, stream: &[Op]) {
+    let mut order: Vec<(LeafHandle, bool)> =
+        scheme.bulk_build(initial.max(1)).unwrap().into_iter().map(|h| (h, true)).collect();
+    for op in stream {
+        match *op {
+            Op::After(i) => {
+                let Some(i) = live_at(&order, i) else { continue };
+                let h = scheme.insert_after(order[i].0).unwrap();
+                order.insert(i + 1, (h, true));
+            }
+            Op::Before(i) => {
+                let Some(i) = live_at(&order, i) else { continue };
+                let h = scheme.insert_before(order[i].0).unwrap();
+                order.insert(i, (h, true));
+            }
+            Op::Many(i, k) => {
+                let Some(i) = live_at(&order, i) else { continue };
+                let hs = scheme.insert_many_after(order[i].0, k).unwrap();
+                for (j, h) in hs.into_iter().enumerate() {
+                    order.insert(i + 1 + j, (h, true));
+                }
+            }
+            Op::Delete(i) => {
+                let Some(i) = live_at(&order, i) else { continue };
+                if scheme.delete(order[i].0).is_ok() {
+                    order[i].1 = false;
+                }
+            }
+        }
+        // The contract: live labels strictly increase in list order.
+        let mut prev: Option<u128> = None;
+        for &(h, alive) in &order {
+            if !alive {
+                continue;
+            }
+            let l = match scheme.label_of(h) {
+                Ok(l) => l,
+                Err(_) => continue, // schemes may invalidate deleted handles only
+            };
+            if let Some(p) = prev {
+                assert!(p < l, "{}: order contract broken ({p} >= {l})", scheme.name());
+            }
+            prev = Some(l);
+        }
+    }
+    // Final sanity: counts line up.
+    let live = order.iter().filter(|&&(_, a)| a).count();
+    assert_eq!(scheme.live_len(), live, "{}: live_len mismatch", scheme.name());
+    assert!(scheme.label_space_bits() <= 128);
+    assert!(scheme.memory_bytes() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ltree_contract(initial in 1usize..50, stream in ops()) {
+        exercise(LTree::new(Params::new(4, 2).unwrap()), initial, &stream);
+    }
+
+    #[test]
+    fn ltree_wide_contract(initial in 1usize..50, stream in ops()) {
+        exercise(LTree::new(Params::new(32, 4).unwrap()), initial, &stream);
+    }
+
+    #[test]
+    fn virtual_contract(initial in 1usize..50, stream in ops()) {
+        exercise(VirtualLTree::new(Params::new(4, 2).unwrap()), initial, &stream);
+    }
+
+    #[test]
+    fn naive_contract(initial in 1usize..50, stream in ops()) {
+        exercise(NaiveLabeling::new(), initial, &stream);
+    }
+
+    #[test]
+    fn gap_contract(initial in 1usize..50, stream in ops()) {
+        exercise(GapLabeling::new(), initial, &stream);
+    }
+
+    #[test]
+    fn gap_tight_contract(initial in 1usize..50, stream in ops()) {
+        exercise(GapLabeling::with_gap(2), initial, &stream);
+    }
+
+    #[test]
+    fn list_label_contract(initial in 1usize..50, stream in ops()) {
+        exercise(ListLabeling::new(), initial, &stream);
+    }
+}
+
+#[test]
+fn invariants_hold_after_contract_streams() {
+    // A deterministic heavy stream with invariant checking for the trees.
+    let stream: Vec<Op> = (0..500)
+        .map(|i| match i % 7 {
+            0 => Op::Before(i),
+            1..=3 => Op::After(i * 31),
+            4 => Op::Many(i, (i % 9) + 1),
+            _ => Op::Delete(i * 13),
+        })
+        .collect();
+    let mut tree = LTree::new(Params::new(4, 2).unwrap());
+    exercise(&mut tree, 10, &stream);
+    tree.check_invariants().unwrap();
+
+    let mut v = VirtualLTree::new(Params::new(4, 2).unwrap());
+    exercise(&mut v, 10, &stream);
+    v.check_invariants().unwrap();
+}
