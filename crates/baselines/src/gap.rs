@@ -12,7 +12,10 @@
 //! Items form a doubly-linked list so the scheme's own bookkeeping is
 //! `O(1)` and the measured cost is purely about labels.
 
-use ltree_core::{LTreeError, LabelingScheme, LeafHandle, Result, SchemeStats};
+use ltree_core::{
+    BatchLabeling, Instrumented, LTreeError, LeafHandle, OrderedLabeling, OrderedLabelingMut,
+    Result, SchemeStats,
+};
 
 #[derive(Debug, Clone)]
 struct Item {
@@ -95,7 +98,13 @@ impl GapLabeling {
     /// Insert a fresh item between `prev` and `next` (either may be None).
     fn insert_between(&mut self, prev: Option<u32>, next: Option<u32>) -> LeafHandle {
         let idx = self.items.len() as u32;
-        self.items.push(Item { label: 0, prev, next, deleted: false, alive: true });
+        self.items.push(Item {
+            label: 0,
+            prev,
+            next,
+            deleted: false,
+            alive: true,
+        });
         match prev {
             Some(p) => self.items[p as usize].next = Some(idx),
             None => self.head = Some(idx),
@@ -149,11 +158,42 @@ impl Default for GapLabeling {
     }
 }
 
-impl LabelingScheme for GapLabeling {
+impl OrderedLabeling for GapLabeling {
     fn name(&self) -> &'static str {
         "gap"
     }
 
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.item(h)?.label)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn live_len(&self) -> usize {
+        self.n_live
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        self.head.map(|i| LeafHandle(u64::from(i)))
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        self.item(h).ok()?.next.map(|i| LeafHandle(u64::from(i)))
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        let max = self.tail.map(|t| self.items[t as usize].label).unwrap_or(0);
+        128 - max.leading_zeros()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.items.capacity() * std::mem::size_of::<Item>()
+    }
+}
+
+impl OrderedLabelingMut for GapLabeling {
     fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
         if self.len != 0 {
             return Err(LTreeError::NotEmpty);
@@ -212,44 +252,19 @@ impl LabelingScheme for GapLabeling {
             _ => Err(LTreeError::UnknownHandle),
         }
     }
+}
 
-    fn label_of(&self, h: LeafHandle) -> Result<u128> {
-        Ok(self.item(h)?.label)
-    }
+/// Batches fall back to the default loop; each insert still takes the
+/// midpoint of its gap, so a batch drains the gap just like `k` singles.
+impl BatchLabeling for GapLabeling {}
 
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn live_len(&self) -> usize {
-        self.n_live
-    }
-
-    fn handles_in_order(&self) -> Vec<LeafHandle> {
-        let mut out = Vec::with_capacity(self.len);
-        let mut cur = self.head;
-        while let Some(i) = cur {
-            out.push(LeafHandle(u64::from(i)));
-            cur = self.items[i as usize].next;
-        }
-        out
-    }
-
-    fn label_space_bits(&self) -> u32 {
-        let max = self.tail.map(|t| self.items[t as usize].label).unwrap_or(0);
-        128 - max.leading_zeros()
-    }
-
+impl Instrumented for GapLabeling {
     fn scheme_stats(&self) -> SchemeStats {
         self.stats
     }
 
     fn reset_scheme_stats(&mut self) {
         self.stats = SchemeStats::default();
-    }
-
-    fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.items.capacity() * std::mem::size_of::<Item>()
     }
 }
 
@@ -298,7 +313,10 @@ mod tests {
             anchor = s.insert_after(anchor).unwrap();
             order_is_consistent(&s);
         }
-        assert!(s.global_relabels() > 0, "a hotspot must exhaust the fixed gap");
+        assert!(
+            s.global_relabels() > 0,
+            "a hotspot must exhaust the fixed gap"
+        );
         // Each global relabel writes all ~100+ labels.
         assert!(s.scheme_stats().label_writes > 100);
     }

@@ -2,9 +2,11 @@
 //!
 //! The introduction and related-work sections of the paper position the
 //! L-Tree against three families of order-preserving labeling schemes.
-//! This crate implements one representative of each, all behind the same
-//! [`ltree_core::LabelingScheme`] trait so the benchmark harness can put
-//! them side by side:
+//! This crate implements one representative of each, all behind the
+//! ordered-labeling trait family ([`ltree_core::OrderedLabeling`] /
+//! [`ltree_core::OrderedLabelingMut`] / [`ltree_core::BatchLabeling`] /
+//! [`ltree_core::Instrumented`]) so the benchmark harness can put them
+//! side by side:
 //!
 //! * [`NaiveLabeling`] — consecutive integers, the scheme of Figure 1:
 //!   "this leads to relabeling of half the nodes on average, even for a
@@ -16,6 +18,11 @@
 //!   style of Itai–Konheim–Rodeh / Dietz–Sleator ([8, 9, 10] in the
 //!   paper), the lineage the L-Tree generalizes: `O(log² n)` amortized
 //!   relabelings in a fixed-size universe that doubles when exhausted.
+//!
+//! All three take the *default* loop fallbacks of
+//! [`ltree_core::BatchLabeling`] — none has a batch fast-path, which is
+//! exactly the asymmetry the batch experiments measure. Call
+//! [`register`] to add them to a [`SchemeRegistry`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,3 +34,128 @@ mod naive;
 pub use gap::GapLabeling;
 pub use list_label::ListLabeling;
 pub use naive::NaiveLabeling;
+
+use ltree_core::registry::{as_u32, SchemeRegistry};
+use ltree_core::LTreeError;
+
+/// Register the three baselines:
+///
+/// * `"naive"` — no arguments;
+/// * `"gap"` — optional `(gap)` argument, e.g. `"gap(64)"`;
+/// * `"list-label"` — optional `(bits)` or `(bits, tau)`, e.g.
+///   `"list-label(16,0.8)"`.
+pub fn register(reg: &mut SchemeRegistry) {
+    reg.register(
+        "naive",
+        "consecutive integers (paper Fig. 1); no args",
+        |_cfg, args| {
+            if !args.is_empty() {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "naive".into(),
+                    reason: "the naive scheme takes no arguments",
+                });
+            }
+            Ok(Box::new(NaiveLabeling::new()))
+        },
+    );
+
+    reg.register(
+        "gap",
+        "fixed-gap midpoint labels; args: (gap)",
+        |cfg, args| {
+            let gap = match args {
+                [] => cfg.gap,
+                [g] => u128::from(as_u32("gap", *g)?),
+                _ => {
+                    return Err(LTreeError::InvalidSpec {
+                        spec: "gap".into(),
+                        reason: "expected at most one argument (gap)",
+                    })
+                }
+            };
+            if gap < 2 {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "gap".into(),
+                    reason: "gap must be at least 2",
+                });
+            }
+            Ok(Box::new(GapLabeling::with_gap(gap)))
+        },
+    );
+
+    reg.register(
+        "list-label",
+        "even-redistribution list labeling [8,9,10]; args: (bits) or (bits,tau)",
+        |cfg, args| {
+            let (bits, tau) = match args {
+                [] => (cfg.list_bits, cfg.list_tau),
+                [b] => (as_u32("list-label", *b)?, cfg.list_tau),
+                [b, t] => (as_u32("list-label", *b)?, *t),
+                _ => {
+                    return Err(LTreeError::InvalidSpec {
+                        spec: "list-label".into(),
+                        reason: "expected at most (bits, tau)",
+                    })
+                }
+            };
+            if !(4..=120).contains(&bits) {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "list-label".into(),
+                    reason: "universe width must be in 4..=120",
+                });
+            }
+            if !(tau > 0.5 && tau < 1.0) {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "list-label".into(),
+                    reason: "tau must be in (0.5, 1)",
+                });
+            }
+            Ok(Box::new(ListLabeling::with_config(bits, tau)))
+        },
+    );
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+    use ltree_core::{OrderedLabeling, OrderedLabelingMut};
+
+    #[test]
+    fn all_baselines_build_by_name() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        for spec in [
+            "naive",
+            "gap",
+            "gap(64)",
+            "list-label",
+            "list-label(20,0.8)",
+        ] {
+            let mut s = reg.build(spec).unwrap();
+            let hs = s.bulk_build(10).unwrap();
+            assert_eq!(hs.len(), 10, "{spec}");
+            assert!(
+                s.label_of(hs[0]).unwrap() < s.label_of(hs[9]).unwrap(),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        let mut reg = SchemeRegistry::new();
+        register(&mut reg);
+        for spec in [
+            "naive(1)",
+            "gap(1)",
+            "gap(2,3)",
+            "list-label(2)",
+            "list-label(16,0.4)",
+        ] {
+            assert!(
+                matches!(reg.build(spec), Err(LTreeError::InvalidSpec { .. })),
+                "{spec} must be rejected"
+            );
+        }
+    }
+}

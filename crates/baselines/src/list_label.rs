@@ -16,7 +16,10 @@
 //! scans are `O(log n)`.
 
 use counted_btree::CountedBTree;
-use ltree_core::{LTreeError, LabelingScheme, LeafHandle, Result, SchemeStats};
+use ltree_core::{
+    BatchLabeling, Instrumented, LTreeError, LeafHandle, OrderedLabeling, OrderedLabelingMut,
+    Result, SchemeStats,
+};
 
 #[derive(Debug, Clone)]
 struct Item {
@@ -51,7 +54,10 @@ impl ListLabeling {
     /// # Panics
     /// Panics unless `4 ≤ bits ≤ 120` and `0.5 < tau < 1.0`.
     pub fn with_config(bits: u32, tau: f64) -> Self {
-        assert!((4..=120).contains(&bits), "universe width must be in 4..=120");
+        assert!(
+            (4..=120).contains(&bits),
+            "universe width must be in 4..=120"
+        );
         assert!(tau > 0.5 && tau < 1.0, "tau must be in (0.5, 1)");
         ListLabeling {
             bits,
@@ -181,7 +187,9 @@ impl ListLabeling {
             };
             let idx = self.items.len() as u32;
             self.items.push(Item { label, alive: true });
-            self.tree.insert(label, idx).expect("midpoint label is unoccupied");
+            self.tree
+                .insert(label, idx)
+                .expect("midpoint label is unoccupied");
             self.stats.label_writes += 1;
             return Ok(LeafHandle(u64::from(idx)));
         }
@@ -194,11 +202,46 @@ impl Default for ListLabeling {
     }
 }
 
-impl LabelingScheme for ListLabeling {
+impl OrderedLabeling for ListLabeling {
     fn name(&self) -> &'static str {
         "list-label"
     }
 
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.item(h)?.label)
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        self.tree.kth(0).map(|(_, &idx)| LeafHandle(u64::from(idx)))
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        let label = self.item(h).ok()?.label;
+        self.tree
+            .successor(label + 1)
+            .map(|(_, &idx)| LeafHandle(u64::from(idx)))
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.items.capacity() * std::mem::size_of::<Item>()
+            + self.tree.memory_bytes()
+    }
+}
+
+impl OrderedLabelingMut for ListLabeling {
     fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
         if !self.items.is_empty() {
             return Err(LTreeError::NotEmpty);
@@ -218,7 +261,9 @@ impl LabelingScheme for ListLabeling {
             batch.push((label, j as u32));
             out.push(LeafHandle(j as u64));
         }
-        self.tree.extend_sorted(batch).expect("bulk labels strictly increase");
+        self.tree
+            .extend_sorted(batch)
+            .expect("bulk labels strictly increase");
         self.stats = SchemeStats::default();
         self.tree.reset_touches();
         Ok(out)
@@ -231,13 +276,19 @@ impl LabelingScheme for ListLabeling {
 
     fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
         let label = self.item(anchor)?.label;
-        let next = self.tree.successor(label + 1).map(|(_, &idx)| LeafHandle(u64::from(idx)));
+        let next = self
+            .tree
+            .successor(label + 1)
+            .map(|(_, &idx)| LeafHandle(u64::from(idx)));
         self.insert_with_neighbours(Some(anchor), next)
     }
 
     fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
         let label = self.item(anchor)?.label;
-        let prev = self.tree.predecessor(label).map(|(_, &idx)| LeafHandle(u64::from(idx)));
+        let prev = self
+            .tree
+            .predecessor(label)
+            .map(|(_, &idx)| LeafHandle(u64::from(idx)));
         self.insert_with_neighbours(prev, Some(anchor))
     }
 
@@ -254,27 +305,14 @@ impl LabelingScheme for ListLabeling {
             _ => Err(LTreeError::UnknownHandle),
         }
     }
+}
 
-    fn label_of(&self, h: LeafHandle) -> Result<u128> {
-        Ok(self.item(h)?.label)
-    }
+/// Batches fall back to the default loop: redistribution is triggered
+/// per midpoint collision, so a batch behaves like `k` singles (the
+/// `O(log² n)` amortized bound the paper cites).
+impl BatchLabeling for ListLabeling {}
 
-    fn len(&self) -> usize {
-        self.tree.len()
-    }
-
-    fn live_len(&self) -> usize {
-        self.tree.len()
-    }
-
-    fn handles_in_order(&self) -> Vec<LeafHandle> {
-        self.tree.iter().map(|(_, &idx)| LeafHandle(u64::from(idx))).collect()
-    }
-
-    fn label_space_bits(&self) -> u32 {
-        self.bits
-    }
-
+impl Instrumented for ListLabeling {
     fn scheme_stats(&self) -> SchemeStats {
         let mut s = self.stats;
         s.node_touches += self.tree.touches();
@@ -285,12 +323,6 @@ impl LabelingScheme for ListLabeling {
         self.stats = SchemeStats::default();
         self.tree.reset_touches();
     }
-
-    fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.items.capacity() * std::mem::size_of::<Item>()
-            + self.tree.memory_bytes()
-    }
 }
 
 #[cfg(test)]
@@ -299,7 +331,10 @@ mod tests {
 
     fn check_order(s: &ListLabeling, hs: &[LeafHandle]) {
         let labels: Vec<u128> = hs.iter().map(|&h| s.label_of(h).unwrap()).collect();
-        assert!(labels.windows(2).all(|w| w[0] < w[1]), "order broken: {labels:?}");
+        assert!(
+            labels.windows(2).all(|w| w[0] < w[1]),
+            "order broken: {labels:?}"
+        );
     }
 
     #[test]
@@ -324,7 +359,10 @@ mod tests {
         all.extend(&seq[1..]);
         all.extend(&hs[32..]);
         check_order(&s, &all);
-        assert!(s.scheme_stats().relabel_events > 0, "hotspot must trigger redistribution");
+        assert!(
+            s.scheme_stats().relabel_events > 0,
+            "hotspot must trigger redistribution"
+        );
     }
 
     #[test]
@@ -333,7 +371,9 @@ mod tests {
         let mut order = s.bulk_build(4).unwrap();
         let mut x = 99u64;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % order.len();
             let h = s.insert_after(order[i]).unwrap();
             order.insert(i + 1, h);
@@ -348,7 +388,10 @@ mod tests {
         let hs = s.bulk_build(8).unwrap();
         s.delete(hs[3]).unwrap();
         assert_eq!(s.len(), 7);
-        assert!(s.label_of(hs[3]).is_err(), "deleted handles are invalid here");
+        assert!(
+            s.label_of(hs[3]).is_err(),
+            "deleted handles are invalid here"
+        );
         let h = s.insert_after(hs[2]).unwrap();
         assert!(s.label_of(hs[2]).unwrap() < s.label_of(h).unwrap());
         assert!(s.label_of(h).unwrap() < s.label_of(hs[4]).unwrap());
@@ -377,6 +420,9 @@ mod tests {
         }
         let w = s.scheme_stats().amortized_label_writes();
         // log2(4000)^2 ≈ 143; allow generous slack but far below O(n).
-        assert!(w < 400.0, "amortized label writes should be polylog, got {w}");
+        assert!(
+            w < 400.0,
+            "amortized label writes should be polylog, got {w}"
+        );
     }
 }

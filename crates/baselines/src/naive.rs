@@ -6,7 +6,10 @@
 //! nodes on average"). Deletions tombstone (like the L-Tree) so the
 //! comparison stays apples-to-apples.
 
-use ltree_core::{LTreeError, LabelingScheme, LeafHandle, Result, SchemeStats};
+use ltree_core::{
+    BatchLabeling, Instrumented, LTreeError, LeafHandle, OrderedLabeling, OrderedLabelingMut,
+    Result, SchemeStats,
+};
 
 #[derive(Debug, Clone)]
 struct Item {
@@ -41,7 +44,11 @@ impl NaiveLabeling {
 
     fn insert_at(&mut self, pos: usize) -> LeafHandle {
         let idx = self.items.len() as u32;
-        self.items.push(Item { pos, deleted: false, alive: true });
+        self.items.push(Item {
+            pos,
+            deleted: false,
+            alive: true,
+        });
         self.order.insert(pos, idx);
         // Shift every item to the right: each is one label write.
         let shifted = self.order.len() - pos - 1;
@@ -57,16 +64,57 @@ impl NaiveLabeling {
     }
 }
 
-impl LabelingScheme for NaiveLabeling {
+impl OrderedLabeling for NaiveLabeling {
     fn name(&self) -> &'static str {
         "naive"
     }
 
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.item(h)?.pos as u128)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.n_live
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        self.order.first().map(|&idx| LeafHandle(u64::from(idx)))
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        let pos = self.item(h).ok()?.pos;
+        self.order
+            .get(pos + 1)
+            .map(|&idx| LeafHandle(u64::from(idx)))
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        usize::BITS - self.order.len().saturating_sub(1).leading_zeros()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.order.capacity() * std::mem::size_of::<u32>()
+            + self.items.capacity() * std::mem::size_of::<Item>()
+    }
+}
+
+impl OrderedLabelingMut for NaiveLabeling {
     fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
         if !self.order.is_empty() {
             return Err(LTreeError::NotEmpty);
         }
-        self.items = (0..n).map(|pos| Item { pos, deleted: false, alive: true }).collect();
+        self.items = (0..n)
+            .map(|pos| Item {
+                pos,
+                deleted: false,
+                alive: true,
+            })
+            .collect();
         self.order = (0..n as u32).collect();
         self.n_live = n;
         self.stats = SchemeStats::default();
@@ -102,39 +150,19 @@ impl LabelingScheme for NaiveLabeling {
             _ => Err(LTreeError::UnknownHandle),
         }
     }
+}
 
-    fn label_of(&self, h: LeafHandle) -> Result<u128> {
-        Ok(self.item(h)?.pos as u128)
-    }
+/// Batches fall back to the default single-insert loop: the whole point
+/// of this baseline is that every insert pays `O(n)`.
+impl BatchLabeling for NaiveLabeling {}
 
-    fn len(&self) -> usize {
-        self.order.len()
-    }
-
-    fn live_len(&self) -> usize {
-        self.n_live
-    }
-
-    fn handles_in_order(&self) -> Vec<LeafHandle> {
-        self.order.iter().map(|&idx| LeafHandle(u64::from(idx))).collect()
-    }
-
-    fn label_space_bits(&self) -> u32 {
-        usize::BITS - self.order.len().saturating_sub(1).leading_zeros()
-    }
-
+impl Instrumented for NaiveLabeling {
     fn scheme_stats(&self) -> SchemeStats {
         self.stats
     }
 
     fn reset_scheme_stats(&mut self) {
         self.stats = SchemeStats::default();
-    }
-
-    fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.order.capacity() * std::mem::size_of::<u32>()
-            + self.items.capacity() * std::mem::size_of::<Item>()
     }
 }
 
@@ -196,6 +224,9 @@ mod tests {
             s.insert_after(hs[i]).unwrap();
         }
         let per_insert = s.scheme_stats().amortized_label_writes();
-        assert!(per_insert > 300.0 && per_insert < 800.0, "expected ~n/2, got {per_insert}");
+        assert!(
+            per_insert > 300.0 && per_insert < 800.0,
+            "expected ~n/2, got {per_insert}"
+        );
     }
 }

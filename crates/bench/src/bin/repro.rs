@@ -1,11 +1,11 @@
-//! `repro` — regenerate the experiment tables of EXPERIMENTS.md.
+//! `repro` — regenerate the reproduction experiment tables (X1–X14).
 //!
 //! ```text
 //! repro [--full] [x1 x2 … | all]
 //! ```
 //!
 //! Runs at quick scale by default (seconds); `--full` uses the sizes
-//! recorded in EXPERIMENTS.md. Counter columns are deterministic; only
+//! the reference runs use. Counter columns are deterministic; only
 //! wall-clock columns vary between machines.
 
 use ltree_bench::{experiments, Scale};
@@ -13,10 +13,16 @@ use ltree_bench::{experiments, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let mut ids: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.to_lowercase()).collect();
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.to_lowercase())
+        .collect();
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
-        ids = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+        ids = experiments::all_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
     println!(
@@ -31,7 +37,10 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: {:?})", experiments::all_ids());
+                eprintln!(
+                    "unknown experiment id: {id} (known: {:?})",
+                    experiments::all_ids()
+                );
                 std::process::exit(2);
             }
         }

@@ -1,29 +1,39 @@
-//! The X1–X13 experiment runners (see DESIGN.md §3 for the mapping from
-//! paper artifacts to experiments).
+//! The X1–X14 experiment runners.
+//!
+//! Every comparison scheme is constructed **through the registry**
+//! ([`ltree::default_registry`]) from a spec string like `"ltree(4,2)"`
+//! — adding a scheme to the registry automatically opens it to the
+//! multi-scheme sweeps here. Only the structural walkthroughs (X2, X11)
+//! build a concrete [`LTree`], because they read tree internals (splits,
+//! cascades, invariant checks) that the trait family deliberately does
+//! not expose.
 
 use crate::table::{f, Table};
 use crate::Scale;
-use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
-use ltree_core::cost_model;
-use ltree_core::{LTree, LabelingScheme, Params};
-use ltree_tuning as tuning;
-use ltree_virtual::VirtualLTree;
-use xmldb::{Document, Path, XmlTree};
-use xmlgen::{auction_profile, generate, run_workload, Workload};
+use ltree::cost_model;
+use ltree::gen::{auction_profile, generate, run_workload, Workload};
+use ltree::tuning;
+use ltree::xml::{Document, Path, XmlTree};
+use ltree::{
+    Cursor, DynScheme, Instrumented, LTree, OrderedLabeling, Params, SchemeConfig, SchemeRegistry,
+};
 
-/// A scheme entry for comparison tables: display name, boxed scheme and,
-/// for L-Tree variants, the `(f, s)` pair to evaluate the model bound.
-type SchemeEntry = (String, Box<dyn LabelingScheme>, Option<(f64, f64)>);
-
-fn ltree(fan: u32, s: u32) -> LTree {
-    LTree::new(Params::new(fan, s).expect("experiment params are valid"))
+/// Build one scheme from its registry spec.
+fn scheme(spec: &str) -> Box<dyn DynScheme> {
+    ltree::default_registry()
+        .build(spec)
+        .expect("experiment specs are valid")
 }
 
-fn vtree(fan: u32, s: u32) -> VirtualLTree {
-    VirtualLTree::new(Params::new(fan, s).expect("experiment params are valid"))
+/// All labels in list order via the streaming cursor — works on any
+/// `dyn` scheme, no per-scheme accessors, no handle `Vec`.
+fn labels_in_order(s: &dyn DynScheme) -> Vec<u128> {
+    Cursor::new(s)
+        .map(|h| s.label_of(h).expect("cursor yields live handles"))
+        .collect()
 }
 
-/// Run one experiment by id ("x1".."x13"); `None` for unknown ids.
+/// Run one experiment by id ("x1".."x14"); `None` for unknown ids.
 pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
     Some(match id {
         "x1" => x1(),
@@ -46,7 +56,9 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
 
 /// All experiment ids in order.
 pub fn all_ids() -> &'static [&'static str] {
-    &["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14"]
+    &[
+        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14",
+    ]
 }
 
 // ----------------------------------------------------------------------
@@ -55,28 +67,38 @@ pub fn all_ids() -> &'static [&'static str] {
 
 pub fn x1() -> Vec<Table> {
     let xml = "<book><chapter><title>t</title></chapter><title>top</title></book>";
-    let doc = Document::parse_str(xml, ltree(4, 2)).expect("figure 1 document parses");
-    let mut regions = Table::new("X1 — Figure 1: region labels of the example document", &[
-        "element", "begin", "end",
-    ]);
+    let reg: SchemeRegistry = ltree::default_registry();
+    let doc = Document::parse_str_with(xml, &reg, "ltree(4,2)", &SchemeConfig::default())
+        .expect("figure 1 document parses");
+    let mut regions = Table::new(
+        "X1 — Figure 1: region labels of the example document",
+        &["element", "begin", "end"],
+    );
     regions.note("Paper labels: book(0,7) chapter(1,4) title(2,3) title(5,6); ours keep the");
     regions.note("same containment structure with L-Tree slack between labels.");
     let root = doc.tree().root().expect("document has a root");
     for id in doc.tree().dfs(root).expect("root is live") {
         let (b, e) = doc.span(id).expect("element is labeled");
-        regions.row(vec![doc.tree().tag_name(id).expect("live").to_owned(), b.to_string(), e.to_string()]);
+        regions.row(vec![
+            doc.tree().tag_name(id).expect("live").to_owned(),
+            b.to_string(),
+            e.to_string(),
+        ]);
     }
 
-    let mut query = Table::new("X1 — `/book//title` via interval containment", &[
-        "evaluator", "results (begin labels)",
-    ]);
+    let mut query = Table::new(
+        "X1 — `/book//title` via interval containment",
+        &["evaluator", "results (begin labels)"],
+    );
     let path = Path::parse("/book//title").expect("valid path");
     for (name, result) in [
         ("navigational", path.eval_navigational(&doc).expect("eval")),
         ("label joins", path.eval_labeled(&doc).expect("eval")),
     ] {
-        let labels: Vec<String> =
-            result.iter().map(|&id| doc.span(id).expect("labeled").0.to_string()).collect();
+        let labels: Vec<String> = result
+            .iter()
+            .map(|&id| doc.span(id).expect("labeled").0.to_string())
+            .collect();
         query.row(vec![name.into(), labels.join(", ")]);
     }
     query.note("Both evaluators return the two titles; the descendant test is one pair of");
@@ -97,16 +119,29 @@ pub fn x2() -> Vec<Table> {
             .collect::<Vec<_>>()
             .join(" ")
     };
-    let mut t = Table::new("X2 — Figure 2 walkthrough (f = 4, s = 2, base f+1 = 5)", &[
-        "stage", "leaf labels", "splits",
+    let mut t = Table::new(
+        "X2 — Figure 2 walkthrough (f = 4, s = 2, base f+1 = 5)",
+        &["stage", "leaf labels", "splits"],
+    );
+    t.note("Structure-exact replay of the paper's Figure 2. The figure's art uses base-3");
+    t.note("numbers; the paper's formulas mandate base f+1 = 5, which is what is shown.");
+    t.row(vec![
+        "(a) bulk load 8 tags".into(),
+        snapshot(&tree),
+        "0".into(),
     ]);
-    t.note("Structure-exact replay of the paper's Figure 2; see DESIGN.md on the base-5");
-    t.note("numbers (the figure's art uses base 3, the paper's formulas mandate f+1).");
-    t.row(vec!["(a) bulk load 8 tags".into(), snapshot(&tree), "0".into()]);
     let d = tree.insert_before(leaves[2]).expect("insert D");
-    t.row(vec!["(c) insert begin tag D".into(), snapshot(&tree), tree.stats().splits.to_string()]);
+    t.row(vec![
+        "(c) insert begin tag D".into(),
+        snapshot(&tree),
+        tree.stats().splits.to_string(),
+    ]);
     tree.insert_after(d).expect("insert /D");
-    t.row(vec!["(d) insert end tag /D".into(), snapshot(&tree), tree.stats().splits.to_string()]);
+    t.row(vec![
+        "(d) insert end tag /D".into(),
+        snapshot(&tree),
+        tree.stats().splits.to_string(),
+    ]);
     tree.check_invariants().expect("invariants hold");
     vec![t]
 }
@@ -118,34 +153,44 @@ pub fn x2() -> Vec<Table> {
 pub fn x3(scale: Scale) -> Vec<Table> {
     let sizes: &[usize] = scale.pick(&[1_000, 8_000][..], &[1_000, 10_000, 100_000][..]);
     let ops_for = |n: usize| scale.pick(2_000.min(n), 20_000.min(n));
-    let mut t = Table::new("X3 — amortized insertion cost vs document size (uniform inserts)", &[
-        "n", "scheme", "labelWrites/op", "cost/op", "model bound", "bits",
-    ]);
+    let mut t = Table::new(
+        "X3 — amortized insertion cost vs document size (uniform inserts)",
+        &[
+            "n",
+            "scheme",
+            "labelWrites/op",
+            "cost/op",
+            "model bound",
+            "bits",
+        ],
+    );
     t.note("cost/op = (label writes + structure touches) per inserted leaf — the paper's");
     t.note("'nodes accessed for searching or relabeling'. Model bound = cost(f,s,n) of §3.1.");
     t.note("naive is the Figure-1 scheme (O(n)); gap = fixed-gap midpoints; list-label =");
-    t.note("classic even redistribution (O(log² n) am.).");
+    t.note("classic even redistribution (O(log² n) am.). All schemes built by registry spec.");
     for &n in sizes {
         let ops = ops_for(n);
-        let mut entries: Vec<SchemeEntry> = vec![
-            ("ltree(4,2)".into(), Box::new(ltree(4, 2)), Some((4.0, 2.0))),
-            ("ltree(8,2)".into(), Box::new(ltree(8, 2)), Some((8.0, 2.0))),
-            ("ltree(16,4)".into(), Box::new(ltree(16, 4)), Some((16.0, 4.0))),
-            ("virtual(4,2)".into(), Box::new(vtree(4, 2)), Some((4.0, 2.0))),
-            ("list-label".into(), Box::new(ListLabeling::new()), None),
-            ("gap".into(), Box::new(GapLabeling::new()), None),
+        // (registry spec, (f, s) for the model bound where applicable)
+        let mut entries: Vec<(&str, Option<(f64, f64)>)> = vec![
+            ("ltree(4,2)", Some((4.0, 2.0))),
+            ("ltree(8,2)", Some((8.0, 2.0))),
+            ("ltree(16,4)", Some((16.0, 4.0))),
+            ("virtual(4,2)", Some((4.0, 2.0))),
+            ("list-label", None),
+            ("gap", None),
         ];
         if n <= 100_000 {
-            entries.push(("naive".into(), Box::new(NaiveLabeling::new()), None));
+            entries.push(("naive", None));
         }
-        for (name, mut scheme, model) in entries {
-            let r = run_workload(&mut scheme, Workload::Uniform, n, ops, 42).expect("workload runs");
+        for (spec, model) in entries {
+            let mut s = scheme(spec);
+            let r = run_workload(&mut s, Workload::Uniform, n, ops, 42).expect("workload runs");
             let bound = model
                 .map(|(pf, ps)| f(cost_model::amortized_cost(pf, ps, (n + ops) as f64)))
                 .unwrap_or_else(|| "—".into());
             t.row(vec![
                 n.to_string(),
-                name,
+                spec.into(),
                 f(r.amortized_label_writes()),
                 f(r.amortized_cost()),
                 bound,
@@ -161,17 +206,27 @@ pub fn x3(scale: Scale) -> Vec<Table> {
 // ----------------------------------------------------------------------
 
 pub fn x4(scale: Scale) -> Vec<Table> {
-    let sizes: &[usize] = scale.pick(&[1_000, 8_000][..], &[1_000, 10_000, 100_000, 1_000_000][..]);
-    let mut t = Table::new("X4 — label width vs document size", &[
-        "n", "params", "measured bits", "model bits", "model/measured",
-    ]);
+    let sizes: &[usize] = scale.pick(
+        &[1_000, 8_000][..],
+        &[1_000, 10_000, 100_000, 1_000_000][..],
+    );
+    let mut t = Table::new(
+        "X4 — label width vs document size",
+        &[
+            "n",
+            "params",
+            "measured bits",
+            "model bits",
+            "model/measured",
+        ],
+    );
     t.note("measured = bits of the label space (f+1)^H after bulk load + 10% uniform");
     t.note("inserts; model = log2(f+1)·log2(n)/log2(f/s) (paper §3.1).");
     for &n in sizes {
         for (fan, s) in [(4u32, 2u32), (8, 2), (16, 4), (32, 4)] {
-            let mut scheme = ltree(fan, s);
+            let mut sc = scheme(&format!("ltree({fan},{s})"));
             let ops = (n / 10).max(1);
-            let r = run_workload(&mut scheme, Workload::Uniform, n, ops, 7).expect("workload runs");
+            let r = run_workload(&mut sc, Workload::Uniform, n, ops, 7).expect("workload runs");
             let model = cost_model::label_bits(fan as f64, s as f64, (n + ops) as f64);
             t.row(vec![
                 n.to_string(),
@@ -195,7 +250,9 @@ pub fn x5(scale: Scale) -> Vec<Table> {
     let arities = [2u32, 3, 4, 6, 8];
     let widths = [2u32, 3, 4];
     let mut measured = Table::new(
-        format!("X5 — measured amortized cost over the (f/s, s) grid (n = {n}, {ops} uniform inserts)"),
+        format!(
+            "X5 — measured amortized cost over the (f/s, s) grid (n = {n}, {ops} uniform inserts)"
+        ),
         &["s \\ a", "2", "3", "4", "6", "8"],
     );
     let mut best = (f64::INFINITY, (0u32, 0u32));
@@ -203,8 +260,8 @@ pub fn x5(scale: Scale) -> Vec<Table> {
         let mut row = vec![s.to_string()];
         for &a in &arities {
             let fan = a * s;
-            let mut scheme = ltree(fan, s);
-            let r = run_workload(&mut scheme, Workload::Uniform, n, ops, 11).expect("workload runs");
+            let mut sc = scheme(&format!("ltree({fan},{s})"));
+            let r = run_workload(&mut sc, Workload::Uniform, n, ops, 11).expect("workload runs");
             let c = r.amortized_cost();
             if c < best.0 {
                 best = (c, (fan, s));
@@ -213,13 +270,18 @@ pub fn x5(scale: Scale) -> Vec<Table> {
         }
         measured.row(row);
     }
-    let mut model = Table::new("X5 — model cost(f,s,n) over the same grid", &[
-        "s \\ a", "2", "3", "4", "6", "8",
-    ]);
+    let mut model = Table::new(
+        "X5 — model cost(f,s,n) over the same grid",
+        &["s \\ a", "2", "3", "4", "6", "8"],
+    );
     for &s in &widths {
         let mut row = vec![s.to_string()];
         for &a in &arities {
-            row.push(f(cost_model::amortized_cost((a * s) as f64, s as f64, (n + ops) as f64)));
+            row.push(f(cost_model::amortized_cost(
+                (a * s) as f64,
+                s as f64,
+                (n + ops) as f64,
+            )));
         }
         model.row(row);
     }
@@ -244,16 +306,28 @@ pub fn x6(scale: Scale) -> Vec<Table> {
     let n = scale.pick(20_000u64, 100_000u64);
     let mut t = Table::new(
         format!("X6 — minimize cost subject to a label-bit budget (n = {n})"),
-        &["budget β", "chosen (f,s)", "model bits", "model cost", "measured bits", "within budget"],
+        &[
+            "budget β",
+            "chosen (f,s)",
+            "model bits",
+            "model cost",
+            "measured bits",
+            "within budget",
+        ],
     );
     t.note("Paper §3.2 'Minimize the Update Cost for Given Number of Bits': interior");
     t.note("optimum if feasible, otherwise the boundary optimum (Lagrange condition).");
+    let reg = ltree::default_registry();
     let ops = (n / 10) as usize;
     for beta in [32u32, 40, 48, 64, 96] {
         match tuning::optimize_cost_with_bits(n + ops as u64, beta) {
             Ok(tuned) => {
-                let mut scheme = LTree::new(tuned.params);
-                let r = run_workload(&mut scheme, Workload::Uniform, n as usize, ops, 13)
+                // The tuned params flow in through the config, not the spec.
+                let cfg = SchemeConfig::with_params(tuned.params);
+                let mut sc = reg
+                    .build_with("ltree", &cfg)
+                    .expect("tuned params are valid");
+                let r = run_workload(&mut sc, Workload::Uniform, n as usize, ops, 13)
                     .expect("workload runs");
                 t.row(vec![
                     beta.to_string(),
@@ -265,7 +339,14 @@ pub fn x6(scale: Scale) -> Vec<Table> {
                 ]);
             }
             Err(e) => {
-                t.row(vec![beta.to_string(), "infeasible".into(), "—".into(), "—".into(), "—".into(), e.to_string()]);
+                t.row(vec![
+                    beta.to_string(),
+                    "infeasible".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    e.to_string(),
+                ]);
             }
         }
     }
@@ -283,14 +364,24 @@ pub fn x7(scale: Scale) -> Vec<Table> {
     let word = 32u32;
     let mut t = Table::new(
         format!("X7 — overall query+update optimum vs workload mix (n = {n}, {word}-bit words)"),
-        &["queries per update", "chosen (f,s)", "model bits", "words/cmp", "model update cost", "model total"],
+        &[
+            "queries per update",
+            "chosen (f,s)",
+            "model bits",
+            "words/cmp",
+            "model update cost",
+            "model total",
+        ],
     );
     t.note("Paper §3.2 'Minimize the Overall Cost': once labels spill past one machine");
     t.note("word, each comparison costs proportionally more, pushing the optimum toward");
     t.note("narrower labels as the mix becomes query-heavy.");
     for q in [0.01f64, 1.0, 100.0, 10_000.0, 1_000_000.0] {
-        let tuned =
-            tuning::optimize_workload(&tuning::Workload { n, queries_per_update: q, word_bits: word });
+        let tuned = tuning::optimize_workload(&tuning::Workload {
+            n,
+            queries_per_update: q,
+            word_bits: word,
+        });
         let total = cost_model::overall_cost(
             f64::from(tuned.params.f()),
             f64::from(tuned.params.s()),
@@ -318,15 +409,23 @@ pub fn x8(scale: Scale) -> Vec<Table> {
     let n = scale.pick(10_000, 100_000);
     let total = scale.pick(8_192, 32_768);
     let mut t = Table::new(
-        format!("X8 — batch insertion: amortized cost per leaf vs batch size (n = {n}, {total} leaves)"),
-        &["batch k", "labelWrites/leaf", "cost/leaf", "model cost/leaf", "speedup vs k=1"],
+        format!(
+            "X8 — batch insertion: amortized cost per leaf vs batch size (n = {n}, {total} leaves)"
+        ),
+        &[
+            "batch k",
+            "labelWrites/leaf",
+            "cost/leaf",
+            "model cost/leaf",
+            "speedup vs k=1",
+        ],
     );
     t.note("Paper §4.1: 'the larger the size of inserting subtree, the lower the");
     t.note("amortized cost … the decrease is roughly logarithmic in the insertion size'.");
     let mut base_cost = None;
     for k in [1usize, 4, 16, 64, 256, 1024] {
-        let mut scheme = ltree(4, 2);
-        let r = run_workload(&mut scheme, Workload::Batches { batch: k }, n, total, 17)
+        let mut sc = scheme("ltree(4,2)");
+        let r = run_workload(&mut sc, Workload::Batches { batch: k }, n, total, 17)
             .expect("workload runs");
         let cost = r.amortized_cost();
         if base_cost.is_none() {
@@ -350,24 +449,38 @@ pub fn x8(scale: Scale) -> Vec<Table> {
 
 pub fn x9(scale: Scale) -> Vec<Table> {
     let sizes: &[usize] = scale.pick(&[2_000, 10_000][..], &[10_000, 100_000][..]);
-    let mut t = Table::new("X9 — materialized vs virtual L-Tree (f=4, s=2, uniform inserts)", &[
-        "n", "variant", "ns/insert", "labelWrites/op", "touches/op", "memory (KiB)", "bits",
-    ]);
+    let mut t = Table::new(
+        "X9 — materialized vs virtual L-Tree (f=4, s=2, uniform inserts)",
+        &[
+            "n",
+            "variant",
+            "ns/insert",
+            "labelWrites/op",
+            "touches/op",
+            "memory (KiB)",
+            "bits",
+        ],
+    );
     t.note("Paper §4.2: 'a tradeoff between the extra computation required by the range");
     t.note("queries and the storage space necessary for materializing the L-Tree'.");
-    t.note("Labels are verified identical between the two variants on every size.");
+    t.note("Labels are verified identical between the two variants on every size, by");
+    t.note("streaming both label sequences off the schemes' cursors.");
     for &n in sizes {
         let ops = (n / 2).max(1_000);
-        let mut m = ltree(4, 2);
+        let mut m = scheme("ltree(4,2)");
         let rm = run_workload(&mut m, Workload::Uniform, n, ops, 23).expect("workload runs");
-        let mut v = vtree(4, 2);
+        let mut v = scheme("virtual(4,2)");
         let rv = run_workload(&mut v, Workload::Uniform, n, ops, 23).expect("workload runs");
         // Equivalence: identical label sequences after identical streams.
-        let mat: Vec<u128> = m.leaves().map(|l| m.label(l).expect("labeled").get()).collect();
-        assert_eq!(mat, v.labels_in_order(), "virtual/materialized labels diverged");
-        for (variant, r, mem) in
-            [("materialized", &rm, m.memory_bytes()), ("virtual", &rv, LabelingScheme::memory_bytes(&v))]
-        {
+        assert_eq!(
+            labels_in_order(&*m),
+            labels_in_order(&*v),
+            "virtual/materialized labels diverged"
+        );
+        for (variant, r, mem) in [
+            ("materialized", &rm, m.memory_bytes()),
+            ("virtual", &rv, v.memory_bytes()),
+        ] {
             t.row(vec![
                 n.to_string(),
                 variant.into(),
@@ -391,34 +504,37 @@ pub fn x10(scale: Scale) -> Vec<Table> {
     let ops = scale.pick(5_000, 20_000);
     let mut t = Table::new(
         format!("X10 — uneven insertion rates (n = {n}, {ops} inserts)"),
-        &["workload", "scheme", "labelWrites/op", "cost/op", "global relabels"],
+        &[
+            "workload",
+            "scheme",
+            "labelWrites/op",
+            "cost/op",
+            "relabel events",
+        ],
     );
     t.note("Paper §6: the L-Tree 'automatically adapts to uneven insertion rates …");
     t.note("creating more slack between labels' where insertions are heavy; the fixed-gap");
-    t.note("scheme instead degenerates to global relabels under a hotspot.");
+    t.note("scheme instead degenerates to global relabels under a hotspot (every one of");
+    t.note("its relabel events rewrites the whole list).");
     for workload in [
         Workload::Uniform,
-        Workload::Hotspot { hot_fraction: 0.05, hot_weight: 0.9 },
+        Workload::Hotspot {
+            hot_fraction: 0.05,
+            hot_weight: 0.9,
+        },
         Workload::Append,
     ] {
-        let mut lt = ltree(4, 2);
-        let r = run_workload(&mut lt, workload, n, ops, 29).expect("workload runs");
-        t.row(vec![
-            workload.name().into(),
-            "ltree(4,2)".into(),
-            f(r.amortized_label_writes()),
-            f(r.amortized_cost()),
-            "0".into(),
-        ]);
-        let mut gap = GapLabeling::new();
-        let r = run_workload(&mut gap, workload, n, ops, 29).expect("workload runs");
-        t.row(vec![
-            workload.name().into(),
-            "gap".into(),
-            f(r.amortized_label_writes()),
-            f(r.amortized_cost()),
-            gap.global_relabels().to_string(),
-        ]);
+        for spec in ["ltree(4,2)", "gap"] {
+            let mut sc = scheme(spec);
+            let r = run_workload(&mut sc, workload, n, ops, 29).expect("workload runs");
+            t.row(vec![
+                workload.name().into(),
+                spec.into(),
+                f(r.amortized_label_writes()),
+                f(r.amortized_cost()),
+                r.stats.relabel_events.to_string(),
+            ]);
+        }
     }
     vec![t]
 }
@@ -430,14 +546,28 @@ pub fn x10(scale: Scale) -> Vec<Table> {
 pub fn x11(scale: Scale) -> Vec<Table> {
     let n = scale.pick(2_000, 20_000);
     let ops = scale.pick(4_000, 20_000);
-    let mut t = Table::new("X11 — structural guarantees under randomized single-insert streams", &[
-        "params", "workload", "splits", "root rebuilds", "cascades", "invariants",
-    ]);
+    let mut t = Table::new(
+        "X11 — structural guarantees under randomized single-insert streams",
+        &[
+            "params",
+            "workload",
+            "splits",
+            "root rebuilds",
+            "cascades",
+            "invariants",
+        ],
+    );
     t.note("Proposition 2: fanout and leaf-count bounds (checked by the full invariant");
     t.note("walker). Proposition 3: 'cascade splitting … is not possible' — the cascade");
     t.note("counter must stay 0 for every single-insert workload.");
     for params in Params::presets() {
-        for workload in [Workload::Uniform, Workload::Hotspot { hot_fraction: 0.02, hot_weight: 0.95 }] {
+        for workload in [
+            Workload::Uniform,
+            Workload::Hotspot {
+                hot_fraction: 0.02,
+                hot_weight: 0.95,
+            },
+        ] {
             let mut tree = LTree::new(params);
             run_workload(&mut tree, workload, n, ops, 31).expect("workload runs");
             let ok = tree.check_invariants().is_ok();
@@ -448,7 +578,11 @@ pub fn x11(scale: Scale) -> Vec<Table> {
                 s.splits.to_string(),
                 s.root_rebuilds.to_string(),
                 s.cascade_splits.to_string(),
-                if ok { "pass".into() } else { "FAIL".to_string() },
+                if ok {
+                    "pass".into()
+                } else {
+                    "FAIL".to_string()
+                },
             ]);
             assert_eq!(s.cascade_splits, 0, "Proposition 3 violated");
             assert!(ok, "invariants violated");
@@ -463,23 +597,27 @@ pub fn x11(scale: Scale) -> Vec<Table> {
 
 pub fn x12(scale: Scale) -> Vec<Table> {
     let n = scale.pick(5_000, 50_000);
-    let mut t = Table::new("X12 — deletions are tombstones (no relabeling)", &[
-        "scheme", "deletes", "label writes during deletes", "cost during deletes",
-    ]);
+    let mut t = Table::new(
+        "X12 — deletions are tombstones (no relabeling)",
+        &[
+            "scheme",
+            "deletes",
+            "label writes during deletes",
+            "cost during deletes",
+        ],
+    );
     t.note("Paper §2.3: 'for deletions we can just mark as deleted the corresponding");
     t.note("leaves in the L-Tree without any relabeling.'");
-    for (name, mut scheme) in [
-        ("ltree(4,2)", Box::new(ltree(4, 2)) as Box<dyn LabelingScheme>),
-        ("virtual(4,2)", Box::new(vtree(4, 2)) as Box<dyn LabelingScheme>),
-    ] {
-        let handles = scheme.bulk_build(n).expect("bulk build");
-        scheme.reset_scheme_stats();
+    for spec in ["ltree(4,2)", "virtual(4,2)"] {
+        let mut sc = scheme(spec);
+        let handles = sc.bulk_build(n).expect("bulk build");
+        sc.reset_scheme_stats();
         for h in handles.iter().step_by(2) {
-            scheme.delete(*h).expect("delete succeeds");
+            sc.delete(*h).expect("delete succeeds");
         }
-        let s = scheme.scheme_stats();
+        let s = sc.scheme_stats();
         t.row(vec![
-            name.into(),
+            spec.into(),
             s.deletes.to_string(),
             s.label_writes.to_string(),
             s.node_touches.to_string(),
@@ -496,21 +634,41 @@ pub fn x12(scale: Scale) -> Vec<Table> {
 pub fn x13(scale: Scale) -> Vec<Table> {
     let n = scale.pick(2_000, 20_000);
     let tree = generate(&auction_profile(n), 99);
-    let mut doc = Document::from_tree(tree, ltree(8, 2)).expect("document builds");
+    let reg = ltree::default_registry();
+    let mut doc = Document::from_tree_with(tree, &reg, "ltree(8,2)", &SchemeConfig::default())
+        .expect("document builds");
     // Make it a *dynamic* scenario: splice in some subtrees first.
     let root = doc.tree().root().expect("root");
     let (mut frag, fr) = XmlTree::with_root("open_auction");
     let b = frag.add_child(fr, "bidder").expect("live");
     frag.add_child(b, "price").expect("live");
     for i in 0..scale.pick(20, 200) {
-        doc.insert_fragment(root, i % 3, &frag).expect("fragment inserts");
+        doc.insert_fragment(root, i % 3, &frag)
+            .expect("fragment inserts");
     }
-    doc.validate().expect("document is consistent after updates");
+    doc.validate()
+        .expect("document is consistent after updates");
 
-    let queries = ["//item", "/site/regions//item", "//person/name", "/site//description", "//bidder/price", "//*"];
+    let queries = [
+        "//item",
+        "/site/regions//item",
+        "//person/name",
+        "/site//description",
+        "//bidder/price",
+        "//*",
+    ];
     let mut t = Table::new(
-        format!("X13 — path queries over a generated auction document ({} elements)", doc.element_count()),
-        &["query", "results", "navigational µs", "label-join µs", "identical"],
+        format!(
+            "X13 — path queries over a generated auction document ({} elements)",
+            doc.element_count()
+        ),
+        &[
+            "query",
+            "results",
+            "navigational µs",
+            "label-join µs",
+            "identical",
+        ],
     );
     t.note("Label-join evaluation = per-step sort-merge structural join over (begin,");
     t.note("end, depth) from the tag index — the paper's one-self-join story; the");
@@ -541,10 +699,12 @@ pub fn x13(scale: Scale) -> Vec<Table> {
 // ----------------------------------------------------------------------
 
 pub fn x14(scale: Scale) -> Vec<Table> {
-    use reldb::{descendants_via_edge_joins, descendants_via_region_join, shred};
+    use ltree::rel::{descendants_via_edge_joins, descendants_via_region_join, shred};
     let n = scale.pick(3_000, 30_000);
     let tree = generate(&auction_profile(n), 77);
-    let doc = Document::from_tree(tree, ltree(8, 2)).expect("document builds");
+    let reg = ltree::default_registry();
+    let doc = Document::from_tree_with(tree, &reg, "ltree(8,2)", &SchemeConfig::default())
+        .expect("document builds");
     let (edge, region) = shred(&doc);
     let mut t = Table::new(
         format!("X14 — relational plans for //a₁//…//aₖ over {n} elements"),
@@ -567,7 +727,12 @@ pub fn x14(scale: Scale) -> Vec<Table> {
         let t1 = std::time::Instant::now();
         let r = descendants_via_region_join(&region, tags);
         let r_us = t1.elapsed().as_micros();
-        assert_eq!(e.result_ids, r.result_ids, "plans must agree on //{}", tags.join("//"));
+        assert_eq!(
+            e.result_ids,
+            r.result_ids,
+            "plans must agree on //{}",
+            tags.join("//")
+        );
         let query = format!("//{}", tags.join("//"));
         t.row(vec![
             query.clone(),

@@ -1,10 +1,12 @@
 //! # `ltree-bench` — the reproduction harness
 //!
-//! One runner per experiment of DESIGN.md §3 (X1–X13). Each runner
-//! returns [`table::Table`]s that the `repro` binary prints as markdown —
-//! the exact content recorded in `EXPERIMENTS.md`. The Criterion benches
-//! under `benches/` reuse the same workload drivers for wall-clock
-//! measurements.
+//! One runner per experiment (X1–X14), each returning [`table::Table`]s
+//! that the `repro` binary prints as markdown. Schemes under comparison
+//! are constructed through the registry ([`ltree::default_registry`]),
+//! so a new scheme registered there joins every sweep automatically.
+//! The Criterion benches under `benches/` are reference material for
+//! wall-clock runs (gated off: this workspace builds without external
+//! dependencies).
 //!
 //! Everything is seeded; two runs of `repro` produce identical counter
 //! columns (wall-clock columns naturally vary).
@@ -15,12 +17,12 @@ pub mod experiments;
 pub mod table;
 
 /// Experiment scale: `quick` keeps every experiment under a few seconds;
-/// `full` uses the sizes recorded in EXPERIMENTS.md.
+/// `full` uses the reference sizes of the recorded runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Small sizes for smoke runs and CI.
     Quick,
-    /// The sizes used in EXPERIMENTS.md.
+    /// The reference sizes of the recorded runs.
     Full,
 }
 

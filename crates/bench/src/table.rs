@@ -32,7 +32,12 @@ impl Table {
 
     /// Append a row (must match the header arity).
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in '{}'", self.title);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in '{}'",
+            self.title
+        );
         self.rows.push(cells);
         self
     }

@@ -53,12 +53,20 @@ pub struct Arena {
 impl Arena {
     /// Empty arena.
     pub fn new() -> Self {
-        Arena { slots: Vec::new(), free_head: None, len: 0 }
+        Arena {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
     }
 
     /// Empty arena with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Arena { slots: Vec::with_capacity(cap), free_head: None, len: 0 }
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free_head: None,
+            len: 0,
+        }
     }
 
     /// Number of live nodes.
@@ -81,14 +89,20 @@ impl Arena {
                     self.free_head = next;
                     let gen = gen.wrapping_add(1);
                     *slot = Slot::Occupied { gen, node };
-                    NodeId { idx: NonZeroU32::new(free + 1).expect("index+1 is nonzero"), gen }
+                    NodeId {
+                        idx: NonZeroU32::new(free + 1).expect("index+1 is nonzero"),
+                        gen,
+                    }
                 }
                 Slot::Occupied { .. } => unreachable!("free list points at an occupied slot"),
             }
         } else {
             self.slots.push(Slot::Occupied { gen: 0, node });
             let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 indices");
-            NodeId { idx: NonZeroU32::new(idx).expect("len is nonzero after push"), gen: 0 }
+            NodeId {
+                idx: NonZeroU32::new(idx).expect("len is nonzero after push"),
+                gen: 0,
+            }
         }
     }
 
@@ -97,7 +111,10 @@ impl Arena {
         let slot = &mut self.slots[id.slot()];
         match slot {
             Slot::Occupied { gen, .. } if *gen == id.gen => {
-                *slot = Slot::Free { gen: id.gen, next: self.free_head };
+                *slot = Slot::Free {
+                    gen: id.gen,
+                    next: self.free_head,
+                };
                 self.free_head = Some(id.slot() as u32);
                 self.len -= 1;
             }
@@ -140,7 +157,10 @@ impl Arena {
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
             Slot::Occupied { gen, node } => Some((
-                NodeId { idx: NonZeroU32::new(i as u32 + 1).expect("index+1 nonzero"), gen: *gen },
+                NodeId {
+                    idx: NonZeroU32::new(i as u32 + 1).expect("index+1 nonzero"),
+                    gen: *gen,
+                },
                 node,
             )),
             Slot::Free { .. } => None,
@@ -217,7 +237,11 @@ mod tests {
         let mut a = Arena::new();
         let l = a.alloc(leaf());
         let mut internal = Node::new_internal(None, 1);
-        if let NodeData::Internal { children, leaf_count } = &mut internal.data {
+        if let NodeData::Internal {
+            children,
+            leaf_count,
+        } = &mut internal.data
+        {
             children.push(l);
             *leaf_count = 1;
         }

@@ -92,7 +92,10 @@ mod tests {
         let c1 = amortized_cost(8.0, 2.0, 1e3);
         let c2 = amortized_cost(8.0, 2.0, 1e6);
         // Doubling the exponent doubles the log-term, far from 1000x.
-        assert!(c2 < 2.5 * c1, "cost must grow logarithmically: {c1} vs {c2}");
+        assert!(
+            c2 < 2.5 * c1,
+            "cost must grow logarithmically: {c1} vs {c2}"
+        );
         assert!(c2 > c1);
     }
 
@@ -109,7 +112,10 @@ mod tests {
         let c1 = batch_amortized_cost(4.0, 2.0, n, 1.0);
         let c16 = batch_amortized_cost(4.0, 2.0, n, 16.0);
         let c256 = batch_amortized_cost(4.0, 2.0, n, 256.0);
-        assert!(c1 > c16 && c16 > c256, "larger batches amortize better: {c1} {c16} {c256}");
+        assert!(
+            c1 > c16 && c16 > c256,
+            "larger batches amortize better: {c1} {c16} {c256}"
+        );
         // "the decrease of the cost is roughly logarithmic in the increase
         // of insertion size": halving is much slower than 1/k.
         assert!(c256 > c1 / 256.0 * 4.0);

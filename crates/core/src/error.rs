@@ -33,6 +33,19 @@ pub enum LTreeError {
     NotEmpty,
     /// The requested batch size was zero.
     EmptyBatch,
+    /// A scheme name was not found in the [`crate::registry::SchemeRegistry`].
+    UnknownScheme {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A scheme spec string ("name(args)") could not be parsed or its
+    /// arguments were rejected by the factory.
+    InvalidSpec {
+        /// The offending spec.
+        spec: String,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for LTreeError {
@@ -45,11 +58,19 @@ impl std::fmt::Display for LTreeError {
                 f,
                 "label space (f+1)^{height} exceeds u128; choose smaller f or rebuild with larger s"
             ),
-            LTreeError::UnknownHandle => write!(f, "handle does not refer to a live leaf of this structure"),
+            LTreeError::UnknownHandle => {
+                write!(f, "handle does not refer to a live leaf of this structure")
+            }
             LTreeError::DeletedLeaf => write!(f, "leaf was already deleted"),
             LTreeError::EmptyTree => write!(f, "operation requires a non-empty structure"),
             LTreeError::NotEmpty => write!(f, "bulk_build requires an empty structure"),
             LTreeError::EmptyBatch => write!(f, "batch insertion of zero leaves is not meaningful"),
+            LTreeError::UnknownScheme { name } => {
+                write!(f, "no labeling scheme registered under the name '{name}'")
+            }
+            LTreeError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid scheme spec '{spec}': {reason}")
+            }
         }
     }
 }
@@ -62,7 +83,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LTreeError::InvalidParams { f: 5, s: 2, reason: "nope" };
+        let e = LTreeError::InvalidParams {
+            f: 5,
+            s: 2,
+            reason: "nope",
+        };
         assert!(e.to_string().contains("f=5"));
         assert!(e.to_string().contains("nope"));
         let e = LTreeError::LabelOverflow { height: 200 };

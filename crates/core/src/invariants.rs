@@ -48,11 +48,22 @@ pub fn check(tree: &LTree) -> Result<(), InvariantError> {
     let params = tree.params();
     let root = tree.root_id();
 
-    let root_node = arena.get(root).ok_or_else(|| InvariantError("root id is stale".into()))?;
+    let root_node = arena
+        .get(root)
+        .ok_or_else(|| InvariantError("root id is stale".into()))?;
     ensure!(!root_node.is_leaf(), "root must be an interior node");
     ensure!(root_node.parent.is_none(), "root must have no parent");
-    ensure!(root_node.num == 0, "root must be numbered 0, found {}", root_node.num);
-    ensure!(root_node.height == tree.height(), "stored height {} != root height {}", tree.height(), root_node.height);
+    ensure!(
+        root_node.num == 0,
+        "root must be numbered 0, found {}",
+        root_node.num
+    );
+    ensure!(
+        root_node.height == tree.height(),
+        "stored height {} != root height {}",
+        tree.height(),
+        root_node.height
+    );
 
     let mut reachable = 0usize;
     let mut leaf_total = 0u64;
@@ -66,8 +77,15 @@ pub fn check(tree: &LTree) -> Result<(), InvariantError> {
     let mut stack: Vec<NodeId> = vec![root];
     while let Some(id) = stack.pop() {
         reachable += 1;
-        let node = arena.get(id).ok_or_else(|| InvariantError("dangling child pointer".into()))?;
-        ensure!(node.num < space, "num {} outside label space {}", node.num, space);
+        let node = arena
+            .get(id)
+            .ok_or_else(|| InvariantError("dangling child pointer".into()))?;
+        ensure!(
+            node.num < space,
+            "num {} outside label space {}",
+            node.num,
+            space
+        );
         match &node.data {
             NodeData::Leaf { deleted } => {
                 ensure!(node.height == 0, "leaf at height {}", node.height);
@@ -76,13 +94,24 @@ pub fn check(tree: &LTree) -> Result<(), InvariantError> {
                     live_total += 1;
                 }
                 if let Some(prev) = last_label {
-                    ensure!(prev < node.num, "leaf labels not strictly increasing: {} then {}", prev, node.num);
+                    ensure!(
+                        prev < node.num,
+                        "leaf labels not strictly increasing: {} then {}",
+                        prev,
+                        node.num
+                    );
                 }
                 last_label = Some(node.num);
             }
-            NodeData::Internal { children, leaf_count } => {
+            NodeData::Internal {
+                children,
+                leaf_count,
+            } => {
                 if id != root {
-                    ensure!(!children.is_empty(), "non-root interior node with no children");
+                    ensure!(
+                        !children.is_empty(),
+                        "non-root interior node with no children"
+                    );
                 }
                 ensure!(
                     children.len() <= params.f() as usize,
@@ -104,7 +133,9 @@ pub fn check(tree: &LTree) -> Result<(), InvariantError> {
                     .map_err(|_| InvariantError("child interval overflows u128".into()))?;
                 let mut sum = 0u64;
                 for (i, &c) in children.iter().enumerate() {
-                    let child = arena.get(c).ok_or_else(|| InvariantError("dangling child pointer".into()))?;
+                    let child = arena
+                        .get(c)
+                        .ok_or_else(|| InvariantError("dangling child pointer".into()))?;
                     ensure!(child.parent == Some(id), "child parent link is wrong");
                     ensure!(
                         child.height + 1 == node.height,
@@ -124,7 +155,12 @@ pub fn check(tree: &LTree) -> Result<(), InvariantError> {
                     );
                     sum += child.leaf_count();
                 }
-                ensure!(sum == *leaf_count, "leaf_count {} != sum of children {}", leaf_count, sum);
+                ensure!(
+                    sum == *leaf_count,
+                    "leaf_count {} != sum of children {}",
+                    leaf_count,
+                    sum
+                );
                 for &c in children.iter().rev() {
                     stack.push(c);
                 }
@@ -132,8 +168,18 @@ pub fn check(tree: &LTree) -> Result<(), InvariantError> {
         }
     }
 
-    ensure!(leaf_total == tree.leaf_total(), "stored leaf total {} != found {}", tree.leaf_total(), leaf_total);
-    ensure!(live_total == tree.live_total(), "stored live total {} != found {}", tree.live_total(), live_total);
+    ensure!(
+        leaf_total == tree.leaf_total(),
+        "stored leaf total {} != found {}",
+        tree.leaf_total(),
+        leaf_total
+    );
+    ensure!(
+        live_total == tree.live_total(),
+        "stored live total {} != found {}",
+        tree.live_total(),
+        live_total
+    );
     ensure!(
         reachable == arena.len(),
         "arena leak: {} slots live but only {} reachable",

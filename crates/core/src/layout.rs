@@ -49,7 +49,9 @@ pub fn complete_offset(r: u64, height: u8, params: &Params) -> Result<u128> {
         rem /= a;
         offset += u128::from(digit) * weight;
         if level + 1 < height {
-            weight = weight.checked_mul(base).ok_or(crate::LTreeError::LabelOverflow { height })?;
+            weight = weight
+                .checked_mul(base)
+                .ok_or(crate::LTreeError::LabelOverflow { height })?;
         }
     }
     debug_assert_eq!(rem, 0, "r must be below a^height");
@@ -59,7 +61,9 @@ pub fn complete_offset(r: u64, height: u8, params: &Params) -> Result<u128> {
 /// All leaf offsets of a leftmost-complete `a`-ary subtree of height `h`
 /// holding `count` leaves, in order.
 pub fn complete_offsets(count: u64, height: u8, params: &Params) -> Result<Vec<u128>> {
-    (0..count).map(|r| complete_offset(r, height, params)).collect()
+    (0..count)
+        .map(|r| complete_offset(r, height, params))
+        .collect()
 }
 
 /// Result of planning a root rebuild: the new tree height and the label of
@@ -95,7 +99,11 @@ impl RootRebuild {
             m = ceil_div(m, a);
             grouping_levels += 1;
         }
-        RootRebuild { new_height: old_height + grouping_levels + 1, pieces, grouping_levels }
+        RootRebuild {
+            new_height: old_height + grouping_levels + 1,
+            pieces,
+            grouping_levels,
+        }
     }
 
     /// Label of piece `q` (relative to the new root, i.e. absolute since
@@ -111,13 +119,17 @@ impl RootRebuild {
             rem /= a;
             let weight = base
                 .checked_pow(u32::from(old_height) + u32::from(j))
-                .ok_or(crate::LTreeError::LabelOverflow { height: self.new_height })?;
+                .ok_or(crate::LTreeError::LabelOverflow {
+                    height: self.new_height,
+                })?;
             num += u128::from(digit) * weight;
         }
         // Root-child index: whatever remains (may exceed a, bounded by f).
-        let weight = base
-            .checked_pow(u32::from(self.new_height) - 1)
-            .ok_or(crate::LTreeError::LabelOverflow { height: self.new_height })?;
+        let weight = base.checked_pow(u32::from(self.new_height) - 1).ok_or(
+            crate::LTreeError::LabelOverflow {
+                height: self.new_height,
+            },
+        )?;
         num += u128::from(rem) * weight;
         Ok(num)
     }
@@ -214,7 +226,10 @@ mod tests {
         assert_eq!(plan.new_height, 6);
         let labels = plan.leaf_labels(&p, 100, 1).unwrap();
         assert_eq!(labels.len(), 100);
-        assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels strictly increasing");
+        assert!(
+            labels.windows(2).all(|w| w[0] < w[1]),
+            "labels strictly increasing"
+        );
         // Every label fits the new label space.
         let space = p.interval(plan.new_height).unwrap();
         assert!(labels.iter().all(|&l| l < space));

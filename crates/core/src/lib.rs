@@ -48,9 +48,15 @@
 //! * [`tree`] — the materialized [`LTree`] itself;
 //! * [`layout`] — pure label-layout helpers shared with the *virtual*
 //!   L-Tree (`ltree-virtual`), which re-derives the structure from labels;
-//! * [`scheme`] — the [`LabelingScheme`] abstraction implemented by the
-//!   L-Tree, the virtual L-Tree and the baseline schemes, so that the
-//!   benchmark harness can compare them on equal footing;
+//! * [`scheme`] — the composable ordered-labeling trait family
+//!   ([`OrderedLabeling`] / [`OrderedLabelingMut`] / [`BatchLabeling`] /
+//!   [`Instrumented`], bundled as the object-safe [`DynScheme`] with the
+//!   [`LabelingScheme`] alias) implemented by the L-Tree, the virtual
+//!   L-Tree and the baseline schemes, so that the benchmark harness can
+//!   compare them on equal footing;
+//! * [`registry`] — named scheme construction
+//!   ([`registry::SchemeRegistry`]): experiments and examples build any
+//!   scheme from a spec string like `"ltree(4,2)"`;
 //! * [`cost_model`] — the closed-form cost/bit formulas of Section 3;
 //! * [`invariants`] — a full structural checker used pervasively in tests.
 
@@ -66,6 +72,8 @@ pub mod layout;
 pub mod node;
 pub mod order;
 pub mod params;
+pub mod registry;
+pub mod rng;
 pub mod scheme;
 pub mod snapshot;
 pub mod stats;
@@ -73,8 +81,12 @@ pub mod tree;
 
 pub use error::{LTreeError, Result};
 pub use label::Label;
-pub use params::Params;
 pub use order::OrderedList;
-pub use scheme::{LabelingScheme, LeafHandle, SchemeStats};
+pub use params::Params;
+pub use registry::{SchemeConfig, SchemeRegistry};
+pub use scheme::{
+    BatchLabeling, Cursor, DynScheme, Instrumented, LabelingScheme, LeafHandle, OrderedLabeling,
+    OrderedLabelingMut, SchemeStats, Splice, SpliceResult,
+};
 pub use stats::Stats;
 pub use tree::{LTree, LeafId};

@@ -38,7 +38,12 @@ pub enum NodeData {
 impl Node {
     /// Fresh leaf (label assigned by a later relabel pass).
     pub fn new_leaf(parent: Option<NodeId>) -> Node {
-        Node { parent, num: 0, height: 0, data: NodeData::Leaf { deleted: false } }
+        Node {
+            parent,
+            num: 0,
+            height: 0,
+            data: NodeData::Leaf { deleted: false },
+        }
     }
 
     /// Fresh internal node at `height` with no children yet.
@@ -47,7 +52,10 @@ impl Node {
             parent,
             num: 0,
             height,
-            data: NodeData::Internal { children: Vec::new(), leaf_count: 0 },
+            data: NodeData::Internal {
+                children: Vec::new(),
+                leaf_count: 0,
+            },
         }
     }
 

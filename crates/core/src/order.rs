@@ -46,7 +46,10 @@ impl<T, S: LabelingScheme> OrderedList<T, S> {
     /// of the contract).
     pub fn new(scheme: S) -> Self {
         assert!(scheme.is_empty(), "OrderedList requires a fresh scheme");
-        OrderedList { scheme, values: HashMap::new() }
+        OrderedList {
+            scheme,
+            values: HashMap::new(),
+        }
     }
 
     /// Bulk load values in order (cheaper than repeated appends).
@@ -57,7 +60,13 @@ impl<T, S: LabelingScheme> OrderedList<T, S> {
         for (h, v) in handles.into_iter().zip(values) {
             map.insert(h.0, v);
         }
-        Ok((OrderedList { scheme, values: map }, ids))
+        Ok((
+            OrderedList {
+                scheme,
+                values: map,
+            },
+            ids,
+        ))
     }
 
     /// Number of live items.
@@ -109,9 +118,15 @@ impl<T, S: LabelingScheme> OrderedList<T, S> {
     }
 
     /// Insert several values right after `anchor`, as one batch
-    /// (paper §4.1 semantics — cheaper than repeated singles).
+    /// (paper §4.1 semantics — cheaper than repeated singles). An empty
+    /// batch is a no-op, unlike the scheme-level
+    /// [`BatchLabeling::insert_many_after`](crate::BatchLabeling::insert_many_after)
+    /// which rejects `k = 0`.
     pub fn insert_many_after(&mut self, anchor: ItemId, values: Vec<T>) -> Result<Vec<ItemId>> {
         self.check_live(anchor)?;
+        if values.is_empty() {
+            return Ok(Vec::new());
+        }
         let handles = self.scheme.insert_many_after(anchor.0, values.len())?;
         let ids: Vec<ItemId> = handles.iter().map(|&h| ItemId(h)).collect();
         for (h, v) in handles.into_iter().zip(values) {
@@ -123,7 +138,10 @@ impl<T, S: LabelingScheme> OrderedList<T, S> {
     /// Remove an item, returning its value. The scheme-side slot is
     /// tombstoned (or physically removed, scheme-dependent).
     pub fn remove(&mut self, id: ItemId) -> Result<T> {
-        let value = self.values.remove(&id.0 .0).ok_or(LTreeError::UnknownHandle)?;
+        let value = self
+            .values
+            .remove(&id.0 .0)
+            .ok_or(LTreeError::UnknownHandle)?;
         self.scheme.delete(id.0)?;
         Ok(value)
     }
@@ -151,26 +169,26 @@ impl<T, S: LabelingScheme> OrderedList<T, S> {
 
     /// First live item.
     pub fn first(&self) -> Option<ItemId> {
-        self.ordered_live().into_iter().next()
+        self.ordered_live().next()
     }
 
-    /// Last live item.
+    /// Last live item. `O(n)` cursor walk (the scheme only exposes a
+    /// forward successor), still allocation-free.
     pub fn last(&self) -> Option<ItemId> {
-        self.ordered_live().into_iter().next_back()
+        self.ordered_live().last()
     }
 
-    /// Iterate `(id, &value)` in list order.
+    /// Iterate `(id, &value)` in list order — a streaming walk over the
+    /// scheme's [`crate::Cursor`], no intermediate `Vec`.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, &T)> {
-        self.ordered_live().into_iter().map(|id| (id, &self.values[&id.0 .0]))
+        self.ordered_live().map(|id| (id, &self.values[&id.0 .0]))
     }
 
-    fn ordered_live(&self) -> Vec<ItemId> {
+    fn ordered_live(&self) -> impl Iterator<Item = ItemId> + '_ {
         self.scheme
-            .handles_in_order()
-            .into_iter()
+            .cursor()
             .filter(|h| self.values.contains_key(&h.0))
             .map(ItemId)
-            .collect()
     }
 
     fn check_live(&self, id: ItemId) -> Result<()> {
@@ -185,6 +203,7 @@ impl<T, S: LabelingScheme> OrderedList<T, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::Instrumented;
     use crate::{LTree, Params};
 
     fn list() -> OrderedList<String, LTree> {
@@ -226,8 +245,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_insert_is_a_noop() {
+        let mut l = list();
+        let a = l.push_back("a".into()).unwrap();
+        let ids = l.insert_many_after(a, Vec::new()).unwrap();
+        assert!(ids.is_empty());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
     fn batch_insert_keeps_order() {
-        let mut l: OrderedList<i32, LTree> = OrderedList::new(LTree::new(Params::new(4, 2).unwrap()));
+        let mut l: OrderedList<i32, LTree> =
+            OrderedList::new(LTree::new(Params::new(4, 2).unwrap()));
         let a = l.push_back(0).unwrap();
         let z = l.push_back(99).unwrap();
         let ids = l.insert_many_after(a, vec![1, 2, 3]).unwrap();

@@ -130,7 +130,8 @@ impl Params {
     /// The split threshold `s · a^h` for a node at height `h` (paper,
     /// Section 2.3: a node whose leaf count reaches this value is split).
     pub fn split_threshold(&self, height: u8) -> u64 {
-        self.subtree_capacity(height).saturating_mul(u64::from(self.s))
+        self.subtree_capacity(height)
+            .saturating_mul(u64::from(self.s))
     }
 
     /// `B^h` as a `u128`, or an overflow error. This is the width of the

@@ -1,0 +1,298 @@
+//! Scheme construction by name: [`SchemeRegistry`] and [`SchemeConfig`].
+//!
+//! Experiments, examples and the XML layer used to hard-code match arms
+//! over concrete scheme types; the registry replaces those with named
+//! factories producing `Box<dyn DynScheme>`, so a multi-scheme sweep is
+//! a list of spec strings:
+//!
+//! ```
+//! use ltree_core::registry::SchemeRegistry;
+//! use ltree_core::OrderedLabelingMut;
+//!
+//! let reg = SchemeRegistry::with_builtin(); // "ltree" is always present
+//! let mut scheme = reg.build("ltree(4,2)").unwrap();
+//! let handles = scheme.bulk_build(8).unwrap();
+//! assert_eq!(handles.len(), 8);
+//! ```
+//!
+//! A *spec* is a scheme name optionally followed by parenthesized
+//! numeric arguments — `"ltree"`, `"ltree(8,2)"`, `"gap(64)"`,
+//! `"list-label(16,0.8)"`. Argument interpretation belongs to the
+//! factory registered for the name; arguments override the corresponding
+//! [`SchemeConfig`] fields. Downstream crates register their schemes
+//! with [`SchemeRegistry::register`] (the baselines and virtual crates
+//! each expose a `register` function; the facade crate composes them
+//! into a `default_registry()`).
+
+use crate::error::{LTreeError, Result};
+use crate::params::Params;
+use crate::scheme::DynScheme;
+
+/// Construction-time knobs shared by every scheme factory. Spec
+/// arguments, when present, override the matching field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeConfig {
+    /// `(f, s)` shape parameters for the L-Tree variants.
+    pub params: Params,
+    /// Gap width for the fixed-gap baseline.
+    pub gap: u128,
+    /// Initial universe width (bits) for the list-labeling baseline.
+    pub list_bits: u32,
+    /// Density threshold `τ ∈ (0.5, 1)` for the list-labeling baseline.
+    pub list_tau: f64,
+}
+
+impl Default for SchemeConfig {
+    fn default() -> Self {
+        SchemeConfig {
+            params: Params::example(),
+            gap: 32,
+            list_bits: 16,
+            list_tau: 0.75,
+        }
+    }
+}
+
+impl SchemeConfig {
+    /// A config with the given L-Tree parameters and default baselines.
+    pub fn with_params(params: Params) -> Self {
+        SchemeConfig {
+            params,
+            ..Self::default()
+        }
+    }
+
+    /// Resolve `(f, s)` from spec arguments: no args keeps
+    /// `self.params`, two args build fresh [`Params`]. Shared by every
+    /// L-Tree-shaped factory.
+    pub fn params_from_args(&self, spec: &str, args: &[f64]) -> Result<Params> {
+        match args {
+            [] => Ok(self.params),
+            [f, s] => {
+                let (f, s) = (as_u32(spec, *f)?, as_u32(spec, *s)?);
+                Params::new(f, s)
+            }
+            _ => Err(LTreeError::InvalidSpec {
+                spec: spec.to_owned(),
+                reason: "expected no arguments or (f,s)",
+            }),
+        }
+    }
+}
+
+/// Convert one spec argument to an integer, rejecting fractions.
+pub fn as_u32(spec: &str, v: f64) -> Result<u32> {
+    if v.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&v) {
+        Ok(v as u32)
+    } else {
+        Err(LTreeError::InvalidSpec {
+            spec: spec.to_owned(),
+            reason: "argument must be a non-negative integer",
+        })
+    }
+}
+
+/// A factory producing a boxed scheme from the shared config and the
+/// spec arguments (empty when the spec had no parentheses).
+pub type SchemeFactory =
+    Box<dyn Fn(&SchemeConfig, &[f64]) -> Result<Box<dyn DynScheme>> + Send + Sync>;
+
+struct Entry {
+    name: &'static str,
+    summary: &'static str,
+    factory: SchemeFactory,
+}
+
+/// Named scheme factories. See the [module docs](self).
+#[derive(Default)]
+pub struct SchemeRegistry {
+    entries: Vec<Entry>,
+}
+
+impl SchemeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry holding the schemes this crate itself provides
+    /// (currently the materialized `"ltree"`).
+    pub fn with_builtin() -> Self {
+        let mut reg = Self::new();
+        reg.register(
+            "ltree",
+            "materialized L-Tree (paper §2); args: (f,s)",
+            |cfg, args| {
+                let params = cfg.params_from_args("ltree", args)?;
+                Ok(Box::new(crate::LTree::new(params)))
+            },
+        );
+        reg
+    }
+
+    /// Register (or replace) a factory under `name`.
+    pub fn register<F>(&mut self, name: &'static str, summary: &'static str, factory: F)
+    where
+        F: Fn(&SchemeConfig, &[f64]) -> Result<Box<dyn DynScheme>> + Send + Sync + 'static,
+    {
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(Entry {
+            name,
+            summary,
+            factory: Box::new(factory),
+        });
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// `(name, summary)` pairs, in registration order.
+    pub fn summaries(&self) -> Vec<(&'static str, &'static str)> {
+        self.entries.iter().map(|e| (e.name, e.summary)).collect()
+    }
+
+    /// Whether `name` (the bare name, not a spec) is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Build a scheme from a spec string with the default config.
+    pub fn build(&self, spec: &str) -> Result<Box<dyn DynScheme>> {
+        self.build_with(spec, &SchemeConfig::default())
+    }
+
+    /// Build a scheme from a spec string; spec arguments override the
+    /// matching `config` fields.
+    pub fn build_with(&self, spec: &str, config: &SchemeConfig) -> Result<Box<dyn DynScheme>> {
+        let (name, args) = parse_spec(spec)?;
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| LTreeError::UnknownScheme {
+                name: name.to_owned(),
+            })?;
+        (entry.factory)(config, &args)
+    }
+}
+
+impl std::fmt::Debug for SchemeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// Split `"name(a,b)"` into the name and its numeric arguments.
+fn parse_spec(spec: &str) -> Result<(&str, Vec<f64>)> {
+    let spec_trim = spec.trim();
+    let bad = |reason: &'static str| LTreeError::InvalidSpec {
+        spec: spec.to_owned(),
+        reason,
+    };
+    let Some(open) = spec_trim.find('(') else {
+        if spec_trim.is_empty() {
+            return Err(bad("empty scheme spec"));
+        }
+        return Ok((spec_trim, Vec::new()));
+    };
+    let Some(rest) = spec_trim.strip_suffix(')') else {
+        return Err(bad("unbalanced parentheses"));
+    };
+    let name = spec_trim[..open].trim();
+    if name.is_empty() {
+        return Err(bad("missing scheme name"));
+    }
+    let inner = &rest[open + 1..];
+    let mut args = Vec::new();
+    if !inner.trim().is_empty() {
+        for part in inner.split(',') {
+            let v: f64 = part
+                .trim()
+                .parse()
+                .map_err(|_| bad("arguments must be numbers"))?;
+            args.push(v);
+        }
+    }
+    Ok((name, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Instrumented, OrderedLabeling, OrderedLabelingMut};
+
+    #[test]
+    fn builtin_ltree_builds_with_and_without_args() {
+        let reg = SchemeRegistry::with_builtin();
+        let mut plain = reg.build("ltree").unwrap();
+        assert_eq!(plain.name(), "ltree");
+        plain.bulk_build(4).unwrap();
+        let mut wide = reg.build(" ltree(16, 4) ").unwrap();
+        wide.bulk_build(4).unwrap();
+        assert_eq!(wide.scheme_stats().inserts, 0);
+    }
+
+    #[test]
+    fn unknown_and_malformed_specs_are_typed_errors() {
+        let reg = SchemeRegistry::with_builtin();
+        assert!(matches!(
+            reg.build("nope"),
+            Err(LTreeError::UnknownScheme { .. })
+        ));
+        assert!(matches!(
+            reg.build("ltree(4"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            reg.build("ltree(4,2,1)"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            reg.build("ltree(4.5,2)"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+        assert!(matches!(reg.build(""), Err(LTreeError::InvalidSpec { .. })));
+        assert!(matches!(
+            reg.build("(4,2)"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+        // Invalid params surface the params error, not a panic.
+        assert!(matches!(
+            reg.build("ltree(5,2)"),
+            Err(LTreeError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_replaces_and_lists() {
+        let mut reg = SchemeRegistry::with_builtin();
+        assert!(reg.contains("ltree"));
+        reg.register("ltree", "replacement", |cfg, _| {
+            Ok(Box::new(crate::LTree::new(cfg.params)))
+        });
+        assert_eq!(reg.names(), vec!["ltree"]);
+        assert_eq!(reg.summaries()[0].1, "replacement");
+    }
+
+    #[test]
+    fn config_override_applies_when_spec_has_no_args() {
+        let reg = SchemeRegistry::with_builtin();
+        let cfg = SchemeConfig::with_params(Params::new(16, 4).unwrap());
+        let mut wide = reg.build_with("ltree", &cfg).unwrap();
+        wide.bulk_build(1000).unwrap();
+        let mut narrow = reg.build("ltree(4,2)").unwrap();
+        narrow.bulk_build(1000).unwrap();
+        // f = 16 packs 1000 leaves into a shallower tree than f = 4:
+        // fewer levels means a smaller label space.
+        assert!(
+            wide.label_space_bits() < narrow.label_space_bits(),
+            "the config override must reach the factory ({} vs {})",
+            wide.label_space_bits(),
+            narrow.label_space_bits()
+        );
+    }
+}

@@ -49,7 +49,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot ends unexpectedly"),
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
-            SnapshotError::InvalidParams(e) => write!(f, "snapshot carries invalid parameters: {e}"),
+            SnapshotError::InvalidParams(e) => {
+                write!(f, "snapshot carries invalid parameters: {e}")
+            }
         }
     }
 }
@@ -101,15 +103,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -134,7 +142,10 @@ pub fn load(bytes: &[u8]) -> Result<(LTree, Vec<LeafId>), SnapshotError> {
     if fnv1a(body) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
-    let mut r = Reader { bytes: body, pos: 0 };
+    let mut r = Reader {
+        bytes: body,
+        pos: 0,
+    };
     if r.take(4)? != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
@@ -153,7 +164,11 @@ pub fn load(bytes: &[u8]) -> Result<(LTree, Vec<LeafId>), SnapshotError> {
         match r.u8()? {
             TAG_INTERIOR => events.push(StructureEvent::Interior(r.u16()?)),
             TAG_LEAF => events.push(StructureEvent::Leaf(r.u8()? & 1 == 1)),
-            other => return Err(SnapshotError::Corrupt(format!("unknown node tag {other:#x}"))),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown node tag {other:#x}"
+                )))
+            }
         }
     }
     let (tree, leaves) = LTree::from_structure(params, height, &events)
@@ -215,7 +230,11 @@ mod tests {
         assert_eq!(loaded.height(), tree.height());
         assert_eq!(loaded.len(), tree.len());
         assert_eq!(loaded.live_len(), tree.live_len());
-        assert_eq!(labels(&loaded), labels(&tree), "labels recomputed identically");
+        assert_eq!(
+            labels(&loaded),
+            labels(&tree),
+            "labels recomputed identically"
+        );
         assert_eq!(leaves.len(), tree.len());
         loaded.check_invariants().unwrap();
     }
@@ -247,7 +266,10 @@ mod tests {
         let good = save(&tree);
 
         assert_eq!(load(&[]).unwrap_err(), SnapshotError::Truncated);
-        assert_eq!(load(&good[..10]).unwrap_err(), SnapshotError::ChecksumMismatch);
+        assert_eq!(
+            load(&good[..10]).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
 
         let mut bad_magic = good.clone();
         bad_magic[0] = b'X';
@@ -267,7 +289,10 @@ mod tests {
         bad_version[4] = 0xff;
         let sum = super::fnv1a(&bad_version[..body_len]).to_le_bytes();
         bad_version[body_len..].copy_from_slice(&sum);
-        assert!(matches!(load(&bad_version).unwrap_err(), SnapshotError::BadVersion(_)));
+        assert!(matches!(
+            load(&bad_version).unwrap_err(),
+            SnapshotError::BadVersion(_)
+        ));
     }
 
     #[test]
@@ -288,6 +313,10 @@ mod tests {
         // far below the 16-byte labels it regenerates.
         let (tree, _) = LTree::bulk_load(Params::new(4, 2).unwrap(), 10_000).unwrap();
         let bytes = save(&tree);
-        assert!(bytes.len() < 10_000 * 6, "snapshot too large: {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 10_000 * 6,
+            "snapshot too large: {} bytes",
+            bytes.len()
+        );
     }
 }

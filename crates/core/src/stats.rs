@@ -79,7 +79,9 @@ impl Stats {
         self.relabel_events += other.relabel_events;
         self.nodes_relabeled += other.nodes_relabeled;
         self.leaf_label_writes += other.leaf_label_writes;
-        self.max_relabeled_in_one_op = self.max_relabeled_in_one_op.max(other.max_relabeled_in_one_op);
+        self.max_relabeled_in_one_op = self
+            .max_relabeled_in_one_op
+            .max(other.max_relabeled_in_one_op);
         self.splits += other.splits;
         self.pieces_created += other.pieces_created;
         self.root_rebuilds += other.root_rebuilds;
@@ -101,8 +103,18 @@ mod tests {
 
     #[test]
     fn merge_adds_and_maxes() {
-        let mut a = Stats { inserts: 1, nodes_relabeled: 10, max_relabeled_in_one_op: 4, ..Default::default() };
-        let b = Stats { inserts: 2, nodes_relabeled: 5, max_relabeled_in_one_op: 9, ..Default::default() };
+        let mut a = Stats {
+            inserts: 1,
+            nodes_relabeled: 10,
+            max_relabeled_in_one_op: 4,
+            ..Default::default()
+        };
+        let b = Stats {
+            inserts: 2,
+            nodes_relabeled: 5,
+            max_relabeled_in_one_op: 9,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.inserts, 3);
         assert_eq!(a.nodes_relabeled, 15);

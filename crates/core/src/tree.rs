@@ -67,7 +67,15 @@ impl LTree {
     pub fn new(params: Params) -> Self {
         let mut arena = Arena::new();
         let root = arena.alloc(Node::new_internal(None, 1));
-        LTree { params, arena, root, height: 1, n_leaves: 0, n_live: 0, stats: Stats::default() }
+        LTree {
+            params,
+            arena,
+            root,
+            height: 1,
+            n_leaves: 0,
+            n_live: 0,
+            stats: Stats::default(),
+        }
     }
 
     /// Bulk load `n` leaves (paper, Section 2.2): a leftmost-complete
@@ -91,7 +99,9 @@ impl LTree {
         if height > self.params.max_height() {
             return Err(LTreeError::LabelOverflow { height });
         }
-        let leaves: Vec<NodeId> = (0..n).map(|_| self.arena.alloc(Node::new_leaf(None))).collect();
+        let leaves: Vec<NodeId> = (0..n)
+            .map(|_| self.arena.alloc(Node::new_leaf(None)))
+            .collect();
         // Replace the empty placeholder root.
         self.arena.free(self.root);
         let root = self.build_complete(height, &leaves);
@@ -206,7 +216,9 @@ impl LTree {
         self.leaf_node(leaf)?;
         let mut u = leaf.0;
         loop {
-            let Some(parent) = self.arena.node(u).parent else { return Ok(None) };
+            let Some(parent) = self.arena.node(u).parent else {
+                return Ok(None);
+            };
             let idx = self.index_of_child(parent, u);
             let siblings = self.arena.node(parent).children();
             if idx + 1 < siblings.len() {
@@ -222,7 +234,9 @@ impl LTree {
         self.leaf_node(leaf)?;
         let mut u = leaf.0;
         loop {
-            let Some(parent) = self.arena.node(u).parent else { return Ok(None) };
+            let Some(parent) = self.arena.node(u).parent else {
+                return Ok(None);
+            };
             let idx = self.index_of_child(parent, u);
             if idx > 0 {
                 let prev = self.arena.node(parent).children()[idx - 1];
@@ -234,13 +248,18 @@ impl LTree {
 
     /// Iterate all leaves in document order (tombstones included).
     pub fn leaves(&self) -> Leaves<'_> {
-        let stack = if self.is_empty() { Vec::new() } else { vec![self.root] };
+        let stack = if self.is_empty() {
+            Vec::new()
+        } else {
+            vec![self.root]
+        };
         Leaves { tree: self, stack }
     }
 
     /// Iterate live leaves in document order.
     pub fn live_leaves(&self) -> impl Iterator<Item = LeafId> + '_ {
-        self.leaves().filter(|&l| !self.arena.node(l.0).is_deleted())
+        self.leaves()
+            .filter(|&l| !self.arena.node(l.0).is_deleted())
     }
 
     /// Run the full structural checker (used pervasively by tests).
@@ -320,7 +339,10 @@ impl LTree {
     /// Tombstone a leaf (paper, Section 2.3: "for deletions we can just
     /// mark as deleted the corresponding leaves … without any relabeling").
     pub fn delete(&mut self, leaf: LeafId) -> Result<()> {
-        let node = self.arena.get_mut(leaf.0).ok_or(LTreeError::UnknownHandle)?;
+        let node = self
+            .arena
+            .get_mut(leaf.0)
+            .ok_or(LTreeError::UnknownHandle)?;
         match &mut node.data {
             NodeData::Leaf { deleted } => {
                 if *deleted {
@@ -404,7 +426,11 @@ impl LTree {
             match &node.data {
                 NodeData::Leaf { .. } => return u,
                 NodeData::Internal { children, .. } => {
-                    u = if rightmost { *children.last().expect("non-empty interior") } else { children[0] };
+                    u = if rightmost {
+                        *children.last().expect("non-empty interior")
+                    } else {
+                        children[0]
+                    };
                 }
             }
         }
@@ -417,7 +443,11 @@ impl LTree {
             return Err(LTreeError::EmptyBatch);
         }
         let k64 = k as u64;
-        debug_assert_eq!(self.arena.node(parent).height, 1, "leaves are inserted under height-1 nodes");
+        debug_assert_eq!(
+            self.arena.node(parent).height,
+            1,
+            "leaves are inserted under height-1 nodes"
+        );
 
         // Collect the root path; find the highest node whose leaf count
         // would reach its split threshold (the paper's "highest ancestor t
@@ -442,14 +472,20 @@ impl LTree {
         if violator == Some(self.root) {
             let plan = RootRebuild::plan(&self.params, self.n_leaves + k64, self.height);
             if plan.new_height > self.params.max_height() {
-                return Err(LTreeError::LabelOverflow { height: plan.new_height });
+                return Err(LTreeError::LabelOverflow {
+                    height: plan.new_height,
+                });
             }
         }
 
         // Mutate: splice the new leaves in, bump counts along the path.
-        let new_leaves: Vec<NodeId> =
-            (0..k).map(|_| self.arena.alloc(Node::new_leaf(Some(parent)))).collect();
-        self.arena.node_mut(parent).children_mut().splice(pos..pos, new_leaves.iter().copied());
+        let new_leaves: Vec<NodeId> = (0..k)
+            .map(|_| self.arena.alloc(Node::new_leaf(Some(parent))))
+            .collect();
+        self.arena
+            .node_mut(parent)
+            .children_mut()
+            .splice(pos..pos, new_leaves.iter().copied());
         for &id in &path {
             if let NodeData::Internal { leaf_count, .. } = &mut self.arena.node_mut(id).data {
                 *leaf_count += k64;
@@ -522,7 +558,11 @@ impl LTree {
     /// single-insert case where this is `s` complete trees).
     fn split_node(&mut self, t: NodeId) -> Result<()> {
         let h = self.arena.node(t).height;
-        let parent = self.arena.node(t).parent.expect("split_node is never called on the root");
+        let parent = self
+            .arena
+            .node(t)
+            .parent
+            .expect("split_node is never called on the root");
         let idx = self.index_of_child(parent, t);
         let leaves = self.dismantle(t);
         let total = leaves.len() as u64;
@@ -537,7 +577,10 @@ impl LTree {
             pieces.push(piece);
             off += size as usize;
         }
-        self.arena.node_mut(parent).children_mut().splice(idx..=idx, pieces);
+        self.arena
+            .node_mut(parent)
+            .children_mut()
+            .splice(idx..=idx, pieces);
         self.stats.splits += 1;
         self.stats.pieces_created += m;
         Ok(())
@@ -551,7 +594,9 @@ impl LTree {
         let old_h = self.height;
         let plan = RootRebuild::plan(&self.params, total, old_h);
         if plan.new_height > self.params.max_height() {
-            return Err(LTreeError::LabelOverflow { height: plan.new_height });
+            return Err(LTreeError::LabelOverflow {
+                height: plan.new_height,
+            });
         }
         let leaves = self.dismantle(self.root);
         debug_assert_eq!(leaves.len() as u64, total);
@@ -626,8 +671,10 @@ impl LTree {
         }
         let cap = self.params.subtree_capacity(height - 1);
         let cap = usize::try_from(cap).unwrap_or(usize::MAX).max(1);
-        let children: Vec<NodeId> =
-            leaves.chunks(cap).map(|chunk| self.build_complete(height - 1, chunk)).collect();
+        let children: Vec<NodeId> = leaves
+            .chunks(cap)
+            .map(|chunk| self.build_complete(height - 1, chunk))
+            .collect();
         self.make_internal(height, children)
     }
 
@@ -641,7 +688,11 @@ impl LTree {
         for &c in &children {
             self.arena.node_mut(c).parent = Some(id);
         }
-        if let NodeData::Internal { children: slot, leaf_count: lc } = &mut self.arena.node_mut(id).data {
+        if let NodeData::Internal {
+            children: slot,
+            leaf_count: lc,
+        } = &mut self.arena.node_mut(id).data
+        {
             *slot = children;
             *lc = leaf_count;
         }
@@ -695,7 +746,8 @@ impl LTree {
             match &node.data {
                 NodeData::Internal { children, .. } => {
                     out.push(0x01);
-                    let fanout = u16::try_from(children.len()).expect("fanout fits u16 (f <= 65536)");
+                    let fanout =
+                        u16::try_from(children.len()).expect("fanout fits u16 (f <= 65536)");
                     out.extend_from_slice(&fanout.to_le_bytes());
                     for &c in children.iter().rev() {
                         stack.push(c);
@@ -764,7 +816,12 @@ impl LTree {
                 Some((parent_id, remaining)) => {
                     let parent_id = *parent_id;
                     *remaining -= 1;
-                    let child_height = tree.arena.node(parent_id).height.checked_sub(1).ok_or_else(corrupt)?;
+                    let child_height = tree
+                        .arena
+                        .node(parent_id)
+                        .height
+                        .checked_sub(1)
+                        .ok_or_else(corrupt)?;
                     if matches!(ev, Ev::Leaf(_)) && child_height != 0 {
                         return Err(corrupt()); // leaf above the leaf level
                     }
@@ -882,12 +939,17 @@ mod tests {
     use super::*;
 
     fn labels_of(tree: &LTree) -> Vec<u128> {
-        tree.leaves().map(|l| tree.label(l).unwrap().get()).collect()
+        tree.leaves()
+            .map(|l| tree.label(l).unwrap().get())
+            .collect()
     }
 
     fn assert_sorted(tree: &LTree) {
         let ls = labels_of(tree);
-        assert!(ls.windows(2).all(|w| w[0] < w[1]), "labels must strictly increase: {ls:?}");
+        assert!(
+            ls.windows(2).all(|w| w[0] < w[1]),
+            "labels must strictly increase: {ls:?}"
+        );
     }
 
     #[test]
@@ -918,7 +980,10 @@ mod tests {
         let (tree, leaves) = LTree::bulk_load(p, 100).unwrap();
         let (h, expect) = crate::layout::bulk_load_labels(&p, 100).unwrap();
         assert_eq!(tree.height(), h);
-        let got: Vec<u128> = leaves.iter().map(|&l| tree.label(l).unwrap().get()).collect();
+        let got: Vec<u128> = leaves
+            .iter()
+            .map(|&l| tree.label(l).unwrap().get())
+            .collect();
         assert_eq!(got, expect);
     }
 
@@ -964,7 +1029,11 @@ mod tests {
             tree.check_invariants().unwrap();
         }
         assert!(tree.stats().splits > 0, "dense region must split");
-        assert_eq!(tree.stats().cascade_splits, 0, "Prop 3: no cascades for single inserts");
+        assert_eq!(
+            tree.stats().cascade_splits,
+            0,
+            "Prop 3: no cascades for single inserts"
+        );
         assert_sorted(&tree);
     }
 
@@ -987,7 +1056,7 @@ mod tests {
         let mut tree = LTree::new(Params::example());
         for _ in 0..300 {
             tree.insert_first().unwrap();
-            }
+        }
         tree.check_invariants().unwrap();
         assert_eq!(tree.len(), 300);
         assert_sorted(&tree);
@@ -1037,7 +1106,10 @@ mod tests {
     #[test]
     fn batch_of_zero_is_an_error() {
         let (mut tree, leaves) = LTree::bulk_load(Params::example(), 2).unwrap();
-        assert_eq!(tree.insert_many_after(leaves[0], 0), Err(LTreeError::EmptyBatch));
+        assert_eq!(
+            tree.insert_many_after(leaves[0], 0),
+            Err(LTreeError::EmptyBatch)
+        );
     }
 
     #[test]
@@ -1119,7 +1191,10 @@ mod tests {
         // node ids and freed ids must be rejected:
         tree.delete(leaves[0]).unwrap();
         tree.compact().unwrap();
-        assert!(matches!(tree.label(leaves[0]), Err(LTreeError::UnknownHandle)));
+        assert!(matches!(
+            tree.label(leaves[0]),
+            Err(LTreeError::UnknownHandle)
+        ));
         let _ = other_leaves;
     }
 
@@ -1128,7 +1203,11 @@ mod tests {
         let (mut tree, _) = LTree::bulk_load(Params::new(8, 2).unwrap(), 100).unwrap();
         let mut anchor = tree.first_leaf().unwrap();
         for i in 0..500 {
-            anchor = if i % 3 == 0 { tree.insert_after(anchor).unwrap() } else { anchor };
+            anchor = if i % 3 == 0 {
+                tree.insert_after(anchor).unwrap()
+            } else {
+                anchor
+            };
             tree.push_back().unwrap();
         }
         let space = tree.params().interval(tree.height()).unwrap();

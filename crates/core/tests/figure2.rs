@@ -8,7 +8,7 @@
 //! holding the dense region: it splits into `s = 2` complete binary
 //! subtrees and its parent's subtree is relabeled.
 //!
-//! As documented in DESIGN.md, the figure's printed numbers use label
+//! Note on the numbers: the figure's printed art uses label
 //! base 3 while the paper's own formulas (`N ≤ (f+1)^H`) mandate base
 //! `f+1 = 5`; we assert the base-5 numbers for the identical structural
 //! trace: the same split happens at the same moment on the same node.
@@ -16,7 +16,9 @@
 use ltree_core::{LTree, Params};
 
 fn all_labels(tree: &LTree) -> Vec<u128> {
-    tree.leaves().map(|l| tree.label(l).unwrap().get()).collect()
+    tree.leaves()
+        .map(|l| tree.label(l).unwrap().get())
+        .collect()
 }
 
 #[test]
@@ -69,17 +71,37 @@ fn figure2_walkthrough() {
     // The height-1 node now holds 4 = s·(f/s) leaves: it splits into two
     // complete binary subtrees and the parent's subtree is relabeled.
     let new_d_end = tree.insert_after(new_d_begin).unwrap();
-    assert_eq!(tree.stats().splits, 1, "the second insertion splits a height-1 node");
-    assert_eq!(tree.stats().pieces_created, 2, "split produces s = 2 pieces");
-    assert_eq!(tree.stats().cascade_splits, 0, "Proposition 3: no cascading");
+    assert_eq!(
+        tree.stats().splits,
+        1,
+        "the second insertion splits a height-1 node"
+    );
+    assert_eq!(
+        tree.stats().pieces_created,
+        2,
+        "split produces s = 2 pieces"
+    );
+    assert_eq!(
+        tree.stats().cascade_splits,
+        0,
+        "Proposition 3: no cascading"
+    );
     assert_eq!(tree.height(), 3, "no root rebuild");
     assert_eq!(
         all_labels(&tree),
         vec![0, 1, 5, 6, 10, 11, 25, 26, 30, 31],
         "base-5 analogue of figure 2(d): the dense region got its own subtree"
     );
-    assert_eq!(region!(new_d_begin, new_d_end), (5, 6), "new element D'(5,6)");
-    assert_eq!(region!(c_b, c_e), (10, 11), "C moved into the second piece, figure's C(6,7)");
+    assert_eq!(
+        region!(new_d_begin, new_d_end),
+        (5, 6),
+        "new element D'(5,6)"
+    );
+    assert_eq!(
+        region!(c_b, c_e),
+        (10, 11),
+        "C moved into the second piece, figure's C(6,7)"
+    );
     // The outer regions were untouched by the localized relabeling.
     assert_eq!(region!(a_b, a_e), (0, 31));
     assert_eq!(region!(b_b, b_e), (1, 25));
@@ -88,9 +110,13 @@ fn figure2_walkthrough() {
 
     // Interval containment still answers ancestor-descendant queries
     // (Figure 1 semantics): C is inside B, B inside A, D' inside B.
-    let contains = |outer: (u128, u128), inner: (u128, u128)| outer.0 < inner.0 && inner.1 < outer.1;
+    let contains =
+        |outer: (u128, u128), inner: (u128, u128)| outer.0 < inner.0 && inner.1 < outer.1;
     assert!(contains(region!(a_b, a_e), region!(b_b, b_e)));
     assert!(contains(region!(b_b, b_e), region!(c_b, c_e)));
     assert!(contains(region!(b_b, b_e), region!(new_d_begin, new_d_end)));
-    assert!(!contains(region!(c_b, c_e), region!(new_d_begin, new_d_end)));
+    assert!(!contains(
+        region!(c_b, c_e),
+        region!(new_d_begin, new_d_end)
+    ));
 }

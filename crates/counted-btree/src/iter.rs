@@ -13,7 +13,11 @@ pub struct Iter<'a, V> {
 
 impl<'a, V> Iter<'a, V> {
     pub(crate) fn new(root: &'a Node<V>, len: usize) -> Self {
-        let mut it = Iter { stack: Vec::new(), leaf: None, remaining: len };
+        let mut it = Iter {
+            stack: Vec::new(),
+            leaf: None,
+            remaining: len,
+        };
         it.descend(root);
         it
     }

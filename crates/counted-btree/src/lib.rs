@@ -80,7 +80,11 @@ impl<V> Default for CountedBTree<V> {
 impl<V> CountedBTree<V> {
     /// An empty tree.
     pub fn new() -> Self {
-        CountedBTree { root: Node::empty_leaf(), len: 0, touches: Cell::new(0) }
+        CountedBTree {
+            root: Node::empty_leaf(),
+            len: 0,
+            touches: Cell::new(0),
+        }
     }
 
     /// Build from strictly-increasing `(key, value)` pairs in `O(n)`.
@@ -94,7 +98,11 @@ impl<V> CountedBTree<V> {
         );
         let len = items.len();
         let root = Node::build_from_sorted(items);
-        CountedBTree { root, len, touches: Cell::new(0) }
+        CountedBTree {
+            root,
+            len,
+            touches: Cell::new(0),
+        }
     }
 
     /// Number of entries.
@@ -423,7 +431,8 @@ mod tests {
         assert_eq!(t.len(), 40);
         t.check_invariants().unwrap();
         // Re-insert shifted by 100 (still clear of existing keys).
-        t.extend_sorted(drained.into_iter().map(|(k, v)| (k + 100, v)).collect()).unwrap();
+        t.extend_sorted(drained.into_iter().map(|(k, v)| (k + 100, v)).collect())
+            .unwrap();
         assert_eq!(t.len(), 50);
         t.check_invariants().unwrap();
         assert_eq!(t.count_range(10, 20), 0);

@@ -10,8 +10,15 @@
 use crate::{MAX_LEN, MIN_LEN};
 
 pub(crate) enum Node<V> {
-    Leaf { keys: Vec<u128>, vals: Vec<V> },
-    Internal { seps: Vec<u128>, children: Vec<Node<V>>, count: usize },
+    Leaf {
+        keys: Vec<u128>,
+        vals: Vec<V>,
+    },
+    Internal {
+        seps: Vec<u128>,
+        children: Vec<Node<V>>,
+        count: usize,
+    },
 }
 
 pub(crate) enum InsertResult<V> {
@@ -28,12 +35,19 @@ fn route(seps: &[u128], key: u128) -> usize {
 
 impl<V> Node<V> {
     pub(crate) fn empty_leaf() -> Self {
-        Node::Leaf { keys: Vec::new(), vals: Vec::new() }
+        Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     pub(crate) fn new_root(left: Node<V>, sep: u128, right: Node<V>) -> Self {
         let count = left.len() + right.len();
-        Node::Internal { seps: vec![sep], children: vec![left, right], count }
+        Node::Internal {
+            seps: vec![sep],
+            children: vec![left, right],
+            count,
+        }
     }
 
     /// Entries in this subtree.
@@ -66,12 +80,22 @@ impl<V> Node<V> {
                     let right_keys = keys.split_off(mid);
                     let right_vals = vals.split_off(mid);
                     let sep = right_keys[0];
-                    InsertResult::Split(sep, Node::Leaf { keys: right_keys, vals: right_vals })
+                    InsertResult::Split(
+                        sep,
+                        Node::Leaf {
+                            keys: right_keys,
+                            vals: right_vals,
+                        },
+                    )
                 } else {
                     InsertResult::Done
                 }
             }
-            Node::Internal { seps, children, count } => {
+            Node::Internal {
+                seps,
+                children,
+                count,
+            } => {
                 let i = route(seps, key);
                 match children[i].insert(key, value, touched) {
                     InsertResult::Done => {
@@ -119,7 +143,11 @@ impl<V> Node<V> {
                     None
                 }
             }
-            Node::Internal { seps, children, count } => {
+            Node::Internal {
+                seps,
+                children,
+                count,
+            } => {
                 let i = route(seps, key);
                 let out = children[i].remove(key, touched)?;
                 *count -= 1;
@@ -307,7 +335,8 @@ impl<V> Node<V> {
         upper: Option<u128>,
         is_root: bool,
     ) -> Result<(usize, usize), String> {
-        let in_bounds = |k: u128| lower.map(|l| k >= l).unwrap_or(true) && upper.map(|u| k < u).unwrap_or(true);
+        let in_bounds =
+            |k: u128| lower.map(|l| k >= l).unwrap_or(true) && upper.map(|u| k < u).unwrap_or(true);
         match self {
             Node::Leaf { keys, vals } => {
                 if keys.len() != vals.len() {
@@ -327,7 +356,11 @@ impl<V> Node<V> {
                 }
                 Ok((keys.len(), 0))
             }
-            Node::Internal { seps, children, count } => {
+            Node::Internal {
+                seps,
+                children,
+                count,
+            } => {
                 if children.len() != seps.len() + 1 {
                     return Err("children/seps arity mismatch".into());
                 }
@@ -350,7 +383,11 @@ impl<V> Node<V> {
                 let mut depth = None;
                 for (i, child) in children.iter().enumerate() {
                     let lo = if i == 0 { lower } else { Some(seps[i - 1]) };
-                    let hi = if i == seps.len() { upper } else { Some(seps[i]) };
+                    let hi = if i == seps.len() {
+                        upper
+                    } else {
+                        Some(seps[i])
+                    };
                     let (c, d) = child.check(lo, hi, false)?;
                     total += c;
                     match depth {
@@ -380,7 +417,11 @@ fn make_internal<V>(group: Vec<(u128, Node<V>)>) -> Node<V> {
         count += node.len();
         children.push(node);
     }
-    Node::Internal { seps, children, count }
+    Node::Internal {
+        seps,
+        children,
+        count,
+    }
 }
 
 /// Fix an underfull `children[i]` by borrowing from a sibling or merging.
@@ -400,8 +441,16 @@ fn rebalance<V>(seps: &mut Vec<u128>, children: &mut Vec<Node<V>>, i: usize, tou
                 seps[i - 1] = k;
             }
             (
-                Node::Internal { seps: ls, children: lc, count: lcount },
-                Node::Internal { seps: cs, children: cc, count: ccount },
+                Node::Internal {
+                    seps: ls,
+                    children: lc,
+                    count: lcount,
+                },
+                Node::Internal {
+                    seps: cs,
+                    children: cc,
+                    count: ccount,
+                },
             ) => {
                 let moved = lc.pop().expect("left can lend");
                 let moved_len = moved.len();
@@ -429,8 +478,16 @@ fn rebalance<V>(seps: &mut Vec<u128>, children: &mut Vec<Node<V>>, i: usize, tou
                 seps[i] = rk[0];
             }
             (
-                Node::Internal { seps: cs, children: cc, count: ccount },
-                Node::Internal { seps: rs, children: rc, count: rcount },
+                Node::Internal {
+                    seps: cs,
+                    children: cc,
+                    count: ccount,
+                },
+                Node::Internal {
+                    seps: rs,
+                    children: rc,
+                    count: rcount,
+                },
             ) => {
                 let moved = rc.remove(0);
                 let moved_len = moved.len();
@@ -446,7 +503,10 @@ fn rebalance<V>(seps: &mut Vec<u128>, children: &mut Vec<Node<V>>, i: usize, tou
     }
     // Merge with a sibling (prefer left).
     let (l, r) = if i > 0 { (i - 1, i) } else { (i, i + 1) };
-    debug_assert!(r < children.len(), "a non-root interior node has >= 2 children");
+    debug_assert!(
+        r < children.len(),
+        "a non-root interior node has >= 2 children"
+    );
     let right = children.remove(r);
     let sep = seps.remove(l);
     match (&mut children[l], right) {
@@ -455,8 +515,16 @@ fn rebalance<V>(seps: &mut Vec<u128>, children: &mut Vec<Node<V>>, i: usize, tou
             lv.extend(rv);
         }
         (
-            Node::Internal { seps: ls, children: lc, count: lcount },
-            Node::Internal { seps: rs, children: rc, count: rcount },
+            Node::Internal {
+                seps: ls,
+                children: lc,
+                count: lcount,
+            },
+            Node::Internal {
+                seps: rs,
+                children: rc,
+                count: rcount,
+            },
         ) => {
             ls.push(sep);
             ls.extend(rs);

@@ -1,0 +1,170 @@
+//! Model-checking tests: the counted B-tree agrees with `std::BTreeMap`
+//! on every operation, including the order statistics the standard map
+//! cannot answer directly. Op streams come from a tiny seeded SplitMix64
+//! (this crate is dependency-free, so no external proptest); failures
+//! reproduce from the printed seed.
+
+use counted_btree::CountedBTree;
+use std::collections::BTreeMap;
+
+/// Local SplitMix64 (counted-btree has no dependencies, by design).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn key(&mut self) -> u16 {
+        self.next_u64() as u16
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    Rank(u16),
+    Kth(u16),
+    CountRange(u16, u16),
+    Successor(u16),
+    Predecessor(u16),
+    DrainRange(u16, u16),
+}
+
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.pick(17) {
+        0..=4 => Op::Insert(rng.key()),
+        5..=7 => Op::Remove(rng.key()),
+        8..=9 => Op::Rank(rng.key()),
+        10..=11 => Op::Kth(rng.key()),
+        12..=13 => Op::CountRange(rng.key(), rng.key()),
+        14 => Op::Successor(rng.key()),
+        15 => Op::Predecessor(rng.key()),
+        _ => Op::DrainRange(rng.key(), rng.key()),
+    }
+}
+
+fn check_one(tree: &mut CountedBTree<u16>, model: &mut BTreeMap<u128, u16>, op: &Op, seed: u64) {
+    match *op {
+        Op::Insert(k) => {
+            let k128 = u128::from(k);
+            let ours = tree.insert(k128, k).is_ok();
+            let theirs = !model.contains_key(&k128);
+            assert_eq!(ours, theirs, "seed {seed}: insert {k}");
+            if theirs {
+                model.insert(k128, k);
+            }
+        }
+        Op::Remove(k) => {
+            assert_eq!(
+                tree.remove(u128::from(k)),
+                model.remove(&u128::from(k)),
+                "seed {seed}"
+            );
+        }
+        Op::Rank(k) => {
+            let expect = model.range(..u128::from(k)).count();
+            assert_eq!(tree.rank(u128::from(k)), expect, "seed {seed}: rank {k}");
+        }
+        Op::Kth(i) => {
+            let i = usize::from(i);
+            let expect = model.iter().nth(i).map(|(&k, v)| (k, v));
+            assert_eq!(tree.kth(i), expect, "seed {seed}: kth {i}");
+        }
+        Op::CountRange(a, b) => {
+            let (lo, hi) = (u128::from(a), u128::from(b));
+            let expect = if hi <= lo {
+                0
+            } else {
+                model.range(lo..hi).count()
+            };
+            assert_eq!(
+                tree.count_range(lo, hi),
+                expect,
+                "seed {seed}: count [{lo},{hi})"
+            );
+        }
+        Op::Successor(k) => {
+            let expect = model.range(u128::from(k)..).next().map(|(&kk, v)| (kk, v));
+            assert_eq!(
+                tree.successor(u128::from(k)),
+                expect,
+                "seed {seed}: successor {k}"
+            );
+        }
+        Op::Predecessor(k) => {
+            let expect = model
+                .range(..u128::from(k))
+                .next_back()
+                .map(|(&kk, v)| (kk, v));
+            assert_eq!(
+                tree.predecessor(u128::from(k)),
+                expect,
+                "seed {seed}: predecessor {k}"
+            );
+        }
+        Op::DrainRange(a, b) => {
+            let (lo, hi) = (u128::from(a), u128::from(b));
+            let drained = tree.drain_range(lo, hi);
+            let expect: Vec<(u128, u16)> = if hi <= lo {
+                Vec::new()
+            } else {
+                let keys: Vec<u128> = model.range(lo..hi).map(|(&k, _)| k).collect();
+                keys.into_iter()
+                    .map(|k| (k, model.remove(&k).unwrap()))
+                    .collect()
+            };
+            assert_eq!(drained, expect, "seed {seed}: drain [{lo},{hi})");
+        }
+    }
+}
+
+#[test]
+fn agrees_with_btreemap() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(seed);
+        let mut tree: CountedBTree<u16> = CountedBTree::new();
+        let mut model: BTreeMap<u128, u16> = BTreeMap::new();
+        let stream_len = 1 + rng.pick(200);
+        for _ in 0..stream_len {
+            let op = random_op(&mut rng);
+            check_one(&mut tree, &mut model, &op, seed);
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(tree.len(), model.len(), "seed {seed}");
+        }
+        // Full iteration agreement at the end.
+        assert!(
+            tree.iter()
+                .map(|(k, v)| (k, *v))
+                .eq(model.iter().map(|(&k, &v)| (k, v))),
+            "seed {seed}: final iteration diverged"
+        );
+    }
+}
+
+#[test]
+fn from_sorted_equals_incremental() {
+    for seed in 100..132u64 {
+        let mut rng = Rng(seed);
+        let keys: std::collections::BTreeSet<u16> = (0..rng.pick(500)).map(|_| rng.key()).collect();
+        let items: Vec<(u128, u16)> = keys.iter().map(|&k| (u128::from(k), k)).collect();
+        let bulk = CountedBTree::from_sorted(items.clone());
+        bulk.check_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut inc = CountedBTree::new();
+        for (k, v) in items {
+            inc.insert(k, v).unwrap();
+        }
+        assert!(bulk.iter().eq(inc.iter()), "seed {seed}");
+    }
+}

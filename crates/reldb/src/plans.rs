@@ -35,7 +35,9 @@ pub fn descendants_via_edge_joins(edge: &EdgeTable, tags: &[&str], max_depth: us
     let mut touched = 0u64;
     let mut joins = 0u64;
     // Current frontier: ids whose subtrees we are inside of.
-    let mut frontier = table.filter_eq("tag", &Value::from(tags[0]), &mut touched).project(&["id"]);
+    let mut frontier = table
+        .filter_eq("tag", &Value::from(tags[0]), &mut touched)
+        .project(&["id"]);
     for tag in &tags[1..] {
         // Descendants of the frontier: iterate child self-joins to a
         // fixpoint (bounded by the document height).
@@ -71,11 +73,19 @@ pub fn descendants_via_edge_joins(edge: &EdgeTable, tags: &[&str], max_depth: us
         frontier.sort_dedup_by("id");
     }
     let id = frontier.col("id");
-    let mut result_ids: Vec<i64> =
-        frontier.rows().iter().map(|r| r[id].as_int().expect("id is Int")).collect();
+    let mut result_ids: Vec<i64> = frontier
+        .rows()
+        .iter()
+        .map(|r| r[id].as_int().expect("id is Int"))
+        .collect();
     result_ids.sort_unstable();
     result_ids.dedup();
-    PlanReport { plan: "edge self-joins", result_ids, rows_touched: touched, joins }
+    PlanReport {
+        plan: "edge self-joins",
+        result_ids,
+        rows_touched: touched,
+        joins,
+    }
 }
 
 /// Evaluate `//a₁//…//aₖ` over the region table: one tag selection per
@@ -88,14 +98,23 @@ pub fn descendants_via_region_join(region: &RegionTable, tags: &[&str]) -> PlanR
     for tag in &tags[1..] {
         let candidates = table.filter_eq("tag", &Value::from(*tag), &mut touched);
         joins += 1;
-        frontier = frontier.interval_containment_semijoin(&candidates, "begin", "end", &mut touched);
+        frontier =
+            frontier.interval_containment_semijoin(&candidates, "begin", "end", &mut touched);
     }
     let id = frontier.col("id");
-    let mut result_ids: Vec<i64> =
-        frontier.rows().iter().map(|r| r[id].as_int().expect("id is Int")).collect();
+    let mut result_ids: Vec<i64> = frontier
+        .rows()
+        .iter()
+        .map(|r| r[id].as_int().expect("id is Int"))
+        .collect();
     result_ids.sort_unstable();
     result_ids.dedup();
-    PlanReport { plan: "region interval join", result_ids, rows_touched: touched, joins }
+    PlanReport {
+        plan: "region interval join",
+        result_ids,
+        rows_touched: touched,
+        joins,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +139,11 @@ mod tests {
     fn plans_agree_and_match_ground_truth() {
         let d = doc();
         let (edge, region) = shred(&d);
-        for tags in [&["site", "item"][..], &["regions", "name"][..], &["site", "regions", "item", "name"][..]] {
+        for tags in [
+            &["site", "item"][..],
+            &["regions", "name"][..],
+            &["site", "regions", "item", "name"][..],
+        ] {
             let e = descendants_via_edge_joins(&edge, tags, 8);
             let r = descendants_via_region_join(&region, tags);
             assert_eq!(e.result_ids, r.result_ids, "plans disagree on {tags:?}");
@@ -146,7 +169,10 @@ mod tests {
         let e = descendants_via_edge_joins(&edge, &tags, 8);
         let r = descendants_via_region_join(&region, &tags);
         assert_eq!(r.joins, 2, "one interval join per // step");
-        assert!(e.joins > r.joins, "edge plan needs a join per level per step");
+        assert!(
+            e.joins > r.joins,
+            "edge plan needs a join per level per step"
+        );
         assert!(e.rows_touched > r.rows_touched, "and touches more rows");
     }
 

@@ -68,7 +68,11 @@ mod tests {
         let d = doc();
         let (_, RegionTable(region)) = shred(&d);
         let b = region.col("begin");
-        let mut begins: Vec<u128> = region.rows().iter().map(|r| r[b].as_big().unwrap()).collect();
+        let mut begins: Vec<u128> = region
+            .rows()
+            .iter()
+            .map(|r| r[b].as_big().unwrap())
+            .collect();
         let sorted = {
             let mut s = begins.clone();
             s.sort_unstable();

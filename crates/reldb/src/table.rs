@@ -61,7 +61,12 @@ impl Table {
     /// # Panics
     /// Panics on arity mismatch.
     pub fn insert(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.columns.len(), "row arity mismatch for {}", self.name);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch for {}",
+            self.name
+        );
         self.rows.push(row);
     }
 
@@ -91,7 +96,13 @@ impl Table {
     /// Hash equi-join: rows of `self` joined with rows of `right` where
     /// `self.left_key == right.right_key`. Output columns are the
     /// concatenation. `touched` counts build+probe rows.
-    pub fn hash_join(&self, right: &Table, left_key: &str, right_key: &str, touched: &mut u64) -> Table {
+    pub fn hash_join(
+        &self,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+        touched: &mut u64,
+    ) -> Table {
         let lk = self.col(left_key);
         let rk = right.col(right_key);
         let mut cols: Vec<String> = self.columns.iter().map(|c| format!("l.{c}")).collect();
@@ -138,18 +149,32 @@ impl Table {
         let mut outer_idx: Vec<(u128, u128)> = self
             .rows
             .iter()
-            .map(|r| (r[ob].as_big().expect("begin is Big"), r[oe].as_big().expect("end is Big")))
+            .map(|r| {
+                (
+                    r[ob].as_big().expect("begin is Big"),
+                    r[oe].as_big().expect("end is Big"),
+                )
+            })
             .collect();
         outer_idx.sort_unstable();
         let mut inner_rows: Vec<(u128, u128, &Vec<Value>)> = inner
             .rows
             .iter()
-            .map(|r| (r[ib].as_big().expect("begin is Big"), r[ie].as_big().expect("end is Big"), r))
+            .map(|r| {
+                (
+                    r[ib].as_big().expect("begin is Big"),
+                    r[ie].as_big().expect("end is Big"),
+                    r,
+                )
+            })
             .collect();
         inner_rows.sort_unstable_by_key(|&(b, ..)| b);
         *touched += (self.rows.len() + inner.rows.len()) as u64;
 
-        let mut out = Table::new(&format!("({} ⊇ {})", self.name, inner.name), &inner.column_refs());
+        let mut out = Table::new(
+            &format!("({} ⊇ {})", self.name, inner.name),
+            &inner.column_refs(),
+        );
         let mut stack: Vec<(u128, u128)> = Vec::new();
         let mut oi = 0usize;
         for (b, e, row) in inner_rows {
@@ -186,7 +211,8 @@ impl Table {
         let idxs: Vec<usize> = keep.iter().map(|c| self.col(c)).collect();
         let mut out = Table::new(&format!("π({})", self.name), keep);
         for row in &self.rows {
-            out.rows.push(idxs.iter().map(|&i| row[i].clone()).collect());
+            out.rows
+                .push(idxs.iter().map(|&i| row[i].clone()).collect());
         }
         out
     }

@@ -65,7 +65,10 @@ impl std::fmt::Display for TuningError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TuningError::NoFeasibleParams { max_bits } => {
-                write!(f, "no (f, s) meets the {max_bits}-bit label budget at this document size")
+                write!(
+                    f,
+                    "no (f, s) meets the {max_bits}-bit label budget at this document size"
+                )
             }
         }
     }
@@ -93,11 +96,19 @@ fn grid<F: FnMut(Params, f64, f64) -> Option<f64>>(n: u64, mut score: F) -> Opti
             if f > MAX_F {
                 break;
             }
-            let Ok(params) = Params::new(f, s) else { continue };
+            let Ok(params) = Params::new(f, s) else {
+                continue;
+            };
             let cost = amortized_cost(f as f64, s as f64, nf);
             let bits = label_bits(f as f64, s as f64, nf);
-            let Some(sc) = score(params, cost, bits) else { continue };
-            let candidate = TunedParams { params, predicted_cost: cost, predicted_bits: bits };
+            let Some(sc) = score(params, cost, bits) else {
+                continue;
+            };
+            let candidate = TunedParams {
+                params,
+                predicted_cost: cost,
+                predicted_bits: bits,
+            };
             match &best {
                 Some((b, _)) if *b <= sc => {}
                 _ => best = Some((sc, candidate)),
@@ -131,8 +142,11 @@ pub fn optimize_cost_with_bits(n: u64, max_bits: u32) -> Result<TunedParams, Tun
     if feasible(unconstrained.params, unconstrained.predicted_bits) {
         return Ok(unconstrained);
     }
-    grid(n, |p, cost, bits| if feasible(p, bits) { Some(cost) } else { None })
-        .ok_or(TuningError::NoFeasibleParams { max_bits })
+    grid(
+        n,
+        |p, cost, bits| if feasible(p, bits) { Some(cost) } else { None },
+    )
+    .ok_or(TuningError::NoFeasibleParams { max_bits })
 }
 
 /// Mode 3 — minimize the workload-weighted overall cost (paper:
@@ -140,7 +154,13 @@ pub fn optimize_cost_with_bits(n: u64, max_bits: u32) -> Result<TunedParams, Tun
 pub fn optimize_workload(w: &Workload) -> TunedParams {
     let nf = (w.n.max(2)) as f64;
     grid(w.n, |p, _, _| {
-        Some(overall_cost(f64::from(p.f()), f64::from(p.s()), nf, w.queries_per_update, w.word_bits))
+        Some(overall_cost(
+            f64::from(p.f()),
+            f64::from(p.s()),
+            nf,
+            w.queries_per_update,
+            w.word_bits,
+        ))
     })
     .expect("unconstrained grid is never empty")
 }
@@ -244,7 +264,10 @@ mod tests {
         let t = optimize_cost(1_000_000);
         // Integer rounding loses little.
         assert!(t.predicted_cost <= continuous_cost * 1.25 + 2.0);
-        assert!(t.predicted_cost + 1e-9 >= continuous_cost, "grid cannot beat the continuous min");
+        assert!(
+            t.predicted_cost + 1e-9 >= continuous_cost,
+            "grid cannot beat the continuous min"
+        );
     }
 
     #[test]
@@ -290,20 +313,42 @@ mod tests {
         let (n, beta, s) = (1e6, 50.0, 2.0);
         let a = boundary_arity(n, beta, s).unwrap();
         let bits = label_bits(a * s, s, n);
-        assert!((bits - beta).abs() < 0.1 || a == 2.0, "bits {bits} vs beta {beta}");
+        assert!(
+            (bits - beta).abs() < 0.1 || a == 2.0,
+            "bits {bits} vs beta {beta}"
+        );
     }
 
     #[test]
     fn query_heavy_workloads_get_narrow_labels() {
         let n = 1 << 20;
-        let update_heavy = optimize_workload(&Workload { n, queries_per_update: 0.01, word_bits: 64 });
-        let query_heavy = optimize_workload(&Workload { n, queries_per_update: 1e5, word_bits: 64 });
+        let update_heavy = optimize_workload(&Workload {
+            n,
+            queries_per_update: 0.01,
+            word_bits: 64,
+        });
+        let query_heavy = optimize_workload(&Workload {
+            n,
+            queries_per_update: 1e5,
+            word_bits: 64,
+        });
         let nf = n as f64;
-        let bits_q = label_bits(f64::from(query_heavy.params.f()), f64::from(query_heavy.params.s()), nf);
+        let bits_q = label_bits(
+            f64::from(query_heavy.params.f()),
+            f64::from(query_heavy.params.s()),
+            nf,
+        );
         // The query-heavy optimum must fit a machine word if at all possible.
-        assert!(bits_q <= 64.0 + 1e-9, "query-heavy labels must fit a word, got {bits_q}");
+        assert!(
+            bits_q <= 64.0 + 1e-9,
+            "query-heavy labels must fit a word, got {bits_q}"
+        );
         // And it should not be costlier on queries than the update-heavy one.
-        let bits_u = label_bits(f64::from(update_heavy.params.f()), f64::from(update_heavy.params.s()), nf);
+        let bits_u = label_bits(
+            f64::from(update_heavy.params.f()),
+            f64::from(update_heavy.params.s()),
+            nf,
+        );
         assert!(bits_q <= bits_u + 1e-9);
     }
 

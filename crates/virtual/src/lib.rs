@@ -32,7 +32,11 @@
 
 use counted_btree::CountedBTree;
 use ltree_core::layout::{ceil_div, complete_offset, even_split, RootRebuild};
-use ltree_core::{LTreeError, LabelingScheme, LeafHandle, Params, Result, SchemeStats};
+use ltree_core::registry::SchemeRegistry;
+use ltree_core::{
+    BatchLabeling, Instrumented, LTreeError, LeafHandle, OrderedLabeling, OrderedLabelingMut,
+    Params, Result, SchemeStats,
+};
 
 #[derive(Debug, Clone)]
 struct VItem {
@@ -96,7 +100,10 @@ impl VirtualLTree {
     /// own invariants).
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
         self.tree.check_invariants()?;
-        let space = self.params.interval(self.height).map_err(|e| e.to_string())?;
+        let space = self
+            .params
+            .interval(self.height)
+            .map_err(|e| e.to_string())?;
         let mut prev: Option<u128> = None;
         for (k, &idx) in self.tree.iter() {
             if k >= space {
@@ -110,7 +117,10 @@ impl VirtualLTree {
             prev = Some(k);
             let item = self.items.get(idx as usize).ok_or("dangling item index")?;
             if !item.alive || item.label != k {
-                return Err(format!("item {idx} out of sync: stored {} vs key {k}", item.label));
+                return Err(format!(
+                    "item {idx} out of sync: stored {} vs key {k}",
+                    item.label
+                ));
             }
         }
         Ok(())
@@ -155,10 +165,15 @@ impl VirtualLTree {
         // Allocate the new items (labels filled in below).
         let first_idx = self.items.len() as u32;
         for _ in 0..k {
-            self.items.push(VItem { label: 0, deleted: false, alive: true });
+            self.items.push(VItem {
+                label: 0,
+                deleted: false,
+                alive: true,
+            });
         }
-        let new_handles: Vec<LeafHandle> =
-            (0..k as u64).map(|j| LeafHandle(u64::from(first_idx) + j)).collect();
+        let new_handles: Vec<LeafHandle> = (0..k as u64)
+            .map(|j| LeafHandle(u64::from(first_idx) + j))
+            .collect();
         let new_indices: Vec<u32> = (0..k as u32).map(|j| first_idx + j).collect();
         self.stats.inserts += k64;
         self.n_live += k64;
@@ -260,7 +275,8 @@ impl VirtualLTree {
 
         // Rebuild the ordered item sequence with the new leaves spliced
         // into the t-group right before `insert_before_label`.
-        let mut seq: Vec<(Option<u128>, u32)> = Vec::with_capacity(entries.len() + new_indices.len());
+        let mut seq: Vec<(Option<u128>, u32)> =
+            Vec::with_capacity(entries.len() + new_indices.len());
         let mut spliced = false;
         for (old, idx) in entries {
             if !spliced && old >= insert_before_label {
@@ -352,7 +368,9 @@ impl VirtualLTree {
             }
             self.n_live -= new_indices.len() as u64;
             self.stats.inserts -= new_indices.len() as u64;
-            return Err(LTreeError::LabelOverflow { height: plan.new_height });
+            return Err(LTreeError::LabelOverflow {
+                height: plan.new_height,
+            });
         }
         let insert_before_label = parent_base + pos as u128;
         let space = params.interval(self.height)?;
@@ -397,11 +415,65 @@ impl VirtualLTree {
     }
 }
 
-impl LabelingScheme for VirtualLTree {
+/// Register the virtual L-Tree with a scheme registry, under both
+/// `"ltree-virtual"` and the shorthand `"virtual"`. Spec arguments are
+/// the `(f, s)` pair, e.g. `"virtual(4,2)"`.
+pub fn register(reg: &mut SchemeRegistry) {
+    for name in ["ltree-virtual", "virtual"] {
+        reg.register(
+            name,
+            "virtual L-Tree (paper §4.2, labels only); args: (f,s)",
+            move |cfg, args| {
+                let params = cfg.params_from_args(name, args)?;
+                Ok(Box::new(VirtualLTree::new(params)))
+            },
+        );
+    }
+}
+
+impl OrderedLabeling for VirtualLTree {
     fn name(&self) -> &'static str {
         "ltree-virtual"
     }
 
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        Ok(self.item(h)?.label)
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.n_live as usize
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        self.tree.kth(0).map(|(_, &idx)| LeafHandle(u64::from(idx)))
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        let label = self.item(h).ok()?.label;
+        self.tree
+            .successor(label + 1)
+            .map(|(_, &idx)| LeafHandle(u64::from(idx)))
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        match self.params.interval(self.height) {
+            Ok(space) => 128 - (space - 1).leading_zeros(),
+            Err(_) => 128,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.items.capacity() * std::mem::size_of::<VItem>()
+            + self.tree.memory_bytes()
+    }
+}
+
+impl OrderedLabelingMut for VirtualLTree {
     fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
         if !self.items.is_empty() || !self.tree.is_empty() {
             return Err(LTreeError::NotEmpty);
@@ -411,7 +483,11 @@ impl LabelingScheme for VirtualLTree {
         let mut batch = Vec::with_capacity(n);
         let mut out = Vec::with_capacity(n);
         for (j, label) in labels.into_iter().enumerate() {
-            self.items.push(VItem { label, deleted: false, alive: true });
+            self.items.push(VItem {
+                label,
+                deleted: false,
+                alive: true,
+            });
             batch.push((label, j as u32));
             out.push(LeafHandle(j as u64));
         }
@@ -454,15 +530,6 @@ impl LabelingScheme for VirtualLTree {
         Ok(out[0])
     }
 
-    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
-        let x = self.item(anchor)?.label;
-        let base = self.params.base();
-        let parent_base = x / base * base;
-        let out = self.insert_at(parent_base, (x - parent_base) as u64 + 1, k)?;
-        self.sync_touches();
-        Ok(out)
-    }
-
     fn delete(&mut self, h: LeafHandle) -> Result<()> {
         let idx = usize::try_from(h.0).map_err(|_| LTreeError::UnknownHandle)?;
         match self.items.get_mut(idx) {
@@ -478,30 +545,22 @@ impl LabelingScheme for VirtualLTree {
             _ => Err(LTreeError::UnknownHandle),
         }
     }
+}
 
-    fn label_of(&self, h: LeafHandle) -> Result<u128> {
-        Ok(self.item(h)?.label)
+impl BatchLabeling for VirtualLTree {
+    /// Native Section 4.1 batch over the virtual structure: one violator
+    /// search and one relabel pass for the whole batch.
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        let x = self.item(anchor)?.label;
+        let base = self.params.base();
+        let parent_base = x / base * base;
+        let out = self.insert_at(parent_base, (x - parent_base) as u64 + 1, k)?;
+        self.sync_touches();
+        Ok(out)
     }
+}
 
-    fn len(&self) -> usize {
-        self.tree.len()
-    }
-
-    fn live_len(&self) -> usize {
-        self.n_live as usize
-    }
-
-    fn handles_in_order(&self) -> Vec<LeafHandle> {
-        self.tree.iter().map(|(_, &idx)| LeafHandle(u64::from(idx))).collect()
-    }
-
-    fn label_space_bits(&self) -> u32 {
-        match self.params.interval(self.height) {
-            Ok(space) => 128 - (space - 1).leading_zeros(),
-            Err(_) => 128,
-        }
-    }
-
+impl Instrumented for VirtualLTree {
     fn scheme_stats(&self) -> SchemeStats {
         let mut s = self.stats;
         s.node_touches += self.tree.touches();
@@ -512,12 +571,6 @@ impl LabelingScheme for VirtualLTree {
         self.stats = SchemeStats::default();
         self.tree.reset_touches();
         self.range_probes = 0;
-    }
-
-    fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.items.capacity() * std::mem::size_of::<VItem>()
-            + self.tree.memory_bytes()
     }
 }
 
@@ -553,7 +606,10 @@ mod tests {
         assert_eq!(v.labels_in_order(), vec![0, 1, 5, 6, 7, 25, 26, 30, 31]);
         assert_eq!(v.label_of(d).unwrap(), 5);
         let _d_end = v.insert_after(d).unwrap();
-        assert_eq!(v.labels_in_order(), vec![0, 1, 5, 6, 10, 11, 25, 26, 30, 31]);
+        assert_eq!(
+            v.labels_in_order(),
+            vec![0, 1, 5, 6, 10, 11, 25, 26, 30, 31]
+        );
         v.check_invariants().unwrap();
     }
 
@@ -580,7 +636,7 @@ mod tests {
         let params = Params::new(8, 2).unwrap();
         let mut v = VirtualLTree::new(params);
         let mut m = LTree::new(params);
-        let mut va = LabelingScheme::insert_first(&mut v).unwrap();
+        let mut va = OrderedLabelingMut::insert_first(&mut v).unwrap();
         let mut ma = m.insert_first().unwrap();
         for i in 0..500 {
             va = v.insert_after(va).unwrap();
@@ -600,7 +656,7 @@ mod tests {
         let vh = v.bulk_build(16).unwrap();
         let (mut m, ml) = LTree::bulk_load(params, 16).unwrap();
         for k in [1usize, 2, 5, 17, 64] {
-            LabelingScheme::insert_many_after(&mut v, vh[7], k).unwrap();
+            BatchLabeling::insert_many_after(&mut v, vh[7], k).unwrap();
             m.insert_many_after(ml[7], k).unwrap();
             assert_eq!(v.labels_in_order(), mat_labels(&m), "batch k = {k}");
             m.check_invariants().unwrap();
@@ -633,9 +689,9 @@ mod tests {
     fn empty_then_first_insert() {
         let params = Params::new(4, 2).unwrap();
         let mut v = VirtualLTree::new(params);
-        let h = LabelingScheme::insert_first(&mut v).unwrap();
+        let h = OrderedLabelingMut::insert_first(&mut v).unwrap();
         assert_eq!(v.label_of(h).unwrap(), 0);
-        let h2 = LabelingScheme::insert_first(&mut v).unwrap();
+        let h2 = OrderedLabelingMut::insert_first(&mut v).unwrap();
         assert!(v.label_of(h2).unwrap() < v.label_of(h).unwrap());
         v.check_invariants().unwrap();
     }
@@ -647,7 +703,10 @@ mod tests {
         let hs = v.bulk_build(32).unwrap();
         v.reset_scheme_stats();
         v.insert_after(hs[10]).unwrap();
-        assert!(v.range_probes() >= u64::from(v.height()), "one probe per level minimum");
+        assert!(
+            v.range_probes() >= u64::from(v.height()),
+            "one probe per level minimum"
+        );
         assert!(v.scheme_stats().node_touches > 0);
     }
 }

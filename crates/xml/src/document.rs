@@ -14,7 +14,8 @@ use crate::dom::{XmlNodeId, XmlTree};
 use crate::error::{Result, XmlError};
 use crate::join::SpanRec;
 use crate::tags::TagId;
-use ltree_core::{LabelingScheme, LeafHandle};
+use ltree_core::registry::{SchemeConfig, SchemeRegistry};
+use ltree_core::{DynScheme, LabelingScheme, LeafHandle};
 
 #[derive(Debug, Clone, Copy)]
 struct NodeMeta {
@@ -38,7 +39,12 @@ impl<S: LabelingScheme> Document<S> {
     pub fn from_tree(tree: XmlTree, mut scheme: S) -> Result<Self> {
         let count = tree.element_count();
         let handles = scheme.bulk_build(2 * count)?;
-        let mut doc = Document { tree, scheme, meta: HashMap::new(), tag_index: HashMap::new() };
+        let mut doc = Document {
+            tree,
+            scheme,
+            meta: HashMap::new(),
+            tag_index: HashMap::new(),
+        };
         if let Some(root) = doc.tree.root() {
             doc.assign_handles(root, 0, &handles)?;
         }
@@ -53,6 +59,11 @@ impl<S: LabelingScheme> Document<S> {
     /// Parse text and bind it in one step.
     pub fn parse_str(xml: &str, scheme: S) -> Result<Self> {
         Self::from_tree(crate::parser::parse(xml)?, scheme)
+    }
+
+    /// The labeling scheme, by value (for rebinding or inspection).
+    pub fn into_scheme(self) -> S {
+        self.scheme
     }
 
     /// Bind a tree to a scheme that **already** holds the right leaves —
@@ -72,7 +83,12 @@ impl<S: LabelingScheme> Document<S> {
                 ),
             });
         }
-        let mut doc = Document { tree, scheme, meta: HashMap::new(), tag_index: HashMap::new() };
+        let mut doc = Document {
+            tree,
+            scheme,
+            meta: HashMap::new(),
+            tag_index: HashMap::new(),
+        };
         if let Some(root) = doc.tree.root() {
             doc.assign_handles(root, 0, live_handles)?;
         }
@@ -84,9 +100,35 @@ impl<S: LabelingScheme> Document<S> {
         Ok(doc)
     }
 
+    /// Verify that the scheme's own cursor order agrees with strictly
+    /// increasing labels — a streaming walk, no allocation. Tombstones
+    /// (departed elements) are part of the order and are included.
+    fn check_scheme_order(&self) -> Result<()> {
+        let mut prev: Option<u128> = None;
+        for h in self.scheme.cursor() {
+            let l = self.scheme.label_of(h)?;
+            if let Some(p) = prev {
+                if p >= l {
+                    return Err(XmlError::Parse {
+                        line: 0,
+                        col: 0,
+                        msg: format!("scheme cursor out of label order ({p} >= {l})"),
+                    });
+                }
+            }
+            prev = Some(l);
+        }
+        Ok(())
+    }
+
     /// Assign begin/end handles (a slice covering exactly the subtree's
     /// `2 × size` tags, in document order) to the subtree at `root`.
-    fn assign_handles(&mut self, root: XmlNodeId, root_depth: u32, handles: &[LeafHandle]) -> Result<()> {
+    fn assign_handles(
+        &mut self,
+        root: XmlNodeId,
+        root_depth: u32,
+        handles: &[LeafHandle],
+    ) -> Result<()> {
         enum Ev {
             Enter(XmlNodeId, u32),
             Exit(XmlNodeId),
@@ -141,7 +183,10 @@ impl<S: LabelingScheme> Document<S> {
     /// The `(begin, end)` region labels of an element.
     pub fn span(&self, id: XmlNodeId) -> Result<(u128, u128)> {
         let meta = self.meta.get(&id).ok_or(XmlError::UnknownNode)?;
-        Ok((self.scheme.label_of(meta.begin)?, self.scheme.label_of(meta.end)?))
+        Ok((
+            self.scheme.label_of(meta.begin)?,
+            self.scheme.label_of(meta.end)?,
+        ))
     }
 
     /// Depth of an element (root = 0) — maintained incrementally.
@@ -163,11 +208,17 @@ impl<S: LabelingScheme> Document<S> {
     /// All elements with the given tag, as span records sorted by begin
     /// label (the "tag index" of the paper's RDBMS story).
     pub fn spans_with_tag(&self, tag: &str) -> Result<Vec<SpanRec>> {
-        let Some(tag) = self.tree.tags.get(tag) else { return Ok(Vec::new()) };
+        let Some(tag) = self.tree.tags.get(tag) else {
+            return Ok(Vec::new());
+        };
         let mut out: Vec<SpanRec> = self
             .tag_index
             .get(&tag)
-            .map(|ids| ids.iter().map(|&id| self.span_rec(id)).collect::<Result<_>>())
+            .map(|ids| {
+                ids.iter()
+                    .map(|&id| self.span_rec(id))
+                    .collect::<Result<_>>()
+            })
             .transpose()?
             .unwrap_or_default();
         out.sort_unstable_by_key(|s| s.begin);
@@ -176,8 +227,11 @@ impl<S: LabelingScheme> Document<S> {
 
     /// Every element as a span record, sorted by begin label.
     pub fn all_spans(&self) -> Result<Vec<SpanRec>> {
-        let mut out: Vec<SpanRec> =
-            self.meta.keys().map(|&id| self.span_rec(id)).collect::<Result<_>>()?;
+        let mut out: Vec<SpanRec> = self
+            .meta
+            .keys()
+            .map(|&id| self.span_rec(id))
+            .collect::<Result<_>>()?;
         out.sort_unstable_by_key(|s| s.begin);
         Ok(out)
     }
@@ -210,14 +264,24 @@ impl<S: LabelingScheme> Document<S> {
     /// XPath `following` axis): `begin > end(id)`.
     pub fn following(&self, id: XmlNodeId) -> Result<Vec<XmlNodeId>> {
         let (_, e) = self.span(id)?;
-        Ok(self.all_spans()?.into_iter().filter(|r| r.begin > e).map(|r| r.node).collect())
+        Ok(self
+            .all_spans()?
+            .into_iter()
+            .filter(|r| r.begin > e)
+            .map(|r| r.node)
+            .collect())
     }
 
     /// Elements entirely *before* `id`'s subtree in document order (the
     /// XPath `preceding` axis): `end < begin(id)`.
     pub fn preceding(&self, id: XmlNodeId) -> Result<Vec<XmlNodeId>> {
         let (b, _) = self.span(id)?;
-        Ok(self.all_spans()?.into_iter().filter(|r| r.end < b).map(|r| r.node).collect())
+        Ok(self
+            .all_spans()?
+            .into_iter()
+            .filter(|r| r.end < b)
+            .map(|r| r.node)
+            .collect())
     }
 
     /// Following siblings of `id` via labels: same parent region, begin
@@ -264,7 +328,10 @@ impl<S: LabelingScheme> Document<S> {
         let anchor = if idx == 0 {
             parent_meta.begin
         } else {
-            self.meta.get(&children[idx - 1]).ok_or(XmlError::UnknownNode)?.end
+            self.meta
+                .get(&children[idx - 1])
+                .ok_or(XmlError::UnknownNode)?
+                .end
         };
         let new_ids = self.tree.graft(parent, idx, fragment)?;
         let k = 2 * new_ids.len();
@@ -279,7 +346,12 @@ impl<S: LabelingScheme> Document<S> {
 
     /// Insert a single fresh element (no children) — the paper's single
     /// node insertion: two leaf insertions.
-    pub fn insert_element(&mut self, parent: XmlNodeId, index: usize, tag: &str) -> Result<XmlNodeId> {
+    pub fn insert_element(
+        &mut self,
+        parent: XmlNodeId,
+        index: usize,
+        tag: &str,
+    ) -> Result<XmlNodeId> {
         let (frag, _) = XmlTree::with_root(tag);
         Ok(self.insert_fragment(parent, index, &frag)?[0])
     }
@@ -294,7 +366,12 @@ impl<S: LabelingScheme> Document<S> {
     /// child of `new_parent`. Element ids are preserved; on the labeling
     /// side this is one tombstoning pass (free, §2.3) plus one batch
     /// insertion at the destination (§4.1).
-    pub fn move_subtree(&mut self, id: XmlNodeId, new_parent: XmlNodeId, index: usize) -> Result<()> {
+    pub fn move_subtree(
+        &mut self,
+        id: XmlNodeId,
+        new_parent: XmlNodeId,
+        index: usize,
+    ) -> Result<()> {
         if id == new_parent || self.is_ancestor(id, new_parent)? {
             return Err(XmlError::InvalidMove);
         }
@@ -314,7 +391,10 @@ impl<S: LabelingScheme> Document<S> {
         let anchor = if idx == 0 {
             parent_meta.begin
         } else {
-            self.meta.get(&children[idx - 1]).ok_or(XmlError::UnknownNode)?.end
+            self.meta
+                .get(&children[idx - 1])
+                .ok_or(XmlError::UnknownNode)?
+                .end
         };
         self.tree.attach_subtree(new_parent, idx, id)?;
         let handles = self.scheme.insert_many_after(anchor, 2 * order.len())?;
@@ -347,13 +427,19 @@ impl<S: LabelingScheme> Document<S> {
     /// document order by labels equals DFS order; every parent's region
     /// strictly contains its children's; depths match.
     pub fn validate(&self) -> Result<()> {
-        let Some(root) = self.tree.root() else { return Ok(()) };
+        let Some(root) = self.tree.root() else {
+            return Ok(());
+        };
         let order = self.tree.dfs(root)?;
         let mut prev_begin: Option<u128> = None;
         for &id in &order {
             let (b, e) = self.span(id)?;
             if b >= e {
-                return Err(XmlError::Parse { line: 0, col: 0, msg: format!("span of {id:?} inverted") });
+                return Err(XmlError::Parse {
+                    line: 0,
+                    col: 0,
+                    msg: format!("span of {id:?} inverted"),
+                });
             }
             if let Some(p) = prev_begin {
                 if p >= b {
@@ -366,7 +452,11 @@ impl<S: LabelingScheme> Document<S> {
             }
             prev_begin = Some(b);
             if self.depth(id)? != self.tree.depth(id)? {
-                return Err(XmlError::Parse { line: 0, col: 0, msg: format!("depth of {id:?} stale") });
+                return Err(XmlError::Parse {
+                    line: 0,
+                    col: 0,
+                    msg: format!("depth of {id:?} stale"),
+                });
             }
             if let Some(p) = self.tree.parent(id)? {
                 let (pb, pe) = self.span(p)?;
@@ -388,14 +478,42 @@ impl<S: LabelingScheme> Document<S> {
                 msg: format!("tag index covers {indexed} of {} elements", order.len()),
             });
         }
-        Ok(())
+        self.check_scheme_order()
+    }
+}
+
+/// Registry-based constructors: build the labeling scheme from a spec
+/// string (`"ltree(4,2)"`, `"virtual"`, `"gap(64)"`, …) instead of a
+/// concrete type, yielding a `Document<Box<dyn DynScheme>>`. The boxed
+/// scheme implements the whole trait family, so every `Document` method
+/// works unchanged.
+impl Document<Box<dyn DynScheme>> {
+    /// Bind `tree` to a scheme built by `registry` from `spec`.
+    pub fn from_tree_with(
+        tree: XmlTree,
+        registry: &SchemeRegistry,
+        spec: &str,
+        config: &SchemeConfig,
+    ) -> Result<Self> {
+        Self::from_tree(tree, registry.build_with(spec, config)?)
+    }
+
+    /// Parse `xml` and bind it to a scheme built by `registry` from
+    /// `spec`, in one step.
+    pub fn parse_str_with(
+        xml: &str,
+        registry: &SchemeRegistry,
+        spec: &str,
+        config: &SchemeConfig,
+    ) -> Result<Self> {
+        Self::parse_str(xml, registry.build_with(spec, config)?)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltree_core::{LTree, Params};
+    use ltree_core::{Instrumented, LTree, Params};
 
     fn doc(xml: &str) -> Document<LTree> {
         Document::parse_str(xml, LTree::new(Params::new(4, 2).unwrap())).unwrap()
@@ -451,7 +569,10 @@ mod tests {
         assert_eq!(d.depth(sect).unwrap(), 2);
         // It landed after the existing title.
         let title = d.tree().child_elements(chapter).unwrap()[0];
-        assert_eq!(d.document_cmp(title, sect).unwrap(), std::cmp::Ordering::Less);
+        assert_eq!(
+            d.document_cmp(title, sect).unwrap(),
+            std::cmp::Ordering::Less
+        );
     }
 
     #[test]
@@ -465,7 +586,11 @@ mod tests {
         let before = d.scheme().scheme_stats().inserts;
         let ids = d.insert_fragment(root, 2, &frag).unwrap();
         assert_eq!(ids.len(), 4);
-        assert_eq!(d.scheme().scheme_stats().inserts - before, 8, "2 leaves per element");
+        assert_eq!(
+            d.scheme().scheme_stats().inserts - before,
+            8,
+            "2 leaves per element"
+        );
         d.validate().unwrap();
         assert!(d.is_ancestor(root, ids[0]).unwrap());
         assert!(d.is_ancestor(ids[0], ids[3]).unwrap());
@@ -508,7 +633,10 @@ mod tests {
     fn deleting_root_is_refused() {
         let mut d = doc(FIG1);
         let root = d.tree().root().unwrap();
-        assert!(matches!(d.delete_subtree(root), Err(XmlError::CannotRemoveRoot)));
+        assert!(matches!(
+            d.delete_subtree(root),
+            Err(XmlError::CannotRemoveRoot)
+        ));
     }
 
     #[test]
@@ -554,7 +682,10 @@ mod tests {
         // following_siblings of <a> is [<d>, <g>].
         let root = d.tree().root().unwrap();
         let kids = d.tree().child_elements(root).unwrap();
-        assert_eq!(d.following_siblings(kids[0]).unwrap(), vec![kids[1], kids[2]]);
+        assert_eq!(
+            d.following_siblings(kids[0]).unwrap(),
+            vec![kids[1], kids[2]]
+        );
         assert!(d.following_siblings(kids[2]).unwrap().is_empty());
         assert!(d.following_siblings(root).unwrap().is_empty());
     }
@@ -570,9 +701,19 @@ mod tests {
         d.move_subtree(chapter, root, 2).unwrap();
         d.validate().unwrap();
         let kids = d.tree().child_elements(root).unwrap();
-        assert_eq!(kids, vec![top_title, chapter], "ids preserved, order changed");
-        assert!(d.is_ancestor(chapter, inner_title).unwrap(), "subtree intact");
-        assert_eq!(d.document_cmp(top_title, inner_title).unwrap(), std::cmp::Ordering::Less);
+        assert_eq!(
+            kids,
+            vec![top_title, chapter],
+            "ids preserved, order changed"
+        );
+        assert!(
+            d.is_ancestor(chapter, inner_title).unwrap(),
+            "subtree intact"
+        );
+        assert_eq!(
+            d.document_cmp(top_title, inner_title).unwrap(),
+            std::cmp::Ordering::Less
+        );
         // Move it inside what used to be its sibling.
         d.move_subtree(chapter, top_title, 0).unwrap();
         d.validate().unwrap();
@@ -586,9 +727,39 @@ mod tests {
         let root = d.tree().root().unwrap();
         let chapter = d.tree().child_elements(root).unwrap()[0];
         let inner = d.tree().child_elements(chapter).unwrap()[0];
-        assert!(matches!(d.move_subtree(chapter, inner, 0), Err(XmlError::InvalidMove)));
-        assert!(matches!(d.move_subtree(chapter, chapter, 0), Err(XmlError::InvalidMove)));
+        assert!(matches!(
+            d.move_subtree(chapter, inner, 0),
+            Err(XmlError::InvalidMove)
+        ));
+        assert!(matches!(
+            d.move_subtree(chapter, chapter, 0),
+            Err(XmlError::InvalidMove)
+        ));
         d.validate().unwrap();
+    }
+
+    #[test]
+    fn registry_constructed_documents_work() {
+        // Any registered scheme can label a document, picked by name.
+        let mut reg = SchemeRegistry::with_builtin();
+        ltree_virtual::register(&mut reg);
+        labeling_baselines::register(&mut reg);
+        let cfg = SchemeConfig::default();
+        for spec in [
+            "ltree(4,2)",
+            "virtual(4,2)",
+            "naive",
+            "gap(16)",
+            "list-label",
+        ] {
+            let mut d = Document::parse_str_with(FIG1, &reg, spec, &cfg)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let root = d.tree().root().unwrap();
+            d.insert_element(root, 1, "isbn").unwrap();
+            d.validate().unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(d.element_count(), 5, "{spec}");
+        }
+        assert!(Document::parse_str_with(FIG1, &reg, "no-such-scheme", &cfg).is_err());
     }
 
     #[test]

@@ -69,10 +69,19 @@ impl XmlTree {
     /// Create the root element. Fails if a root already exists.
     pub fn create_root(&mut self, tag: &str) -> Result<XmlNodeId> {
         if self.root.is_some() {
-            return Err(XmlError::Parse { line: 0, col: 0, msg: "document already has a root".into() });
+            return Err(XmlError::Parse {
+                line: 0,
+                col: 0,
+                msg: "document already has a root".into(),
+            });
         }
         let tag = self.tags.intern(tag);
-        let id = self.alloc(Element { tag, parent: None, content: Vec::new(), attrs: Vec::new() });
+        let id = self.alloc(Element {
+            tag,
+            parent: None,
+            content: Vec::new(),
+            attrs: Vec::new(),
+        });
         self.root = Some(id);
         Ok(id)
     }
@@ -106,11 +115,17 @@ impl XmlTree {
     }
 
     pub(crate) fn element(&self, id: XmlNodeId) -> Result<&Element> {
-        self.slots.get(id.0 as usize).and_then(Option::as_ref).ok_or(XmlError::UnknownNode)
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(XmlError::UnknownNode)
     }
 
     pub(crate) fn element_mut(&mut self, id: XmlNodeId) -> Result<&mut Element> {
-        self.slots.get_mut(id.0 as usize).and_then(Option::as_mut).ok_or(XmlError::UnknownNode)
+        self.slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(XmlError::UnknownNode)
     }
 
     /// True if `id` refers to a live element.
@@ -122,14 +137,21 @@ impl XmlTree {
     pub fn add_child(&mut self, parent: XmlNodeId, tag: &str) -> Result<XmlNodeId> {
         self.element(parent)?;
         let tag = self.tags.intern(tag);
-        let id = self.alloc(Element { tag, parent: Some(parent), content: Vec::new(), attrs: Vec::new() });
+        let id = self.alloc(Element {
+            tag,
+            parent: Some(parent),
+            content: Vec::new(),
+            attrs: Vec::new(),
+        });
         self.element_mut(parent)?.content.push(Content::Element(id));
         Ok(id)
     }
 
     /// Append a text run under `parent`.
     pub fn add_text(&mut self, parent: XmlNodeId, text: &str) -> Result<()> {
-        self.element_mut(parent)?.content.push(Content::Text(text.to_owned()));
+        self.element_mut(parent)?
+            .content
+            .push(Content::Text(text.to_owned()));
         Ok(())
     }
 
@@ -146,7 +168,12 @@ impl XmlTree {
 
     /// Attribute value by name.
     pub fn attr(&self, id: XmlNodeId, name: &str) -> Result<Option<&str>> {
-        Ok(self.element(id)?.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str()))
+        Ok(self
+            .element(id)?
+            .attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str()))
     }
 
     /// All attributes, in document order.
@@ -236,7 +263,12 @@ impl XmlTree {
     /// Copy the whole `fragment` (which must have a root) under
     /// `parent` as its `index`-th *element* child. Returns the new ids of
     /// the grafted elements in document (pre-)order.
-    pub fn graft(&mut self, parent: XmlNodeId, index: usize, fragment: &XmlTree) -> Result<Vec<XmlNodeId>> {
+    pub fn graft(
+        &mut self,
+        parent: XmlNodeId,
+        index: usize,
+        fragment: &XmlTree,
+    ) -> Result<Vec<XmlNodeId>> {
         self.element(parent)?;
         let frag_root = fragment.root().ok_or(XmlError::UnknownNode)?;
         let order = fragment.dfs(frag_root)?;
@@ -245,7 +277,12 @@ impl XmlTree {
         for &old in &order {
             let e = fragment.element(old)?;
             let tag = self.tags.intern(fragment.tags.resolve(e.tag));
-            let id = self.alloc(Element { tag, parent: None, content: Vec::new(), attrs: e.attrs.clone() });
+            let id = self.alloc(Element {
+                tag,
+                parent: None,
+                content: Vec::new(),
+                attrs: e.attrs.clone(),
+            });
             map.insert(old, id);
         }
         // Second pass: wire parents and content.
@@ -272,7 +309,9 @@ impl XmlTree {
         // position of its index-th element child.
         let new_root = map[&frag_root];
         let content_pos = self.element_position(parent, index)?;
-        self.element_mut(parent)?.content.insert(content_pos, Content::Element(new_root));
+        self.element_mut(parent)?
+            .content
+            .insert(content_pos, Content::Element(new_root));
         Ok(order.into_iter().map(|old| map[&old]).collect())
     }
 
@@ -316,7 +355,9 @@ impl XmlTree {
         }
         self.element(parent)?;
         let pos = self.element_position(parent, index)?;
-        self.element_mut(parent)?.content.insert(pos, Content::Element(id));
+        self.element_mut(parent)?
+            .content
+            .insert(pos, Content::Element(id));
         self.element_mut(id)?.parent = Some(parent);
         Ok(())
     }
@@ -408,7 +449,10 @@ mod tests {
         assert!(!t.contains(ch));
         assert!(!t.contains(title));
         assert!(t.child_elements(root).unwrap().is_empty());
-        assert!(matches!(t.remove_subtree(root), Err(XmlError::CannotRemoveRoot)));
+        assert!(matches!(
+            t.remove_subtree(root),
+            Err(XmlError::CannotRemoveRoot)
+        ));
         // Slot reuse keeps the arena compact.
         let again = t.add_child(root, "chapter").unwrap();
         assert!(t.contains(again));

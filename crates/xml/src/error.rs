@@ -29,7 +29,9 @@ pub enum XmlError {
 impl std::fmt::Display for XmlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            XmlError::Parse { line, col, msg } => write!(f, "XML parse error at {line}:{col}: {msg}"),
+            XmlError::Parse { line, col, msg } => {
+                write!(f, "XML parse error at {line}:{col}: {msg}")
+            }
             XmlError::PathParse(msg) => write!(f, "path parse error: {msg}"),
             XmlError::UnknownNode => write!(f, "node id does not refer to a live element"),
             XmlError::CannotRemoveRoot => write!(f, "the document root cannot be removed"),
@@ -56,7 +58,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = XmlError::Parse { line: 3, col: 7, msg: "unexpected '<'".into() };
+        let e = XmlError::Parse {
+            line: 3,
+            col: 7,
+            msg: "unexpected '<'".into(),
+        };
         assert_eq!(e.to_string(), "XML parse error at 3:7: unexpected '<'");
         let e: XmlError = LTreeError::UnknownHandle.into();
         assert!(e.to_string().contains("labeling scheme error"));

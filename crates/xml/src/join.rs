@@ -29,7 +29,11 @@ pub struct SpanRec {
 /// Both slices must be sorted by `begin` (the tag-index accessors of
 /// [`crate::Document`] produce exactly that). Returns the matching
 /// *descendant-side* elements in document order, each at most once.
-pub fn structural_join(ancestors: &[SpanRec], descendants: &[SpanRec], axis: Axis) -> Vec<XmlNodeId> {
+pub fn structural_join(
+    ancestors: &[SpanRec],
+    descendants: &[SpanRec],
+    axis: Axis,
+) -> Vec<XmlNodeId> {
     debug_assert!(ancestors.windows(2).all(|w| w[0].begin < w[1].begin));
     debug_assert!(descendants.windows(2).all(|w| w[0].begin < w[1].begin));
     let mut out = Vec::new();
@@ -61,7 +65,10 @@ pub fn structural_join(ancestors: &[SpanRec], descendants: &[SpanRec], axis: Axi
         // The stack now holds exactly the candidate ancestors whose
         // region contains d.begin, nested (depths strictly increase).
         let matched = match axis {
-            Axis::Descendant => stack.last().map(|a| d.begin > a.begin && d.end < a.end).unwrap_or(false),
+            Axis::Descendant => stack
+                .last()
+                .map(|a| d.begin > a.begin && d.end < a.end)
+                .unwrap_or(false),
             Axis::Child => {
                 // Depths along the (nested) stack strictly increase, so
                 // scan from the deepest entry and stop once too shallow.
@@ -85,7 +92,12 @@ mod tests {
     use super::*;
 
     fn span(begin: u128, end: u128, depth: u32, id: u32) -> SpanRec {
-        SpanRec { begin, end, depth, node: XmlNodeId(id) }
+        SpanRec {
+            begin,
+            end,
+            depth,
+            node: XmlNodeId(id),
+        }
     }
 
     #[test]
@@ -104,9 +116,15 @@ mod tests {
         let a = span(0, 20, 0, 0);
         let b = span(1, 10, 1, 1);
         let c = span(2, 3, 2, 2);
-        assert_eq!(structural_join(&[a, b], &[c], Axis::Descendant), vec![XmlNodeId(2)]);
+        assert_eq!(
+            structural_join(&[a, b], &[c], Axis::Descendant),
+            vec![XmlNodeId(2)]
+        );
         assert_eq!(structural_join(&[b], &[c], Axis::Child), vec![XmlNodeId(2)]);
-        assert_eq!(structural_join(&[a], &[c], Axis::Child), Vec::<XmlNodeId>::new());
+        assert_eq!(
+            structural_join(&[a], &[c], Axis::Child),
+            Vec::<XmlNodeId>::new()
+        );
     }
 
     #[test]
@@ -119,7 +137,12 @@ mod tests {
     #[test]
     fn many_nested_levels() {
         // a(0,99) > b(1,50) > c(2,40) > d(3,4)
-        let spans = [span(0, 99, 0, 0), span(1, 50, 1, 1), span(2, 40, 2, 2), span(3, 4, 3, 3)];
+        let spans = [
+            span(0, 99, 0, 0),
+            span(1, 50, 1, 1),
+            span(2, 40, 2, 2),
+            span(3, 4, 3, 3),
+        ];
         let got = structural_join(&spans[..3], &[spans[3]], Axis::Descendant);
         assert_eq!(got, vec![XmlNodeId(3)]);
         let got = structural_join(&[spans[0]], &spans[1..], Axis::Descendant);
@@ -135,9 +158,12 @@ mod tests {
     #[test]
     fn interleaved_regions_stress() {
         // Ancestors: [0,9], [10,19], [20,29]; descendants inside each.
-        let ancestors: Vec<SpanRec> = (0..3).map(|i| span(i * 10, i * 10 + 9, 1, i as u32)).collect();
-        let descendants: Vec<SpanRec> =
-            (0..3).map(|i| span(i * 10 + 2, i * 10 + 3, 2, 100 + i as u32)).collect();
+        let ancestors: Vec<SpanRec> = (0..3)
+            .map(|i| span(i * 10, i * 10 + 9, 1, i as u32))
+            .collect();
+        let descendants: Vec<SpanRec> = (0..3)
+            .map(|i| span(i * 10 + 2, i * 10 + 3, 2, 100 + i as u32))
+            .collect();
         let got = structural_join(&ancestors, &descendants, Axis::Descendant);
         assert_eq!(got.len(), 3);
     }

@@ -14,9 +14,12 @@
 //! * [`dom`] — an arena DOM ([`XmlTree`]) with fragment building and
 //!   grafting, used both for documents and for insertion fragments;
 //! * [`serializer`] — back to text, with escaping and pretty-printing;
-//! * [`document`] — [`Document<S>`]: a DOM bound to any
-//!   [`ltree_core::LabelingScheme`]; every element carries the labels of
-//!   its begin/end tags, maintained across subtree insertion/deletion;
+//! * [`document`] — [`Document<S>`]: a DOM bound to any scheme of the
+//!   ordered-labeling trait family ([`ltree_core::LabelingScheme`]);
+//!   every element carries the labels of its begin/end tags, maintained
+//!   across subtree insertion/deletion. Schemes can be picked at runtime
+//!   by name through `Document::parse_str_with` and a
+//!   [`ltree_core::registry::SchemeRegistry`];
 //! * [`query`] — a path-expression engine (`/a/b//c`, `//title`, `*`)
 //!   with two interchangeable evaluators: *navigational* (pointer
 //!   chasing, the ground truth) and *label-based* (sort-merge structural

@@ -18,11 +18,20 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(s: &'a str) -> Self {
-        Cursor { bytes: s.as_bytes(), pos: 0, line: 1, col: 1 }
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(XmlError::Parse { line: self.line, col: self.col, msg: msg.into() })
+        Err(XmlError::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -106,7 +115,11 @@ impl<'a> Cursor<'a> {
         while let Some(b) = self.peek() {
             if b == b';' {
                 let body = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| XmlError::Parse { line: self.line, col: self.col, msg: "bad entity".into() })?
+                    .map_err(|_| XmlError::Parse {
+                        line: self.line,
+                        col: self.col,
+                        msg: "bad entity".into(),
+                    })?
                     .to_owned();
                 self.bump();
                 return match body.as_str() {
@@ -119,11 +132,13 @@ impl<'a> Cursor<'a> {
                         let v = u32::from_str_radix(&body[2..], 16)
                             .ok()
                             .and_then(char::from_u32);
-                        v.ok_or(()).or_else(|_| self.err(format!("bad character reference &{body};")))
+                        v.ok_or(())
+                            .or_else(|_| self.err(format!("bad character reference &{body};")))
                     }
                     _ if body.starts_with('#') => {
                         let v = body[1..].parse::<u32>().ok().and_then(char::from_u32);
-                        v.ok_or(()).or_else(|_| self.err(format!("bad character reference &{body};")))
+                        v.ok_or(())
+                            .or_else(|_| self.err(format!("bad character reference &{body};")))
                     }
                     _ => self.err(format!("unknown entity &{body};")),
                 };
@@ -163,7 +178,10 @@ impl<'a> Cursor<'a> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.bump();
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is valid UTF-8"));
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
                 }
                 None => return self.err("unterminated attribute value"),
             }
@@ -217,7 +235,8 @@ pub fn parse(input: &str) -> Result<XmlTree> {
                     if cur.pos >= cur.bytes.len() {
                         return cur.err("unterminated CDATA section");
                     }
-                    let content = std::str::from_utf8(&cur.bytes[start..cur.pos]).expect("valid UTF-8");
+                    let content =
+                        std::str::from_utf8(&cur.bytes[start..cur.pos]).expect("valid UTF-8");
                     match stack.last() {
                         Some(&top) => tree.add_text(top, content)?,
                         None => return cur.err("CDATA outside the root element"),
@@ -248,10 +267,14 @@ pub fn parse(input: &str) -> Result<XmlTree> {
                         Some(top) => {
                             let open = tree.tag_name(top)?.to_owned();
                             if open != name {
-                                return cur.err(format!("mismatched close tag </{name}>, open element is <{open}>"));
+                                return cur.err(format!(
+                                    "mismatched close tag </{name}>, open element is <{open}>"
+                                ));
                             }
                         }
-                        None => return cur.err(format!("close tag </{name}> with no open element")),
+                        None => {
+                            return cur.err(format!("close tag </{name}> with no open element"))
+                        }
                     }
                 } else {
                     // Open tag.
@@ -307,7 +330,9 @@ pub fn parse(input: &str) -> Result<XmlTree> {
                 {
                     cur.bump();
                 }
-                text.push_str(std::str::from_utf8(&cur.bytes[start..cur.pos]).expect("valid UTF-8"));
+                text.push_str(
+                    std::str::from_utf8(&cur.bytes[start..cur.pos]).expect("valid UTF-8"),
+                );
             }
         }
     }
@@ -338,7 +363,8 @@ mod tests {
 
     #[test]
     fn nested_structure_and_text() {
-        let t = parse("<book><chapter>one<title>T</title></chapter><title>top</title></book>").unwrap();
+        let t =
+            parse("<book><chapter>one<title>T</title></chapter><title>top</title></book>").unwrap();
         let root = t.root().unwrap();
         let kids = t.child_elements(root).unwrap();
         assert_eq!(kids.len(), 2);
@@ -374,7 +400,11 @@ mod tests {
     fn whitespace_only_text_is_dropped() {
         let t = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
         let root = t.root().unwrap();
-        assert_eq!(t.content(root).unwrap().len(), 2, "only the two elements remain");
+        assert_eq!(
+            t.content(root).unwrap().len(),
+            2,
+            "only the two elements remain"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub fn save_document(doc: &Document<LTree>) -> Result<Vec<u8>> {
 }
 
 fn corrupt(msg: impl Into<String>) -> XmlError {
-    XmlError::Parse { line: 0, col: 0, msg: msg.into() }
+    XmlError::Parse {
+        line: 0,
+        col: 0,
+        msg: msg.into(),
+    }
 }
 
 /// Restore a document saved with [`save_document`]. Every element gets
@@ -46,8 +50,7 @@ pub fn load_document(bytes: &[u8]) -> Result<Document<LTree>> {
     if version != VERSION {
         return Err(corrupt(format!("unsupported document version {version}")));
     }
-    let xml_len =
-        u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")) as usize;
+    let xml_len = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")) as usize;
     let rest = &bytes[14..];
     if rest.len() < xml_len {
         return Err(corrupt("truncated document payload"));
@@ -55,7 +58,8 @@ pub fn load_document(bytes: &[u8]) -> Result<Document<LTree>> {
     let (xml_bytes, snap) = rest.split_at(xml_len);
     let xml = std::str::from_utf8(xml_bytes).map_err(|_| corrupt("document text is not UTF-8"))?;
     let tree = crate::parser::parse(xml)?;
-    let (scheme, leaves) = snapshot::load(snap).map_err(|e: SnapshotError| corrupt(e.to_string()))?;
+    let (scheme, leaves) =
+        snapshot::load(snap).map_err(|e: SnapshotError| corrupt(e.to_string()))?;
     // Live leaves in document order pair 1:1 with the document's tags;
     // tombstones are departed elements' slots and stay unbound.
     let live: Vec<LeafHandle> = leaves
@@ -109,8 +113,16 @@ mod tests {
         let doc = edited_document();
         let bytes = save_document(&doc).unwrap();
         let loaded = load_document(&bytes).unwrap();
-        assert_eq!(spans_by_path(&loaded), spans_by_path(&doc), "exact labels, slack included");
-        assert_eq!(loaded.scheme().len(), doc.scheme().len(), "tombstones preserved");
+        assert_eq!(
+            spans_by_path(&loaded),
+            spans_by_path(&doc),
+            "exact labels, slack included"
+        );
+        assert_eq!(
+            loaded.scheme().len(),
+            doc.scheme().len(),
+            "tombstones preserved"
+        );
         assert_eq!(loaded.scheme().live_len(), doc.scheme().live_len());
         loaded.validate().unwrap();
     }

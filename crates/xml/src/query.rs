@@ -64,7 +64,9 @@ impl Path {
     pub fn parse(input: &str) -> Result<Path> {
         let s = input.trim();
         if !s.starts_with('/') {
-            return Err(XmlError::PathParse(format!("path must start with '/' or '//': {input:?}")));
+            return Err(XmlError::PathParse(format!(
+                "path must start with '/' or '//': {input:?}"
+            )));
         }
         let mut steps = Vec::new();
         let mut rest = s;
@@ -83,10 +85,21 @@ impl Path {
             if name.is_empty() {
                 return Err(XmlError::PathParse(format!("empty step name in {input:?}")));
             }
-            if name != "*" && !name.chars().all(|c| c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | ':')) {
+            if name != "*"
+                && !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | ':'))
+            {
                 return Err(XmlError::PathParse(format!("invalid step name {name:?}")));
             }
-            steps.push(Step { axis, tag: if name == "*" { None } else { Some(name.to_owned()) } });
+            steps.push(Step {
+                axis,
+                tag: if name == "*" {
+                    None
+                } else {
+                    Some(name.to_owned())
+                },
+            });
             rest = &rest[end..];
         }
         if steps.is_empty() {
@@ -102,8 +115,13 @@ impl Path {
 
     /// Ground-truth evaluation by DOM navigation. Results in document
     /// order, each element at most once.
-    pub fn eval_navigational<S: LabelingScheme>(&self, doc: &Document<S>) -> Result<Vec<XmlNodeId>> {
-        let Some(root) = doc.tree().root() else { return Ok(Vec::new()) };
+    pub fn eval_navigational<S: LabelingScheme>(
+        &self,
+        doc: &Document<S>,
+    ) -> Result<Vec<XmlNodeId>> {
+        let Some(root) = doc.tree().root() else {
+            return Ok(Vec::new());
+        };
         // Frontier starts as the virtual super-root.
         let mut frontier: Vec<XmlNodeId> = Vec::new();
         for (i, step) in self.steps.iter().enumerate() {
@@ -185,7 +203,10 @@ impl Path {
                 };
             } else {
                 let matched = structural_join(&frontier, &candidates, step.axis);
-                frontier = matched.into_iter().map(|id| doc.span_rec(id)).collect::<Result<_>>()?;
+                frontier = matched
+                    .into_iter()
+                    .map(|id| doc.span_rec(id))
+                    .collect::<Result<_>>()?;
             }
             if frontier.is_empty() {
                 break;

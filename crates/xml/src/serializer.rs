@@ -25,7 +25,13 @@ fn escape_attr(s: &str, out: &mut String) {
     }
 }
 
-fn write_element(tree: &XmlTree, id: XmlNodeId, out: &mut String, indent: Option<usize>, depth: usize) -> Result<()> {
+fn write_element(
+    tree: &XmlTree,
+    id: XmlNodeId,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<()> {
     if let Some(step) = indent {
         if depth > 0 {
             out.push('\n');

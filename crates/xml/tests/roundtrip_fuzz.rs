@@ -1,0 +1,101 @@
+//! Randomized roundtrip tests: serializer ∘ parser is the identity on
+//! the DOM, for arbitrary generated trees (structure, attributes, text
+//! with meta-characters, unicode). Recipes come from the workspace's
+//! seeded [`ltree_core::rng::SplitMix64`]; failures reproduce from the
+//! printed seed.
+
+use ltree_core::rng::SplitMix64;
+use xmldb::{parse, to_string, to_string_pretty, XmlTree};
+
+const TAGS: &[&str] = &["a", "b", "c", "item", "ns:elem", "x-y", "_private", "d.e"];
+const ATTRS: &[&str] = &["id", "class", "data-x", "xml:lang"];
+// Every metacharacter the escapers must handle.
+const TEXT_PARTS: &[&str] = &["<", ">", "&", "\"", "'", "plain ", "ünïcödé 🚀", "]]>"];
+
+fn random_text(rng: &mut SplitMix64) -> String {
+    let n = rng.gen_range(1..5);
+    (0..n)
+        .map(|_| TEXT_PARTS[rng.gen_range(0..TEXT_PARTS.len())])
+        .collect()
+}
+
+/// Build a random tree deterministically from the seed.
+fn random_tree(rng: &mut SplitMix64) -> XmlTree {
+    let (mut tree, root) = XmlTree::with_root("root");
+    let mut ids = vec![root];
+    for _ in 0..rng.gen_range(0..40) {
+        let parent = ids[rng.gen_range(0..ids.len())];
+        let id = tree
+            .add_child(parent, TAGS[rng.gen_range(0..TAGS.len())])
+            .unwrap();
+        if rng.gen_bool(0.5) {
+            let t = random_text(rng);
+            if !t.trim().is_empty() {
+                tree.add_text(id, &t).unwrap();
+            }
+        }
+        ids.push(id);
+    }
+    for _ in 0..rng.gen_range(0..10) {
+        let target = ids[rng.gen_range(0..ids.len())];
+        let value = random_text(rng);
+        tree.set_attr(target, ATTRS[rng.gen_range(0..ATTRS.len())], &value)
+            .unwrap();
+    }
+    tree
+}
+
+fn doms_equal(a: &XmlTree, b: &XmlTree) -> bool {
+    // Structural comparison via canonical serialization.
+    to_string(a).unwrap() == to_string(b).unwrap()
+}
+
+#[test]
+fn serialize_parse_roundtrip() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let tree = random_tree(&mut rng);
+        let text = to_string(&tree).unwrap();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.element_count(), tree.element_count(), "seed {seed}");
+        assert!(
+            doms_equal(&tree, &back),
+            "seed {seed}: roundtrip changed the DOM:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn pretty_roundtrip_preserves_structure() {
+    // Pretty-printing inserts whitespace-only text, which the parser
+    // drops — element structure and attributes must survive.
+    for seed in 100..148u64 {
+        let mut rng = SplitMix64::new(seed);
+        let tree = random_tree(&mut rng);
+        let pretty = to_string_pretty(&tree, 2).unwrap();
+        let back = parse(&pretty).unwrap();
+        assert_eq!(back.element_count(), tree.element_count(), "seed {seed}");
+        // Tag sequence in document order is preserved.
+        let tags = |t: &XmlTree| -> Vec<String> {
+            t.all_elements()
+                .iter()
+                .map(|&id| t.tag_name(id).unwrap().to_owned())
+                .collect()
+        };
+        assert_eq!(tags(&tree), tags(&back), "seed {seed}");
+    }
+}
+
+#[test]
+fn parser_never_panics_on_noise() {
+    // Arbitrary near-XML byte soup must error gracefully, not panic.
+    const SOUP: &[u8] = b"<>&;abcxyz\"'=/ ";
+    for seed in 200..264u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.gen_range(0..120);
+        let noise: String = (0..len)
+            .map(|_| SOUP[rng.gen_range(0..SOUP.len())] as char)
+            .collect();
+        let _ = parse(&noise);
+    }
+}

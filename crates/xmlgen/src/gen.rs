@@ -7,8 +7,7 @@
 //! recently created elements to produce the long spines real documents
 //! have.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ltree_core::rng::SplitMix64;
 use std::collections::HashMap;
 use xmldb::{XmlNodeId, XmlTree};
 
@@ -60,7 +59,10 @@ pub fn auction_profile(n: usize) -> DocProfile {
         name: "auction",
         root: "site",
         rules: vec![
-            ("site", vec!["regions", "people", "open_auctions", "categories"]),
+            (
+                "site",
+                vec!["regions", "people", "open_auctions", "categories"],
+            ),
             ("regions", vec!["africa", "asia", "europe", "namerica"]),
             ("africa", vec!["item"]),
             ("asia", vec!["item"]),
@@ -71,7 +73,10 @@ pub fn auction_profile(n: usize) -> DocProfile {
             ("person", vec!["name", "emailaddress", "profile"]),
             ("profile", vec!["interest", "education"]),
             ("open_auctions", vec!["open_auction"]),
-            ("open_auction", vec!["bidder", "initial", "current", "itemref"]),
+            (
+                "open_auction",
+                vec!["bidder", "initial", "current", "itemref"],
+            ),
             ("bidder", vec!["date", "increase"]),
             ("categories", vec!["category"]),
             ("category", vec!["name", "description"]),
@@ -107,7 +112,7 @@ pub fn book_catalog_profile(n: usize) -> DocProfile {
 
 /// Generate a document for `profile` with a deterministic `seed`.
 pub fn generate(profile: &DocProfile, seed: u64) -> XmlTree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let rules: HashMap<&str, &Vec<&'static str>> =
         profile.rules.iter().map(|(p, c)| (*p, c)).collect();
     let (mut tree, root) = XmlTree::with_root(profile.root);
@@ -133,7 +138,9 @@ pub fn generate(profile: &DocProfile, seed: u64) -> XmlTree {
     while changed && tree.element_count() < profile.target_elements {
         changed = false;
         for (ptag, vocab) in &profile.rules {
-            let Some(&(pid, pdepth)) = created.get(ptag) else { continue };
+            let Some(&(pid, pdepth)) = created.get(ptag) else {
+                continue;
+            };
             if pdepth + 1 >= profile.max_depth {
                 continue;
             }
@@ -164,7 +171,8 @@ pub fn generate(profile: &DocProfile, seed: u64) -> XmlTree {
         let id = tree.add_child(parent, tag).expect("parent is live");
         if rng.gen_bool(profile.text_prob) {
             texts += 1;
-            tree.add_text(id, &format!("text{texts}")).expect("element is live");
+            tree.add_text(id, &format!("text{texts}"))
+                .expect("element is live");
         }
         let depth = pdepth + 1;
         if depth < profile.max_depth {
@@ -199,7 +207,10 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let profile = DocProfile { max_depth: 3, ..uniform_profile(300) };
+        let profile = DocProfile {
+            max_depth: 3,
+            ..uniform_profile(300)
+        };
         let t = generate(&profile, 1);
         for id in t.all_elements() {
             assert!(t.depth(id).unwrap() <= 3);
@@ -217,7 +228,9 @@ mod tests {
             if let Some(parent) = t.parent(id).unwrap() {
                 let ptag = t.tag_name(parent).unwrap();
                 let tag = t.tag_name(id).unwrap();
-                let vocab = rules.get(ptag).unwrap_or_else(|| panic!("{ptag} must be fertile"));
+                let vocab = rules
+                    .get(ptag)
+                    .unwrap_or_else(|| panic!("{ptag} must be fertile"));
                 assert!(vocab.contains(&tag), "{tag} not allowed under {ptag}");
             }
         }
@@ -227,8 +240,11 @@ mod tests {
     fn auction_queries_have_answers() {
         // The experiments rely on these paths matching something.
         let t = generate(&auction_profile(1500), 99);
-        let tags: std::collections::HashSet<String> =
-            t.all_elements().iter().map(|&id| t.tag_name(id).unwrap().to_owned()).collect();
+        let tags: std::collections::HashSet<String> = t
+            .all_elements()
+            .iter()
+            .map(|&id| t.tag_name(id).unwrap().to_owned())
+            .collect();
         for needed in ["regions", "item", "person", "name", "description"] {
             assert!(tags.contains(needed), "generated document lacks <{needed}>");
         }

@@ -1,7 +1,7 @@
 //! # `xmlgen` — synthetic documents and update workloads
 //!
 //! The 2004 paper has no public corpus; this crate substitutes seeded,
-//! reproducible generators (see DESIGN.md, "Substitutions"):
+//! reproducible generators standing in for it:
 //!
 //! * [`gen`] — random XML documents with layered tag vocabularies,
 //!   including an XMark-flavoured *auction site* profile and a *book

@@ -1,13 +1,12 @@
 //! Update-workload drivers over any [`LabelingScheme`].
 //!
-//! The experiments of EXPERIMENTS.md run these streams against every
+//! The experiment runners in `ltree-bench` drive these streams against every
 //! scheme and read the [`WorkloadReport`]: amortized label writes /
 //! node touches (the paper's cost unit), label width, memory and wall
 //! time. All streams are seeded and reproducible.
 
+use ltree_core::rng::SplitMix64;
 use ltree_core::{LabelingScheme, LeafHandle, Result, SchemeStats};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// The update stream shapes used by the experiments.
@@ -121,7 +120,7 @@ pub fn run_workload<S: LabelingScheme>(
     ops: usize,
     seed: u64,
 ) -> Result<WorkloadReport> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let built = scheme.bulk_build(initial.max(1))?;
     // (handle, alive) in document order.
     let mut order: Vec<(LeafHandle, bool)> = built.into_iter().map(|h| (h, true)).collect();
@@ -147,8 +146,12 @@ pub fn run_workload<S: LabelingScheme>(
                 order.insert(i + 1, (h, true));
                 inserted += 1;
             }
-            Workload::Hotspot { hot_fraction, hot_weight } => {
-                let hot_len = ((order.len() as f64 * hot_fraction).ceil() as usize).clamp(1, order.len());
+            Workload::Hotspot {
+                hot_fraction,
+                hot_weight,
+            } => {
+                let hot_len =
+                    ((order.len() as f64 * hot_fraction).ceil() as usize).clamp(1, order.len());
                 let i = if rng.gen_bool(hot_weight.clamp(0.0, 1.0)) {
                     rng.gen_range(0..hot_len)
                 } else {
@@ -200,7 +203,10 @@ pub fn run_workload<S: LabelingScheme>(
         }
     }
     let wall = start.elapsed();
-    debug_assert!(verify_order(scheme, &order)?, "scheme broke the order contract");
+    debug_assert!(
+        verify_order(scheme, &order)?,
+        "scheme broke the order contract"
+    );
 
     Ok(WorkloadReport {
         scheme: scheme.name(),
@@ -244,7 +250,10 @@ mod tests {
         let mut g2 = GapLabeling::new();
         let hot = run_workload(
             &mut g2,
-            Workload::Hotspot { hot_fraction: 0.02, hot_weight: 0.95 },
+            Workload::Hotspot {
+                hot_fraction: 0.02,
+                hot_weight: 0.95,
+            },
             500,
             500,
             2,
@@ -280,7 +289,14 @@ mod tests {
     #[test]
     fn mixed_deletes_counts_both() {
         let mut s = ltree();
-        let r = run_workload(&mut s, Workload::MixedDeletes { delete_ratio: 0.3 }, 100, 300, 5).unwrap();
+        let r = run_workload(
+            &mut s,
+            Workload::MixedDeletes { delete_ratio: 0.3 },
+            100,
+            300,
+            5,
+        )
+        .unwrap();
         assert_eq!(r.inserted, 300);
         assert!(r.deleted > 0);
         assert_eq!(r.stats.deletes, r.deleted);

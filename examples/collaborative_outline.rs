@@ -78,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Recovered tree: height {}, {} leaves, invariants {}",
         recovered.height(),
         leaves.len(),
-        if recovered.check_invariants().is_ok() { "OK" } else { "BROKEN" }
+        if recovered.check_invariants().is_ok() {
+            "OK"
+        } else {
+            "BROKEN"
+        }
     );
     Ok(())
 }

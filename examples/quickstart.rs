@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Splits carve an overfull region into s = 2 half-full binary
     // subtrees; labels live in base f+1 = 5.
     let params = Params::new(4, 2)?;
-    println!("L-Tree with {params}: arity {}, label base {}", params.arity(), params.base());
+    println!(
+        "L-Tree with {params}: arity {}, label base {}",
+        params.arity(),
+        params.base()
+    );
 
     // Bulk load the eight tags of `<A><B><C/></B><D/></A>`.
     let (mut tree, leaves) = LTree::bulk_load(params, 8)?;
@@ -32,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(tree.label(leaves[2])? < tree.label(e_begin)?);
     assert!(tree.label(e_end)? < tree.label(leaves[3])?);
     println!("\nDocument order after the insertion:");
-    let labels: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+    let labels: Vec<u128> = tree
+        .leaves()
+        .map(|l| tree.label(l).unwrap().get())
+        .collect();
     println!("  {labels:?}");
 
     // Hammer one spot; the L-Tree splits locally and stays balanced.
@@ -47,14 +54,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  label space          : {} bits", tree.label_space_bits());
     println!("  splits               : {}", stats.splits);
     println!("  root rebuilds        : {}", stats.root_rebuilds);
-    println!("  cascade splits       : {} (Proposition 3 says always 0)", stats.cascade_splits);
+    println!(
+        "  cascade splits       : {} (Proposition 3 says always 0)",
+        stats.cascade_splits
+    );
     println!("  amortized relabels/op: {:.2}", stats.amortized_relabels());
-    println!("  amortized cost/op    : {:.2} node accesses", stats.amortized_cost());
+    println!(
+        "  amortized cost/op    : {:.2} node accesses",
+        stats.amortized_cost()
+    );
 
     // Deletion is a tombstone: no labels move.
-    let before: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+    let before: Vec<u128> = tree
+        .leaves()
+        .map(|l| tree.label(l).unwrap().get())
+        .collect();
     tree.delete(leaves[5])?;
-    let after: Vec<u128> = tree.leaves().map(|l| tree.label(l).unwrap().get()).collect();
+    let after: Vec<u128> = tree
+        .leaves()
+        .map(|l| tree.label(l).unwrap().get())
+        .collect();
     assert_eq!(before, after);
     println!("\nDeleted <D> — zero labels changed (tombstone semantics).");
     Ok(())

@@ -7,11 +7,15 @@
 
 use ltree::cost_model;
 use ltree::tuning::{self, Workload};
-use ltree::{LTree, LabelingScheme, Params};
+use ltree::{Instrumented, LTree, OrderedLabelingMut, Params};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let n: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(1_000_000);
+    let n: u64 = args
+        .next()
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(1_000_000);
     let budget: u32 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(64);
     let qpu: f64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(10.0);
 
@@ -21,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = tuning::optimize_cost(n);
     println!("1) Minimal update cost (unconstrained):");
     println!("   (f, s) = ({}, {})", best.params.f(), best.params.s());
-    println!("   predicted cost : {:.1} node accesses/insert", best.predicted_cost);
+    println!(
+        "   predicted cost : {:.1} node accesses/insert",
+        best.predicted_cost
+    );
     println!("   predicted bits : {:.1}", best.predicted_bits);
 
     // Mode 2: bit budget.
@@ -39,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mode 3: workload-weighted.
     println!("\n3) Overall optimum at {qpu} label comparisons per update (64-bit words):");
-    let t = tuning::optimize_workload(&Workload { n, queries_per_update: qpu, word_bits: 64 });
+    let t = tuning::optimize_workload(&Workload {
+        n,
+        queries_per_update: qpu,
+        word_bits: 64,
+    });
     println!("   (f, s) = ({}, {})", t.params.f(), t.params.s());
     println!("   predicted bits : {:.1}", t.predicted_bits);
     println!(
@@ -57,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sample_n = (n as usize).min(50_000);
     let ops = sample_n / 5;
     println!("\nEmpirical check on a {sample_n}-tag sample ({ops} uniform inserts):");
-    for (tag, params) in [("recommended", best.params), ("paper example", Params::new(4, 2)?)] {
+    for (tag, params) in [
+        ("recommended", best.params),
+        ("paper example", Params::new(4, 2)?),
+    ] {
         let mut tree = LTree::new(params);
         let handles = tree.bulk_build(sample_n)?;
         tree.reset_scheme_stats();
@@ -69,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             x ^= x >> 7;
             x ^= x << 17;
             let i = (x % order.len() as u64) as usize;
-            let h = LabelingScheme::insert_after(&mut tree, order[i])?;
+            let h = OrderedLabelingMut::insert_after(&mut tree, order[i])?;
             order.insert(i + 1, h);
         }
         let st = tree.scheme_stats();

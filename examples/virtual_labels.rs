@@ -5,7 +5,6 @@
 //! ```
 
 use ltree::prelude::*;
-use ltree::LabelingScheme;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // labels themselves".
     let mat_labels: Vec<u128> = mat.leaves().map(|l| mat.label(l).unwrap().get()).collect();
     assert_eq!(mat_labels, vt.labels_in_order());
-    println!("{} leaves, labels identical between the two variants ✓\n", mat_labels.len());
+    println!(
+        "{} leaves, labels identical between the two variants ✓\n",
+        mat_labels.len()
+    );
 
     println!("                         materialized      virtual");
     println!(
@@ -64,9 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "memory                 {:>10} KiB {:>10} KiB",
         mat.memory_bytes() / 1024,
-        LabelingScheme::memory_bytes(&vt) / 1024
+        OrderedLabeling::memory_bytes(&vt) / 1024
     );
-    let ms = LabelingScheme::scheme_stats(&mat);
+    let ms = Instrumented::scheme_stats(&mat);
     let vs = vt.scheme_stats();
     println!(
         "label writes / op      {:>14.2} {:>12.2}",

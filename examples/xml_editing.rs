@@ -28,13 +28,23 @@ fn show_titles<S: ltree::LabelingScheme>(doc: &Document<S>, label: &str) {
     println!("{label}: {} titles via one structural join", lab.len());
     for id in lab {
         let (b, e) = doc.span(id).expect("labeled");
-        println!("  ({b:>6}, {e:>6})  {}", doc.tree().text_of(id).expect("live"));
+        println!(
+            "  ({b:>6}, {e:>6})  {}",
+            doc.tree().text_of(id).expect("live")
+        );
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut doc = Document::parse_str(CATALOG, LTree::new(Params::new(4, 2)?))?;
-    println!("Parsed catalog: {} elements\n", doc.element_count());
+    // The scheme is picked by registry spec — swap "ltree(4,2)" for
+    // "virtual(4,2)", "gap(64)" or "list-label" and everything below
+    // works unchanged.
+    let mut doc = Document::parse_str(CATALOG, Scheme::build("ltree(4,2)")?)?;
+    println!(
+        "Parsed catalog: {} elements (scheme: {})\n",
+        doc.element_count(),
+        doc.scheme().name()
+    );
     show_titles(&doc, "Initial document");
 
     // Ancestor tests are two label comparisons.
@@ -83,8 +93,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nScheme stats for the whole session:");
     let s = doc.scheme().scheme_stats();
     println!("  inserts: {}, deletes: {}", s.inserts, s.deletes);
-    println!("  label writes: {}, relabel events: {}", s.label_writes, s.relabel_events);
+    println!(
+        "  label writes: {}, relabel events: {}",
+        s.label_writes, s.relabel_events
+    );
     println!("  label space: {} bits", doc.scheme().label_space_bits());
-    println!("\nFinal document:\n{}", ltree::xml::to_string_pretty(doc.tree(), 2)?);
+    println!(
+        "\nFinal document:\n{}",
+        ltree::xml::to_string_pretty(doc.tree(), 2)?
+    );
     Ok(())
 }

@@ -2,12 +2,15 @@
 //!
 //! Reproduction of *"L-Tree: a Dynamic Labeling Structure for Ordered XML
 //! Data"* (Chen, Mihaila, Bordawekar, Padmanabhan — EDBT 2004 Workshops).
+//! See `PAPER.md` for the abstract and `ROADMAP.md` for where the
+//! codebase is heading; the `repro` binary in `ltree-bench` regenerates
+//! every experiment table.
 //!
 //! This crate re-exports the whole workspace behind one dependency:
 //!
 //! * [`ltree_core`] (re-exported at the root) — the materialized
-//!   [`LTree`], its parameters, cost model and the [`LabelingScheme`]
-//!   abstraction;
+//!   [`LTree`], its parameters, cost model, the ordered-labeling trait
+//!   family and the scheme registry;
 //! * [`vtree`] — the *virtual* L-Tree of Section 4.2 (labels only, backed
 //!   by a counted B-tree);
 //! * [`btree`] — the order-statistic (counted) B-tree substrate;
@@ -16,6 +19,23 @@
 //! * [`xml`] — the XML substrate: parser, DOM, region-labeled documents
 //!   and the path-query engine;
 //! * [`gen`] — synthetic document and update-workload generators.
+//!
+//! ## The ordered-labeling trait family
+//!
+//! Every scheme implements four composable traits instead of one
+//! monolith (see [`ltree_core::scheme`]):
+//!
+//! * [`OrderedLabeling`] — reads: [`label_of`](OrderedLabeling::label_of),
+//!   [`compare`](OrderedLabeling::compare), and the zero-allocation
+//!   streaming [`Cursor`] over handles in list order;
+//! * [`OrderedLabelingMut`] — writes: bulk build, insert, delete;
+//! * [`BatchLabeling`] — typed [`Splice`] batches (insert `k` after an
+//!   anchor; delete a contiguous run) with native fast-paths in the
+//!   L-Tree variants and loop fallbacks for the baselines;
+//! * [`Instrumented`] — the [`SchemeStats`] cost counters.
+//!
+//! [`DynScheme`] bundles all four (object-safely); the [`LabelingScheme`]
+//! alias keeps the familiar name for generic bounds.
 //!
 //! ## Quickstart
 //!
@@ -27,8 +47,19 @@
 //! assert!(tree.label(leaves[3]).unwrap() < tree.label(l).unwrap());
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction details.
+//! Or pick any scheme at runtime through the registry:
+//!
+//! ```
+//! use ltree::prelude::*;
+//!
+//! let mut scheme = Scheme::build("virtual(4,2)").unwrap();
+//! let handles = scheme.bulk_build(100).unwrap();
+//! scheme.splice(Splice::InsertAfter { anchor: handles[50], count: 10 }).unwrap();
+//! assert_eq!(scheme.cursor().count(), 110);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (`scheme_zoo` sweeps every
+//! registered scheme over one workload).
 
 #![forbid(unsafe_code)]
 
@@ -69,13 +100,85 @@ pub mod rel {
     pub use reldb::*;
 }
 
+/// A registry holding every scheme the workspace ships:
+///
+/// | name | scheme | spec args |
+/// |------|--------|-----------|
+/// | `ltree` | materialized L-Tree | `(f,s)` |
+/// | `ltree-virtual`, `virtual` | virtual L-Tree | `(f,s)` |
+/// | `naive` | consecutive integers | — |
+/// | `gap` | fixed-gap midpoints | `(gap)` |
+/// | `list-label` | even redistribution | `(bits)` or `(bits,tau)` |
+pub fn default_registry() -> SchemeRegistry {
+    let mut reg = SchemeRegistry::with_builtin();
+    ltree_virtual::register(&mut reg);
+    labeling_baselines::register(&mut reg);
+    reg
+}
+
+/// One-shot scheme construction over [`default_registry`]:
+/// `Scheme::build("ltree(4,2)")`.
+pub struct Scheme;
+
+impl Scheme {
+    /// Build a scheme from a spec string with default config.
+    pub fn build(spec: &str) -> Result<Box<dyn DynScheme>> {
+        default_registry().build(spec)
+    }
+
+    /// Build a scheme from a spec string; spec arguments override the
+    /// matching [`SchemeConfig`] fields.
+    pub fn build_with(spec: &str, config: &SchemeConfig) -> Result<Box<dyn DynScheme>> {
+        default_registry().build_with(spec, config)
+    }
+
+    /// Names of every scheme in the default registry.
+    pub fn names() -> Vec<&'static str> {
+        default_registry().names()
+    }
+}
+
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::{default_registry, Scheme};
     pub use counted_btree::CountedBTree;
     pub use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
     pub use ltree_core::order::OrderedList;
-    pub use ltree_core::{LTree, LabelingScheme, LeafHandle, LeafId, Label, Params};
+    pub use ltree_core::{
+        BatchLabeling, Cursor, DynScheme, Instrumented, LTree, Label, LabelingScheme, LeafHandle,
+        LeafId, OrderedLabeling, OrderedLabelingMut, Params, SchemeConfig, SchemeRegistry, Splice,
+        SpliceResult,
+    };
     pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
     pub use ltree_virtual::VirtualLTree;
     pub use xmldb::{Document, Path, XmlTree};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn default_registry_covers_all_five_schemes() {
+        let reg = crate::default_registry();
+        for name in [
+            "ltree",
+            "ltree-virtual",
+            "virtual",
+            "naive",
+            "gap",
+            "list-label",
+        ] {
+            assert!(reg.contains(name), "missing {name}");
+        }
+        let mut s = Scheme::build("ltree(8,2)").unwrap();
+        let hs = s.bulk_build(16).unwrap();
+        assert_eq!(s.cursor().count(), 16);
+        s.splice(Splice::DeleteRun {
+            first: hs[0],
+            count: 4,
+        })
+        .unwrap();
+        assert_eq!(s.live_len(), 12);
+    }
 }

@@ -2,7 +2,6 @@
 //! order-maintenance structure, each with full invariant checking.
 
 use ltree::prelude::*;
-use ltree::LabelingScheme;
 
 #[test]
 fn zipper_alternating_front_back() {
@@ -32,7 +31,11 @@ fn single_point_hammer() {
             tree.insert_after(anchor).unwrap();
         }
         tree.check_invariants().unwrap();
-        assert_eq!(tree.stats().cascade_splits, 0, "Prop 3 under the worst hotspot");
+        assert_eq!(
+            tree.stats().cascade_splits,
+            0,
+            "Prop 3 under the worst hotspot"
+        );
         // The amortized relabel cost stays logarithmic-ish: far below n.
         let per_op = tree.stats().nodes_relabeled as f64 / 2_000.0;
         assert!(per_op < 64.0, "amortized relabels exploded: {per_op}");
@@ -81,7 +84,10 @@ fn giant_batch_then_single_inserts() {
         anchor = tree.insert_after(anchor).unwrap();
     }
     tree.check_invariants().unwrap();
-    assert!(tree.stats().cascade_splits <= 1, "at most the batch itself cascades");
+    assert!(
+        tree.stats().cascade_splits <= 1,
+        "at most the batch itself cascades"
+    );
 }
 
 #[test]
@@ -130,18 +136,27 @@ fn error_paths_are_typed() {
     let mut tree = LTree::new(Params::new(4, 2).unwrap());
     // Unknown handle from thin air.
     assert!(matches!(
-        ltree::LabelingScheme::insert_after(&mut tree, LeafHandle(u64::MAX)),
+        ltree::OrderedLabelingMut::insert_after(&mut tree, LeafHandle(u64::MAX)),
         Err(ltree::LTreeError::UnknownHandle)
     ));
     // Invalid params.
-    assert!(matches!(Params::new(5, 2), Err(ltree::LTreeError::InvalidParams { .. })));
+    assert!(matches!(
+        Params::new(5, 2),
+        Err(ltree::LTreeError::InvalidParams { .. })
+    ));
     // Double delete.
     let l = tree.push_back().unwrap();
     tree.delete(l).unwrap();
-    assert!(matches!(tree.delete(l), Err(ltree::LTreeError::DeletedLeaf)));
+    assert!(matches!(
+        tree.delete(l),
+        Err(ltree::LTreeError::DeletedLeaf)
+    ));
     // Zero batch.
     let l2 = tree.push_back().unwrap();
-    assert!(matches!(tree.insert_many_after(l2, 0), Err(ltree::LTreeError::EmptyBatch)));
+    assert!(matches!(
+        tree.insert_many_after(l2, 0),
+        Err(ltree::LTreeError::EmptyBatch)
+    ));
 }
 
 #[test]
@@ -150,7 +165,11 @@ fn labels_always_fit_the_declared_space() {
     let (mut tree, leaves) = LTree::bulk_load(params, 100).unwrap();
     let mut anchor = leaves[50];
     for i in 0..2_000 {
-        anchor = if i % 5 == 0 { leaves[i % 100] } else { tree.insert_after(anchor).unwrap() };
+        anchor = if i % 5 == 0 {
+            leaves[i % 100]
+        } else {
+            tree.insert_after(anchor).unwrap()
+        };
         if tree.is_deleted(anchor).unwrap_or(true) {
             anchor = tree.first_leaf().unwrap();
         }

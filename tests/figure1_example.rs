@@ -33,7 +33,11 @@ fn interval_containment_answers_book_title() {
     let nav = path.eval_navigational(&doc).unwrap();
     let lab = path.eval_labeled(&doc).unwrap();
     assert_eq!(nav, lab);
-    assert_eq!(nav, vec![inner_title, top_title], "both titles, in document order");
+    assert_eq!(
+        nav,
+        vec![inner_title, top_title],
+        "both titles, in document order"
+    );
 }
 
 #[test]

@@ -1,11 +1,44 @@
-//! The `LabelingScheme` order contract, property-tested across every
-//! scheme in the workspace: after any stream of insertions/deletions,
-//! live labels strictly increase along list order, and handles stay
-//! stable across relabelings.
+//! Generic conformance suite for the ordered-labeling trait family,
+//! run against **every scheme in the default registry** (all five:
+//! `ltree`, `virtual`, `naive`, `gap`, `list-label`) purely through
+//! `Box<dyn DynScheme>` — no concrete scheme type appears in the
+//! exercised code paths.
+//!
+//! Covered contracts:
+//!
+//! * **order** — after any stream of insertions/deletions, live labels
+//!   strictly increase along list order and handles stay stable across
+//!   relabelings;
+//! * **cursor** — the streaming cursor yields handles in strictly
+//!   increasing label order and visits every live item in list order;
+//! * **splice** — a native `Splice::InsertAfter` batch is list-equivalent
+//!   to the same insertions applied as a single-insert loop, and
+//!   `Splice::DeleteRun` matches looped deletes;
+//! * **stats** — `SchemeStats` counters are monotone between resets.
+//!
+//! Streams come from the workspace's seeded SplitMix64; every failure
+//! reproduces from the printed `(spec, seed)` pair.
 
 use ltree::prelude::*;
-use ltree::LabelingScheme;
-use proptest::prelude::*;
+use ltree::rng::SplitMix64;
+
+/// Every scheme family the workspace ships, plus parameter variants that
+/// stress different shapes (wide L-Tree, minimal gap).
+const SPECS: &[&str] = &[
+    "ltree(4,2)",
+    "ltree(32,4)",
+    "virtual(4,2)",
+    "naive",
+    "gap",
+    "gap(2)",
+    "list-label",
+];
+
+fn build(spec: &str) -> Box<dyn DynScheme> {
+    default_registry()
+        .build(spec)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"))
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,18 +46,22 @@ enum Op {
     Before(usize),
     Many(usize, usize),
     Delete(usize),
+    DeleteRun(usize, usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            4 => (0usize..1 << 16).prop_map(Op::After),
-            2 => (0usize..1 << 16).prop_map(Op::Before),
-            1 => ((0usize..1 << 16), 1usize..20).prop_map(|(a, k)| Op::Many(a, k)),
-            1 => (0usize..1 << 16).prop_map(Op::Delete),
-        ],
-        1..80,
-    )
+fn random_ops(rng: &mut SplitMix64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let i = rng.gen_range(0..1 << 16);
+            match rng.gen_range(0..10) {
+                0..=3 => Op::After(i),
+                4..=5 => Op::Before(i),
+                6 => Op::Many(i, rng.gen_range(1..20)),
+                7 => Op::DeleteRun(i, rng.gen_range(1..8)),
+                _ => Op::Delete(i),
+            }
+        })
+        .collect()
 }
 
 /// First live index at or after `i % len`, wrapping; anchoring on
@@ -35,113 +72,339 @@ fn live_at(order: &[(LeafHandle, bool)], i: usize) -> Option<usize> {
     (0..n).map(|d| (i + d) % n).find(|&j| order[j].1)
 }
 
-fn exercise<S: LabelingScheme>(mut scheme: S, initial: usize, stream: &[Op]) {
-    let mut order: Vec<(LeafHandle, bool)> =
-        scheme.bulk_build(initial.max(1)).unwrap().into_iter().map(|h| (h, true)).collect();
-    for op in stream {
+/// A scheme under test plus the reference list the driver maintains.
+struct Harness<S: LabelingScheme> {
+    scheme: S,
+    /// (handle, alive) in list order — the ground truth.
+    order: Vec<(LeafHandle, bool)>,
+    tag: String,
+}
+
+impl<S: LabelingScheme> Harness<S> {
+    fn new(mut scheme: S, initial: usize, tag: String) -> Self {
+        let order = scheme
+            .bulk_build(initial.max(1))
+            .unwrap()
+            .into_iter()
+            .map(|h| (h, true))
+            .collect();
+        Harness { scheme, order, tag }
+    }
+
+    /// Apply one op. `use_batch` selects the native batch path for
+    /// `Many`/`DeleteRun`; otherwise both are applied as loops of
+    /// singles (the equivalence tests run one harness each way).
+    fn apply(&mut self, op: &Op, use_batch: bool) {
         match *op {
             Op::After(i) => {
-                let Some(i) = live_at(&order, i) else { continue };
-                let h = scheme.insert_after(order[i].0).unwrap();
-                order.insert(i + 1, (h, true));
+                let Some(i) = live_at(&self.order, i) else {
+                    return;
+                };
+                let h = self.scheme.insert_after(self.order[i].0).unwrap();
+                self.order.insert(i + 1, (h, true));
             }
             Op::Before(i) => {
-                let Some(i) = live_at(&order, i) else { continue };
-                let h = scheme.insert_before(order[i].0).unwrap();
-                order.insert(i, (h, true));
+                let Some(i) = live_at(&self.order, i) else {
+                    return;
+                };
+                let h = self.scheme.insert_before(self.order[i].0).unwrap();
+                self.order.insert(i, (h, true));
             }
             Op::Many(i, k) => {
-                let Some(i) = live_at(&order, i) else { continue };
-                let hs = scheme.insert_many_after(order[i].0, k).unwrap();
+                let Some(i) = live_at(&self.order, i) else {
+                    return;
+                };
+                let anchor = self.order[i].0;
+                let hs = if use_batch {
+                    self.scheme
+                        .splice(Splice::InsertAfter { anchor, count: k })
+                        .unwrap()
+                        .into_inserted()
+                } else {
+                    let mut out = Vec::with_capacity(k);
+                    let mut cur = anchor;
+                    for _ in 0..k {
+                        cur = self.scheme.insert_after(cur).unwrap();
+                        out.push(cur);
+                    }
+                    out
+                };
+                assert_eq!(hs.len(), k, "{}: batch size", self.tag);
                 for (j, h) in hs.into_iter().enumerate() {
-                    order.insert(i + 1 + j, (h, true));
+                    self.order.insert(i + 1 + j, (h, true));
                 }
             }
             Op::Delete(i) => {
-                let Some(i) = live_at(&order, i) else { continue };
-                if scheme.delete(order[i].0).is_ok() {
-                    order[i].1 = false;
+                let Some(i) = live_at(&self.order, i) else {
+                    return;
+                };
+                if self.scheme.delete(self.order[i].0).is_ok() {
+                    self.order[i].1 = false;
                 }
             }
+            Op::DeleteRun(i, k) => {
+                let Some(i) = live_at(&self.order, i) else {
+                    return;
+                };
+                let deleted = if use_batch {
+                    self.scheme
+                        .splice(Splice::DeleteRun {
+                            first: self.order[i].0,
+                            count: k,
+                        })
+                        .unwrap()
+                        .deleted()
+                } else {
+                    // Reference semantics: delete the next k live items
+                    // at or after position i, in list order.
+                    let mut deleted = 0usize;
+                    for j in i..self.order.len() {
+                        if deleted == k {
+                            break;
+                        }
+                        if self.order[j].1 {
+                            self.scheme.delete(self.order[j].0).unwrap();
+                            deleted += 1;
+                        }
+                    }
+                    deleted
+                };
+                // Mirror the deletion in the reference list.
+                let mut remaining = deleted;
+                for j in i..self.order.len() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if self.order[j].1 {
+                        self.order[j].1 = false;
+                        remaining -= 1;
+                    }
+                }
+                assert_eq!(
+                    remaining, 0,
+                    "{}: scheme deleted more than tracked",
+                    self.tag
+                );
+            }
         }
-        // The contract: live labels strictly increase in list order.
+    }
+
+    /// The contract: live labels strictly increase in list order.
+    fn check_order(&self) {
         let mut prev: Option<u128> = None;
-        for &(h, alive) in &order {
+        for &(h, alive) in &self.order {
             if !alive {
                 continue;
             }
-            let l = match scheme.label_of(h) {
+            let l = match self.scheme.label_of(h) {
                 Ok(l) => l,
                 Err(_) => continue, // schemes may invalidate deleted handles only
             };
             if let Some(p) = prev {
-                assert!(p < l, "{}: order contract broken ({p} >= {l})", scheme.name());
+                assert!(p < l, "{}: order contract broken ({p} >= {l})", self.tag);
             }
             prev = Some(l);
         }
     }
-    // Final sanity: counts line up.
-    let live = order.iter().filter(|&&(_, a)| a).count();
-    assert_eq!(scheme.live_len(), live, "{}: live_len mismatch", scheme.name());
-    assert!(scheme.label_space_bits() <= 128);
-    assert!(scheme.memory_bytes() > 0);
+
+    /// The cursor contract: strictly increasing labels, and the live
+    /// subsequence equals the reference list order exactly.
+    fn check_cursor(&self) {
+        let live: std::collections::HashSet<u64> = self
+            .order
+            .iter()
+            .filter(|&&(_, a)| a)
+            .map(|&(h, _)| h.0)
+            .collect();
+        let mut cursor_live = Vec::new();
+        let mut prev: Option<u128> = None;
+        for h in Cursor::new(&self.scheme) {
+            let l = self
+                .scheme
+                .label_of(h)
+                .unwrap_or_else(|e| panic!("{}: cursor yielded unknown handle: {e}", self.tag));
+            if let Some(p) = prev {
+                assert!(
+                    p < l,
+                    "{}: cursor out of label order ({p} >= {l})",
+                    self.tag
+                );
+            }
+            prev = Some(l);
+            if live.contains(&h.0) {
+                cursor_live.push(h);
+            }
+        }
+        let expect: Vec<LeafHandle> = self
+            .order
+            .iter()
+            .filter(|&&(_, a)| a)
+            .map(|&(h, _)| h)
+            .collect();
+        assert_eq!(
+            cursor_live, expect,
+            "{}: cursor misses or reorders live items",
+            self.tag
+        );
+    }
+
+    fn check_counts(&self) {
+        let live = self.order.iter().filter(|&&(_, a)| a).count();
+        assert_eq!(
+            self.scheme.live_len(),
+            live,
+            "{}: live_len mismatch",
+            self.tag
+        );
+        assert!(self.scheme.label_space_bits() <= 128, "{}", self.tag);
+        assert!(self.scheme.memory_bytes() > 0, "{}", self.tag);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
-
-    #[test]
-    fn ltree_contract(initial in 1usize..50, stream in ops()) {
-        exercise(LTree::new(Params::new(4, 2).unwrap()), initial, &stream);
+/// Single-scheme conformance: order + cursor + counts + stats
+/// monotonicity over a randomized stream.
+fn exercise(spec: &str, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let initial = rng.gen_range(1..50);
+    let stream_len = rng.gen_range(1..60);
+    let ops = random_ops(&mut rng, stream_len);
+    let tag = format!("{spec} seed {seed}");
+    let mut h = Harness::new(build(spec), initial, tag.clone());
+    let mut prev_stats = h.scheme.scheme_stats();
+    for (step, op) in ops.iter().enumerate() {
+        h.apply(op, true);
+        h.check_order();
+        let stats = h.scheme.scheme_stats();
+        assert!(
+            stats.dominates(&prev_stats),
+            "{tag}: stats went backwards at step {step}: {prev_stats:?} -> {stats:?}"
+        );
+        prev_stats = stats;
+        if step % 8 == 0 {
+            h.check_cursor();
+        }
     }
+    h.check_cursor();
+    h.check_counts();
+    // Reset really resets; the counters start climbing again from zero.
+    h.scheme.reset_scheme_stats();
+    assert_eq!(h.scheme.scheme_stats().inserts, 0, "{tag}: reset");
+}
 
-    #[test]
-    fn ltree_wide_contract(initial in 1usize..50, stream in ops()) {
-        exercise(LTree::new(Params::new(32, 4).unwrap()), initial, &stream);
+#[test]
+fn conformance_across_the_registry() {
+    for spec in SPECS {
+        for seed in 0..8u64 {
+            exercise(spec, seed);
+        }
     }
+}
 
-    #[test]
-    fn virtual_contract(initial in 1usize..50, stream in ops()) {
-        exercise(VirtualLTree::new(Params::new(4, 2).unwrap()), initial, &stream);
+/// Batch-vs-loop equivalence: the same logical stream applied with the
+/// native splice path and with single-insert loops must produce the
+/// same list (same live count, same relative order of the same logical
+/// positions) — labels may differ, the *list* may not.
+#[test]
+fn splice_batch_equals_loop() {
+    for spec in SPECS {
+        for seed in 100..106u64 {
+            let mut rng = SplitMix64::new(seed);
+            let initial = rng.gen_range(1..30);
+            let stream_len = rng.gen_range(1..40);
+            let ops = random_ops(&mut rng, stream_len);
+            let mut batched = Harness::new(build(spec), initial, format!("{spec}#batch {seed}"));
+            let mut looped = Harness::new(build(spec), initial, format!("{spec}#loop {seed}"));
+            for op in &ops {
+                batched.apply(op, true);
+                looped.apply(op, false);
+                batched.check_order();
+                looped.check_order();
+                // Same logical list on both sides.
+                assert_eq!(
+                    batched.order.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+                    looped.order.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+                    "{spec} seed {seed}: batch and loop lists diverged"
+                );
+            }
+            assert_eq!(
+                batched.scheme.live_len(),
+                looped.scheme.live_len(),
+                "{spec} {seed}"
+            );
+            assert_eq!(batched.scheme.len(), looped.scheme.len(), "{spec} {seed}");
+            batched.check_cursor();
+            looped.check_cursor();
+        }
     }
+}
 
-    #[test]
-    fn naive_contract(initial in 1usize..50, stream in ops()) {
-        exercise(NaiveLabeling::new(), initial, &stream);
+#[test]
+fn delete_run_over_the_end_reports_short_count() {
+    for spec in SPECS {
+        let mut s = build(spec);
+        let hs = s.bulk_build(6).unwrap();
+        let deleted = s
+            .splice(Splice::DeleteRun {
+                first: hs[3],
+                count: 100,
+            })
+            .unwrap()
+            .deleted();
+        assert_eq!(deleted, 3, "{spec}: run must stop at the list end");
+        assert_eq!(s.live_len(), 3, "{spec}");
     }
+}
 
-    #[test]
-    fn gap_contract(initial in 1usize..50, stream in ops()) {
-        exercise(GapLabeling::new(), initial, &stream);
-    }
-
-    #[test]
-    fn gap_tight_contract(initial in 1usize..50, stream in ops()) {
-        exercise(GapLabeling::with_gap(2), initial, &stream);
-    }
-
-    #[test]
-    fn list_label_contract(initial in 1usize..50, stream in ops()) {
-        exercise(ListLabeling::new(), initial, &stream);
+#[test]
+fn empty_batch_is_a_typed_error() {
+    for spec in SPECS {
+        let mut s = build(spec);
+        let hs = s.bulk_build(3).unwrap();
+        assert!(
+            matches!(
+                s.splice(Splice::InsertAfter {
+                    anchor: hs[0],
+                    count: 0
+                }),
+                Err(ltree::LTreeError::EmptyBatch)
+            ),
+            "{spec}: zero batch must be rejected"
+        );
     }
 }
 
 #[test]
 fn invariants_hold_after_contract_streams() {
-    // A deterministic heavy stream with invariant checking for the trees.
-    let stream: Vec<Op> = (0..500)
-        .map(|i| match i % 7 {
+    // A deterministic heavy stream with full invariant checking for the
+    // tree-shaped schemes (which expose checkers beyond the trait).
+    let ops: Vec<Op> = (0..400)
+        .map(|i| match i % 9 {
             0 => Op::Before(i),
             1..=3 => Op::After(i * 31),
             4 => Op::Many(i, (i % 9) + 1),
+            5 => Op::DeleteRun(i * 7, (i % 5) + 1),
             _ => Op::Delete(i * 13),
         })
         .collect();
     let mut tree = LTree::new(Params::new(4, 2).unwrap());
-    exercise(&mut tree, 10, &stream);
+    {
+        let mut h = Harness::new(&mut tree, 10, "ltree#invariants".into());
+        for op in &ops {
+            h.apply(op, true);
+        }
+        h.check_order();
+        h.check_cursor();
+    }
     tree.check_invariants().unwrap();
 
     let mut v = VirtualLTree::new(Params::new(4, 2).unwrap());
-    exercise(&mut v, 10, &stream);
+    {
+        let mut h = Harness::new(&mut v, 10, "virtual#invariants".into());
+        for op in &ops {
+            h.apply(op, true);
+        }
+        h.check_order();
+        h.check_cursor();
+    }
     v.check_invariants().unwrap();
 }

@@ -36,7 +36,8 @@ fn auction_pipeline_with_ltree() {
         let reparsed = ltree::xml::parse(&text).unwrap();
         assert_eq!(reparsed.element_count(), 800);
 
-        let mut doc = Document::from_tree(reparsed, LTree::new(Params::new(4, 2).unwrap())).unwrap();
+        let mut doc =
+            Document::from_tree(reparsed, LTree::new(Params::new(4, 2).unwrap())).unwrap();
         doc.validate().unwrap();
         check_queries(&doc, QUERIES);
 
@@ -54,7 +55,10 @@ fn auction_pipeline_with_ltree() {
             .all_elements()
             .into_iter()
             .filter(|&id| {
-                doc.tree().child_elements(id).map(|c| c.is_empty()).unwrap_or(false)
+                doc.tree()
+                    .child_elements(id)
+                    .map(|c| c.is_empty())
+                    .unwrap_or(false)
                     && doc.tree().parent(id).ok().flatten().is_some()
             })
             .step_by(10)
@@ -72,12 +76,20 @@ fn books_pipeline_with_virtual_ltree() {
     let tree = generate(&book_catalog_profile(500), 7);
     let mut doc = Document::from_tree(tree, VirtualLTree::new(Params::new(8, 2).unwrap())).unwrap();
     doc.validate().unwrap();
-    let queries =
-        ["/catalog/book", "//title", "/catalog//section//para", "//chapter/title", "//book/*"];
+    let queries = [
+        "/catalog/book",
+        "//title",
+        "/catalog//section//para",
+        "//chapter/title",
+        "//book/*",
+    ];
     check_queries(&doc, &queries);
 
     // A chapter-insertion hotspot at the front of the first book.
-    let book = doc.tree().child_elements(doc.tree().root().unwrap()).unwrap()[0];
+    let book = doc
+        .tree()
+        .child_elements(doc.tree().root().unwrap())
+        .unwrap()[0];
     let (mut frag, fr) = XmlTree::with_root("chapter");
     let sect = frag.add_child(fr, "section").unwrap();
     frag.add_child(sect, "para").unwrap();
@@ -113,7 +125,10 @@ fn document_order_comparisons_match_dfs() {
     let doc = Document::from_tree(tree, LTree::new(Params::new(4, 2).unwrap())).unwrap();
     let order = doc.tree().all_elements();
     for pair in order.windows(2) {
-        assert_eq!(doc.document_cmp(pair[0], pair[1]).unwrap(), std::cmp::Ordering::Less);
+        assert_eq!(
+            doc.document_cmp(pair[0], pair[1]).unwrap(),
+            std::cmp::Ordering::Less
+        );
     }
     // is_ancestor agrees with the DOM parent chain on a sample.
     for &id in order.iter().step_by(7) {
