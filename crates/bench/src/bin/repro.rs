@@ -1,23 +1,78 @@
-//! `repro` — regenerate the reproduction experiment tables (X1–X14).
+//! `repro` — regenerate the reproduction experiment tables (X1–X14) and
+//! run the scheme × workload sweep.
 //!
 //! ```text
 //! repro [--full] [x1 x2 … | all]
+//! repro sweep [--full] [--out PATH] [--baseline PATH] [--max-regress R]
 //! ```
 //!
-//! Runs at quick scale by default (seconds); `--full` uses the sizes
-//! the reference runs use. Counter columns are deterministic; only
-//! wall-clock columns vary between machines.
+//! Experiments run at quick scale by default (seconds); `--full` uses
+//! the sizes the reference runs use. Counter columns are deterministic;
+//! only wall-clock columns vary between machines.
+//!
+//! `sweep` cross-products every registered scheme spec with the five
+//! standard workload shapes, prints the comparison table and writes the
+//! machine-readable `BENCH_sweep.json` (schema in `crates/bench/README.md`).
+//! With `--baseline`, the run exits non-zero when any cell errors or
+//! when an L-Tree-family cell's label-write count exceeds
+//! `--max-regress` (default 2.0) times the baseline's.
+//!
+//! Unknown experiment ids or flags are rejected **before** anything
+//! runs, with the list of valid names, and exit status 2.
 
-use ltree_bench::{experiments, Scale};
+use ltree_bench::{experiments, sweep, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let mut ids: Vec<String> = args
+    let code = if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..])
+    } else {
+        experiments_main(&args)
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> String {
+    format!(
+        "usage:\n  repro [--full] [ids... | all]   run experiment tables\n  repro sweep [--full] [--out PATH] [--baseline PATH] [--max-regress R]\n\nvalid experiment ids: {}, all",
+        experiments::all_ids().join(", ")
+    )
+}
+
+fn experiments_main(args: &[String]) -> i32 {
+    let mut full = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--full" => full = true,
+            "--quick" => full = false,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}\n{}", usage());
+                return 2;
+            }
+            id => ids.push(id.to_lowercase()),
+        }
+    }
+    // Validate *every* id before running anything: a typo must fail the
+    // whole invocation loudly (CI once ran for minutes, then silently
+    // skipped the misspelled experiment), not after the valid prefix.
+    let unknown: Vec<&String> = ids
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.to_lowercase())
+        .filter(|id| *id != "all" && !experiments::all_ids().contains(&id.as_str()))
         .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id{}: {}\n{}",
+            if unknown.len() == 1 { "" } else { "s" },
+            unknown
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            usage()
+        );
+        return 2;
+    }
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = experiments::all_ids()
             .iter()
@@ -30,19 +85,99 @@ fn main() {
         if full { "full" } else { "quick" }
     );
     for id in &ids {
-        match experiments::run(id, scale) {
-            Some(tables) => {
-                for t in tables {
-                    println!("{}", t.to_markdown());
+        let tables = experiments::run(id, scale).expect("ids were validated upfront");
+        for t in tables {
+            println!("{}", t.to_markdown());
+        }
+    }
+    0
+}
+
+fn sweep_main(args: &[String]) -> i32 {
+    let mut full = false;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut baseline: Option<String> = None;
+    let mut max_regress = 2.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--quick" => full = false,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("--out needs a path\n{}", usage());
+                    return 2;
                 }
-            }
-            None => {
-                eprintln!(
-                    "unknown experiment id: {id} (known: {:?})",
-                    experiments::all_ids()
-                );
-                std::process::exit(2);
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(p.clone()),
+                None => {
+                    eprintln!("--baseline needs a path\n{}", usage());
+                    return 2;
+                }
+            },
+            "--max-regress" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r >= 1.0 => max_regress = r,
+                _ => {
+                    eprintln!("--max-regress needs a ratio >= 1.0\n{}", usage());
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown sweep argument: {other}\n{}", usage());
+                return 2;
             }
         }
     }
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let report = sweep::run_sweep(&sweep::default_config(scale));
+    println!(
+        "# L-Tree scheme × workload sweep ({} scale)\n",
+        report.scale
+    );
+    println!("{}", report.to_table().to_markdown());
+
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!("wrote {out} ({} cells)", report.cells.len());
+
+    let mut failed = false;
+    let errored = report.errored();
+    if !errored.is_empty() {
+        failed = true;
+        for (c, e) in &errored {
+            eprintln!("cell error: {} × {} × n={}: {e}", c.spec, c.workload, c.n);
+        }
+    }
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match sweep::SweepReport::from_json(&text) {
+                Ok(base) => {
+                    let problems = sweep::compare_with_baseline(&report, &base, max_regress);
+                    if problems.is_empty() {
+                        println!(
+                            "baseline check against {path} passed (max-regress {max_regress}x)"
+                        );
+                    } else {
+                        failed = true;
+                        for p in &problems {
+                            eprintln!("baseline regression: {p}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot parse baseline {path}: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
 }

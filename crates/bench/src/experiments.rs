@@ -3,10 +3,12 @@
 //! Every comparison scheme is constructed **through the registry**
 //! ([`ltree::default_registry`]) from a spec string like `"ltree(4,2)"`
 //! — adding a scheme to the registry automatically opens it to the
-//! multi-scheme sweeps here. Only the structural walkthroughs (X2, X11)
-//! build a concrete [`LTree`], because they read tree internals (splits,
-//! cascades, invariant checks) that the trait family deliberately does
-//! not expose.
+//! multi-scheme sweeps here *and* to the scheme × workload × scale
+//! cross-product in [`crate::sweep`] (the `repro sweep` mode, which is
+//! what CI tracks over time via `BENCH_sweep.json`). Only the
+//! structural walkthroughs (X2, X11) build a concrete [`LTree`],
+//! because they read tree internals (splits, cascades, invariant
+//! checks) that the trait family deliberately does not expose.
 
 use crate::table::{f, Table};
 use crate::Scale;

@@ -1,12 +1,17 @@
 //! # `ltree-bench` — the reproduction harness
 //!
 //! One runner per experiment (X1–X14), each returning [`table::Table`]s
-//! that the `repro` binary prints as markdown. Schemes under comparison
-//! are constructed through the registry ([`ltree::default_registry`]),
-//! so a new scheme registered there joins every sweep automatically.
-//! The Criterion benches under `benches/` are reference material for
-//! wall-clock runs (gated off: this workspace builds without external
-//! dependencies).
+//! that the `repro` binary prints as markdown, plus the
+//! [`sweep`] mode: a scheme × workload × scale cross-product driven by
+//! replayable edit scripts, emitted both as a table and as the
+//! versioned machine-readable `BENCH_sweep.json` ([`sweep::SweepReport`])
+//! that CI tracks against a checked-in baseline. Schemes under
+//! comparison are constructed through the registry
+//! ([`ltree::default_registry`]), so a new scheme registered there
+//! joins every sweep automatically. The Criterion benches under
+//! `benches/` are reference material for wall-clock runs (gated off:
+//! this workspace builds without external dependencies; [`json`] is the
+//! hand-rolled JSON layer that keeps it that way).
 //!
 //! Everything is seeded; two runs of `repro` produce identical counter
 //! columns (wall-clock columns naturally vary).
@@ -14,6 +19,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
+pub mod sweep;
 pub mod table;
 
 /// Experiment scale: `quick` keeps every experiment under a few seconds;

@@ -1,0 +1,545 @@
+//! The scheme × workload × scale sweep.
+//!
+//! The registry makes scheme choice a string and `xmlgen` makes a
+//! workload a replayable [`EditScript`], so a sweep is a plain
+//! cross-product: for every `(initial size, workload profile)` pair one
+//! seeded script is generated, and **every scheme spec replays the same
+//! script** as batched splices. Each cell records the
+//! [`SchemeStats`](ltree::SchemeStats) counters (the paper's "nodes
+//! accessed for searching or relabeling" currency), label width, memory
+//! and wall time; a cell whose scheme construction or replay fails
+//! carries the error instead of silently vanishing.
+//!
+//! Results render as the usual markdown table *and* serialize to the
+//! versioned `BENCH_sweep.json` (schema documented in
+//! `crates/bench/README.md`) that CI uploads as an artifact and diffs
+//! against the checked-in `BENCH_baseline.json`: any errored cell or an
+//! L-Tree relabel count more than `max_ratio` (default 2×) above the
+//! baseline fails the build, so the perf trajectory is tracked by the
+//! machine instead of by eyeballing terminal tables.
+
+use crate::json::Json;
+use crate::table::{f, Table};
+use crate::Scale;
+use ltree::gen::{generate_edits, standard_profiles, EditProfile, WorkloadReport};
+use ltree::{LTreeError, SchemeStats};
+
+/// Version of the `BENCH_sweep.json` schema. Bump on any breaking field
+/// change; consumers must reject versions they do not know.
+pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+
+/// What to sweep: scheme spec strings × workload profiles × initial
+/// sizes, with the per-size operation budget and the script seed.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Registry spec strings ("ltree(4,2)", "gap", …).
+    pub specs: Vec<String>,
+    /// Workload shapes, fixed across sizes — or `None` to use
+    /// [`standard_profiles`] re-derived per size, so run lengths scale
+    /// with each size's ops budget instead of the first size's.
+    pub profiles: Option<Vec<EditProfile>>,
+    /// Initial bulk-build sizes.
+    pub sizes: Vec<usize>,
+    /// Operations (inserted items) per cell, as a fraction of the size.
+    pub ops_factor: f64,
+    /// Seed for script generation.
+    pub seed: u64,
+    /// Human-readable scale label recorded in the report.
+    pub scale_label: &'static str,
+}
+
+/// The standard sweep at a given scale: every scheme family the
+/// workspace ships × the five standard workload shapes.
+pub fn default_config(scale: Scale) -> SweepConfig {
+    let sizes = match scale {
+        Scale::Quick => vec![1_000],
+        Scale::Full => vec![10_000, 50_000],
+    };
+    SweepConfig {
+        specs: vec![
+            "ltree(4,2)".into(),
+            "ltree(16,4)".into(),
+            "virtual(4,2)".into(),
+            "gap".into(),
+            "list-label".into(),
+            "naive".into(),
+        ],
+        profiles: None,
+        sizes,
+        ops_factor: 0.5,
+        seed: 42,
+        scale_label: match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+    }
+}
+
+/// One `(spec, workload, size)` measurement — or the error that kept it
+/// from completing.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Registry spec string.
+    pub spec: String,
+    /// Workload profile name.
+    pub workload: String,
+    /// Initial bulk-build size.
+    pub n: usize,
+    /// Items the script inserts.
+    pub ops: usize,
+    /// The measurement, or the failure message.
+    pub outcome: Result<CellMetrics, String>,
+}
+
+/// The numbers one completed cell records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellMetrics {
+    /// Items inserted by the replay.
+    pub inserted: u64,
+    /// Items deleted by the replay.
+    pub deleted: u64,
+    /// Item labels written (initial assignment + relabelings).
+    pub label_writes: u64,
+    /// Maintenance node/entry accesses.
+    pub node_touches: u64,
+    /// Relabeling events.
+    pub relabel_events: u64,
+    /// Bits needed for any label at the end.
+    pub label_space_bits: u32,
+    /// Approximate heap use at the end, bytes.
+    pub memory_bytes: u64,
+    /// Wall-clock of the replay, nanoseconds (driver bookkeeping
+    /// included; machine-dependent, excluded from baseline checks).
+    pub wall_ns: u64,
+    /// Wall-clock inside scheme calls only, nanoseconds.
+    pub scheme_wall_ns: u64,
+}
+
+impl CellMetrics {
+    fn from_report(r: &WorkloadReport) -> Self {
+        let SchemeStats {
+            label_writes,
+            node_touches,
+            relabel_events,
+            ..
+        } = r.stats;
+        CellMetrics {
+            inserted: r.inserted,
+            deleted: r.deleted,
+            label_writes,
+            node_touches,
+            relabel_events,
+            label_space_bits: r.label_space_bits,
+            memory_bytes: r.memory_bytes as u64,
+            wall_ns: r.wall.as_nanos() as u64,
+            scheme_wall_ns: r.scheme_wall.as_nanos() as u64,
+        }
+    }
+
+    /// Amortized label writes per inserted item — the headline number.
+    pub fn relabels_per_op(&self) -> f64 {
+        self.label_writes as f64 / self.inserted.max(1) as f64
+    }
+
+    /// Amortized total maintenance cost per inserted item.
+    pub fn cost_per_op(&self) -> f64 {
+        (self.label_writes + self.node_touches) as f64 / self.inserted.max(1) as f64
+    }
+}
+
+/// A full sweep run: config echo plus one cell per cross-product entry.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Schema version ([`SWEEP_SCHEMA_VERSION`]).
+    pub version: u64,
+    /// Scale label ("quick" / "full").
+    pub scale: String,
+    /// Script-generation seed.
+    pub seed: u64,
+    /// All cells, in (size, workload, spec) iteration order.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Run the sweep. Per-cell failures are *recorded*, not propagated — a
+/// broken scheme must not hide the rest of the matrix.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let registry = ltree::default_registry();
+    let mut cells = Vec::new();
+    for &n in &cfg.sizes {
+        let ops = ((n as f64 * cfg.ops_factor) as usize).max(1);
+        let profiles = cfg
+            .profiles
+            .clone()
+            .unwrap_or_else(|| standard_profiles(ops));
+        for &profile in &profiles {
+            let script = generate_edits(profile, n, ops, cfg.seed);
+            for spec in &cfg.specs {
+                let outcome = registry
+                    .build(spec)
+                    .and_then(|mut scheme| script.replay(&mut scheme))
+                    .map(|r| CellMetrics::from_report(&r))
+                    .map_err(|e: LTreeError| e.to_string());
+                cells.push(SweepCell {
+                    spec: spec.clone(),
+                    workload: profile.name().to_owned(),
+                    n,
+                    ops,
+                    outcome,
+                });
+            }
+        }
+    }
+    SweepReport {
+        version: SWEEP_SCHEMA_VERSION,
+        scale: cfg.scale_label.to_owned(),
+        seed: cfg.seed,
+        cells,
+    }
+}
+
+impl SweepReport {
+    /// Cells that failed, as `(cell, error)` pairs.
+    pub fn errored(&self) -> Vec<(&SweepCell, &str)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err().map(|e| (c, e.as_str())))
+            .collect()
+    }
+
+    /// The markdown table the terminal run prints.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Sweep — scheme × workload × size ({} scale, seed {})",
+                self.scale, self.seed
+            ),
+            &[
+                "n",
+                "workload",
+                "scheme",
+                "relabels/op",
+                "cost/op",
+                "relabel events",
+                "bits",
+                "KiB",
+                "ms",
+            ],
+        );
+        t.note("One seeded edit script per (n, workload), replayed by every scheme as");
+        t.note("batched splices. relabels/op = label writes per inserted item (the paper's");
+        t.note("cost unit); the same numbers are emitted to BENCH_sweep.json for CI.");
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(m) => t.row(vec![
+                    c.n.to_string(),
+                    c.workload.clone(),
+                    c.spec.clone(),
+                    f(m.relabels_per_op()),
+                    f(m.cost_per_op()),
+                    m.relabel_events.to_string(),
+                    m.label_space_bits.to_string(),
+                    (m.memory_bytes / 1024).to_string(),
+                    f(m.wall_ns as f64 / 1.0e6),
+                ]),
+                Err(e) => t.row(vec![
+                    c.n.to_string(),
+                    c.workload.clone(),
+                    c.spec.clone(),
+                    format!("ERROR: {e}"),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                ]),
+            };
+        }
+        t
+    }
+
+    /// Serialize to the versioned `BENCH_sweep.json` schema.
+    pub fn to_json(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut members: Vec<(String, Json)> = vec![
+                    ("spec".into(), c.spec.as_str().into()),
+                    ("workload".into(), c.workload.as_str().into()),
+                    ("n".into(), c.n.into()),
+                    ("ops".into(), c.ops.into()),
+                    ("ok".into(), c.outcome.is_ok().into()),
+                ];
+                match &c.outcome {
+                    Ok(m) => {
+                        members.extend([
+                            ("inserted".into(), m.inserted.into()),
+                            ("deleted".into(), m.deleted.into()),
+                            ("label_writes".into(), m.label_writes.into()),
+                            ("node_touches".into(), m.node_touches.into()),
+                            ("relabel_events".into(), m.relabel_events.into()),
+                            ("relabels_per_op".into(), m.relabels_per_op().into()),
+                            ("label_space_bits".into(), m.label_space_bits.into()),
+                            ("memory_bytes".into(), m.memory_bytes.into()),
+                            ("wall_ns".into(), m.wall_ns.into()),
+                            ("scheme_wall_ns".into(), m.scheme_wall_ns.into()),
+                        ]);
+                    }
+                    Err(e) => members.push(("error".into(), e.as_str().into())),
+                }
+                Json::Obj(members)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("kind".into(), "ltree-bench-sweep".into()),
+            ("version".into(), self.version.into()),
+            ("scale".into(), self.scale.as_str().into()),
+            ("seed".into(), self.seed.into()),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse a `BENCH_sweep.json` document (for baseline comparison).
+    pub fn from_json(text: &str) -> Result<SweepReport, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("kind").and_then(Json::as_str) != Some("ltree-bench-sweep") {
+            return Err("not a ltree-bench-sweep document".into());
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("missing version")?;
+        if version != SWEEP_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported sweep schema version {version} (this build reads {SWEEP_SCHEMA_VERSION})"
+            ));
+        }
+        let field = |c: &Json, k: &str| -> Result<u64, String> {
+            c.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("cell missing '{k}'"))
+        };
+        let mut cells = Vec::new();
+        for c in doc
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or("missing cells")?
+        {
+            let spec = c
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or("cell missing 'spec'")?
+                .to_owned();
+            let workload = c
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or("cell missing 'workload'")?
+                .to_owned();
+            let n = field(c, "n")? as usize;
+            let ops = field(c, "ops")? as usize;
+            let outcome = if c.get("ok").and_then(Json::as_bool) == Some(true) {
+                Ok(CellMetrics {
+                    inserted: field(c, "inserted")?,
+                    deleted: field(c, "deleted")?,
+                    label_writes: field(c, "label_writes")?,
+                    node_touches: field(c, "node_touches")?,
+                    relabel_events: field(c, "relabel_events")?,
+                    label_space_bits: field(c, "label_space_bits")? as u32,
+                    memory_bytes: field(c, "memory_bytes")?,
+                    wall_ns: field(c, "wall_ns")?,
+                    scheme_wall_ns: field(c, "scheme_wall_ns")?,
+                })
+            } else {
+                Err(c
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned())
+            };
+            cells.push(SweepCell {
+                spec,
+                workload,
+                n,
+                ops,
+                outcome,
+            });
+        }
+        Ok(SweepReport {
+            version,
+            scale: doc
+                .get("scale")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_owned(),
+            seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            cells,
+        })
+    }
+}
+
+/// Compare a fresh sweep against a checked-in baseline: for every
+/// L-Tree-family cell (spec starting with `ltree` or `virtual`) present
+/// in both, the current **label-write count** must not exceed
+/// `max_ratio ×` the baseline's. Counter columns are seeded and
+/// deterministic, so the 2× default only trips on genuine regressions
+/// (wall-clock fields are deliberately ignored). Returns the list of
+/// violations, empty when the sweep is clean.
+pub fn compare_with_baseline(
+    current: &SweepReport,
+    baseline: &SweepReport,
+    max_ratio: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for cur in &current.cells {
+        if !(cur.spec.starts_with("ltree") || cur.spec.starts_with("virtual")) {
+            continue;
+        }
+        let Some(base) = baseline.cells.iter().find(|b| {
+            b.spec == cur.spec && b.workload == cur.workload && b.n == cur.n && b.ops == cur.ops
+        }) else {
+            continue; // new cell: nothing to regress against
+        };
+        match (&cur.outcome, &base.outcome) {
+            (Ok(c), Ok(b)) => {
+                let limit = (b.label_writes.max(1) as f64) * max_ratio;
+                if c.label_writes as f64 > limit {
+                    problems.push(format!(
+                        "{} × {} × n={}: label writes {} exceed {max_ratio}× baseline {}",
+                        cur.spec, cur.workload, cur.n, c.label_writes, b.label_writes
+                    ));
+                }
+            }
+            (Err(e), _) => problems.push(format!(
+                "{} × {} × n={}: errored ({e})",
+                cur.spec, cur.workload, cur.n
+            )),
+            (Ok(_), Err(_)) => {} // baseline was broken; current is better
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            specs: vec!["ltree(4,2)".into(), "gap".into(), "naive".into()],
+            profiles: Some(standard_profiles(64)),
+            sizes: vec![128],
+            ops_factor: 0.5,
+            seed: 7,
+            scale_label: "test",
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_cross_product_without_errors() {
+        let report = run_sweep(&tiny_config());
+        assert_eq!(report.cells.len(), 3 * 5);
+        assert!(report.errored().is_empty(), "{:?}", report.errored());
+        let table = report.to_table();
+        assert_eq!(table.rows.len(), 15);
+        // Every workload appears for every spec.
+        for spec in ["ltree(4,2)", "gap", "naive"] {
+            for wl in [
+                "bulk-load",
+                "append-heavy",
+                "skewed-point",
+                "mixed-edit",
+                "delete-heavy",
+            ] {
+                assert!(
+                    report
+                        .cells
+                        .iter()
+                        .any(|c| c.spec == spec && c.workload == wl),
+                    "missing {spec} × {wl}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_specs_become_errored_cells_not_panics() {
+        let mut cfg = tiny_config();
+        cfg.specs.push("no-such-scheme".into());
+        let report = run_sweep(&cfg);
+        let errored = report.errored();
+        assert_eq!(errored.len(), 5, "one errored cell per workload");
+        assert!(errored[0].1.contains("no-such-scheme"));
+        // The rest of the matrix still ran.
+        assert_eq!(report.cells.len(), 4 * 5);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_cells() {
+        let report = run_sweep(&tiny_config());
+        let text = report.to_json();
+        let back = SweepReport::from_json(&text).unwrap();
+        assert_eq!(back.version, SWEEP_SCHEMA_VERSION);
+        assert_eq!(back.cells.len(), report.cells.len());
+        for (a, b) in report.cells.iter().zip(&back.cells) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.n, b.n);
+            assert_eq!(
+                a.outcome.as_ref().unwrap(),
+                b.outcome.as_ref().unwrap(),
+                "{} × {}",
+                a.spec,
+                a.workload
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_in_counters() {
+        let a = run_sweep(&tiny_config());
+        let b = run_sweep(&tiny_config());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            let (ma, mb) = (ca.outcome.as_ref().unwrap(), cb.outcome.as_ref().unwrap());
+            assert_eq!(ma.label_writes, mb.label_writes, "{}", ca.spec);
+            assert_eq!(ma.node_touches, mb.node_touches, "{}", ca.spec);
+            assert_eq!(ma.relabel_events, mb.relabel_events, "{}", ca.spec);
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions_and_errors() {
+        let base = run_sweep(&tiny_config());
+        assert!(
+            compare_with_baseline(&base, &base, 2.0).is_empty(),
+            "a sweep never regresses against itself"
+        );
+        let mut worse = base.clone();
+        for c in &mut worse.cells {
+            if let Ok(m) = &mut c.outcome {
+                m.label_writes = m.label_writes.max(1) * 3;
+            }
+        }
+        let problems = compare_with_baseline(&worse, &base, 2.0);
+        assert!(!problems.is_empty());
+        assert!(
+            problems.iter().all(|p| p.contains("ltree")),
+            "only the L-Tree family is gated: {problems:?}"
+        );
+        let mut broken = base.clone();
+        broken.cells[0].outcome = Err("boom".into());
+        assert!(compare_with_baseline(&broken, &base, 2.0)
+            .iter()
+            .any(|p| p.contains("boom")));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut report = run_sweep(&tiny_config());
+        report.version = 99;
+        assert!(SweepReport::from_json(&report.to_json())
+            .unwrap_err()
+            .contains("version"));
+        assert!(SweepReport::from_json("{\"kind\": \"other\"}").is_err());
+    }
+}

@@ -57,6 +57,8 @@
 //! * [`registry`] — named scheme construction
 //!   ([`registry::SchemeRegistry`]): experiments and examples build any
 //!   scheme from a spec string like `"ltree(4,2)"`;
+//! * [`probe`] — call-level probes: [`CallCounter`] counts trait-method
+//!   traffic so bulk paths can prove they issue fewer write calls;
 //! * [`cost_model`] — the closed-form cost/bit formulas of Section 3;
 //! * [`invariants`] — a full structural checker used pervasively in tests.
 
@@ -72,6 +74,7 @@ pub mod layout;
 pub mod node;
 pub mod order;
 pub mod params;
+pub mod probe;
 pub mod registry;
 pub mod rng;
 pub mod scheme;
@@ -83,10 +86,11 @@ pub use error::{LTreeError, Result};
 pub use label::Label;
 pub use order::OrderedList;
 pub use params::Params;
+pub use probe::{CallCounter, CallCounts};
 pub use registry::{SchemeConfig, SchemeRegistry};
 pub use scheme::{
     BatchLabeling, Cursor, DynScheme, Instrumented, LabelingScheme, LeafHandle, OrderedLabeling,
-    OrderedLabelingMut, SchemeStats, Splice, SpliceResult,
+    OrderedLabelingMut, SchemeStats, Splice, SpliceBuilder, SpliceResult,
 };
 pub use stats::Stats;
 pub use tree::{LTree, LeafId};

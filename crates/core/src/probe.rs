@@ -1,0 +1,220 @@
+//! Call-level probes for the ordered-labeling trait family.
+//!
+//! [`SchemeStats`](crate::SchemeStats) counts *items* and *label/node
+//! touches* — the paper's cost currency. What it deliberately does not
+//! count is **trait-method traffic**: how many `OrderedLabelingMut` /
+//! `BatchLabeling` calls a driver issued to get those items in. That
+//! number is the whole point of splice-driven bulk loading (one batch
+//! call per sibling run instead of one insert per tag), so tests and
+//! benches wrap a scheme in [`CallCounter`] and read
+//! [`CallCounts`] to assert the reduction.
+
+use std::cmp::Ordering;
+
+use crate::error::Result;
+use crate::scheme::{
+    BatchLabeling, Instrumented, LeafHandle, OrderedLabeling, OrderedLabelingMut, SchemeStats,
+    Splice, SpliceResult,
+};
+
+/// Trait-method call counters recorded by [`CallCounter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallCounts {
+    /// `bulk_build` calls.
+    pub bulk_builds: u64,
+    /// Single-item insert calls (`insert_first` / `insert_after` /
+    /// `insert_before`).
+    pub single_inserts: u64,
+    /// Single-item `delete` calls.
+    pub single_deletes: u64,
+    /// Native batch calls (`insert_many_after` / `delete_run` /
+    /// `splice`), each counted once regardless of batch size.
+    pub batch_calls: u64,
+}
+
+impl CallCounts {
+    /// Every write-side call: the number the splice-driven bulk paths
+    /// minimize.
+    pub fn mutation_calls(&self) -> u64 {
+        self.bulk_builds + self.single_inserts + self.single_deletes + self.batch_calls
+    }
+}
+
+/// A transparent wrapper implementing the whole trait family by
+/// forwarding to the inner scheme while counting every write-side call.
+/// Batch methods forward to the inner scheme's *native* batch path (they
+/// never decay into counted singles), so the counts reflect exactly what
+/// the caller issued.
+#[derive(Debug)]
+pub struct CallCounter<S> {
+    inner: S,
+    counts: CallCounts,
+}
+
+impl<S> CallCounter<S> {
+    /// Wrap `inner` with zeroed counters.
+    pub fn new(inner: S) -> Self {
+        CallCounter {
+            inner,
+            counts: CallCounts::default(),
+        }
+    }
+
+    /// The calls recorded so far.
+    pub fn counts(&self) -> CallCounts {
+        self.counts
+    }
+
+    /// Zero the call counters (the inner scheme is untouched).
+    pub fn reset_counts(&mut self) {
+        self.counts = CallCounts::default();
+    }
+
+    /// The wrapped scheme.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the counters.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: OrderedLabeling> OrderedLabeling for CallCounter<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        self.inner.label_of(h)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.inner.live_len()
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        self.inner.first_in_order()
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        self.inner.next_in_order(h)
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        self.inner.label_space_bits()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn compare(&self, a: LeafHandle, b: LeafHandle) -> Result<Ordering> {
+        self.inner.compare(a, b)
+    }
+}
+
+impl<S: OrderedLabelingMut> OrderedLabelingMut for CallCounter<S> {
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        self.counts.bulk_builds += 1;
+        self.inner.bulk_build(n)
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        self.counts.single_inserts += 1;
+        self.inner.insert_first()
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        self.counts.single_inserts += 1;
+        self.inner.insert_after(anchor)
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        self.counts.single_inserts += 1;
+        self.inner.insert_before(anchor)
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        self.counts.single_deletes += 1;
+        self.inner.delete(h)
+    }
+}
+
+impl<S: BatchLabeling> BatchLabeling for CallCounter<S> {
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        self.counts.batch_calls += 1;
+        self.inner.insert_many_after(anchor, k)
+    }
+
+    fn delete_run(&mut self, first: LeafHandle, count: usize) -> Result<usize> {
+        self.counts.batch_calls += 1;
+        self.inner.delete_run(first, count)
+    }
+
+    fn splice(&mut self, op: Splice) -> Result<SpliceResult> {
+        self.counts.batch_calls += 1;
+        self.inner.splice(op)
+    }
+}
+
+impl<S: Instrumented> Instrumented for CallCounter<S> {
+    fn scheme_stats(&self) -> SchemeStats {
+        self.inner.scheme_stats()
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        self.inner.reset_scheme_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SpliceBuilder;
+    use crate::{LTree, Params};
+
+    #[test]
+    fn counts_singles_and_batches_separately() {
+        let mut c = CallCounter::new(LTree::new(Params::example()));
+        let hs = c.bulk_build(8).unwrap();
+        let h = c.insert_after(hs[0]).unwrap();
+        c.insert_before(h).unwrap();
+        c.delete(h).unwrap();
+        c.insert_many_after(hs[3], 10).unwrap();
+        c.splice(Splice::DeleteRun {
+            first: hs[5],
+            count: 2,
+        })
+        .unwrap();
+        let counts = c.counts();
+        assert_eq!(counts.bulk_builds, 1);
+        assert_eq!(counts.single_inserts, 2);
+        assert_eq!(counts.single_deletes, 1);
+        assert_eq!(counts.batch_calls, 2, "batches count once each");
+        assert_eq!(counts.mutation_calls(), 6);
+        // Stats pass straight through to the inner scheme.
+        assert!(c.scheme_stats().inserts >= 12);
+        c.reset_counts();
+        assert_eq!(c.counts(), CallCounts::default());
+        assert!(c.scheme_stats().inserts >= 12, "inner stats untouched");
+    }
+
+    #[test]
+    fn splice_builder_costs_one_call_per_run() {
+        let mut c = CallCounter::new(LTree::new(Params::example()));
+        let hs = c.bulk_build(4).unwrap();
+        c.reset_counts();
+        let mut b = SpliceBuilder::new();
+        b.push_run(hs[0], 5);
+        b.push_run(hs[2], 7);
+        b.apply(&mut c).unwrap();
+        assert_eq!(c.counts().batch_calls, 2);
+        assert_eq!(c.counts().single_inserts, 0);
+    }
+}

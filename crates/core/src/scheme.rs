@@ -310,6 +310,90 @@ pub trait BatchLabeling: OrderedLabelingMut {
 }
 
 // ----------------------------------------------------------------------
+// Splice assembly
+// ----------------------------------------------------------------------
+
+/// Assembles *sibling runs* — contiguous stretches of fresh items that
+/// share one anchor — into the minimum number of [`Splice::InsertAfter`]
+/// batches, instead of one `insert_after` call per item.
+///
+/// Callers that shred a tree (the XML layer) or replay an edit script
+/// (the workload drivers) queue runs with [`push_run`](Self::push_run),
+/// growing the most recent one with [`extend_last`](Self::extend_last)
+/// while consecutive items keep landing on the same run, then issue the
+/// whole plan with one [`apply`](Self::apply) call. Runs are applied in
+/// queue order; each run costs a single [`BatchLabeling::splice`].
+///
+/// Two runs with the same anchor are **not** merged: a later splice at
+/// the same anchor lands *between* the anchor and the earlier run, so
+/// merging would reorder items. Use `extend_last` when items genuinely
+/// continue the previous run.
+#[derive(Debug, Clone, Default)]
+pub struct SpliceBuilder {
+    runs: Vec<(LeafHandle, usize)>,
+    total: usize,
+}
+
+impl SpliceBuilder {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a run of `count ≥ 1` fresh items immediately after `anchor`.
+    /// The anchor must be live when [`apply`](Self::apply) runs.
+    pub fn push_run(&mut self, anchor: LeafHandle, count: usize) {
+        debug_assert!(count >= 1, "a sibling run holds at least one item");
+        self.runs.push((anchor, count));
+        self.total += count;
+    }
+
+    /// Grow the most recently queued run by `count` items. Returns
+    /// `false` (queuing nothing) when no run exists yet.
+    pub fn extend_last(&mut self, count: usize) -> bool {
+        match self.runs.last_mut() {
+            Some((_, c)) => {
+                *c += count;
+                self.total += count;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of queued runs (splices `apply` will issue).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total items across all queued runs.
+    pub fn total_items(&self) -> usize {
+        self.total
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Issue one [`Splice::InsertAfter`] per queued run, in queue order.
+    /// Returns the fresh handles grouped per run (each inner `Vec` in
+    /// list order). The builder is consumed; on error, earlier runs have
+    /// already been applied.
+    pub fn apply<S: BatchLabeling + ?Sized>(self, scheme: &mut S) -> Result<Vec<Vec<LeafHandle>>> {
+        let mut out = Vec::with_capacity(self.runs.len());
+        for (anchor, count) in self.runs {
+            out.push(
+                scheme
+                    .splice(Splice::InsertAfter { anchor, count })?
+                    .into_inserted(),
+            );
+        }
+        Ok(out)
+    }
+}
+
+// ----------------------------------------------------------------------
 // Instrumentation
 // ----------------------------------------------------------------------
 
@@ -689,6 +773,38 @@ mod tests {
             BatchLabeling::insert_many_after(&mut t, hs[0], 0),
             Err(LTreeError::EmptyBatch)
         ));
+    }
+
+    #[test]
+    fn splice_builder_applies_runs_in_order() {
+        let mut t = LTree::new(Params::example());
+        let hs = OrderedLabelingMut::bulk_build(&mut t, 4).unwrap();
+        let mut b = SpliceBuilder::new();
+        b.push_run(hs[0], 2);
+        assert!(b.extend_last(1), "run grows to 3");
+        b.push_run(hs[2], 2);
+        assert_eq!(b.run_count(), 2);
+        assert_eq!(b.total_items(), 5);
+        let runs = b.apply(&mut t).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].len(), 3);
+        assert_eq!(runs[1].len(), 2);
+        // First run sits between hs[0] and hs[1]; second between hs[2] and hs[3].
+        assert!(t.label_of(hs[0]).unwrap() < t.label_of(runs[0][0]).unwrap());
+        assert!(t.label_of(runs[0][2]).unwrap() < t.label_of(hs[1]).unwrap());
+        assert!(t.label_of(hs[2]).unwrap() < t.label_of(runs[1][0]).unwrap());
+        assert!(t.label_of(runs[1][1]).unwrap() < t.label_of(hs[3]).unwrap());
+    }
+
+    #[test]
+    fn splice_builder_empty_and_extend_without_run() {
+        let mut t = LTree::new(Params::example());
+        OrderedLabelingMut::bulk_build(&mut t, 2).unwrap();
+        let mut b = SpliceBuilder::new();
+        assert!(b.is_empty());
+        assert!(!b.extend_last(3), "nothing to extend");
+        assert_eq!(b.total_items(), 0);
+        assert!(b.apply(&mut t).unwrap().is_empty());
     }
 
     #[test]

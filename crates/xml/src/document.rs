@@ -15,7 +15,7 @@ use crate::error::{Result, XmlError};
 use crate::join::SpanRec;
 use crate::tags::TagId;
 use ltree_core::registry::{SchemeConfig, SchemeRegistry};
-use ltree_core::{DynScheme, LabelingScheme, LeafHandle};
+use ltree_core::{DynScheme, LabelingScheme, LeafHandle, Splice, SpliceBuilder};
 
 #[derive(Debug, Clone, Copy)]
 struct NodeMeta {
@@ -34,8 +34,15 @@ pub struct Document<S: LabelingScheme> {
 }
 
 impl<S: LabelingScheme> Document<S> {
-    /// Bind a parsed tree to a (fresh, empty) labeling scheme: the
-    /// begin/end tags of all elements are bulk loaded in document order.
+    /// Bind a parsed tree to a (fresh, empty) labeling scheme — the
+    /// **bulk path**: the begin/end tags of all elements are loaded with
+    /// a single scheme call (`bulk_build`), never one insert per tag.
+    /// Subsequent subtree insertions go through one
+    /// [`Splice`] per sibling run (see [`insert_fragments`]
+    /// (Self::insert_fragments)), so the per-item relabeling cost the
+    /// paper's amortized analysis beats never reappears at load time.
+    /// [`from_tree_incremental`](Self::from_tree_incremental) keeps the
+    /// per-node path for comparison.
     pub fn from_tree(tree: XmlTree, mut scheme: S) -> Result<Self> {
         let count = tree.element_count();
         let handles = scheme.bulk_build(2 * count)?;
@@ -56,9 +63,75 @@ impl<S: LabelingScheme> Document<S> {
         Ok(doc)
     }
 
-    /// Parse text and bind it in one step.
+    /// Parse text and bind it in one step (the bulk path).
     pub fn parse_str(xml: &str, scheme: S) -> Result<Self> {
         Self::from_tree(crate::parser::parse(xml)?, scheme)
+    }
+
+    /// Bind a parsed tree by labeling **one tag at a time** — the
+    /// historical per-node path: `insert_first` for the root's begin tag,
+    /// then one `insert_after` per remaining tag in document order
+    /// (`2n − 1` single inserts for `n` elements). Kept as the reference
+    /// the splice-driven bulk path is measured against; the conformance
+    /// suite asserts both paths produce identical documents.
+    pub fn from_tree_incremental(tree: XmlTree, scheme: S) -> Result<Self> {
+        let mut doc = Document {
+            tree,
+            scheme,
+            meta: HashMap::new(),
+            tag_index: HashMap::new(),
+        };
+        if let Some(root) = doc.tree.root() {
+            enum Ev {
+                Enter(XmlNodeId, u32),
+                Exit(XmlNodeId),
+            }
+            let mut stack = vec![Ev::Enter(root, 0)];
+            let mut prev: Option<LeafHandle> = None;
+            let mut pending: HashMap<XmlNodeId, (LeafHandle, u32)> = HashMap::new();
+            while let Some(ev) = stack.pop() {
+                match ev {
+                    Ev::Enter(id, depth) => {
+                        let h = match prev {
+                            None => doc.scheme.insert_first()?,
+                            Some(p) => doc.scheme.insert_after(p)?,
+                        };
+                        prev = Some(h);
+                        pending.insert(id, (h, depth));
+                        stack.push(Ev::Exit(id));
+                        let children = doc.tree.child_elements(id)?;
+                        for c in children.into_iter().rev() {
+                            stack.push(Ev::Enter(c, depth + 1));
+                        }
+                    }
+                    Ev::Exit(id) => {
+                        let h = doc
+                            .scheme
+                            .insert_after(prev.expect("enter precedes exit"))?;
+                        prev = Some(h);
+                        let (begin, depth) = pending.remove(&id).expect("enter precedes exit");
+                        doc.meta.insert(
+                            id,
+                            NodeMeta {
+                                begin,
+                                end: h,
+                                depth,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        for id in doc.tree.all_elements() {
+            let tag = doc.tree.tag(id)?;
+            doc.tag_index.entry(tag).or_default().push(id);
+        }
+        Ok(doc)
+    }
+
+    /// Parse text and bind it through the per-node path.
+    pub fn parse_str_incremental(xml: &str, scheme: S) -> Result<Self> {
+        Self::from_tree_incremental(crate::parser::parse(xml)?, scheme)
     }
 
     /// The labeling scheme, by value (for rebinding or inspection).
@@ -322,6 +395,34 @@ impl<S: LabelingScheme> Document<S> {
         index: usize,
         fragment: &XmlTree,
     ) -> Result<Vec<XmlNodeId>> {
+        Ok(self
+            .insert_fragments(parent, index, std::slice::from_ref(fragment))?
+            .pop()
+            .expect("one fragment in, one id list out"))
+    }
+
+    /// Insert several complete trees as consecutive element children of
+    /// `parent`, starting at child position `index`. The fragments form
+    /// **one sibling run** — their tag sequences concatenate contiguously
+    /// after the anchor — so the whole batch is labeled by a *single*
+    /// [`Splice::InsertAfter`], assembled with [`SpliceBuilder`], no
+    /// matter how many fragments or elements it carries. Returns one id
+    /// list per fragment, each in document order.
+    pub fn insert_fragments(
+        &mut self,
+        parent: XmlNodeId,
+        index: usize,
+        fragments: &[XmlTree],
+    ) -> Result<Vec<Vec<XmlNodeId>>> {
+        if fragments.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Reject rootless fragments *before* the first graft: grafting is
+        // the only per-fragment failure mode, and failing mid-loop would
+        // leave earlier fragments in the DOM with no labels.
+        for fragment in fragments {
+            fragment.root().ok_or(XmlError::UnknownNode)?;
+        }
         let parent_meta = *self.meta.get(&parent).ok_or(XmlError::UnknownNode)?;
         let children = self.tree.child_elements(parent)?;
         let idx = index.min(children.len());
@@ -333,15 +434,36 @@ impl<S: LabelingScheme> Document<S> {
                 .ok_or(XmlError::UnknownNode)?
                 .end
         };
-        let new_ids = self.tree.graft(parent, idx, fragment)?;
-        let k = 2 * new_ids.len();
-        let handles = self.scheme.insert_many_after(anchor, k)?;
-        self.assign_handles(new_ids[0], parent_meta.depth + 1, &handles)?;
-        for &id in &new_ids {
-            let tag = self.tree.tag(id)?;
-            self.tag_index.entry(tag).or_default().push(id);
+        // Graft every fragment into the DOM first, then label the whole
+        // sibling run with one splice.
+        let mut grafted: Vec<Vec<XmlNodeId>> = Vec::with_capacity(fragments.len());
+        let mut builder = SpliceBuilder::new();
+        for (i, fragment) in fragments.iter().enumerate() {
+            let ids = self.tree.graft(parent, idx + i, fragment)?;
+            if i == 0 {
+                builder.push_run(anchor, 2 * ids.len());
+            } else {
+                builder.extend_last(2 * ids.len());
+            }
+            grafted.push(ids);
         }
-        Ok(new_ids)
+        let runs = builder.apply(&mut self.scheme)?;
+        let handles = &runs[0];
+        let mut offset = 0usize;
+        for ids in &grafted {
+            let take = 2 * ids.len();
+            self.assign_handles(
+                ids[0],
+                parent_meta.depth + 1,
+                &handles[offset..offset + take],
+            )?;
+            offset += take;
+            for &id in ids {
+                let tag = self.tree.tag(id)?;
+                self.tag_index.entry(tag).or_default().push(id);
+            }
+        }
+        Ok(grafted)
     }
 
     /// Insert a single fresh element (no children) — the paper's single
@@ -376,11 +498,20 @@ impl<S: LabelingScheme> Document<S> {
             return Err(XmlError::InvalidMove);
         }
         let order = self.tree.dfs(id)?;
-        // Release the old leaves (tombstones only).
+        // Release the old leaves (tombstones only): the subtree's tags
+        // are exactly the live leaves between its root's begin and end,
+        // so one delete-run splice covers all of them.
+        let root_meta = *self.meta.get(&id).ok_or(XmlError::UnknownNode)?;
+        let released = self
+            .scheme
+            .splice(Splice::DeleteRun {
+                first: root_meta.begin,
+                count: 2 * order.len(),
+            })?
+            .deleted();
+        debug_assert_eq!(released, 2 * order.len(), "run covers the whole subtree");
         for &e in &order {
-            let meta = self.meta.remove(&e).ok_or(XmlError::UnknownNode)?;
-            self.scheme.delete(meta.begin)?;
-            self.scheme.delete(meta.end)?;
+            self.meta.remove(&e).ok_or(XmlError::UnknownNode)?;
         }
         self.tree.detach_subtree(id)?;
         // Splice at the destination and relabel the moved subtree with
@@ -397,20 +528,34 @@ impl<S: LabelingScheme> Document<S> {
                 .end
         };
         self.tree.attach_subtree(new_parent, idx, id)?;
-        let handles = self.scheme.insert_many_after(anchor, 2 * order.len())?;
+        let handles = self
+            .scheme
+            .splice(Splice::InsertAfter {
+                anchor,
+                count: 2 * order.len(),
+            })?
+            .into_inserted();
         self.assign_handles(id, parent_meta.depth + 1, &handles)?;
         Ok(())
     }
 
     /// Delete the subtree rooted at `id` (not the root). The scheme
-    /// leaves are tombstoned — no relabeling happens (paper, §2.3).
+    /// leaves are tombstoned — no relabeling happens (paper, §2.3) — via
+    /// a single delete-run splice over the subtree's contiguous tag run.
     /// Returns the number of elements removed.
     pub fn delete_subtree(&mut self, id: XmlNodeId) -> Result<usize> {
+        let root_meta = *self.meta.get(&id).ok_or(XmlError::UnknownNode)?;
         let removed = self.tree.remove_subtree(id)?;
+        let released = self
+            .scheme
+            .splice(Splice::DeleteRun {
+                first: root_meta.begin,
+                count: 2 * removed.len(),
+            })?
+            .deleted();
+        debug_assert_eq!(released, 2 * removed.len(), "run covers the whole subtree");
         for &e in &removed {
-            let meta = self.meta.remove(&e).ok_or(XmlError::UnknownNode)?;
-            self.scheme.delete(meta.begin)?;
-            self.scheme.delete(meta.end)?;
+            self.meta.remove(&e).ok_or(XmlError::UnknownNode)?;
         }
         let gone: std::collections::HashSet<XmlNodeId> = removed.iter().copied().collect();
         for ids in self.tag_index.values_mut() {
@@ -595,6 +740,93 @@ mod tests {
         assert!(d.is_ancestor(root, ids[0]).unwrap());
         assert!(d.is_ancestor(ids[0], ids[3]).unwrap());
         assert_eq!(d.depth(ids[2]).unwrap(), 3);
+    }
+
+    #[test]
+    fn incremental_path_matches_bulk_path() {
+        let bulk = doc(FIG1);
+        let incr = Document::from_tree_incremental(
+            crate::parser::parse(FIG1).unwrap(),
+            LTree::new(Params::new(4, 2).unwrap()),
+        )
+        .unwrap();
+        incr.validate().unwrap();
+        // Same elements in the same document order on both paths.
+        let order = |d: &Document<LTree>| {
+            d.all_spans()
+                .unwrap()
+                .into_iter()
+                .map(|s| s.node)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(order(&bulk), order(&incr));
+        assert_eq!(bulk.element_count(), incr.element_count());
+    }
+
+    #[test]
+    fn insert_fragments_labels_the_run_with_one_splice() {
+        use ltree_core::probe::CallCounter;
+        let mut d = Document::parse_str(
+            FIG1,
+            CallCounter::new(LTree::new(Params::new(4, 2).unwrap())),
+        )
+        .unwrap();
+        let root = d.tree().root().unwrap();
+        let (mut f1, r1) = XmlTree::with_root("appendix");
+        f1.add_child(r1, "section").unwrap();
+        let (f2, _) = XmlTree::with_root("index");
+        let calls_before = d.scheme().counts().mutation_calls();
+        let ids = d.insert_fragments(root, 2, &[f1, f2]).unwrap();
+        assert_eq!(
+            d.scheme().counts().mutation_calls() - calls_before,
+            1,
+            "the whole sibling run is one splice"
+        );
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].len(), 2);
+        assert_eq!(ids[1].len(), 1);
+        d.validate().unwrap();
+        // Fragments landed adjacent, in order, at child position 2 and 3.
+        let kids = d.tree().child_elements(root).unwrap();
+        assert_eq!(kids[2], ids[0][0]);
+        assert_eq!(kids[3], ids[1][0]);
+        assert!(d.is_ancestor(ids[0][0], ids[0][1]).unwrap());
+    }
+
+    #[test]
+    fn rootless_fragment_is_rejected_before_any_graft() {
+        let mut d = doc(FIG1);
+        let root = d.tree().root().unwrap();
+        let (valid, _) = XmlTree::with_root("ok");
+        let count = d.element_count();
+        assert!(matches!(
+            d.insert_fragments(root, 0, &[valid, XmlTree::new()]),
+            Err(XmlError::UnknownNode)
+        ));
+        // Nothing was grafted: the document is unchanged and consistent.
+        assert_eq!(d.element_count(), count);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn subtree_removal_is_one_delete_run() {
+        use ltree_core::probe::CallCounter;
+        let mut d = Document::parse_str(
+            "<r><a><b/><c><d/></c></a><e/></r>",
+            CallCounter::new(LTree::new(Params::new(4, 2).unwrap())),
+        )
+        .unwrap();
+        let root = d.tree().root().unwrap();
+        let a = d.tree().child_elements(root).unwrap()[0];
+        let calls_before = d.scheme().counts().mutation_calls();
+        let removed = d.delete_subtree(a).unwrap();
+        assert_eq!(removed, 4);
+        assert_eq!(
+            d.scheme().counts().mutation_calls() - calls_before,
+            1,
+            "subtree removal is one delete-run splice"
+        );
+        d.validate().unwrap();
     }
 
     #[test]

@@ -265,8 +265,11 @@ pub fn parse(input: &str) -> Result<XmlTree> {
                     cur.expect(b'>')?;
                     match stack.pop() {
                         Some(top) => {
-                            let open = tree.tag_name(top)?.to_owned();
-                            if open != name {
+                            // Compare borrowed: close tags are the hottest
+                            // token in element-dense documents, and the
+                            // open-tag name only needs copying on error.
+                            if tree.tag_name(top)? != name {
+                                let open = tree.tag_name(top)?.to_owned();
                                 return cur.err(format!(
                                     "mismatched close tag </{name}>, open element is <{open}>"
                                 ));

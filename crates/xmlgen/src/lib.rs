@@ -9,7 +9,11 @@
 //! * [`workload`] — update streams against any
 //!   [`ltree_core::LabelingScheme`]: uniform, hotspot, append/prepend,
 //!   batch (subtree-shaped) and mixed insert/delete, with a
-//!   [`workload::WorkloadReport`] capturing the paper's cost metrics.
+//!   [`workload::WorkloadReport`] capturing the paper's cost metrics;
+//!   plus replayable [`workload::EditScript`]s — generated once per
+//!   (profile, seed), replayed against every scheme as batched splices
+//!   (one [`ltree_core::Splice`] per run) or as the per-item reference
+//!   loop, which is what the `ltree-bench` scheme×workload sweep drives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,4 +22,7 @@ pub mod gen;
 pub mod workload;
 
 pub use gen::{auction_profile, book_catalog_profile, generate, uniform_profile, DocProfile};
-pub use workload::{run_workload, verify_order, Workload, WorkloadReport};
+pub use workload::{
+    generate_edits, run_workload, standard_profiles, verify_order, Edit, EditProfile, EditScript,
+    Workload, WorkloadReport,
+};

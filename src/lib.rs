@@ -145,9 +145,9 @@ pub mod prelude {
     pub use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
     pub use ltree_core::order::OrderedList;
     pub use ltree_core::{
-        BatchLabeling, Cursor, DynScheme, Instrumented, LTree, Label, LabelingScheme, LeafHandle,
-        LeafId, OrderedLabeling, OrderedLabelingMut, Params, SchemeConfig, SchemeRegistry, Splice,
-        SpliceResult,
+        BatchLabeling, CallCounter, CallCounts, Cursor, DynScheme, Instrumented, LTree, Label,
+        LabelingScheme, LeafHandle, LeafId, OrderedLabeling, OrderedLabelingMut, Params,
+        SchemeConfig, SchemeRegistry, Splice, SpliceBuilder, SpliceResult,
     };
     pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
     pub use ltree_virtual::VirtualLTree;

@@ -338,6 +338,55 @@ fn splice_batch_equals_loop() {
     }
 }
 
+/// Splice-vs-incremental XML equivalence: the same document built
+/// through the splice-driven bulk path and through the per-node path
+/// must agree — for every registry scheme — on element count, document
+/// order (by labels), region containment and serialization. Labels may
+/// differ (bulk loading leaves different slack); the *document* may not.
+#[test]
+fn xml_bulk_and_incremental_loads_are_equivalent() {
+    use ltree::gen::{book_catalog_profile, generate};
+
+    let tree = generate(&book_catalog_profile(150), 17);
+    let text = ltree::xml::to_string(&tree).unwrap();
+    for spec in SPECS {
+        let bulk =
+            Document::parse_str(&text, build(spec)).unwrap_or_else(|e| panic!("{spec} bulk: {e}"));
+        let incr = Document::parse_str_incremental(&text, build(spec))
+            .unwrap_or_else(|e| panic!("{spec} incremental: {e}"));
+        bulk.validate().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        incr.validate().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(bulk.element_count(), incr.element_count(), "{spec}");
+
+        // Identical document order: the label-sorted element sequence of
+        // both paths matches the DOM's DFS order (and hence each other).
+        let order = |d: &Document<Box<dyn DynScheme>>| -> Vec<_> {
+            d.all_spans().unwrap().into_iter().map(|s| s.node).collect()
+        };
+        let dfs = bulk.tree().all_elements();
+        assert_eq!(order(&bulk), dfs, "{spec}: bulk order");
+        assert_eq!(order(&incr), dfs, "{spec}: incremental order");
+
+        // Region containment answers agree on a sample of pairs.
+        for (i, &a) in dfs.iter().step_by(13).enumerate() {
+            for &b in dfs.iter().skip(i).step_by(29) {
+                assert_eq!(
+                    bulk.is_ancestor(a, b).unwrap(),
+                    incr.is_ancestor(a, b).unwrap(),
+                    "{spec}: ancestor({a:?}, {b:?})"
+                );
+            }
+        }
+
+        // Identical serialization.
+        assert_eq!(
+            ltree::xml::to_string(bulk.tree()).unwrap(),
+            ltree::xml::to_string(incr.tree()).unwrap(),
+            "{spec}: serialization"
+        );
+    }
+}
+
 #[test]
 fn delete_run_over_the_end_reports_short_count() {
     for spec in SPECS {

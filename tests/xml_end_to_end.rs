@@ -120,6 +120,80 @@ fn uniform_pipeline_with_baseline_scheme() {
 }
 
 #[test]
+fn bulk_load_issues_10x_fewer_mut_calls_than_per_node() {
+    use ltree::probe::CallCounter;
+    // The acceptance bar for splice-driven bulk loading: on a 10k-node
+    // document, the bulk path must issue at least 10× fewer
+    // OrderedLabelingMut/BatchLabeling calls than labeling one tag at a
+    // time — while doing the same logical work.
+    let tree = generate(&auction_profile(10_000), 42);
+    let params = Params::new(4, 2).unwrap();
+    let bulk = Document::from_tree(tree.clone(), CallCounter::new(LTree::new(params))).unwrap();
+    let incr = Document::from_tree_incremental(tree, CallCounter::new(LTree::new(params))).unwrap();
+    bulk.validate().unwrap();
+    incr.validate().unwrap();
+
+    let (b, i) = (bulk.scheme().counts(), incr.scheme().counts());
+    assert_eq!(
+        i.mutation_calls(),
+        20_000,
+        "per-node path pays one call per tag"
+    );
+    assert_eq!(b.mutation_calls(), 1, "bulk path is a single scheme call");
+    assert!(
+        10 * b.mutation_calls() <= i.mutation_calls(),
+        "bulk path must issue >= 10x fewer mutation calls ({} vs {})",
+        b.mutation_calls(),
+        i.mutation_calls()
+    );
+
+    // And in SchemeStats currency: both paths track the same 20k leaves,
+    // but bulk loading is not an update stream (the paper's model charges
+    // it nothing — its counters stay zero), while the per-node path pays
+    // full amortized relabeling for every single tag.
+    assert_eq!(bulk.scheme().live_len(), incr.scheme().live_len());
+    assert_eq!(bulk.scheme().live_len(), 20_000);
+    let (bs, is) = (bulk.scheme().scheme_stats(), incr.scheme().scheme_stats());
+    assert_eq!(is.inserts, 20_000, "per-node path pays per-item cost");
+    assert!(
+        is.label_writes >= 20_000,
+        "every tag was labeled at least once"
+    );
+    assert!(
+        bs.label_writes <= is.label_writes / 10,
+        "bulk label maintenance must undercut per-node by 10x ({} vs {})",
+        bs.label_writes,
+        is.label_writes
+    );
+}
+
+#[test]
+fn fragment_batches_beat_per_element_insertion() {
+    use ltree::probe::CallCounter;
+    // The same bar for incremental growth: inserting a 50-element
+    // fragment is one splice, not 100 single inserts.
+    let params = Params::new(4, 2).unwrap();
+    let mut doc = Document::parse_str("<r><a/></r>", CallCounter::new(LTree::new(params))).unwrap();
+    let root = doc.tree().root().unwrap();
+    let (mut frag, fr) = XmlTree::with_root("chunk");
+    for i in 0..49 {
+        frag.add_child(fr, if i % 2 == 0 { "x" } else { "y" })
+            .unwrap();
+    }
+    let before = doc.scheme().counts().mutation_calls();
+    for i in 0..10 {
+        doc.insert_fragment(root, i, &frag).unwrap();
+    }
+    assert_eq!(
+        doc.scheme().counts().mutation_calls() - before,
+        10,
+        "one splice per 50-element fragment"
+    );
+    doc.validate().unwrap();
+    assert_eq!(doc.element_count(), 2 + 10 * 50);
+}
+
+#[test]
 fn document_order_comparisons_match_dfs() {
     let tree = generate(&auction_profile(400), 5);
     let doc = Document::from_tree(tree, LTree::new(Params::new(4, 2).unwrap())).unwrap();
