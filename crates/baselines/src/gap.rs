@@ -26,7 +26,7 @@ struct Item {
     alive: bool,
 }
 
-/// The fixed-gap labeling scheme. See the [module docs](self).
+/// The fixed-gap labeling scheme. See the [crate docs](crate).
 #[derive(Debug)]
 pub struct GapLabeling {
     gap: u128,

@@ -27,7 +27,7 @@ struct Item {
     alive: bool,
 }
 
-/// Even-redistribution list labeling. See the [module docs](self).
+/// Even-redistribution list labeling. See the [crate docs](crate).
 pub struct ListLabeling {
     /// Universe is `[0, 2^bits)`.
     bits: u32,

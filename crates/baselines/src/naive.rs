@@ -18,7 +18,7 @@ struct Item {
     alive: bool,
 }
 
-/// The naive sequential labeling scheme. See the [module docs](self).
+/// The naive sequential labeling scheme. See the [crate docs](crate).
 #[derive(Debug, Default)]
 pub struct NaiveLabeling {
     /// Document order: item indices (tombstones included).

@@ -2,8 +2,8 @@
 //! run the scheme × workload sweep.
 //!
 //! ```text
-//! repro [--full] [x1 x2 … | all]
-//! repro sweep [--full] [--out PATH] [--baseline PATH] [--max-regress R]
+//! repro [--full | --quick] [x1 x2 … | all]
+//! repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R]
 //! ```
 //!
 //! Experiments run at quick scale by default (seconds); `--full` uses
@@ -34,7 +34,7 @@ fn main() {
 
 fn usage() -> String {
     format!(
-        "usage:\n  repro [--full] [ids... | all]   run experiment tables\n  repro sweep [--full] [--out PATH] [--baseline PATH] [--max-regress R]\n\nvalid experiment ids: {}, all",
+        "usage:\n  repro [--full | --quick] [ids... | all]   run experiment tables\n  repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R]\n\nvalid experiment ids: {}, all",
         experiments::all_ids().join(", ")
     )
 }

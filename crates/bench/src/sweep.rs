@@ -1,11 +1,11 @@
 //! The scheme × workload × scale sweep.
 //!
 //! The registry makes scheme choice a string and `xmlgen` makes a
-//! workload a replayable [`EditScript`], so a sweep is a plain
-//! cross-product: for every `(initial size, workload profile)` pair one
-//! seeded script is generated, and **every scheme spec replays the same
-//! script** as batched splices. Each cell records the
-//! [`SchemeStats`](ltree::SchemeStats) counters (the paper's "nodes
+//! workload a replayable [`EditScript`](ltree::gen::EditScript), so a
+//! sweep is a plain cross-product: for every `(initial size, workload
+//! profile)` pair one seeded script is generated, and **every scheme
+//! spec replays the same script** as batched splices. Each cell records
+//! the [`SchemeStats`] counters (the paper's "nodes
 //! accessed for searching or relabeling" currency), label width, memory
 //! and wall time; a cell whose scheme construction or replay fails
 //! carries the error instead of silently vanishing.
@@ -22,7 +22,7 @@ use crate::json::Json;
 use crate::table::{f, Table};
 use crate::Scale;
 use ltree::gen::{generate_edits, standard_profiles, EditProfile, WorkloadReport};
-use ltree::{LTreeError, SchemeStats};
+use ltree::{Instrumented, LTreeError, SchemeStats};
 
 /// Version of the `BENCH_sweep.json` schema. Bump on any breaking field
 /// change; consumers must reject versions they do not know.
@@ -63,6 +63,10 @@ pub fn default_config(scale: Scale) -> SweepConfig {
             "gap".into(),
             "list-label".into(),
             "naive".into(),
+            // Sharded composites over the same L-Tree shape, at two
+            // shard counts, so the report shows scaling across shards.
+            "sharded(4,ltree(4,2))".into(),
+            "sharded(8,ltree(4,2))".into(),
         ],
         profiles: None,
         sizes,
@@ -89,6 +93,10 @@ pub struct SweepCell {
     pub ops: usize,
     /// The measurement, or the failure message.
     pub outcome: Result<CellMetrics, String>,
+    /// Per-component counter breakdown after the replay
+    /// ([`Instrumented::stats_breakdown`]) — one entry per shard for
+    /// partitioned schemes, empty for monolithic ones.
+    pub shards: Vec<(String, SchemeStats)>,
 }
 
 /// The numbers one completed cell records.
@@ -174,17 +182,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         for &profile in &profiles {
             let script = generate_edits(profile, n, ops, cfg.seed);
             for spec in &cfg.specs {
-                let outcome = registry
+                let measured = registry
                     .build(spec)
-                    .and_then(|mut scheme| script.replay(&mut scheme))
-                    .map(|r| CellMetrics::from_report(&r))
+                    .and_then(|mut scheme| {
+                        let report = script.replay(&mut scheme)?;
+                        Ok((CellMetrics::from_report(&report), scheme.stats_breakdown()))
+                    })
                     .map_err(|e: LTreeError| e.to_string());
+                let (outcome, shards) = match measured {
+                    Ok((m, shards)) => (Ok(m), shards),
+                    Err(e) => (Err(e), Vec::new()),
+                };
                 cells.push(SweepCell {
                     spec: spec.clone(),
                     workload: profile.name().to_owned(),
                     n,
                     ops,
                     outcome,
+                    shards,
                 });
             }
         }
@@ -223,11 +238,14 @@ impl SweepReport {
                 "bits",
                 "KiB",
                 "ms",
+                "shards",
             ],
         );
         t.note("One seeded edit script per (n, workload), replayed by every scheme as");
         t.note("batched splices. relabels/op = label writes per inserted item (the paper's");
         t.note("cost unit); the same numbers are emitted to BENCH_sweep.json for CI.");
+        t.note("shards = final segment count for partitioned schemes (the JSON report");
+        t.note("carries the full per-shard counter breakdown).");
         for c in &self.cells {
             match &c.outcome {
                 Ok(m) => t.row(vec![
@@ -240,12 +258,18 @@ impl SweepReport {
                     m.label_space_bits.to_string(),
                     (m.memory_bytes / 1024).to_string(),
                     f(m.wall_ns as f64 / 1.0e6),
+                    if c.shards.is_empty() {
+                        "—".into()
+                    } else {
+                        c.shards.len().to_string()
+                    },
                 ]),
                 Err(e) => t.row(vec![
                     c.n.to_string(),
                     c.workload.clone(),
                     c.spec.clone(),
                     format!("ERROR: {e}"),
+                    "—".into(),
                     "—".into(),
                     "—".into(),
                     "—".into(),
@@ -284,6 +308,26 @@ impl SweepReport {
                             ("wall_ns".into(), m.wall_ns.into()),
                             ("scheme_wall_ns".into(), m.scheme_wall_ns.into()),
                         ]);
+                        // Additive within schema version 1: absent for
+                        // monolithic schemes, one entry per segment for
+                        // partitioned ones.
+                        if !c.shards.is_empty() {
+                            let shards = c
+                                .shards
+                                .iter()
+                                .map(|(name, s)| {
+                                    Json::Obj(vec![
+                                        ("name".into(), name.as_str().into()),
+                                        ("inserts".into(), s.inserts.into()),
+                                        ("deletes".into(), s.deletes.into()),
+                                        ("label_writes".into(), s.label_writes.into()),
+                                        ("node_touches".into(), s.node_touches.into()),
+                                        ("relabel_events".into(), s.relabel_events.into()),
+                                    ])
+                                })
+                                .collect();
+                            members.push(("shards".into(), Json::Arr(shards)));
+                        }
                     }
                     Err(e) => members.push(("error".into(), e.as_str().into())),
                 }
@@ -357,12 +401,33 @@ impl SweepReport {
                     .unwrap_or("unknown error")
                     .to_owned())
             };
+            let mut shards = Vec::new();
+            if let Some(list) = c.get("shards").and_then(Json::as_array) {
+                for s in list {
+                    let name = s
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("shard missing 'name'")?
+                        .to_owned();
+                    shards.push((
+                        name,
+                        SchemeStats {
+                            inserts: field(s, "inserts")?,
+                            deletes: field(s, "deletes")?,
+                            label_writes: field(s, "label_writes")?,
+                            node_touches: field(s, "node_touches")?,
+                            relabel_events: field(s, "relabel_events")?,
+                        },
+                    ));
+                }
+            }
             cells.push(SweepCell {
                 spec,
                 workload,
                 n,
                 ops,
                 outcome,
+                shards,
             });
         }
         Ok(SweepReport {
@@ -379,8 +444,9 @@ impl SweepReport {
 }
 
 /// Compare a fresh sweep against a checked-in baseline: for every
-/// L-Tree-family cell (spec starting with `ltree` or `virtual`) present
-/// in both, the current **label-write count** must not exceed
+/// L-Tree-family cell (spec starting with `ltree`, `virtual` or
+/// `sharded`) present in both, the current **label-write count** must
+/// not exceed
 /// `max_ratio ×` the baseline's. Counter columns are seeded and
 /// deterministic, so the 2× default only trips on genuine regressions
 /// (wall-clock fields are deliberately ignored). Returns the list of
@@ -392,7 +458,10 @@ pub fn compare_with_baseline(
 ) -> Vec<String> {
     let mut problems = Vec::new();
     for cur in &current.cells {
-        if !(cur.spec.starts_with("ltree") || cur.spec.starts_with("virtual")) {
+        if !(cur.spec.starts_with("ltree")
+            || cur.spec.starts_with("virtual")
+            || cur.spec.starts_with("sharded"))
+        {
             continue;
         }
         let Some(base) = baseline.cells.iter().find(|b| {
@@ -426,7 +495,12 @@ mod tests {
 
     fn tiny_config() -> SweepConfig {
         SweepConfig {
-            specs: vec!["ltree(4,2)".into(), "gap".into(), "naive".into()],
+            specs: vec![
+                "ltree(4,2)".into(),
+                "gap".into(),
+                "naive".into(),
+                "sharded(2,32,4,ltree(4,2))".into(),
+            ],
             profiles: Some(standard_profiles(64)),
             sizes: vec![128],
             ops_factor: 0.5,
@@ -438,12 +512,12 @@ mod tests {
     #[test]
     fn sweep_covers_the_cross_product_without_errors() {
         let report = run_sweep(&tiny_config());
-        assert_eq!(report.cells.len(), 3 * 5);
+        assert_eq!(report.cells.len(), 4 * 5);
         assert!(report.errored().is_empty(), "{:?}", report.errored());
         let table = report.to_table();
-        assert_eq!(table.rows.len(), 15);
+        assert_eq!(table.rows.len(), 20);
         // Every workload appears for every spec.
-        for spec in ["ltree(4,2)", "gap", "naive"] {
+        for spec in ["ltree(4,2)", "gap", "naive", "sharded(2,32,4,ltree(4,2))"] {
             for wl in [
                 "bulk-load",
                 "append-heavy",
@@ -471,7 +545,24 @@ mod tests {
         assert_eq!(errored.len(), 5, "one errored cell per workload");
         assert!(errored[0].1.contains("no-such-scheme"));
         // The rest of the matrix still ran.
-        assert_eq!(report.cells.len(), 4 * 5);
+        assert_eq!(report.cells.len(), 5 * 5);
+    }
+
+    #[test]
+    fn sharded_cells_carry_the_per_shard_breakdown() {
+        let report = run_sweep(&tiny_config());
+        for c in &report.cells {
+            if c.spec.starts_with("sharded") {
+                assert!(!c.shards.is_empty(), "{} × {}", c.spec, c.workload);
+                let agg: u64 = c.shards.iter().map(|(_, s)| s.label_writes).sum();
+                let m = c.outcome.as_ref().unwrap();
+                // Live segments cannot have written more labels than the
+                // aggregate (retired segments fold into the aggregate).
+                assert!(agg <= m.label_writes, "{} × {}", c.spec, c.workload);
+            } else {
+                assert!(c.shards.is_empty(), "{}", c.spec);
+            }
+        }
     }
 
     #[test]
@@ -492,6 +583,7 @@ mod tests {
                 a.spec,
                 a.workload
             );
+            assert_eq!(a.shards, b.shards, "{} × {}", a.spec, a.workload);
         }
     }
 

@@ -66,10 +66,19 @@ impl std::fmt::Display for LTreeError {
             LTreeError::NotEmpty => write!(f, "bulk_build requires an empty structure"),
             LTreeError::EmptyBatch => write!(f, "batch insertion of zero leaves is not meaningful"),
             LTreeError::UnknownScheme { name } => {
-                write!(f, "no labeling scheme registered under the name '{name}'")
+                write!(
+                    f,
+                    "no labeling scheme registered under the name '{name}' \
+                     (spec grammar: `ltree_core::registry` module docs, or \
+                     SchemeRegistry::summaries() for the registered names)"
+                )
             }
             LTreeError::InvalidSpec { spec, reason } => {
-                write!(f, "invalid scheme spec '{spec}': {reason}")
+                write!(
+                    f,
+                    "invalid scheme spec '{spec}': {reason} \
+                     (spec grammar: `ltree_core::registry` module docs)"
+                )
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Call-level probes for the ordered-labeling trait family.
 //!
-//! [`SchemeStats`](crate::SchemeStats) counts *items* and *label/node
+//! [`SchemeStats`] counts *items* and *label/node
 //! touches* — the paper's cost currency. What it deliberately does not
 //! count is **trait-method traffic**: how many `OrderedLabelingMut` /
 //! `BatchLabeling` calls a driver issued to get those items in. That
@@ -170,6 +170,10 @@ impl<S: Instrumented> Instrumented for CallCounter<S> {
 
     fn reset_scheme_stats(&mut self) {
         self.inner.reset_scheme_stats()
+    }
+
+    fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+        self.inner.stats_breakdown()
     }
 }
 

@@ -15,14 +15,49 @@
 //! assert_eq!(handles.len(), 8);
 //! ```
 //!
+//! # Spec-string grammar
+//!
 //! A *spec* is a scheme name optionally followed by parenthesized
-//! numeric arguments — `"ltree"`, `"ltree(8,2)"`, `"gap(64)"`,
-//! `"list-label(16,0.8)"`. Argument interpretation belongs to the
-//! factory registered for the name; arguments override the corresponding
-//! [`SchemeConfig`] fields. Downstream crates register their schemes
-//! with [`SchemeRegistry::register`] (the baselines and virtual crates
-//! each expose a `register` function; the facade crate composes them
-//! into a `default_registry()`).
+//! arguments. Arguments are split at **top-level** commas (commas inside
+//! nested parentheses belong to the nested spec) and each argument is
+//! either a number or, recursively, another spec:
+//!
+//! ```text
+//! spec  ::= name | name "(" args ")"
+//! args  ::= arg ("," arg)*
+//! arg   ::= number | spec          // nested specs only for composite schemes
+//! name  ::= [^(),]+                // trimmed; no parens or commas
+//! ```
+//!
+//! Argument interpretation belongs to the factory registered for the
+//! name; numeric arguments override the corresponding [`SchemeConfig`]
+//! fields. The workspace ships these schemes (crates in parentheses
+//! register themselves via their `register` function; the facade crate
+//! composes them all into `default_registry()`):
+//!
+//! | spec | scheme | arguments |
+//! |------|--------|-----------|
+//! | `ltree` | materialized L-Tree, paper §2 (`ltree-core`) | `(f,s)` |
+//! | `ltree-virtual`, `virtual` | virtual L-Tree, paper §4.2 (`ltree-virtual`) | `(f,s)` |
+//! | `naive` | consecutive integers, paper Fig. 1 (`labeling-baselines`) | — |
+//! | `gap` | fixed-gap midpoint labels (`labeling-baselines`) | `(gap)` |
+//! | `list-label` | even-redistribution list labeling (`labeling-baselines`) | `(bits)` or `(bits,tau)` |
+//! | `sharded` | segment-partitioned composite (`ltree-sharded`) | `(inner)`, `(n,inner)`, or `(n,split,merge,inner)` |
+//!
+//! Composite schemes take another spec as an argument and are built
+//! recursively against the same registry: `sharded(4,ltree(4,2))` is a
+//! sharded store over four materialized L-Trees, and
+//! `sharded(2,sharded(2,gap))` nests. Plain (numeric-only) factories
+//! registered with [`SchemeRegistry::register`] reject nested-spec
+//! arguments; composite factories are registered with
+//! [`SchemeRegistry::register_composite`] and receive the registry
+//! itself, plus the raw [`SpecArg`] list, to build their inners.
+//!
+//! Unknown names and malformed specs fail with
+//! [`LTreeError::UnknownScheme`] / [`LTreeError::InvalidSpec`], whose
+//! messages point back at this grammar.
+
+use std::sync::Arc;
 
 use crate::error::{LTreeError, Result};
 use crate::params::Params;
@@ -92,21 +127,68 @@ pub fn as_u32(spec: &str, v: f64) -> Result<u32> {
     }
 }
 
+/// One parsed spec argument: a number, or — for composite schemes like
+/// `sharded(4,ltree(4,2))` — a nested spec string. See the
+/// [grammar](self#spec-string-grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecArg {
+    /// A numeric argument (`4`, `0.8`).
+    Num(f64),
+    /// A nested scheme spec (`ltree(4,2)`, `gap`), built recursively by
+    /// composite factories.
+    Spec(String),
+}
+
+impl SpecArg {
+    /// The numeric value, if this argument is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            SpecArg::Num(v) => Some(*v),
+            SpecArg::Spec(_) => None,
+        }
+    }
+
+    /// The nested spec, if this argument is one.
+    pub fn as_spec(&self) -> Option<&str> {
+        match self {
+            SpecArg::Num(_) => None,
+            SpecArg::Spec(s) => Some(s),
+        }
+    }
+}
+
 /// A factory producing a boxed scheme from the shared config and the
-/// spec arguments (empty when the spec had no parentheses).
+/// numeric spec arguments (empty when the spec had no parentheses).
 pub type SchemeFactory =
     Box<dyn Fn(&SchemeConfig, &[f64]) -> Result<Box<dyn DynScheme>> + Send + Sync>;
+
+/// A composite factory: receives the registry itself (to build nested
+/// specs recursively) and the raw argument list, numbers and nested
+/// specs alike.
+pub type CompositeFactory = Box<
+    dyn Fn(&SchemeRegistry, &SchemeConfig, &[SpecArg]) -> Result<Box<dyn DynScheme>> + Send + Sync,
+>;
+
+enum Factory {
+    Plain(SchemeFactory),
+    Composite(CompositeFactory),
+}
 
 struct Entry {
     name: &'static str,
     summary: &'static str,
-    factory: SchemeFactory,
+    factory: Factory,
 }
 
-/// Named scheme factories. See the [module docs](self).
-#[derive(Default)]
+/// Named scheme factories. See the [module docs](self) for the
+/// spec-string grammar and the table of shipped schemes.
+///
+/// Cloning is cheap (entries are shared behind [`Arc`]): composite
+/// schemes clone the registry into their own factories so they can
+/// build fresh inner schemes later (e.g. when a shard splits).
+#[derive(Default, Clone)]
 pub struct SchemeRegistry {
-    entries: Vec<Entry>,
+    entries: Vec<Arc<Entry>>,
 }
 
 impl SchemeRegistry {
@@ -130,17 +212,37 @@ impl SchemeRegistry {
         reg
     }
 
-    /// Register (or replace) a factory under `name`.
+    /// Register (or replace) a plain factory under `name`. Plain
+    /// factories take numeric arguments only; a nested-spec argument is
+    /// rejected before the factory runs.
     pub fn register<F>(&mut self, name: &'static str, summary: &'static str, factory: F)
     where
         F: Fn(&SchemeConfig, &[f64]) -> Result<Box<dyn DynScheme>> + Send + Sync + 'static,
     {
+        self.insert(name, summary, Factory::Plain(Box::new(factory)));
+    }
+
+    /// Register (or replace) a composite factory under `name`. Composite
+    /// factories receive the registry itself and the raw [`SpecArg`]
+    /// list, so they can recursively build nested specs
+    /// (`sharded(4,ltree(4,2))`).
+    pub fn register_composite<F>(&mut self, name: &'static str, summary: &'static str, factory: F)
+    where
+        F: Fn(&SchemeRegistry, &SchemeConfig, &[SpecArg]) -> Result<Box<dyn DynScheme>>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.insert(name, summary, Factory::Composite(Box::new(factory)));
+    }
+
+    fn insert(&mut self, name: &'static str, summary: &'static str, factory: Factory) {
         self.entries.retain(|e| e.name != name);
-        self.entries.push(Entry {
+        self.entries.push(Arc::new(Entry {
             name,
             summary,
-            factory: Box::new(factory),
-        });
+            factory,
+        }));
     }
 
     /// Registered names, in registration order.
@@ -163,8 +265,9 @@ impl SchemeRegistry {
         self.build_with(spec, &SchemeConfig::default())
     }
 
-    /// Build a scheme from a spec string; spec arguments override the
-    /// matching `config` fields.
+    /// Build a scheme from a spec string; numeric spec arguments
+    /// override the matching `config` fields, nested-spec arguments are
+    /// resolved recursively against this registry.
     pub fn build_with(&self, spec: &str, config: &SchemeConfig) -> Result<Box<dyn DynScheme>> {
         let (name, args) = parse_spec(spec)?;
         let entry = self
@@ -174,7 +277,23 @@ impl SchemeRegistry {
             .ok_or_else(|| LTreeError::UnknownScheme {
                 name: name.to_owned(),
             })?;
-        (entry.factory)(config, &args)
+        match &entry.factory {
+            Factory::Plain(f) => {
+                let mut nums = Vec::with_capacity(args.len());
+                for a in &args {
+                    match a {
+                        SpecArg::Num(v) => nums.push(*v),
+                        SpecArg::Spec(_) => return Err(LTreeError::InvalidSpec {
+                            spec: spec.to_owned(),
+                            reason:
+                                "arguments must be numbers (nested specs need a composite scheme)",
+                        }),
+                    }
+                }
+                f(config, &nums)
+            }
+            Factory::Composite(f) => f(self, config, &args),
+        }
     }
 }
 
@@ -186,8 +305,10 @@ impl std::fmt::Debug for SchemeRegistry {
     }
 }
 
-/// Split `"name(a,b)"` into the name and its numeric arguments.
-fn parse_spec(spec: &str) -> Result<(&str, Vec<f64>)> {
+/// Split `"name(a,b)"` into the name and its arguments, honoring nested
+/// parentheses: commas inside a nested spec belong to that spec. See the
+/// [grammar](self#spec-string-grammar).
+fn parse_spec(spec: &str) -> Result<(&str, Vec<SpecArg>)> {
     let spec_trim = spec.trim();
     let bad = |reason: &'static str| LTreeError::InvalidSpec {
         spec: spec.to_owned(),
@@ -196,6 +317,9 @@ fn parse_spec(spec: &str) -> Result<(&str, Vec<f64>)> {
     let Some(open) = spec_trim.find('(') else {
         if spec_trim.is_empty() {
             return Err(bad("empty scheme spec"));
+        }
+        if spec_trim.contains(')') || spec_trim.contains(',') {
+            return Err(bad("unbalanced parentheses"));
         }
         return Ok((spec_trim, Vec::new()));
     };
@@ -209,12 +333,44 @@ fn parse_spec(spec: &str) -> Result<(&str, Vec<f64>)> {
     let inner = &rest[open + 1..];
     let mut args = Vec::new();
     if !inner.trim().is_empty() {
-        for part in inner.split(',') {
-            let v: f64 = part
-                .trim()
-                .parse()
-                .map_err(|_| bad("arguments must be numbers"))?;
-            args.push(v);
+        // Split at top-level commas only: a comma at depth > 0 belongs
+        // to a nested spec like `ltree(4,2)`.
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        let mut parts: Vec<&str> = Vec::new();
+        for (i, c) in inner.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(bad("unbalanced parentheses"));
+                    }
+                }
+                ',' if depth == 0 => {
+                    parts.push(&inner[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 {
+            return Err(bad("unbalanced parentheses"));
+        }
+        parts.push(&inner[start..]);
+        for part in parts {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(bad("empty argument"));
+            }
+            if let Ok(v) = part.parse::<f64>() {
+                args.push(SpecArg::Num(v));
+            } else {
+                // Anything that is not a number is a nested spec; its
+                // own validity is checked when the composite factory
+                // builds it.
+                args.push(SpecArg::Spec(part.to_owned()));
+            }
         }
     }
     Ok((name, args))
@@ -265,6 +421,25 @@ mod tests {
             reg.build("ltree(5,2)"),
             Err(LTreeError::InvalidParams { .. })
         ));
+        // A nested spec handed to a plain (numeric-only) factory.
+        assert!(matches!(
+            reg.build("ltree(gap,2)"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+        // Nested parens must balance even inside arguments.
+        assert!(matches!(
+            reg.build("ltree(4))"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_point_at_the_grammar() {
+        let reg = SchemeRegistry::with_builtin();
+        let unknown = reg.build("nope").err().unwrap().to_string();
+        assert!(unknown.contains("spec grammar"), "{unknown}");
+        let invalid = reg.build("ltree(4").err().unwrap().to_string();
+        assert!(invalid.contains("spec grammar"), "{invalid}");
     }
 
     #[test]
@@ -294,5 +469,33 @@ mod tests {
             wide.label_space_bits(),
             narrow.label_space_bits()
         );
+    }
+
+    #[test]
+    fn composite_factories_see_nested_specs_and_the_registry() {
+        let mut reg = SchemeRegistry::with_builtin();
+        // A toy composite that unwraps to its inner spec.
+        reg.register_composite("wrap", "identity wrapper", |reg, cfg, args| match args {
+            [SpecArg::Spec(inner)] => reg.build_with(inner, cfg),
+            _ => Err(LTreeError::InvalidSpec {
+                spec: "wrap".into(),
+                reason: "expected (inner-spec)",
+            }),
+        });
+        let mut s = reg.build("wrap(ltree(4,2))").unwrap();
+        assert_eq!(s.name(), "ltree");
+        s.bulk_build(4).unwrap();
+        // Nesting composes.
+        assert_eq!(reg.build("wrap(wrap(ltree))").unwrap().name(), "ltree");
+        assert!(reg.build("wrap(nope)").is_err());
+        assert!(reg.build("wrap(ltree(4,2)").is_err(), "unbalanced");
+    }
+
+    #[test]
+    fn cloned_registries_share_entries() {
+        let reg = SchemeRegistry::with_builtin();
+        let clone = reg.clone();
+        drop(reg);
+        assert!(clone.build("ltree(4,2)").is_ok());
     }
 }

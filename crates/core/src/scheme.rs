@@ -85,6 +85,21 @@ impl SchemeStats {
 
 /// The read side of an ordered labeling scheme: label lookup, order
 /// comparison and streaming iteration. See the [module docs](self).
+///
+/// The one invariant every implementation upholds: at any point in
+/// time, the label order of live items equals their list order.
+///
+/// ```
+/// use ltree_core::{LTree, OrderedLabeling, OrderedLabelingMut, Params};
+///
+/// let mut tree = LTree::new(Params::new(4, 2).unwrap());
+/// let handles = tree.bulk_build(8).unwrap();
+/// // Reads: labels strictly increase along list order …
+/// assert!(tree.label_of(handles[2]).unwrap() < tree.label_of(handles[3]).unwrap());
+/// // … and the zero-allocation cursor streams the whole list in order.
+/// let walked: Vec<_> = tree.cursor().collect();
+/// assert_eq!(walked, handles);
+/// ```
 pub trait OrderedLabeling {
     /// Short scheme name for tables ("ltree", "naive", …).
     fn name(&self) -> &'static str;
@@ -181,6 +196,21 @@ impl<S: OrderedLabeling + ?Sized> Iterator for Cursor<'_, S> {
 
 /// The write side of an ordered labeling scheme: the single-item updates
 /// whose amortized relabeling cost the paper measures.
+///
+/// Handles stay stable across relabelings, so callers hold on to them
+/// while labels shift underneath:
+///
+/// ```
+/// use ltree_core::{DynScheme, LTree, OrderedLabeling, OrderedLabelingMut, Params};
+///
+/// let mut tree: Box<dyn DynScheme> = Box::new(LTree::new(Params::new(4, 2).unwrap()));
+/// let handles = tree.bulk_build(4).unwrap();
+/// let mid = tree.insert_after(handles[1]).unwrap();
+/// assert!(tree.label_of(handles[1]).unwrap() < tree.label_of(mid).unwrap());
+/// assert!(tree.label_of(mid).unwrap() < tree.label_of(handles[2]).unwrap());
+/// tree.delete(mid).unwrap();
+/// assert_eq!(tree.live_len(), 4);
+/// ```
 pub trait OrderedLabelingMut: OrderedLabeling {
     /// Load `n` items into an empty scheme; returns handles in list order.
     /// Fails with [`crate::LTreeError::NotEmpty`] if items already exist.
@@ -206,6 +236,23 @@ pub trait OrderedLabelingMut: OrderedLabeling {
 // ----------------------------------------------------------------------
 
 /// A typed batch operation over a contiguous stretch of the list.
+///
+/// ```
+/// use ltree_core::{BatchLabeling, LTree, OrderedLabelingMut, Params, Splice};
+///
+/// let mut tree = LTree::new(Params::new(4, 2).unwrap());
+/// let handles = tree.bulk_build(4).unwrap();
+/// let inserted = tree
+///     .splice(Splice::InsertAfter { anchor: handles[0], count: 3 })
+///     .unwrap()
+///     .into_inserted();
+/// assert_eq!(inserted.len(), 3);
+/// let deleted = tree
+///     .splice(Splice::DeleteRun { first: inserted[0], count: 2 })
+///     .unwrap()
+///     .deleted();
+/// assert_eq!(deleted, 2);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Splice {
     /// Insert `count` consecutive fresh items immediately after `anchor`
@@ -259,6 +306,17 @@ impl SpliceResult {
 /// [`insert_many_after`](BatchLabeling::insert_many_after) with the
 /// native Section 4.1 fast-path (one search/update pass for the whole
 /// batch instead of `k`).
+///
+/// ```
+/// use ltree_core::{BatchLabeling, DynScheme, LTree, OrderedLabeling, OrderedLabelingMut, Params};
+///
+/// let mut tree: Box<dyn DynScheme> = Box::new(LTree::new(Params::new(4, 2).unwrap()));
+/// let handles = tree.bulk_build(4).unwrap();
+/// // One native batch call — not 5 single insertions.
+/// let batch = tree.insert_many_after(handles[1], 5).unwrap();
+/// assert_eq!(batch.len(), 5);
+/// assert!(tree.label_of(batch[4]).unwrap() < tree.label_of(handles[2]).unwrap());
+/// ```
 pub trait BatchLabeling: OrderedLabelingMut {
     /// Insert `k ≥ 1` consecutive items immediately after `anchor`;
     /// returns the new handles in list order. The default falls back to
@@ -328,6 +386,21 @@ pub trait BatchLabeling: OrderedLabelingMut {
 /// the same anchor lands *between* the anchor and the earlier run, so
 /// merging would reorder items. Use `extend_last` when items genuinely
 /// continue the previous run.
+///
+/// ```
+/// use ltree_core::{LTree, OrderedLabelingMut, Params, SpliceBuilder};
+///
+/// let mut tree = LTree::new(Params::new(4, 2).unwrap());
+/// let handles = tree.bulk_build(4).unwrap();
+/// let mut plan = SpliceBuilder::new();
+/// plan.push_run(handles[0], 2);
+/// plan.extend_last(1);        // the run grows to 3 items
+/// plan.push_run(handles[2], 2);
+/// assert_eq!((plan.run_count(), plan.total_items()), (2, 5));
+/// let runs = plan.apply(&mut tree).unwrap(); // 2 splices, not 5 inserts
+/// assert_eq!(runs[0].len(), 3);
+/// assert_eq!(runs[1].len(), 2);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SpliceBuilder {
     runs: Vec<(LeafHandle, usize)>,
@@ -400,12 +473,34 @@ impl SpliceBuilder {
 /// Cost-counter access. Counters are cumulative and **monotone** between
 /// resets: no operation may decrease any [`SchemeStats`] field (the
 /// conformance suite asserts this).
+///
+/// ```
+/// use ltree_core::{DynScheme, Instrumented, LTree, OrderedLabelingMut, Params};
+///
+/// let mut tree: Box<dyn DynScheme> = Box::new(LTree::new(Params::new(4, 2).unwrap()));
+/// let handles = tree.bulk_build(16).unwrap();
+/// tree.reset_scheme_stats();
+/// tree.insert_after(handles[7]).unwrap();
+/// let stats = tree.scheme_stats();
+/// assert_eq!(stats.inserts, 1);
+/// assert!(stats.label_writes >= 1, "at least the new item's label");
+/// ```
 pub trait Instrumented {
     /// Cost counters in the common currency.
     fn scheme_stats(&self) -> SchemeStats;
 
     /// Reset the cost counters.
     fn reset_scheme_stats(&mut self);
+
+    /// Per-component breakdown of [`scheme_stats`](Self::scheme_stats),
+    /// as `(component, stats)` pairs. Empty for monolithic schemes (the
+    /// default); partitioned schemes (e.g. `ltree-sharded`) report one
+    /// entry per segment so the bench harness can show where the cost
+    /// concentrates. Components sum to at most the aggregate (retired
+    /// components may be folded into the aggregate only).
+    fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+        Vec::new()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -418,6 +513,16 @@ pub trait Instrumented {
 /// [`crate::registry::SchemeRegistry`] hands out, and boxed schemes
 /// implement the facets (and thus `DynScheme`) themselves, so generic
 /// code accepts them transparently.
+///
+/// ```
+/// use ltree_core::{DynScheme, Instrumented, LTree, OrderedLabeling, OrderedLabelingMut, Params};
+///
+/// let mut scheme: Box<dyn DynScheme> = Box::new(LTree::new(Params::new(4, 2).unwrap()));
+/// let handles = scheme.bulk_build(8).unwrap();
+/// scheme.insert_after(handles[3]).unwrap();   // write facet
+/// assert_eq!(scheme.cursor().count(), 9);     // read facet
+/// assert_eq!(scheme.scheme_stats().inserts, 1); // instrumentation facet
+/// ```
 pub trait DynScheme: OrderedLabeling + OrderedLabelingMut + BatchLabeling + Instrumented {}
 
 impl<T> DynScheme for T where
@@ -509,6 +614,9 @@ macro_rules! forward_instrumented {
         }
         fn reset_scheme_stats(&mut self) {
             (**self).reset_scheme_stats()
+        }
+        fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+            (**self).stats_breakdown()
         }
     };
 }

@@ -2,12 +2,12 @@
 //!
 //! The L-Tree paper's introduction is set inside an RDBMS storing XML:
 //!
-//! * the **edge table** approach ([11] Florescu/Kossmann) "generated a
+//! * the **edge table** approach (\[11\] Florescu/Kossmann) "generated a
 //!   tuple for every XML node with its parent node identifier … to
 //!   process queries with structural navigation, one self-join is needed
 //!   to obtain each parent-child relationship", and "to answer
 //!   descendant-axis `//` … many self-joins are needed";
-//! * the **region-label** approach (Figure 1, [17] Zhang et al.) stores
+//! * the **region-label** approach (Figure 1, \[17\] Zhang et al.) stores
 //!   `(begin, end)` per node so that "ancestor-descendant queries can be
 //!   processed by exactly one self-join with label comparisons as
 //!   predicates, which is as efficient as child-axis".

@@ -6,11 +6,11 @@ use crate::value::Value;
 use ltree_core::LabelingScheme;
 use xmldb::Document;
 
-/// The edge-table layout of Florescu/Kossmann ([11] in the paper):
+/// The edge-table layout of Florescu/Kossmann (\[11\] in the paper):
 /// `node(id, parent, tag)`.
 pub struct EdgeTable(pub Table);
 
-/// The region layout of Figure 1 / [17]: `node(id, tag, begin, end,
+/// The region layout of Figure 1 / \[17\]: `node(id, tag, begin, end,
 /// depth)`.
 pub struct RegionTable(pub Table);
 

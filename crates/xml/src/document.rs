@@ -38,8 +38,9 @@ impl<S: LabelingScheme> Document<S> {
     /// **bulk path**: the begin/end tags of all elements are loaded with
     /// a single scheme call (`bulk_build`), never one insert per tag.
     /// Subsequent subtree insertions go through one
-    /// [`Splice`] per sibling run (see [`insert_fragments`]
-    /// (Self::insert_fragments)), so the per-item relabeling cost the
+    /// [`Splice`] per sibling run (see
+    /// [`insert_fragments`](Self::insert_fragments)), so the per-item
+    /// relabeling cost the
     /// paper's amortized analysis beats never reappears at load time.
     /// [`from_tree_incremental`](Self::from_tree_incremental) keeps the
     /// per-node path for comparison.

@@ -331,8 +331,9 @@ impl XmlTree {
     }
 
     /// Detach the subtree rooted at `id` from its parent **without
-    /// freeing** any element — the pair of [`attach_subtree`]
-    /// (Self::attach_subtree) used by subtree moves. The detached nodes
+    /// freeing** any element — the pair of
+    /// [`attach_subtree`](Self::attach_subtree) used by subtree moves.
+    /// The detached nodes
     /// stay live (ids valid) but unreachable from the root.
     pub fn detach_subtree(&mut self, id: XmlNodeId) -> Result<()> {
         let parent = self.element(id)?.parent.ok_or(XmlError::CannotRemoveRoot)?;

@@ -1,5 +1,5 @@
 //! Tag-name interning. The paper recommends clustering XML nodes by tag
-//! (Section 3.1, citing [17]); interning makes the tag index a dense map.
+//! (Section 3.1, citing \[17\]); interning makes the tag index a dense map.
 
 use std::collections::HashMap;
 

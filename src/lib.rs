@@ -15,6 +15,9 @@
 //!   by a counted B-tree);
 //! * [`btree`] — the order-statistic (counted) B-tree substrate;
 //! * [`baselines`] — the labeling schemes the paper argues against;
+//! * [`sharded`] — the segment-partitioned composite store: contiguous
+//!   segments of the label space, each backed by any registry scheme,
+//!   with L-Tree-style split/merge rebalancing one level up;
 //! * [`tuning`] — the Section 3.2 parameter tuner;
 //! * [`xml`] — the XML substrate: parser, DOM, region-labeled documents
 //!   and the path-query engine;
@@ -75,6 +78,11 @@ pub mod vtree {
     pub use ltree_virtual::*;
 }
 
+/// The segment-partitioned (sharded) label store composing any scheme.
+pub mod sharded {
+    pub use ltree_sharded::*;
+}
+
 /// Baseline labeling schemes (sequential, gapped, list-labeling).
 pub mod baselines {
     pub use labeling_baselines::*;
@@ -109,10 +117,17 @@ pub mod rel {
 /// | `naive` | consecutive integers | — |
 /// | `gap` | fixed-gap midpoints | `(gap)` |
 /// | `list-label` | even redistribution | `(bits)` or `(bits,tau)` |
+/// | `sharded` | segment-partitioned composite | `(inner)`, `(n,inner)`, or `(n,split,merge,inner)` |
+///
+/// `sharded` composes: its inner argument is any spec this registry
+/// resolves, recursively — `sharded(4,ltree(4,2))`, `sharded(2,gap)`.
+/// The full grammar lives in [`ltree_core::registry`]; `ARCHITECTURE.md`
+/// carries the same table for non-rustdoc readers.
 pub fn default_registry() -> SchemeRegistry {
     let mut reg = SchemeRegistry::with_builtin();
     ltree_virtual::register(&mut reg);
     labeling_baselines::register(&mut reg);
+    ltree_sharded::register(&mut reg);
     reg
 }
 
@@ -149,6 +164,7 @@ pub mod prelude {
         LabelingScheme, LeafHandle, LeafId, OrderedLabeling, OrderedLabelingMut, Params,
         SchemeConfig, SchemeRegistry, Splice, SpliceBuilder, SpliceResult,
     };
+    pub use ltree_sharded::{ShardedConfig, ShardedScheme};
     pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
     pub use ltree_virtual::VirtualLTree;
     pub use xmldb::{Document, Path, XmlTree};
@@ -159,7 +175,7 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn default_registry_covers_all_five_schemes() {
+    fn default_registry_covers_all_schemes() {
         let reg = crate::default_registry();
         for name in [
             "ltree",
@@ -168,9 +184,13 @@ mod tests {
             "naive",
             "gap",
             "list-label",
+            "sharded",
         ] {
             assert!(reg.contains(name), "missing {name}");
         }
+        // The composite spec resolves any registered inner, recursively.
+        let mut s = Scheme::build("sharded(2,virtual(4,2))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
         let mut s = Scheme::build("ltree(8,2)").unwrap();
         let hs = s.bulk_build(16).unwrap();
         assert_eq!(s.cursor().count(), 16);

@@ -23,7 +23,9 @@ use ltree::prelude::*;
 use ltree::rng::SplitMix64;
 
 /// Every scheme family the workspace ships, plus parameter variants that
-/// stress different shapes (wide L-Tree, minimal gap).
+/// stress different shapes (wide L-Tree, minimal gap, sharded composites
+/// with thresholds low enough that the contract streams force segment
+/// splits and merges).
 const SPECS: &[&str] = &[
     "ltree(4,2)",
     "ltree(32,4)",
@@ -32,6 +34,9 @@ const SPECS: &[&str] = &[
     "gap",
     "gap(2)",
     "list-label",
+    "sharded(4,ltree(4,2))",
+    "sharded(2,24,4,ltree(4,2))",
+    "sharded(3,16,2,gap)",
 ];
 
 fn build(spec: &str) -> Box<dyn DynScheme> {
@@ -383,6 +388,107 @@ fn xml_bulk_and_incremental_loads_are_equivalent() {
             ltree::xml::to_string(bulk.tree()).unwrap(),
             ltree::xml::to_string(incr.tree()).unwrap(),
             "{spec}: serialization"
+        );
+    }
+}
+
+/// Segment-boundary conformance for the sharded composite: insert runs
+/// land intact in the anchor's segment (splitting afterwards), delete
+/// runs are split at segment boundaries — and both must stay
+/// list-equivalent to the single-op loop while the cursor keeps global
+/// order. The typed harness also asserts that the streams really did
+/// cross boundaries (splits + merges happened).
+#[test]
+fn sharded_splices_split_at_segment_boundaries() {
+    use ltree::sharded::{ShardedConfig, ShardedScheme};
+    use ltree::{LTree, Params};
+
+    let cfg = ShardedConfig {
+        initial_shards: 4,
+        split_above: 16,
+        merge_below: 2,
+    };
+    let factory = || Ok(LTree::new(Params::new(4, 2).unwrap()));
+    let mut batched = Harness::new(
+        ShardedScheme::with_config(cfg, factory).unwrap(),
+        40,
+        "sharded#batch".into(),
+    );
+    let mut looped = Harness::new(
+        ShardedScheme::with_config(cfg, factory).unwrap(),
+        40,
+        "sharded#loop".into(),
+    );
+    assert_eq!(batched.scheme.shard_count(), 4, "10 per segment");
+
+    // Boundary-straddling runs: inserts big enough to split any segment
+    // (40 > split_above), a delete run spanning three segments, then
+    // point edits around the fresh boundaries, then a drain that forces
+    // merges. Positions are logical (reference-list) indices.
+    let ops = [
+        Op::Many(5, 40),      // insert run inside segment 0 → splits
+        Op::DeleteRun(2, 55), // straddles every boundary the split made
+        Op::Many(10, 17),     // insert at the (new) boundary region
+        Op::Before(1),
+        Op::After(12),
+        Op::DeleteRun(0, 30), // drain from the front → merges
+    ];
+    for op in &ops {
+        batched.apply(op, true);
+        looped.apply(op, false);
+        batched.check_order();
+        looped.check_order();
+        batched.check_cursor();
+        looped.check_cursor();
+        assert_eq!(
+            batched.order.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+            looped.order.iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+            "batch and loop lists diverged"
+        );
+    }
+    assert_eq!(batched.scheme.live_len(), looped.scheme.live_len());
+    assert_eq!(batched.scheme.len(), looped.scheme.len());
+    // The stream really exercised rebalancing: more segments than we
+    // started with at the peak is implied by ≤16 per segment …
+    for (tag, h) in [("batch", &batched), ("loop", &looped)] {
+        assert!(
+            h.scheme.shard_live_counts().iter().all(|&n| n <= 16),
+            "{tag}: segment over threshold: {:?}",
+            h.scheme.shard_live_counts()
+        );
+    }
+    // … and per-segment stats cover every live segment.
+    assert_eq!(
+        batched.scheme.stats_breakdown().len(),
+        batched.scheme.shard_count()
+    );
+}
+
+/// The same randomized batch-vs-loop equivalence the registry specs get,
+/// but at thresholds so tight that almost every op crosses a segment
+/// boundary — belt and braces over `splice_batch_equals_loop`.
+#[test]
+fn sharded_tight_threshold_streams_stay_equivalent() {
+    for seed in 200..206u64 {
+        let mut rng = SplitMix64::new(seed);
+        let initial = rng.gen_range(8..40);
+        let stream_len = rng.gen_range(10..40);
+        let ops = random_ops(&mut rng, stream_len);
+        let spec = "sharded(3,8,2,ltree(4,2))";
+        let mut batched = Harness::new(build(spec), initial, format!("{spec}#batch {seed}"));
+        let mut looped = Harness::new(build(spec), initial, format!("{spec}#loop {seed}"));
+        for op in &ops {
+            batched.apply(op, true);
+            looped.apply(op, false);
+            batched.check_order();
+            looped.check_order();
+        }
+        batched.check_cursor();
+        looped.check_cursor();
+        assert_eq!(
+            batched.scheme.live_len(),
+            looped.scheme.live_len(),
+            "seed {seed}"
         );
     }
 }
