@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--full | --quick] [x1 x2 … | all]
 //! repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R]
+//!             [--summary PATH]
 //! ```
 //!
 //! Experiments run at quick scale by default (seconds); `--full` uses
@@ -15,7 +16,10 @@
 //! machine-readable `BENCH_sweep.json` (schema in `crates/bench/README.md`).
 //! With `--baseline`, the run exits non-zero when any cell errors or
 //! when an L-Tree-family cell's label-write count exceeds
-//! `--max-regress` (default 2.0) times the baseline's.
+//! `--max-regress` (default 2.0) times the baseline's. `--summary PATH`
+//! additionally writes just the markdown table to `PATH` — CI appends it
+//! to `$GITHUB_STEP_SUMMARY` so the comparison shows on the PR itself,
+//! not only in the artifact.
 //!
 //! Unknown experiment ids or flags are rejected **before** anything
 //! runs, with the list of valid names, and exit status 2.
@@ -34,7 +38,7 @@ fn main() {
 
 fn usage() -> String {
     format!(
-        "usage:\n  repro [--full | --quick] [ids... | all]   run experiment tables\n  repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R]\n\nvalid experiment ids: {}, all",
+        "usage:\n  repro [--full | --quick] [ids... | all]   run experiment tables\n  repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R] [--summary PATH]\n\nvalid experiment ids: {}, all",
         experiments::all_ids().join(", ")
     )
 }
@@ -97,6 +101,7 @@ fn sweep_main(args: &[String]) -> i32 {
     let mut full = false;
     let mut out = String::from("BENCH_sweep.json");
     let mut baseline: Option<String> = None;
+    let mut summary: Option<String> = None;
     let mut max_regress = 2.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +112,13 @@ fn sweep_main(args: &[String]) -> i32 {
                 Some(p) => out = p.clone(),
                 None => {
                     eprintln!("--out needs a path\n{}", usage());
+                    return 2;
+                }
+            },
+            "--summary" => match it.next() {
+                Some(p) => summary = Some(p.clone()),
+                None => {
+                    eprintln!("--summary needs a path\n{}", usage());
                     return 2;
                 }
             },
@@ -143,6 +155,16 @@ fn sweep_main(args: &[String]) -> i32 {
         return 1;
     }
     println!("wrote {out} ({} cells)", report.cells.len());
+
+    // The table alone, for CI step summaries — written before gating so
+    // a failing gate still publishes the numbers that explain it.
+    if let Some(path) = summary {
+        if let Err(e) = std::fs::write(&path, report.to_table().to_markdown()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+    }
 
     let mut failed = false;
     let errored = report.errored();

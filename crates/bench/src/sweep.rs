@@ -21,6 +21,7 @@
 use crate::json::Json;
 use crate::table::{f, Table};
 use crate::Scale;
+use ltree::gen::docedit::run_document_edits;
 use ltree::gen::{generate_edits, standard_profiles, EditProfile, WorkloadReport};
 use ltree::{Instrumented, LTreeError, SchemeStats};
 
@@ -46,6 +47,11 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Human-readable scale label recorded in the report.
     pub scale_label: &'static str,
+    /// Also run the `doc-edit` workload per (size, spec): a seeded edit
+    /// session against a real `Document<S>` (fragment insertions and
+    /// subtree removals through the splice paths) instead of a leaf
+    /// stream — see [`ltree::gen::docedit`].
+    pub document_cells: bool,
 }
 
 /// The standard sweep at a given scale: every scheme family the
@@ -67,6 +73,10 @@ pub fn default_config(scale: Scale) -> SweepConfig {
             // shard counts, so the report shows scaling across shards.
             "sharded(4,ltree(4,2))".into(),
             "sharded(8,ltree(4,2))".into(),
+            // The networked store over a loopback server: same logical
+            // scheme as ltree(4,2), plus a wire; its cells carry the
+            // round-trip count so batching shows up as a column.
+            "served(ltree(4,2))".into(),
         ],
         profiles: None,
         sizes,
@@ -76,6 +86,7 @@ pub fn default_config(scale: Scale) -> SweepConfig {
             Scale::Quick => "quick",
             Scale::Full => "full",
         },
+        document_cells: true,
     }
 }
 
@@ -95,8 +106,33 @@ pub struct SweepCell {
     pub outcome: Result<CellMetrics, String>,
     /// Per-component counter breakdown after the replay
     /// ([`Instrumented::stats_breakdown`]) — one entry per shard for
-    /// partitioned schemes, empty for monolithic ones.
+    /// partitioned schemes, `net/...` transport entries for remote
+    /// schemes, empty for monolithic local ones.
     pub shards: Vec<(String, SchemeStats)>,
+}
+
+impl SweepCell {
+    /// Client round trips for remote schemes (the `net/round-trips`
+    /// breakdown entry), `None` for local ones. Covers the replay and
+    /// the end-of-run metric reads — the handshake and initial bulk
+    /// build are excluded, because the workload drivers reset the
+    /// scheme counters after the bulk build and the client resets its
+    /// transport counters with them.
+    pub fn round_trips(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .find(|(name, _)| name == "net/round-trips")
+            .map(|(_, s)| s.node_touches)
+    }
+
+    /// Breakdown entries that are segments (not `net/...` transport
+    /// counters) — what the table's shard-count column shows.
+    pub fn segment_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|(name, _)| !name.starts_with("net/"))
+            .count()
+    }
 }
 
 /// The numbers one completed cell records.
@@ -189,18 +225,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
                         Ok((CellMetrics::from_report(&report), scheme.stats_breakdown()))
                     })
                     .map_err(|e: LTreeError| e.to_string());
-                let (outcome, shards) = match measured {
-                    Ok((m, shards)) => (Ok(m), shards),
-                    Err(e) => (Err(e), Vec::new()),
-                };
-                cells.push(SweepCell {
-                    spec: spec.clone(),
-                    workload: profile.name().to_owned(),
-                    n,
-                    ops,
-                    outcome,
-                    shards,
-                });
+                cells.push(cell(spec, profile.name(), n, ops, measured));
+            }
+        }
+        if cfg.document_cells {
+            // The document-shaped workload: the same ops budget applied
+            // through a real Document's splice paths (`n` counts items,
+            // two per element, matching the leaf-stream cells).
+            for spec in &cfg.specs {
+                let measured = registry
+                    .build(spec)
+                    .map_err(|e| e.to_string())
+                    .and_then(|scheme| {
+                        run_document_edits(scheme, n / 2, ops, cfg.seed).map_err(|e| e.to_string())
+                    })
+                    .map(|(report, scheme)| {
+                        (CellMetrics::from_report(&report), scheme.stats_breakdown())
+                    });
+                cells.push(cell(spec, "doc-edit", n, ops, measured));
             }
         }
     }
@@ -209,6 +251,27 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         scale: cfg.scale_label.to_owned(),
         seed: cfg.seed,
         cells,
+    }
+}
+
+fn cell(
+    spec: &str,
+    workload: &str,
+    n: usize,
+    ops: usize,
+    measured: Result<(CellMetrics, Vec<(String, SchemeStats)>), String>,
+) -> SweepCell {
+    let (outcome, shards) = match measured {
+        Ok((m, shards)) => (Ok(m), shards),
+        Err(e) => (Err(e), Vec::new()),
+    };
+    SweepCell {
+        spec: spec.to_owned(),
+        workload: workload.to_owned(),
+        n,
+        ops,
+        outcome,
+        shards,
     }
 }
 
@@ -239,13 +302,16 @@ impl SweepReport {
                 "KiB",
                 "ms",
                 "shards",
+                "rtt",
             ],
         );
         t.note("One seeded edit script per (n, workload), replayed by every scheme as");
-        t.note("batched splices. relabels/op = label writes per inserted item (the paper's");
-        t.note("cost unit); the same numbers are emitted to BENCH_sweep.json for CI.");
+        t.note("batched splices (doc-edit instead drives a real Document's splice paths).");
+        t.note("relabels/op = label writes per inserted item (the paper's cost unit); the");
+        t.note("same numbers are emitted to BENCH_sweep.json for CI.");
         t.note("shards = final segment count for partitioned schemes (the JSON report");
-        t.note("carries the full per-shard counter breakdown).");
+        t.note("carries the full per-shard counter breakdown); rtt = client round trips");
+        t.note("for remote schemes — batching is what keeps it near the splice count.");
         for c in &self.cells {
             match &c.outcome {
                 Ok(m) => t.row(vec![
@@ -258,10 +324,13 @@ impl SweepReport {
                     m.label_space_bits.to_string(),
                     (m.memory_bytes / 1024).to_string(),
                     f(m.wall_ns as f64 / 1.0e6),
-                    if c.shards.is_empty() {
-                        "—".into()
-                    } else {
-                        c.shards.len().to_string()
+                    match c.segment_count() {
+                        0 => "—".into(),
+                        k => k.to_string(),
+                    },
+                    match c.round_trips() {
+                        None => "—".into(),
+                        Some(rt) => rt.to_string(),
                     },
                 ]),
                 Err(e) => t.row(vec![
@@ -269,6 +338,7 @@ impl SweepReport {
                     c.workload.clone(),
                     c.spec.clone(),
                     format!("ERROR: {e}"),
+                    "—".into(),
                     "—".into(),
                     "—".into(),
                     "—".into(),
@@ -308,9 +378,17 @@ impl SweepReport {
                             ("wall_ns".into(), m.wall_ns.into()),
                             ("scheme_wall_ns".into(), m.scheme_wall_ns.into()),
                         ]);
+                        // Additive within schema version 1: present for
+                        // remote schemes only — the client's round-trip
+                        // count (derived from the net/round-trips
+                        // breakdown entry, precomputed for dashboards).
+                        if let Some(rt) = c.round_trips() {
+                            members.push(("round_trips".into(), rt.into()));
+                        }
                         // Additive within schema version 1: absent for
                         // monolithic schemes, one entry per segment for
-                        // partitioned ones.
+                        // partitioned ones (plus net/... transport
+                        // entries for remote schemes).
                         if !c.shards.is_empty() {
                             let shards = c
                                 .shards
@@ -444,8 +522,8 @@ impl SweepReport {
 }
 
 /// Compare a fresh sweep against a checked-in baseline: for every
-/// L-Tree-family cell (spec starting with `ltree`, `virtual` or
-/// `sharded`) present in both, the current **label-write count** must
+/// L-Tree-family cell (spec starting with `ltree`, `virtual`, `sharded`
+/// or `served`) present in both, the current **label-write count** must
 /// not exceed
 /// `max_ratio ×` the baseline's. Counter columns are seeded and
 /// deterministic, so the 2× default only trips on genuine regressions
@@ -460,7 +538,8 @@ pub fn compare_with_baseline(
     for cur in &current.cells {
         if !(cur.spec.starts_with("ltree")
             || cur.spec.starts_with("virtual")
-            || cur.spec.starts_with("sharded"))
+            || cur.spec.starts_with("sharded")
+            || cur.spec.starts_with("served"))
         {
             continue;
         }
@@ -493,38 +572,44 @@ pub fn compare_with_baseline(
 mod tests {
     use super::*;
 
+    const TINY_SPECS: [&str; 5] = [
+        "ltree(4,2)",
+        "gap",
+        "naive",
+        "sharded(2,32,4,ltree(4,2))",
+        "served(ltree(4,2))",
+    ];
+    const TINY_WORKLOADS: [&str; 6] = [
+        "bulk-load",
+        "append-heavy",
+        "skewed-point",
+        "mixed-edit",
+        "delete-heavy",
+        "doc-edit",
+    ];
+
     fn tiny_config() -> SweepConfig {
         SweepConfig {
-            specs: vec![
-                "ltree(4,2)".into(),
-                "gap".into(),
-                "naive".into(),
-                "sharded(2,32,4,ltree(4,2))".into(),
-            ],
+            specs: TINY_SPECS.iter().map(|s| s.to_string()).collect(),
             profiles: Some(standard_profiles(64)),
             sizes: vec![128],
             ops_factor: 0.5,
             seed: 7,
             scale_label: "test",
+            document_cells: true,
         }
     }
 
     #[test]
     fn sweep_covers_the_cross_product_without_errors() {
         let report = run_sweep(&tiny_config());
-        assert_eq!(report.cells.len(), 4 * 5);
+        assert_eq!(report.cells.len(), 5 * 6);
         assert!(report.errored().is_empty(), "{:?}", report.errored());
         let table = report.to_table();
-        assert_eq!(table.rows.len(), 20);
-        // Every workload appears for every spec.
-        for spec in ["ltree(4,2)", "gap", "naive", "sharded(2,32,4,ltree(4,2))"] {
-            for wl in [
-                "bulk-load",
-                "append-heavy",
-                "skewed-point",
-                "mixed-edit",
-                "delete-heavy",
-            ] {
+        assert_eq!(table.rows.len(), 30);
+        // Every workload (doc-edit included) appears for every spec.
+        for spec in TINY_SPECS {
+            for wl in TINY_WORKLOADS {
                 assert!(
                     report
                         .cells
@@ -542,10 +627,10 @@ mod tests {
         cfg.specs.push("no-such-scheme".into());
         let report = run_sweep(&cfg);
         let errored = report.errored();
-        assert_eq!(errored.len(), 5, "one errored cell per workload");
+        assert_eq!(errored.len(), 6, "one errored cell per workload");
         assert!(errored[0].1.contains("no-such-scheme"));
         // The rest of the matrix still ran.
-        assert_eq!(report.cells.len(), 5 * 5);
+        assert_eq!(report.cells.len(), 6 * 6);
     }
 
     #[test]
@@ -553,14 +638,42 @@ mod tests {
         let report = run_sweep(&tiny_config());
         for c in &report.cells {
             if c.spec.starts_with("sharded") {
-                assert!(!c.shards.is_empty(), "{} × {}", c.spec, c.workload);
+                assert!(c.segment_count() > 0, "{} × {}", c.spec, c.workload);
                 let agg: u64 = c.shards.iter().map(|(_, s)| s.label_writes).sum();
                 let m = c.outcome.as_ref().unwrap();
                 // Live segments cannot have written more labels than the
                 // aggregate (retired segments fold into the aggregate).
                 assert!(agg <= m.label_writes, "{} × {}", c.spec, c.workload);
+            } else if c.spec.starts_with("served") {
+                assert_eq!(c.segment_count(), 0, "{}", c.spec);
             } else {
                 assert!(c.shards.is_empty(), "{}", c.spec);
+            }
+        }
+    }
+
+    #[test]
+    fn served_cells_carry_round_trips_and_match_the_local_scheme() {
+        let report = run_sweep(&tiny_config());
+        for c in &report.cells {
+            if c.spec.starts_with("served") {
+                let rt = c
+                    .round_trips()
+                    .unwrap_or_else(|| panic!("{} × {} has no rtt", c.spec, c.workload));
+                assert!(rt > 0, "{} × {}", c.spec, c.workload);
+                // The wire adds round trips, not label maintenance: the
+                // served(ltree(4,2)) cell must report exactly the
+                // ltree(4,2) counters for the same workload.
+                let local = report
+                    .cells
+                    .iter()
+                    .find(|l| l.spec == "ltree(4,2)" && l.workload == c.workload && l.n == c.n)
+                    .expect("local twin exists");
+                let (m, lm) = (c.outcome.as_ref().unwrap(), local.outcome.as_ref().unwrap());
+                assert_eq!(m.label_writes, lm.label_writes, "{}", c.workload);
+                assert_eq!(m.relabel_events, lm.relabel_events, "{}", c.workload);
+            } else {
+                assert_eq!(c.round_trips(), None, "{}", c.spec);
             }
         }
     }

@@ -46,6 +46,15 @@ pub enum LTreeError {
         /// Human-readable explanation.
         reason: &'static str,
     },
+    /// A remote label store failed in transport or protocol terms:
+    /// connect/read/write errors, a protocol-version mismatch, a
+    /// malformed frame, or a peer error with no local structured form.
+    /// Scheme-level failures (unknown handle, empty batch, …) travel the
+    /// wire as their own variants and never degrade into this one.
+    Remote {
+        /// What failed, in transport terms.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for LTreeError {
@@ -79,6 +88,9 @@ impl std::fmt::Display for LTreeError {
                     "invalid scheme spec '{spec}': {reason} \
                      (spec grammar: `ltree_core::registry` module docs)"
                 )
+            }
+            LTreeError::Remote { context } => {
+                write!(f, "remote label store: {context}")
             }
         }
     }

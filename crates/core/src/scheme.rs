@@ -514,6 +514,14 @@ pub trait Instrumented {
 /// implement the facets (and thus `DynScheme`) themselves, so generic
 /// code accepts them transparently.
 ///
+/// `Send + Sync` are part of the contract: schemes cross thread
+/// boundaries — composite factories are shared between threads
+/// (`ltree-sharded` builds segment inners lazily), and the networked
+/// backend (`ltree-remote`) hosts a registry-built scheme behind a
+/// `RwLock` serviced by one thread per connection. Every scheme in the
+/// workspace is plain owned data (or internally synchronized), so the
+/// bound costs implementors nothing.
+///
 /// ```
 /// use ltree_core::{DynScheme, Instrumented, LTree, OrderedLabeling, OrderedLabelingMut, Params};
 ///
@@ -523,10 +531,13 @@ pub trait Instrumented {
 /// assert_eq!(scheme.cursor().count(), 9);     // read facet
 /// assert_eq!(scheme.scheme_stats().inserts, 1); // instrumentation facet
 /// ```
-pub trait DynScheme: OrderedLabeling + OrderedLabelingMut + BatchLabeling + Instrumented {}
+pub trait DynScheme:
+    OrderedLabeling + OrderedLabelingMut + BatchLabeling + Instrumented + Send + Sync
+{
+}
 
 impl<T> DynScheme for T where
-    T: OrderedLabeling + OrderedLabelingMut + BatchLabeling + Instrumented + ?Sized
+    T: OrderedLabeling + OrderedLabelingMut + BatchLabeling + Instrumented + Send + Sync + ?Sized
 {
 }
 

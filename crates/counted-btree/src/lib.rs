@@ -41,7 +41,7 @@ mod node;
 pub use iter::Iter;
 use node::{InsertResult, Node};
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum entries in a leaf / children in an interior node.
 pub(crate) const MAX_LEN: usize = 16;
@@ -68,7 +68,11 @@ impl std::error::Error for DuplicateKey {}
 pub struct CountedBTree<V> {
     root: Node<V>,
     len: usize,
-    touches: Cell<u64>,
+    // Atomic (not `Cell`) so read-side instrumentation keeps the tree
+    // `Sync`: schemes built on this substrate are shared across server
+    // connection threads by `ltree-remote`. Relaxed ordering suffices —
+    // the counter is a statistic, not a synchronization point.
+    touches: AtomicU64,
 }
 
 impl<V> Default for CountedBTree<V> {
@@ -83,7 +87,7 @@ impl<V> CountedBTree<V> {
         CountedBTree {
             root: Node::empty_leaf(),
             len: 0,
-            touches: Cell::new(0),
+            touches: AtomicU64::new(0),
         }
     }
 
@@ -101,7 +105,7 @@ impl<V> CountedBTree<V> {
         CountedBTree {
             root,
             len,
-            touches: Cell::new(0),
+            touches: AtomicU64::new(0),
         }
     }
 
@@ -125,17 +129,17 @@ impl<V> CountedBTree<V> {
     /// — the paper's cost unit for the virtual L-Tree's "extra
     /// computation".
     pub fn touches(&self) -> u64 {
-        self.touches.get()
+        self.touches.load(Ordering::Relaxed)
     }
 
     /// Reset the access counter.
     pub fn reset_touches(&self) {
-        self.touches.set(0);
+        self.touches.store(0, Ordering::Relaxed);
     }
 
     #[inline]
     fn touch(&self, n: u64) {
-        self.touches.set(self.touches.get() + n);
+        self.touches.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Insert an entry; errors on duplicate keys.
@@ -183,7 +187,7 @@ impl<V> CountedBTree<V> {
     pub fn get_mut(&mut self, key: u128) -> Option<&mut V> {
         let mut touched = 0u64;
         let out = self.root.get_mut(key, &mut touched);
-        self.touches.set(self.touches.get() + touched);
+        self.touches.fetch_add(touched, Ordering::Relaxed);
         out
     }
 

@@ -1,0 +1,549 @@
+//! [`RemoteScheme`] — a client-side labeling scheme whose state lives in
+//! a [`LabelServer`].
+//!
+//! The client implements the whole ordered-labeling trait family, so a
+//! remote store drops into any generic code path — a `Document`, the
+//! conformance suite, a `ShardedScheme` segment — unchanged:
+//!
+//! * **Writes** are one frame per trait call; batch splices carry the
+//!   whole run in a single frame, so round trips scale with *runs*, not
+//!   items (this is where `SpliceBuilder` pays off over a network — a
+//!   10k-item bulk load is one round trip).
+//! * **Reads** are page-cached: a `label_of`/`next_in_order` miss
+//!   fetches one [`Request::Page`] of
+//!   `(handle, label)` pairs in list order, so in-order scans (cursor
+//!   walks, order validation) cost `O(n / page)` round trips. Any write
+//!   *through this client* invalidates the cache — labels may have
+//!   moved arbitrarily.
+//!
+//! **Consistency contract:** the page cache assumes this client is the
+//! store's only *writer* — the network analogue of the `&mut self`
+//! exclusivity the trait family already encodes locally. Multiple
+//! concurrent readers are fine (the server's `RwLock` serves them in
+//! parallel), but a write issued through a *different* connection can
+//! relabel items without invalidating this client's cache, so cached
+//! reads may return stale labels until this client's next write. For
+//! multi-writer deployments, route all writes through one client (e.g.
+//! a `ShardedScheme` owning one `RemoteScheme` per segment).
+//! * **Pipelining**: [`pipeline_splices`](RemoteScheme::pipeline_splices)
+//!   writes a whole splice plan before reading any response, amortizing
+//!   the wire latency across the plan.
+//!
+//! Transport accounting rides in [`Instrumented::stats_breakdown`]: the
+//! server-side breakdown is extended with
+//! `net/{round-trips,bytes-in,bytes-out}` entries (values in the
+//! `node_touches` field), and is also available in typed form via
+//! [`transport_stats`](RemoteScheme::transport_stats).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Mutex;
+
+use ltree_core::{
+    BatchLabeling, DynScheme, Instrumented, LTreeError, LeafHandle, OrderedLabeling,
+    OrderedLabelingMut, Result, SchemeStats, Splice, SpliceResult,
+};
+
+use crate::server::LabelServer;
+use crate::wire::{
+    decode_response, encode_request, io_err, read_frame, write_frame, Request, Response,
+    WireSplice, PROTOCOL_VERSION,
+};
+
+/// How many `(handle, label)` pairs a read miss prefetches.
+const PAGE_LIMIT: u32 = 256;
+
+/// Client-side transport counters, in typed form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Request/response exchanges. A pipelined plan counts once.
+    pub round_trips: u64,
+    /// Bytes written to the socket, frame prefixes included.
+    pub bytes_sent: u64,
+    /// Bytes read from the socket, frame prefixes included.
+    pub bytes_received: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    stats: TransportStats,
+}
+
+impl Conn {
+    fn send(&mut self, req: &Request) -> Result<()> {
+        self.stats.bytes_sent += write_frame(&mut self.writer, &encode_request(req))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| LTreeError::Remote {
+            context: "server closed the connection".into(),
+        })?;
+        self.stats.bytes_received += 4 + payload.len() as u64;
+        decode_response(&payload)
+    }
+
+    /// One round trip. Error responses become `Err` here, so callers
+    /// only ever see the success variants.
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        self.send(req)?;
+        let resp = self.recv()?;
+        self.stats.round_trips += 1;
+        match resp {
+            Response::Err(e) => Err(e),
+            r => Ok(r),
+        }
+    }
+}
+
+/// The cached page: one contiguous in-order run of `(handle, label)`
+/// pairs, plus whether it starts at the list head / reaches the end.
+#[derive(Default)]
+struct PageCache {
+    items: Vec<(u64, u128)>,
+    index: HashMap<u64, usize>,
+    from_start: bool,
+    at_end: bool,
+    valid: bool,
+}
+
+impl PageCache {
+    fn install(&mut self, items: Vec<(u64, u128)>, from_start: bool, at_end: bool) {
+        self.index = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(h, _))| (h, i))
+            .collect();
+        self.items = items;
+        self.from_start = from_start;
+        self.at_end = at_end;
+        self.valid = true;
+    }
+
+    fn invalidate(&mut self) {
+        *self = PageCache::default();
+    }
+
+    fn label(&self, h: u64) -> Option<u128> {
+        if !self.valid {
+            return None;
+        }
+        self.index.get(&h).map(|&i| self.items[i].1)
+    }
+
+    /// `None` = unknown (fetch needed); `Some(None)` = definitely the
+    /// list end; `Some(Some(next))` = known successor.
+    fn next(&self, h: u64) -> Option<Option<u64>> {
+        if !self.valid {
+            return None;
+        }
+        let &i = self.index.get(&h)?;
+        if i + 1 < self.items.len() {
+            Some(Some(self.items[i + 1].0))
+        } else if self.at_end {
+            Some(None)
+        } else {
+            None
+        }
+    }
+}
+
+/// A labeling scheme living behind a wire protocol. See the
+/// [module docs](self); construct with [`connect`](Self::connect) (an
+/// external server), [`served`](Self::served) (an in-process loopback
+/// server), or through the registry specs `remote(host:port)` /
+/// `served(inner)`.
+///
+/// ```
+/// use ltree_core::registry::SchemeRegistry;
+/// use ltree_core::{BatchLabeling, OrderedLabeling, OrderedLabelingMut, Splice};
+/// use ltree_remote::register;
+///
+/// let mut reg = SchemeRegistry::with_builtin();
+/// register(&mut reg);
+/// // A loopback server thread is spawned behind the scenes.
+/// let mut scheme = reg.build("served(ltree(4,2))").unwrap();
+/// let handles = scheme.bulk_build(100).unwrap(); // one round trip
+/// scheme
+///     .splice(Splice::InsertAfter { anchor: handles[50], count: 10 })
+///     .unwrap(); // one round trip for the whole batch
+/// assert_eq!(scheme.live_len(), 110);
+/// assert_eq!(scheme.cursor().count(), 110); // paged, not one trip per item
+/// ```
+pub struct RemoteScheme {
+    conn: Mutex<Conn>,
+    cache: Mutex<PageCache>,
+    /// The loopback server, when this client owns one (`served`).
+    /// Declared after `conn` so the socket closes first on drop and the
+    /// server's connection thread sees EOF before `shutdown` joins it.
+    server: Option<LabelServer>,
+}
+
+impl RemoteScheme {
+    /// Connect to a [`LabelServer`] at `addr` (`host:port`) and perform
+    /// the version handshake (one round trip).
+    pub fn connect(addr: &str) -> Result<RemoteScheme> {
+        let stream = TcpStream::connect(addr).map_err(|e| LTreeError::Remote {
+            context: format!("connect to {addr}: {e}"),
+        })?;
+        Self::over(stream, None)
+    }
+
+    /// Spawn an in-process loopback [`LabelServer`] hosting `inner` and
+    /// connect to it. The server (and its threads) shut down when the
+    /// returned scheme drops, so tests, benches and CI need no external
+    /// process. This is the `served(inner)` registry spec.
+    pub fn served(inner: Box<dyn DynScheme>) -> Result<RemoteScheme> {
+        let server = LabelServer::bind("127.0.0.1:0", inner)?;
+        let stream = TcpStream::connect(server.local_addr()).map_err(|e| LTreeError::Remote {
+            context: format!("loopback connect: {e}"),
+        })?;
+        Self::over(stream, Some(server))
+    }
+
+    fn over(stream: TcpStream, server: Option<LabelServer>) -> Result<RemoteScheme> {
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone().map_err(io_err)?;
+        let mut conn = Conn {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            stats: TransportStats::default(),
+        };
+        match conn.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } if version == PROTOCOL_VERSION => {}
+            Response::Hello { version } => {
+                return Err(LTreeError::Remote {
+                    context: format!(
+                        "protocol version mismatch: server speaks {version}, client speaks {PROTOCOL_VERSION}"
+                    ),
+                })
+            }
+            other => return Err(unexpected(&other)),
+        }
+        Ok(RemoteScheme {
+            conn: Mutex::new(conn),
+            cache: Mutex::new(PageCache::default()),
+            server,
+        })
+    }
+
+    /// The loopback server, when this scheme owns one — the host-side
+    /// view of the same state (scheme stats, per-connection counters).
+    pub fn server(&self) -> Option<&LabelServer> {
+        self.server.as_ref()
+    }
+
+    /// Client-side transport counters in typed form. The same numbers
+    /// ride in [`stats_breakdown`](Instrumented::stats_breakdown) as
+    /// `net/...` entries.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.lock_conn().stats
+    }
+
+    /// Apply a whole splice plan with **pipelining**: every request
+    /// frame is written before any response is read, so the wire
+    /// latency is paid once for the plan instead of once per splice.
+    /// Results come back in plan order. On an error response the earlier
+    /// splices in the plan have already been applied (same contract as
+    /// [`ltree_core::SpliceBuilder::apply`]).
+    pub fn pipeline_splices(&mut self, plan: &[Splice]) -> Result<Vec<SpliceResult>> {
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .invalidate();
+        let mut conn = self.lock_conn();
+        for op in plan {
+            conn.send(&Request::Splice(to_wire(*op)))?;
+        }
+        let mut out = Vec::with_capacity(plan.len());
+        let mut first_err = None;
+        for _ in plan {
+            match conn.recv()? {
+                Response::Handles(hs) => out.push(SpliceResult::Inserted(
+                    hs.into_iter().map(LeafHandle).collect(),
+                )),
+                Response::Count(n) => out.push(SpliceResult::Deleted(n as usize)),
+                Response::Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+        conn.stats.round_trips += 1;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn lock_conn(&self) -> std::sync::MutexGuard<'_, Conn> {
+        self.conn.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn call(&self, req: Request) -> Result<Response> {
+        self.lock_conn().call(&req)
+    }
+
+    /// A mutating call: the page cache is stale the moment the server
+    /// applies the write, error or not (a failed batch may have applied
+    /// a prefix on some schemes).
+    fn call_mut(&mut self, req: Request) -> Result<Response> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .invalidate();
+        self.call(req)
+    }
+
+    /// Fetch one page starting at `from` and install it in the cache.
+    fn fetch_page(&self, from: Option<u64>) -> Result<()> {
+        let resp = self.call(Request::Page {
+            from,
+            limit: PAGE_LIMIT,
+        })?;
+        match resp {
+            Response::Page { items, at_end } => {
+                self.cache
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .install(items, from.is_none(), at_end);
+                Ok(())
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn cached_label(&self, h: u64) -> Option<u128> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .label(h)
+    }
+
+    fn cached_next(&self, h: u64) -> Option<Option<u64>> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).next(h)
+    }
+}
+
+fn to_wire(op: Splice) -> WireSplice {
+    match op {
+        Splice::InsertAfter { anchor, count } => WireSplice::InsertAfter {
+            anchor: anchor.0,
+            count: count as u64,
+        },
+        Splice::DeleteRun { first, count } => WireSplice::DeleteRun {
+            first: first.0,
+            count: count as u64,
+        },
+    }
+}
+
+fn unexpected(resp: &Response) -> LTreeError {
+    LTreeError::Remote {
+        context: format!("unexpected response frame: {resp:?}"),
+    }
+}
+
+impl OrderedLabeling for RemoteScheme {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        if let Some(l) = self.cached_label(h.0) {
+            return Ok(l);
+        }
+        // Miss: prefetch a page starting at `h` — in-order scans (the
+        // dominant read pattern) then hit the cache for the next
+        // PAGE_LIMIT items. A handle the server rejects propagates its
+        // exact error.
+        self.fetch_page(Some(h.0))?;
+        self.cached_label(h.0).ok_or(LTreeError::UnknownHandle)
+    }
+
+    fn len(&self) -> usize {
+        // The trait cannot carry a transport error here; a broken
+        // connection reports 0 and the next fallible call surfaces it.
+        match self.call(Request::Len) {
+            Ok(Response::Count(n)) => n as usize,
+            _ => 0,
+        }
+    }
+
+    fn live_len(&self) -> usize {
+        match self.call(Request::LiveLen) {
+            Ok(Response::Count(n)) => n as usize,
+            _ => 0,
+        }
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        {
+            let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            if cache.valid && cache.from_start {
+                return cache.items.first().map(|&(h, _)| LeafHandle(h));
+            }
+        }
+        self.fetch_page(None).ok()?;
+        let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        cache.items.first().map(|&(h, _)| LeafHandle(h))
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        if let Some(known) = self.cached_next(h.0) {
+            return known.map(LeafHandle);
+        }
+        // Unknown: page from `h`. A rejected handle means the scheme no
+        // longer tracks it — `None`, per the trait contract.
+        self.fetch_page(Some(h.0)).ok()?;
+        self.cached_next(h.0).flatten().map(LeafHandle)
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        match self.call(Request::LabelSpaceBits) {
+            Ok(Response::Bits(b)) => b,
+            _ => 0,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self.call(Request::MemoryBytes) {
+            Ok(Response::Count(n)) => n as usize,
+            _ => 0,
+        }
+    }
+}
+
+impl OrderedLabelingMut for RemoteScheme {
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        match self.call_mut(Request::BulkBuild(n as u64))? {
+            Response::Handles(hs) => Ok(hs.into_iter().map(LeafHandle).collect()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        match self.call_mut(Request::InsertFirst)? {
+            Response::Handle(h) => Ok(LeafHandle(h)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        match self.call_mut(Request::InsertAfter(anchor.0))? {
+            Response::Handle(h) => Ok(LeafHandle(h)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        match self.call_mut(Request::InsertBefore(anchor.0))? {
+            Response::Handle(h) => Ok(LeafHandle(h)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        match self.call_mut(Request::Delete(h.0))? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+impl BatchLabeling for RemoteScheme {
+    /// One frame for the whole batch — never `k` single-insert trips.
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        match self.call_mut(Request::Splice(WireSplice::InsertAfter {
+            anchor: anchor.0,
+            count: k as u64,
+        }))? {
+            Response::Handles(hs) => Ok(hs.into_iter().map(LeafHandle).collect()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One frame for the whole run.
+    fn delete_run(&mut self, first: LeafHandle, count: usize) -> Result<usize> {
+        match self.call_mut(Request::Splice(WireSplice::DeleteRun {
+            first: first.0,
+            count: count as u64,
+        }))? {
+            Response::Count(n) => Ok(n as usize),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn splice(&mut self, op: Splice) -> Result<SpliceResult> {
+        match op {
+            Splice::InsertAfter { anchor, count } => Ok(SpliceResult::Inserted(
+                self.insert_many_after(anchor, count)?,
+            )),
+            Splice::DeleteRun { first, count } => {
+                Ok(SpliceResult::Deleted(self.delete_run(first, count)?))
+            }
+        }
+    }
+}
+
+impl Instrumented for RemoteScheme {
+    /// The hosted scheme's own counters (one round trip). A transport
+    /// failure reports zeroed counters — the trait cannot carry errors;
+    /// the next mutating call will surface the failure properly.
+    fn scheme_stats(&self) -> SchemeStats {
+        match self.call(Request::Stats) {
+            Ok(Response::Stats(s)) => s,
+            _ => SchemeStats::default(),
+        }
+    }
+
+    /// Resets the hosted scheme's counters *and* this client's transport
+    /// counters, so the `net/...` breakdown entries follow the same
+    /// reset discipline as the scheme counters.
+    fn reset_scheme_stats(&mut self) {
+        let _ = self.call(Request::ResetStats);
+        self.lock_conn().stats = TransportStats::default();
+    }
+
+    /// The server-side breakdown plus this client's transport counters
+    /// as `net/{round-trips,bytes-in,bytes-out}` entries (values in the
+    /// `node_touches` field, the generic "accesses" column; in/out are
+    /// relative to this client — the same convention the server uses
+    /// for its `net/conn<i>/...` entries).
+    fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+        let mut out = match self.call(Request::StatsBreakdown) {
+            Ok(Response::Breakdown(entries)) => entries,
+            _ => Vec::new(),
+        };
+        let t = self.transport_stats();
+        out.extend(crate::server::transport_entries(
+            "net",
+            t.round_trips,
+            t.bytes_received,
+            t.bytes_sent,
+        ));
+        out
+    }
+}
+
+impl Drop for RemoteScheme {
+    fn drop(&mut self) {
+        // Close the socket explicitly so an owned loopback server's
+        // connection thread unblocks before `LabelServer::drop` joins it.
+        let conn = self.conn.get_mut().unwrap_or_else(|p| p.into_inner());
+        let _ = conn.writer.get_ref().shutdown(Shutdown::Both);
+    }
+}

@@ -1,0 +1,364 @@
+//! # `ltree-remote` — a networked label store speaking splices
+//!
+//! The trait split (`OrderedLabeling*`) made a labeling scheme a
+//! *contract*; the sharded store made it *partitionable*; this crate
+//! makes it *remote*: label state lives behind a wire protocol, and the
+//! paper's batch splices amortize **round trips** the same way they
+//! amortize relabelings. The ancestry-labeling line of related work
+//! (Fraigniaud & Korman; Dahlgaard et al.) is about keeping labels
+//! compact precisely so they are cheap to ship across a boundary — here
+//! the boundary is a TCP connection.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — a dependency-free length-prefixed frame codec covering
+//!   the full trait surface (point ops, typed splices, chunked
+//!   `(handle, label)` pages, stats), with explicit protocol-version and
+//!   error frames;
+//! * [`LabelServer`] — a `std::net` TCP server hosting any
+//!   registry-built scheme behind an `RwLock`, thread-per-connection
+//!   with request pipelining, graceful shutdown, and per-connection
+//!   op/byte counters surfaced through [`Instrumented`](ltree_core::Instrumented);
+//! * [`RemoteScheme`] — the client: the whole trait family over the
+//!   wire, page-cached reads, one frame per splice, and transport
+//!   counters in `stats_breakdown()`.
+//!
+//! ## Registry specs
+//!
+//! [`register`] adds two composite specs (grammar in
+//! [`ltree_core::registry`]):
+//!
+//! | spec | meaning |
+//! |------|---------|
+//! | `remote(host:port)` | connect to an already-running [`LabelServer`] |
+//! | `served(inner)` | spawn an in-process loopback server hosting `inner`, connect to it |
+//!
+//! `served` is the zero-infrastructure form: tests, benches and CI get a
+//! real client/server pair (real sockets, real frames) from a plain spec
+//! string. And because it is just another registry scheme, it composes:
+//! `sharded(4,served(ltree(4,2)))` routes each segment's splices to its
+//! own server through the segment directory, unchanged.
+//!
+//! ```
+//! use ltree_core::registry::SchemeRegistry;
+//! use ltree_core::{OrderedLabeling, OrderedLabelingMut};
+//!
+//! let mut reg = SchemeRegistry::with_builtin();
+//! ltree_remote::register(&mut reg);
+//! let mut scheme = reg.build("served(ltree(4,2))").unwrap();
+//! let handles = scheme.bulk_build(10).unwrap();
+//! assert!(scheme.label_of(handles[3]).unwrap() < scheme.label_of(handles[4]).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;
+
+pub mod client;
+pub mod server;
+
+pub use client::{RemoteScheme, TransportStats};
+pub use server::{LabelServer, TransportCounters};
+pub use wire::PROTOCOL_VERSION;
+
+use ltree_core::registry::{SchemeRegistry, SpecArg};
+use ltree_core::LTreeError;
+
+/// Register the `remote(host:port)` and `served(inner)` composite specs.
+///
+/// * `remote(host:port)` connects to an external [`LabelServer`]; the
+///   build fails with [`LTreeError::Remote`] when nothing listens there.
+/// * `served(inner)` builds `inner` against the same registry
+///   (recursively — any spec works), hosts it on an in-process loopback
+///   server, and hands back the connected [`RemoteScheme`].
+pub fn register(reg: &mut SchemeRegistry) {
+    reg.register_composite(
+        "served",
+        "loopback-served remote store; args: (inner-spec)",
+        |reg, cfg, args| match args {
+            [SpecArg::Spec(inner)] => {
+                let scheme = reg.build_with(inner, cfg)?;
+                Ok(Box::new(RemoteScheme::served(scheme)?))
+            }
+            _ => Err(LTreeError::InvalidSpec {
+                spec: "served".into(),
+                reason: "expected exactly one inner scheme spec, e.g. served(ltree(4,2))",
+            }),
+        },
+    );
+    reg.register_composite(
+        "remote",
+        "client for an external label server; args: (host:port)",
+        |_, _, args| match args {
+            [SpecArg::Spec(addr)] => Ok(Box::new(RemoteScheme::connect(addr)?)),
+            _ => Err(LTreeError::InvalidSpec {
+                spec: "remote".into(),
+                reason: "expected exactly one host:port address, e.g. remote(127.0.0.1:7878)",
+            }),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltree_core::registry::SchemeRegistry;
+    use ltree_core::{
+        BatchLabeling, Instrumented, LTree, LTreeError, OrderedLabeling, OrderedLabelingMut,
+        Params, Splice, SpliceResult,
+    };
+
+    fn ltree() -> Box<ltree_core::LTree> {
+        Box::new(LTree::new(Params::new(4, 2).unwrap()))
+    }
+
+    fn served() -> RemoteScheme {
+        RemoteScheme::served(ltree()).unwrap()
+    }
+
+    fn round_trips(s: &RemoteScheme) -> u64 {
+        s.transport_stats().round_trips
+    }
+
+    #[test]
+    fn point_ops_and_labels_match_a_local_scheme() {
+        let mut remote = served();
+        let mut local = LTree::new(Params::new(4, 2).unwrap());
+        let rh = remote.bulk_build(16).unwrap();
+        let lh = OrderedLabelingMut::bulk_build(&mut local, 16).unwrap();
+        assert_eq!(remote.len(), OrderedLabeling::len(&local));
+        // Same structure ⇒ identical labels, read through the wire.
+        for (r, l) in rh.iter().zip(&lh) {
+            assert_eq!(remote.label_of(*r).unwrap(), local.label_of(*l).unwrap());
+        }
+        let mid = remote.insert_after(rh[7]).unwrap();
+        assert!(remote.label_of(rh[7]).unwrap() < remote.label_of(mid).unwrap());
+        assert!(remote.label_of(mid).unwrap() < remote.label_of(rh[8]).unwrap());
+        remote.delete(mid).unwrap();
+        assert!(matches!(remote.delete(mid), Err(LTreeError::DeletedLeaf)));
+        assert_eq!(remote.live_len(), 16);
+        assert_eq!(remote.len(), 17, "tombstone still tracked");
+    }
+
+    #[test]
+    fn cursor_pages_instead_of_tripping_per_item() {
+        let mut s = served();
+        s.bulk_build(1000).unwrap();
+        let before = round_trips(&s);
+        assert_eq!(s.cursor().count(), 1000);
+        let walk_trips = round_trips(&s) - before;
+        assert!(
+            walk_trips <= 1000 / 256 + 2,
+            "a full walk must page, not trip per item ({walk_trips} trips)"
+        );
+        // And the labels stream in strictly increasing order.
+        let mut prev = None;
+        for h in s.cursor() {
+            let l = s.label_of(h).unwrap();
+            if let Some(p) = prev {
+                assert!(p < l);
+            }
+            prev = Some(l);
+        }
+    }
+
+    #[test]
+    fn batches_are_one_round_trip_each() {
+        let mut s = served();
+        let hs = s.bulk_build(8).unwrap();
+        let before = round_trips(&s);
+        let batch = s.insert_many_after(hs[3], 500).unwrap();
+        assert_eq!(batch.len(), 500);
+        assert_eq!(round_trips(&s) - before, 1, "one frame per batch");
+        let before = round_trips(&s);
+        let deleted = s.delete_run(batch[0], 200).unwrap();
+        assert_eq!(deleted, 200);
+        assert_eq!(round_trips(&s) - before, 1, "one frame per delete run");
+    }
+
+    #[test]
+    fn pipelined_plans_pay_latency_once() {
+        let mut s = served();
+        let hs = s.bulk_build(10).unwrap();
+        let before = round_trips(&s);
+        let plan: Vec<Splice> = hs
+            .iter()
+            .map(|&h| Splice::InsertAfter {
+                anchor: h,
+                count: 3,
+            })
+            .collect();
+        let results = s.pipeline_splices(&plan).unwrap();
+        assert_eq!(results.len(), 10);
+        for r in &results {
+            assert!(matches!(r, SpliceResult::Inserted(v) if v.len() == 3));
+        }
+        assert_eq!(round_trips(&s) - before, 1, "whole plan, one round trip");
+        assert_eq!(s.live_len(), 40);
+    }
+
+    #[test]
+    fn pipelined_errors_keep_the_stream_in_sync() {
+        let mut s = served();
+        let hs = s.bulk_build(4).unwrap();
+        let plan = vec![
+            Splice::InsertAfter {
+                anchor: hs[0],
+                count: 2,
+            },
+            Splice::InsertAfter {
+                anchor: hs[1],
+                count: 0,
+            }, // EmptyBatch
+            Splice::InsertAfter {
+                anchor: hs[2],
+                count: 2,
+            },
+        ];
+        assert!(matches!(
+            s.pipeline_splices(&plan),
+            Err(LTreeError::EmptyBatch)
+        ));
+        // The connection is still usable and the non-erroring splices
+        // were applied (the SpliceBuilder prefix contract).
+        assert_eq!(s.live_len(), 8);
+        s.insert_after(hs[3]).unwrap();
+    }
+
+    #[test]
+    fn stats_forward_and_breakdown_carries_transport_counters() {
+        let mut s = served();
+        let hs = s.bulk_build(32).unwrap();
+        s.reset_scheme_stats();
+        s.insert_after(hs[5]).unwrap();
+        let stats = s.scheme_stats();
+        assert_eq!(stats.inserts, 1);
+        assert!(stats.label_writes >= 1);
+        let breakdown = s.stats_breakdown();
+        let net = |k: &str| {
+            breakdown
+                .iter()
+                .find(|(n, _)| n == k)
+                .unwrap_or_else(|| panic!("missing {k} in {breakdown:?}"))
+                .1
+                .node_touches
+        };
+        assert!(net("net/round-trips") >= 2, "insert + stats trips");
+        assert!(net("net/bytes-out") > 0);
+        assert!(net("net/bytes-in") > 0);
+        // Reset zeroes the transport counters with the scheme counters.
+        s.reset_scheme_stats();
+        assert_eq!(s.transport_stats().round_trips, 0);
+    }
+
+    #[test]
+    fn server_side_instrumentation_sees_connections() {
+        let mut s = served();
+        let hs = s.bulk_build(10).unwrap();
+        s.insert_after(hs[4]).unwrap();
+        let server = s.server().expect("loopback owns its server");
+        // Host-side view: bulk loading is not an update in the paper's
+        // model, so only the point insert counts.
+        assert_eq!(server.scheme_stats().inserts, 1);
+        let breakdown = server.stats_breakdown();
+        assert!(
+            breakdown
+                .iter()
+                .any(|(n, st)| n == "net/conn0/round-trips" && st.node_touches >= 2),
+            "{breakdown:?}"
+        );
+    }
+
+    #[test]
+    fn errors_cross_the_wire_typed() {
+        let mut s = served();
+        assert!(matches!(
+            s.insert_after(ltree_core::LeafHandle(u64::MAX)),
+            Err(LTreeError::UnknownHandle)
+        ));
+        assert!(matches!(
+            s.label_of(ltree_core::LeafHandle(u64::MAX)),
+            Err(LTreeError::UnknownHandle)
+        ));
+        let hs = s.bulk_build(4).unwrap();
+        assert!(matches!(
+            s.insert_many_after(hs[0], 0),
+            Err(LTreeError::EmptyBatch)
+        ));
+        assert!(matches!(s.bulk_build(4), Err(LTreeError::NotEmpty)));
+    }
+
+    #[test]
+    fn connect_to_nothing_is_a_remote_error() {
+        let mut reg = SchemeRegistry::with_builtin();
+        register(&mut reg);
+        // Reserve a port, then close it: nothing listens there.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match reg.build(&format!("remote({addr})")) {
+            Err(LTreeError::Remote { context }) => assert!(context.contains("connect")),
+            Err(other) => panic!("expected a Remote error, got {other:?}"),
+            Ok(_) => panic!("expected a Remote error, got a scheme"),
+        }
+    }
+
+    #[test]
+    fn registry_specs_build_and_reject_bad_shapes() {
+        let mut reg = SchemeRegistry::with_builtin();
+        register(&mut reg);
+        let mut s = reg.build("served(ltree(4,2))").unwrap();
+        assert_eq!(s.name(), "remote");
+        assert_eq!(s.bulk_build(12).unwrap().len(), 12);
+        for bad in ["served", "served()", "served(4)", "served(ltree,gap)"] {
+            assert!(
+                matches!(reg.build(bad), Err(LTreeError::InvalidSpec { .. })),
+                "{bad} must be rejected"
+            );
+        }
+        for bad in ["remote", "remote()", "remote(1,2)"] {
+            assert!(
+                matches!(reg.build(bad), Err(LTreeError::InvalidSpec { .. })),
+                "{bad} must be rejected"
+            );
+        }
+        assert!(
+            matches!(
+                reg.build("served(nope)"),
+                Err(LTreeError::UnknownScheme { .. })
+            ),
+            "inner spec must resolve"
+        );
+    }
+
+    #[test]
+    fn two_clients_share_one_server() {
+        let mut a = served();
+        let hs = a.bulk_build(8).unwrap();
+        let addr = a.server().unwrap().local_addr().to_string();
+        let b = RemoteScheme::connect(&addr).unwrap();
+        // The second client reads state the first one wrote.
+        assert_eq!(b.live_len(), 8);
+        assert_eq!(
+            b.label_of(hs[3]).unwrap(),
+            a.label_of(hs[3]).unwrap(),
+            "same handle, same label, either connection"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let mut s = served();
+        s.bulk_build(4).unwrap();
+        let addr = s.server().unwrap().local_addr();
+        drop(s); // client socket closes, server joins all threads
+                 // The port no longer accepts label traffic.
+        assert!(RemoteScheme::connect(&addr.to_string()).is_err());
+        // Explicit double-shutdown is fine.
+        let mut server = LabelServer::bind("127.0.0.1:0", ltree()).unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,412 @@
+//! [`LabelServer`] — a TCP server hosting one labeling scheme.
+//!
+//! The server owns any [`DynScheme`] (usually registry-built) behind an
+//! `RwLock`: reads (`label_of`, pages, stats) take the shared lock so
+//! concurrent connections read in parallel; writes take the exclusive
+//! lock, mirroring the trait family's `&self`/`&mut self` split.
+//! Connections are served one thread each, with request pipelining: a
+//! client may write any number of request frames before reading the
+//! responses, which come back in order.
+//!
+//! Shutdown is graceful and deterministic: [`LabelServer::shutdown`]
+//! (also run on drop) stops the accept loop, unblocks every connection
+//! thread by shutting its socket down, and joins them all, so no thread
+//! outlives the server value.
+//!
+//! Per-connection op/byte counters are surfaced through the
+//! [`Instrumented`] impl: [`LabelServer::stats_breakdown`] reports the
+//! hosted scheme's own breakdown plus `net/conn<i>/...` entries (the
+//! counter value rides in the `node_touches` field — transport counters
+//! have no native slot in [`SchemeStats`], and `node_touches` is the
+//! "generic accesses" column).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread::JoinHandle;
+
+use ltree_core::{
+    Cursor, DynScheme, Instrumented, LTreeError, LeafHandle, Result, SchemeStats, Splice,
+};
+
+use crate::wire::{
+    decode_request, encode_response, io_err, read_frame, write_frame, Request, Response,
+    WireSplice, MAX_PAGE_ITEMS, PROTOCOL_VERSION,
+};
+
+/// Op/byte counters for one connection (or one client transport).
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    /// Requests served (server side) or round trips issued (client side).
+    pub ops: AtomicU64,
+    /// Bytes received, frame prefixes included.
+    pub bytes_in: AtomicU64,
+    /// Bytes sent, frame prefixes included.
+    pub bytes_out: AtomicU64,
+}
+
+/// Render transport counters as `Instrumented::stats_breakdown` entries
+/// under `prefix`: `{prefix}/{round-trips,bytes-in,bytes-out}`, the
+/// value in the `node_touches` field. One naming convention for both
+/// endpoints — `bytes-in`/`bytes-out` are relative to the endpoint
+/// reporting them.
+pub(crate) fn transport_entries(
+    prefix: &str,
+    round_trips: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+) -> Vec<(String, SchemeStats)> {
+    let entry = |suffix: &str, v: u64| {
+        (
+            format!("{prefix}/{suffix}"),
+            SchemeStats {
+                node_touches: v,
+                ..SchemeStats::default()
+            },
+        )
+    };
+    vec![
+        entry("round-trips", round_trips),
+        entry("bytes-in", bytes_in),
+        entry("bytes-out", bytes_out),
+    ]
+}
+
+impl TransportCounters {
+    /// Render these counters as `Instrumented::stats_breakdown` entries
+    /// under `prefix`: `{prefix}/{round-trips,bytes-in,bytes-out}`, the
+    /// value in the `node_touches` field.
+    pub fn breakdown_entries(&self, prefix: &str) -> Vec<(String, SchemeStats)> {
+        transport_entries(
+            prefix,
+            self.ops.load(Ordering::Relaxed),
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+        )
+    }
+
+    fn add(&self, ops: u64, bytes_in: u64, bytes_out: u64) {
+        self.ops.fetch_add(ops, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+    }
+}
+
+struct ConnReg {
+    id: usize,
+    /// A clone of the connection's socket, kept so shutdown can unblock
+    /// the thread's blocking read.
+    stream: TcpStream,
+    counters: Arc<TransportCounters>,
+    thread: Option<JoinHandle<()>>,
+}
+
+type SharedScheme = Arc<RwLock<Box<dyn DynScheme>>>;
+
+fn read_lock(s: &RwLock<Box<dyn DynScheme>>) -> RwLockReadGuard<'_, Box<dyn DynScheme>> {
+    s.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_lock(s: &RwLock<Box<dyn DynScheme>>) -> RwLockWriteGuard<'_, Box<dyn DynScheme>> {
+    s.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A running label-store server. See the [module docs](self).
+///
+/// ```
+/// use ltree_core::registry::SchemeRegistry;
+/// use ltree_core::{Instrumented, OrderedLabelingMut};
+/// use ltree_remote::{LabelServer, RemoteScheme};
+///
+/// let scheme = SchemeRegistry::with_builtin().build("ltree(4,2)").unwrap();
+/// let server = LabelServer::bind("127.0.0.1:0", scheme).unwrap();
+/// let mut client = RemoteScheme::connect(&server.local_addr().to_string()).unwrap();
+/// let handles = client.bulk_build(100).unwrap();
+/// client.insert_after(handles[50]).unwrap();
+/// assert_eq!(server.scheme_stats().inserts, 1); // host-side view
+/// ```
+pub struct LabelServer {
+    addr: SocketAddr,
+    scheme: SharedScheme,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ConnReg>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl LabelServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `scheme`. Returns once the listener is live; the
+    /// accept loop runs on its own thread until [`shutdown`](Self::shutdown).
+    pub fn bind<A: ToSocketAddrs>(addr: A, scheme: Box<dyn DynScheme>) -> Result<LabelServer> {
+        let listener = TcpListener::bind(addr).map_err(io_err)?;
+        let addr = listener.local_addr().map_err(io_err)?;
+        let scheme: SharedScheme = Arc::new(RwLock::new(scheme));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnReg>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let (scheme, stop, conns) = (scheme.clone(), stop.clone(), conns.clone());
+            std::thread::spawn(move || accept_loop(listener, scheme, stop, conns))
+        };
+        Ok(LabelServer {
+            addr,
+            scheme,
+            stop,
+            conns,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server listens on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock and join every connection thread, then
+    /// join the accept thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock connection threads stuck in a blocking read.
+        let conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+        for c in conns.iter() {
+            let _ = c.stream.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        drop(conns);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // The accept loop (the only registrar) has exited, so the list
+        // is complete. A connection accepted concurrently with the first
+        // pass may have been registered after it ran — shut each socket
+        // down again before joining, or that thread's blocking read
+        // would hang this join forever.
+        let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+        for c in conns.iter_mut() {
+            let _ = c.stream.shutdown(Shutdown::Both);
+            if let Some(t) = c.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for LabelServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Host-side instrumentation: the hosted scheme's counters, plus one
+/// `net/conn<i>/{round-trips,bytes-in,bytes-out}` breakdown entry per
+/// connection ever accepted (counter values in `node_touches`).
+impl Instrumented for LabelServer {
+    fn scheme_stats(&self) -> SchemeStats {
+        read_lock(&self.scheme).scheme_stats()
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        write_lock(&self.scheme).reset_scheme_stats();
+    }
+
+    fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+        let mut out = read_lock(&self.scheme).stats_breakdown();
+        let conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+        for c in conns.iter() {
+            out.extend(c.counters.breakdown_entries(&format!("net/conn{}", c.id)));
+        }
+        out
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    scheme: SharedScheme,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ConnReg>>>,
+) {
+    for (id, incoming) in listener.incoming().enumerate() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let counters = Arc::new(TransportCounters::default());
+        let thread = {
+            let (scheme, counters, stop) = (scheme.clone(), counters.clone(), stop.clone());
+            std::thread::spawn(move || serve_conn(stream, scheme, counters, stop))
+        };
+        conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(ConnReg {
+                id,
+                stream: clone,
+                counters,
+                thread: Some(thread),
+            });
+    }
+}
+
+/// One connection: read frames until EOF/shutdown, answering in order.
+/// Undecodable requests get an error *response* (the stream stays in
+/// frame sync thanks to the length prefix); transport failures end the
+/// connection.
+fn serve_conn(
+    stream: TcpStream,
+    scheme: SharedScheme,
+    counters: Arc<TransportCounters>,
+    stop: Arc<AtomicBool>,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    while !stop.load(Ordering::SeqCst) {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => break,
+        };
+        let in_bytes = 4 + payload.len() as u64;
+        let resp = match decode_request(&payload) {
+            Ok(req) => handle_request(&scheme, req),
+            Err(e) => Response::Err(e),
+        };
+        let mut out = encode_response(&resp);
+        if out.len() > crate::wire::MAX_FRAME_BYTES {
+            // The operation was applied; dropping the connection here
+            // would hide that. Degrade to an error frame telling the
+            // client to re-read the result in pages.
+            out = encode_response(&Response::Err(LTreeError::Remote {
+                context: format!(
+                    "response of {} bytes exceeds the frame cap; the operation WAS applied — \
+                     re-read the result through paged requests",
+                    out.len()
+                ),
+            }));
+        }
+        match write_frame(&mut writer, &out) {
+            Ok(out_bytes) => counters.add(1, in_bytes, out_bytes),
+            Err(_) => break,
+        }
+    }
+}
+
+fn ok_or_err<T>(r: Result<T>, f: impl FnOnce(T) -> Response) -> Response {
+    match r {
+        Ok(v) => f(v),
+        Err(e) => Response::Err(e),
+    }
+}
+
+fn handle_request(scheme: &RwLock<Box<dyn DynScheme>>, req: Request) -> Response {
+    match req {
+        Request::Hello { version } => {
+            if version == PROTOCOL_VERSION {
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                }
+            } else {
+                Response::Err(LTreeError::Remote {
+                    context: format!(
+                        "protocol version mismatch: client speaks {version}, server speaks {PROTOCOL_VERSION}"
+                    ),
+                })
+            }
+        }
+        Request::Name => Response::Name(read_lock(scheme).name().to_owned()),
+        Request::LabelOf(h) => {
+            ok_or_err(read_lock(scheme).label_of(LeafHandle(h)), Response::Label)
+        }
+        Request::Len => Response::Count(read_lock(scheme).len() as u64),
+        Request::LiveLen => Response::Count(read_lock(scheme).live_len() as u64),
+        Request::FirstInOrder => {
+            Response::MaybeHandle(read_lock(scheme).first_in_order().map(|h| h.0))
+        }
+        Request::NextInOrder(h) => {
+            Response::MaybeHandle(read_lock(scheme).next_in_order(LeafHandle(h)).map(|h| h.0))
+        }
+        Request::LabelSpaceBits => Response::Bits(read_lock(scheme).label_space_bits()),
+        Request::MemoryBytes => Response::Count(read_lock(scheme).memory_bytes() as u64),
+        Request::BulkBuild(n) => ok_or_err(write_lock(scheme).bulk_build(n as usize), |hs| {
+            Response::Handles(hs.into_iter().map(|h| h.0).collect())
+        }),
+        Request::InsertFirst => {
+            ok_or_err(write_lock(scheme).insert_first(), |h| Response::Handle(h.0))
+        }
+        Request::InsertAfter(h) => ok_or_err(write_lock(scheme).insert_after(LeafHandle(h)), |h| {
+            Response::Handle(h.0)
+        }),
+        Request::InsertBefore(h) => {
+            ok_or_err(write_lock(scheme).insert_before(LeafHandle(h)), |h| {
+                Response::Handle(h.0)
+            })
+        }
+        Request::Delete(h) => ok_or_err(write_lock(scheme).delete(LeafHandle(h)), |()| {
+            Response::Unit
+        }),
+        Request::Splice(op) => {
+            let op = match op {
+                WireSplice::InsertAfter { anchor, count } => Splice::InsertAfter {
+                    anchor: LeafHandle(anchor),
+                    count: count as usize,
+                },
+                WireSplice::DeleteRun { first, count } => Splice::DeleteRun {
+                    first: LeafHandle(first),
+                    count: count as usize,
+                },
+            };
+            ok_or_err(write_lock(scheme).splice(op), |r| match r {
+                ltree_core::SpliceResult::Inserted(hs) => {
+                    Response::Handles(hs.into_iter().map(|h| h.0).collect())
+                }
+                ltree_core::SpliceResult::Deleted(n) => Response::Count(n as u64),
+            })
+        }
+        Request::Page { from, limit } => {
+            let guard = read_lock(scheme);
+            page(&**guard, from, limit)
+        }
+        Request::Stats => Response::Stats(read_lock(scheme).scheme_stats()),
+        Request::ResetStats => {
+            write_lock(scheme).reset_scheme_stats();
+            Response::Unit
+        }
+        Request::StatsBreakdown => Response::Breakdown(read_lock(scheme).stats_breakdown()),
+    }
+}
+
+/// Collect up to `limit` `(handle, label)` pairs in list order. A `from`
+/// handle the scheme rejects produces that error, so the client's
+/// `label_of` keeps exact error semantics.
+fn page(s: &dyn DynScheme, from: Option<u64>, limit: u32) -> Response {
+    let limit = limit.clamp(1, MAX_PAGE_ITEMS) as usize;
+    let mut cursor = match from {
+        None => Cursor::new(s),
+        Some(h) => {
+            if let Err(e) = s.label_of(LeafHandle(h)) {
+                return Response::Err(e);
+            }
+            Cursor::starting_at(s, LeafHandle(h))
+        }
+    };
+    let mut items = Vec::with_capacity(limit.min(1024));
+    while items.len() < limit {
+        let Some(h) = cursor.next() else { break };
+        match s.label_of(h) {
+            Ok(l) => items.push((h.0, l)),
+            Err(e) => return Response::Err(e),
+        }
+    }
+    Response::Page {
+        at_end: cursor.peek().is_none(),
+        items,
+    }
+}

@@ -1,0 +1,806 @@
+//! The wire protocol: length-prefixed request/response frames covering
+//! the whole ordered-labeling trait surface.
+//!
+//! Frames are `u32` little-endian length + payload; the payload is one
+//! tag byte followed by fixed-width little-endian fields (strings and
+//! sequences carry their own `u32` length). The codec is hand-rolled in
+//! the same dependency-free spirit as `ltree-bench`'s `json.rs`: the
+//! workspace must build hermetically, so no serde.
+//!
+//! Design points:
+//!
+//! * **Version frame first.** A connection opens with
+//!   [`Request::Hello`]; the server answers [`Response::Hello`] with its
+//!   own [`PROTOCOL_VERSION`] or an error frame on mismatch, so
+//!   incompatible peers fail at the handshake, not mid-operation.
+//! * **Typed error frames.** Scheme-level failures travel as their own
+//!   [`LTreeError`] variants and decode losslessly; only the two
+//!   variants carrying `&'static str` reasons ([`LTreeError::InvalidParams`],
+//!   [`LTreeError::InvalidSpec`]) are canonicalized into
+//!   [`LTreeError::Remote`] (their rendered message) by
+//!   [`wire_error`], since a wire peer cannot mint `'static` strings.
+//! * **Batches are one frame.** A [`Request::Splice`] carries a whole
+//!   [`Splice`](ltree_core::Splice) — this is where
+//!   `SpliceBuilder`'s run assembly pays off over a network: round
+//!   trips scale with *runs*, not items.
+//! * **Paged reads.** [`Request::Page`] returns up to `limit`
+//!   `(handle, label)` pairs in list order, so cursor walks and
+//!   label scans cost `O(n / page)` round trips instead of `O(n)`.
+//!
+//! Every frame type round-trips exactly (`decode(encode(f)) == f`);
+//! `tests` drive that with a SplitMix64 fuzzer, error frames included.
+
+use ltree_core::{LTreeError, Result, SchemeStats};
+
+/// Protocol version spoken by this build. Bump on any frame change;
+/// peers reject mismatches at the handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a single frame's payload: fits a bulk-build response of
+/// up to ~8.3 million handles, and fails fast on a corrupt length
+/// prefix. A server whose response would exceed it sends an error frame
+/// instead of the payload (the operation still applied; results remain
+/// readable through paged requests).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Upper bound a server imposes on [`Request::Page`] limits.
+pub const MAX_PAGE_ITEMS: u32 = 4096;
+
+/// One request frame: the client-visible half of the trait surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake; must be the first frame on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// The hosted scheme's [`name`](ltree_core::OrderedLabeling::name).
+    Name,
+    /// [`label_of`](ltree_core::OrderedLabeling::label_of).
+    LabelOf(u64),
+    /// [`len`](ltree_core::OrderedLabeling::len).
+    Len,
+    /// [`live_len`](ltree_core::OrderedLabeling::live_len).
+    LiveLen,
+    /// [`first_in_order`](ltree_core::OrderedLabeling::first_in_order).
+    FirstInOrder,
+    /// [`next_in_order`](ltree_core::OrderedLabeling::next_in_order).
+    NextInOrder(u64),
+    /// [`label_space_bits`](ltree_core::OrderedLabeling::label_space_bits).
+    LabelSpaceBits,
+    /// [`memory_bytes`](ltree_core::OrderedLabeling::memory_bytes).
+    MemoryBytes,
+    /// [`bulk_build`](ltree_core::OrderedLabelingMut::bulk_build).
+    BulkBuild(u64),
+    /// [`insert_first`](ltree_core::OrderedLabelingMut::insert_first).
+    InsertFirst,
+    /// [`insert_after`](ltree_core::OrderedLabelingMut::insert_after).
+    InsertAfter(u64),
+    /// [`insert_before`](ltree_core::OrderedLabelingMut::insert_before).
+    InsertBefore(u64),
+    /// [`delete`](ltree_core::OrderedLabelingMut::delete).
+    Delete(u64),
+    /// A whole typed batch ([`ltree_core::Splice`]) in one frame.
+    Splice(WireSplice),
+    /// Up to `limit` `(handle, label)` pairs in list order, starting at
+    /// `from` (inclusive) or at the list head when `None`.
+    Page {
+        /// Start handle (inclusive), or `None` for the list head.
+        from: Option<u64>,
+        /// Maximum pairs returned (clamped to [`MAX_PAGE_ITEMS`]).
+        limit: u32,
+    },
+    /// [`scheme_stats`](ltree_core::Instrumented::scheme_stats).
+    Stats,
+    /// [`reset_scheme_stats`](ltree_core::Instrumented::reset_scheme_stats).
+    ResetStats,
+    /// [`stats_breakdown`](ltree_core::Instrumented::stats_breakdown).
+    StatsBreakdown,
+}
+
+/// A [`ltree_core::Splice`] in wire form (handles as raw `u64`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSplice {
+    /// Insert `count` items after `anchor`.
+    InsertAfter {
+        /// Anchor handle.
+        anchor: u64,
+        /// Items to insert.
+        count: u64,
+    },
+    /// Delete up to `count` live items starting at `first`.
+    DeleteRun {
+        /// First handle of the run.
+        first: u64,
+        /// Maximum live items to delete.
+        count: u64,
+    },
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Handshake acknowledgment carrying the server's version.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// A scheme name.
+    Name(String),
+    /// A label.
+    Label(u128),
+    /// A count (`len`, `live_len`, `memory_bytes`, deleted-run size).
+    Count(u64),
+    /// An optional handle (`first_in_order` / `next_in_order`).
+    MaybeHandle(Option<u64>),
+    /// A bit width.
+    Bits(u32),
+    /// A single fresh handle.
+    Handle(u64),
+    /// Fresh handles in list order (`bulk_build`, insert splices).
+    Handles(Vec<u64>),
+    /// Success with nothing to return (`delete`, `reset_scheme_stats`).
+    Unit,
+    /// A page of `(handle, label)` pairs in list order; `at_end` is true
+    /// when the page reaches the end of the list.
+    Page {
+        /// The pairs, in list order.
+        items: Vec<(u64, u128)>,
+        /// Whether the list ends with this page.
+        at_end: bool,
+    },
+    /// Aggregate cost counters.
+    Stats(SchemeStats),
+    /// Per-component counter breakdown.
+    Breakdown(Vec<(String, SchemeStats)>),
+    /// The operation failed; see [`wire_error`] for which variants
+    /// travel losslessly.
+    Err(LTreeError),
+}
+
+/// Canonicalize an error for the wire: every variant travels as itself
+/// except [`LTreeError::InvalidParams`] / [`LTreeError::InvalidSpec`],
+/// whose `&'static str` reasons cannot be reconstructed by a peer — they
+/// become [`LTreeError::Remote`] carrying the rendered message.
+pub fn wire_error(e: &LTreeError) -> LTreeError {
+    match e {
+        LTreeError::InvalidParams { .. } | LTreeError::InvalidSpec { .. } => LTreeError::Remote {
+            context: e.to_string(),
+        },
+        other => other.clone(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Encoding
+// ----------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(h) => {
+            put_u8(buf, 1);
+            put_u64(buf, h);
+        }
+    }
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &SchemeStats) {
+    put_u64(buf, s.inserts);
+    put_u64(buf, s.deletes);
+    put_u64(buf, s.label_writes);
+    put_u64(buf, s.node_touches);
+    put_u64(buf, s.relabel_events);
+}
+
+/// Encode a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut b = Vec::new();
+    match req {
+        Request::Hello { version } => {
+            put_u8(&mut b, 1);
+            put_u32(&mut b, *version);
+        }
+        Request::Name => put_u8(&mut b, 2),
+        Request::LabelOf(h) => {
+            put_u8(&mut b, 3);
+            put_u64(&mut b, *h);
+        }
+        Request::Len => put_u8(&mut b, 4),
+        Request::LiveLen => put_u8(&mut b, 5),
+        Request::FirstInOrder => put_u8(&mut b, 6),
+        Request::NextInOrder(h) => {
+            put_u8(&mut b, 7);
+            put_u64(&mut b, *h);
+        }
+        Request::LabelSpaceBits => put_u8(&mut b, 8),
+        Request::MemoryBytes => put_u8(&mut b, 9),
+        Request::BulkBuild(n) => {
+            put_u8(&mut b, 10);
+            put_u64(&mut b, *n);
+        }
+        Request::InsertFirst => put_u8(&mut b, 11),
+        Request::InsertAfter(h) => {
+            put_u8(&mut b, 12);
+            put_u64(&mut b, *h);
+        }
+        Request::InsertBefore(h) => {
+            put_u8(&mut b, 13);
+            put_u64(&mut b, *h);
+        }
+        Request::Delete(h) => {
+            put_u8(&mut b, 14);
+            put_u64(&mut b, *h);
+        }
+        Request::Splice(op) => {
+            put_u8(&mut b, 15);
+            match op {
+                WireSplice::InsertAfter { anchor, count } => {
+                    put_u8(&mut b, 0);
+                    put_u64(&mut b, *anchor);
+                    put_u64(&mut b, *count);
+                }
+                WireSplice::DeleteRun { first, count } => {
+                    put_u8(&mut b, 1);
+                    put_u64(&mut b, *first);
+                    put_u64(&mut b, *count);
+                }
+            }
+        }
+        Request::Page { from, limit } => {
+            put_u8(&mut b, 16);
+            put_opt_u64(&mut b, *from);
+            put_u32(&mut b, *limit);
+        }
+        Request::Stats => put_u8(&mut b, 17),
+        Request::ResetStats => put_u8(&mut b, 18),
+        Request::StatsBreakdown => put_u8(&mut b, 19),
+    }
+    b
+}
+
+fn put_error(b: &mut Vec<u8>, e: &LTreeError) {
+    match wire_error(e) {
+        LTreeError::UnknownHandle => put_u8(b, 0),
+        LTreeError::DeletedLeaf => put_u8(b, 1),
+        LTreeError::EmptyTree => put_u8(b, 2),
+        LTreeError::NotEmpty => put_u8(b, 3),
+        LTreeError::EmptyBatch => put_u8(b, 4),
+        LTreeError::LabelOverflow { height } => {
+            put_u8(b, 5);
+            put_u8(b, height);
+        }
+        LTreeError::UnknownScheme { name } => {
+            put_u8(b, 6);
+            put_str(b, &name);
+        }
+        LTreeError::Remote { context } => {
+            put_u8(b, 7);
+            put_str(b, &context);
+        }
+        // `wire_error` canonicalized these away.
+        LTreeError::InvalidParams { .. } | LTreeError::InvalidSpec { .. } => unreachable!(),
+    }
+}
+
+/// Encode a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut b = Vec::new();
+    match resp {
+        Response::Hello { version } => {
+            put_u8(&mut b, 1);
+            put_u32(&mut b, *version);
+        }
+        Response::Name(s) => {
+            put_u8(&mut b, 2);
+            put_str(&mut b, s);
+        }
+        Response::Label(l) => {
+            put_u8(&mut b, 3);
+            put_u128(&mut b, *l);
+        }
+        Response::Count(n) => {
+            put_u8(&mut b, 4);
+            put_u64(&mut b, *n);
+        }
+        Response::MaybeHandle(h) => {
+            put_u8(&mut b, 5);
+            put_opt_u64(&mut b, *h);
+        }
+        Response::Bits(v) => {
+            put_u8(&mut b, 6);
+            put_u32(&mut b, *v);
+        }
+        Response::Handle(h) => {
+            put_u8(&mut b, 7);
+            put_u64(&mut b, *h);
+        }
+        Response::Handles(hs) => {
+            put_u8(&mut b, 8);
+            put_u32(&mut b, hs.len() as u32);
+            for h in hs {
+                put_u64(&mut b, *h);
+            }
+        }
+        Response::Unit => put_u8(&mut b, 9),
+        Response::Page { items, at_end } => {
+            put_u8(&mut b, 10);
+            put_u8(&mut b, u8::from(*at_end));
+            put_u32(&mut b, items.len() as u32);
+            for (h, l) in items {
+                put_u64(&mut b, *h);
+                put_u128(&mut b, *l);
+            }
+        }
+        Response::Stats(s) => {
+            put_u8(&mut b, 11);
+            put_stats(&mut b, s);
+        }
+        Response::Breakdown(entries) => {
+            put_u8(&mut b, 12);
+            put_u32(&mut b, entries.len() as u32);
+            for (name, s) in entries {
+                put_str(&mut b, name);
+                put_stats(&mut b, s);
+            }
+        }
+        Response::Err(e) => {
+            put_u8(&mut b, 13);
+            put_error(&mut b, e);
+        }
+    }
+    b
+}
+
+// ----------------------------------------------------------------------
+// Decoding
+// ----------------------------------------------------------------------
+
+/// A decode cursor over one frame payload.
+struct Buf<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn bad(context: &str) -> LTreeError {
+    LTreeError::Remote {
+        context: format!("malformed frame: {context}"),
+    }
+}
+
+impl<'a> Buf<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Buf { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("overflow"))?;
+        let out = self.bytes.get(self.pos..end).ok_or_else(|| bad("short"))?;
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(bad("bad option tag")),
+        }
+    }
+
+    fn stats(&mut self) -> Result<SchemeStats> {
+        Ok(SchemeStats {
+            inserts: self.u64()?,
+            deletes: self.u64()?,
+            label_writes: self.u64()?,
+            node_touches: self.u64()?,
+            relabel_events: self.u64()?,
+        })
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes"))
+        }
+    }
+}
+
+/// Decode one request payload.
+pub fn decode_request(bytes: &[u8]) -> Result<Request> {
+    let mut b = Buf::new(bytes);
+    let req = match b.u8()? {
+        1 => Request::Hello { version: b.u32()? },
+        2 => Request::Name,
+        3 => Request::LabelOf(b.u64()?),
+        4 => Request::Len,
+        5 => Request::LiveLen,
+        6 => Request::FirstInOrder,
+        7 => Request::NextInOrder(b.u64()?),
+        8 => Request::LabelSpaceBits,
+        9 => Request::MemoryBytes,
+        10 => Request::BulkBuild(b.u64()?),
+        11 => Request::InsertFirst,
+        12 => Request::InsertAfter(b.u64()?),
+        13 => Request::InsertBefore(b.u64()?),
+        14 => Request::Delete(b.u64()?),
+        15 => match b.u8()? {
+            0 => Request::Splice(WireSplice::InsertAfter {
+                anchor: b.u64()?,
+                count: b.u64()?,
+            }),
+            1 => Request::Splice(WireSplice::DeleteRun {
+                first: b.u64()?,
+                count: b.u64()?,
+            }),
+            _ => return Err(bad("bad splice tag")),
+        },
+        16 => Request::Page {
+            from: b.opt_u64()?,
+            limit: b.u32()?,
+        },
+        17 => Request::Stats,
+        18 => Request::ResetStats,
+        19 => Request::StatsBreakdown,
+        _ => return Err(bad("bad request tag")),
+    };
+    b.finish()?;
+    Ok(req)
+}
+
+fn decode_error(b: &mut Buf<'_>) -> Result<LTreeError> {
+    Ok(match b.u8()? {
+        0 => LTreeError::UnknownHandle,
+        1 => LTreeError::DeletedLeaf,
+        2 => LTreeError::EmptyTree,
+        3 => LTreeError::NotEmpty,
+        4 => LTreeError::EmptyBatch,
+        5 => LTreeError::LabelOverflow { height: b.u8()? },
+        6 => LTreeError::UnknownScheme { name: b.str()? },
+        7 => LTreeError::Remote { context: b.str()? },
+        _ => return Err(bad("bad error tag")),
+    })
+}
+
+/// Decode one response payload.
+pub fn decode_response(bytes: &[u8]) -> Result<Response> {
+    let mut b = Buf::new(bytes);
+    let resp = match b.u8()? {
+        1 => Response::Hello { version: b.u32()? },
+        2 => Response::Name(b.str()?),
+        3 => Response::Label(b.u128()?),
+        4 => Response::Count(b.u64()?),
+        5 => Response::MaybeHandle(b.opt_u64()?),
+        6 => Response::Bits(b.u32()?),
+        7 => Response::Handle(b.u64()?),
+        8 => {
+            let n = b.u32()? as usize;
+            let mut hs = Vec::with_capacity(n.min(MAX_FRAME_BYTES / 8));
+            for _ in 0..n {
+                hs.push(b.u64()?);
+            }
+            Response::Handles(hs)
+        }
+        9 => Response::Unit,
+        10 => {
+            let at_end = match b.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("bad bool")),
+            };
+            let n = b.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(MAX_FRAME_BYTES / 24));
+            for _ in 0..n {
+                items.push((b.u64()?, b.u128()?));
+            }
+            Response::Page { items, at_end }
+        }
+        11 => Response::Stats(b.stats()?),
+        12 => {
+            let n = b.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = b.str()?;
+                let s = b.stats()?;
+                entries.push((name, s));
+            }
+            Response::Breakdown(entries)
+        }
+        13 => Response::Err(decode_error(&mut b)?),
+        _ => return Err(bad("bad response tag")),
+    };
+    b.finish()?;
+    Ok(resp)
+}
+
+// ----------------------------------------------------------------------
+// Framing over a byte stream
+// ----------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload) to `w`. Returns the bytes
+/// written, including the prefix.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> Result<u64> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(LTreeError::Remote {
+            context: format!("frame of {} bytes exceeds the cap", payload.len()),
+        });
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len).map_err(io_err)?;
+    w.write_all(payload).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(4 + payload.len() as u64)
+}
+
+/// Read one frame payload from `r`. `Ok(None)` is a clean end of stream
+/// (EOF on the length prefix); a truncated frame is an error.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len[got..]).map_err(io_err)? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(bad("truncated length prefix")),
+            n => got += n,
+        }
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(LTreeError::Remote {
+            context: format!("frame of {n} bytes exceeds the cap"),
+        });
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload).map_err(io_err)?;
+    Ok(Some(payload))
+}
+
+/// Map a transport I/O failure into the error currency of the traits.
+pub fn io_err(e: std::io::Error) -> LTreeError {
+    LTreeError::Remote {
+        context: format!("transport I/O: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltree_core::rng::SplitMix64;
+
+    fn rand_stats(rng: &mut SplitMix64) -> SchemeStats {
+        SchemeStats {
+            inserts: rng.next_u64() >> 16,
+            deletes: rng.next_u64() >> 16,
+            label_writes: rng.next_u64() >> 16,
+            node_touches: rng.next_u64() >> 16,
+            relabel_events: rng.next_u64() >> 16,
+        }
+    }
+
+    fn rand_string(rng: &mut SplitMix64) -> String {
+        let n = rng.gen_range(0..12);
+        (0..n)
+            .map(|_| char::from(b'a' + (rng.gen_range(0..26) as u8)))
+            .collect()
+    }
+
+    /// Every wire-expressible error, uniformly sampled.
+    fn rand_error(rng: &mut SplitMix64) -> LTreeError {
+        match rng.gen_range(0..8) {
+            0 => LTreeError::UnknownHandle,
+            1 => LTreeError::DeletedLeaf,
+            2 => LTreeError::EmptyTree,
+            3 => LTreeError::NotEmpty,
+            4 => LTreeError::EmptyBatch,
+            5 => LTreeError::LabelOverflow {
+                height: rng.gen_range(0..256) as u8,
+            },
+            6 => LTreeError::UnknownScheme {
+                name: rand_string(rng),
+            },
+            _ => LTreeError::Remote {
+                context: rand_string(rng),
+            },
+        }
+    }
+
+    fn rand_request(rng: &mut SplitMix64) -> Request {
+        match rng.gen_range(0..19) {
+            0 => Request::Hello {
+                version: rng.next_u64() as u32,
+            },
+            1 => Request::Name,
+            2 => Request::LabelOf(rng.next_u64()),
+            3 => Request::Len,
+            4 => Request::LiveLen,
+            5 => Request::FirstInOrder,
+            6 => Request::NextInOrder(rng.next_u64()),
+            7 => Request::LabelSpaceBits,
+            8 => Request::MemoryBytes,
+            9 => Request::BulkBuild(rng.next_u64()),
+            10 => Request::InsertFirst,
+            11 => Request::InsertAfter(rng.next_u64()),
+            12 => Request::InsertBefore(rng.next_u64()),
+            13 => Request::Delete(rng.next_u64()),
+            14 => Request::Splice(WireSplice::InsertAfter {
+                anchor: rng.next_u64(),
+                count: rng.next_u64(),
+            }),
+            15 => Request::Splice(WireSplice::DeleteRun {
+                first: rng.next_u64(),
+                count: rng.next_u64(),
+            }),
+            16 => Request::Page {
+                from: (rng.gen_bool(0.5)).then(|| rng.next_u64()),
+                limit: rng.next_u64() as u32,
+            },
+            17 => Request::Stats,
+            _ => {
+                if rng.gen_bool(0.5) {
+                    Request::ResetStats
+                } else {
+                    Request::StatsBreakdown
+                }
+            }
+        }
+    }
+
+    fn rand_response(rng: &mut SplitMix64) -> Response {
+        match rng.gen_range(0..13) {
+            0 => Response::Hello {
+                version: rng.next_u64() as u32,
+            },
+            1 => Response::Name(rand_string(rng)),
+            2 => Response::Label((rng.next_u64() as u128) << 64 | rng.next_u64() as u128),
+            3 => Response::Count(rng.next_u64()),
+            4 => Response::MaybeHandle((rng.gen_bool(0.5)).then(|| rng.next_u64())),
+            5 => Response::Bits(rng.next_u64() as u32),
+            6 => Response::Handle(rng.next_u64()),
+            7 => {
+                let n = rng.gen_range(0..40);
+                Response::Handles((0..n).map(|_| rng.next_u64()).collect())
+            }
+            8 => Response::Unit,
+            9 => {
+                let n = rng.gen_range(0..20);
+                Response::Page {
+                    items: (0..n)
+                        .map(|_| (rng.next_u64(), rng.next_u64() as u128))
+                        .collect(),
+                    at_end: rng.gen_bool(0.5),
+                }
+            }
+            10 => Response::Stats(rand_stats(rng)),
+            11 => {
+                let n = rng.gen_range(0..6);
+                Response::Breakdown(
+                    (0..n)
+                        .map(|_| (rand_string(rng), rand_stats(rng)))
+                        .collect(),
+                )
+            }
+            _ => Response::Err(rand_error(rng)),
+        }
+    }
+
+    /// encode → decode is the identity for every frame type, error
+    /// frames included. Failures reproduce from the printed seed.
+    #[test]
+    fn codec_roundtrip_fuzz() {
+        for seed in 0..16u64 {
+            let mut rng = SplitMix64::new(seed);
+            for i in 0..500 {
+                let req = rand_request(&mut rng);
+                let back = decode_request(&encode_request(&req))
+                    .unwrap_or_else(|e| panic!("seed {seed} iter {i}: {req:?}: {e}"));
+                assert_eq!(back, req, "seed {seed} iter {i}");
+                let resp = rand_response(&mut rng);
+                let back = decode_response(&encode_response(&resp))
+                    .unwrap_or_else(|e| panic!("seed {seed} iter {i}: {resp:?}: {e}"));
+                assert_eq!(back, resp, "seed {seed} iter {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_reason_errors_canonicalize_to_remote() {
+        let e = LTreeError::InvalidSpec {
+            spec: "nope(".into(),
+            reason: "unbalanced parentheses",
+        };
+        let resp = Response::Err(e.clone());
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        match back {
+            Response::Err(LTreeError::Remote { context }) => {
+                assert!(context.contains("nope("), "{context}");
+                assert!(context.contains("unbalanced"), "{context}");
+            }
+            other => panic!("expected a canonicalized Remote error, got {other:?}"),
+        }
+        // Wire-expressible errors survive exactly.
+        let exact = Response::Err(LTreeError::DeletedLeaf);
+        assert_eq!(decode_response(&encode_response(&exact)).unwrap(), exact);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[200]).is_err(), "unknown tag");
+        assert!(decode_request(&[3, 1, 2]).is_err(), "short handle");
+        let mut ok = encode_request(&Request::Len);
+        ok.push(0);
+        assert!(decode_request(&ok).is_err(), "trailing bytes");
+        assert!(decode_response(&[13, 99]).is_err(), "bad error tag");
+        assert!(
+            decode_response(&[2, 4, 0, 0, 0, 0xff, 0xfe, 0x01, 0x02]).is_err(),
+            "bad utf8"
+        );
+    }
+
+    #[test]
+    fn framing_roundtrips_and_rejects_oversize() {
+        let mut buf = Vec::new();
+        let a = encode_request(&Request::Stats);
+        let b = encode_request(&Request::LabelOf(7));
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b);
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        // A corrupt length prefix fails fast instead of allocating 4 GiB.
+        let huge = (u32::MAX).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+        // Truncated frames are loud.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, &a).unwrap();
+        truncated.pop();
+        let mut r = &truncated[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -249,6 +249,13 @@ impl<S: LabelingScheme> Document<S> {
         &self.scheme
     }
 
+    /// Reset the scheme's cost counters — typically right after a bulk
+    /// load, so subsequent [`scheme`](Self::scheme) stats cover edits
+    /// only (bulk loading is not an update in the paper's model).
+    pub fn reset_scheme_stats(&mut self) {
+        self.scheme.reset_scheme_stats();
+    }
+
     /// Number of live elements.
     pub fn element_count(&self) -> usize {
         self.tree.element_count()

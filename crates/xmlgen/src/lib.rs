@@ -13,11 +13,16 @@
 //!   plus replayable [`workload::EditScript`]s — generated once per
 //!   (profile, seed), replayed against every scheme as batched splices
 //!   (one [`ltree_core::Splice`] per run) or as the per-item reference
-//!   loop, which is what the `ltree-bench` scheme×workload sweep drives.
+//!   loop, which is what the `ltree-bench` scheme×workload sweep drives;
+//! * [`docedit`] — document-shaped sessions: seeded fragment
+//!   insertions and subtree removals applied through a real
+//!   [`xmldb::Document`] (its splice paths), so the sweep also measures
+//!   the whole parse → graft → splice funnel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod docedit;
 pub mod gen;
 pub mod workload;
 

@@ -18,6 +18,9 @@
 //! * [`sharded`] — the segment-partitioned composite store: contiguous
 //!   segments of the label space, each backed by any registry scheme,
 //!   with L-Tree-style split/merge rebalancing one level up;
+//! * [`remote`] — the networked label store: a TCP `LabelServer`
+//!   hosting any registry scheme, and the `RemoteScheme` client
+//!   speaking batch splices over a length-prefixed wire protocol;
 //! * [`tuning`] — the Section 3.2 parameter tuner;
 //! * [`xml`] — the XML substrate: parser, DOM, region-labeled documents
 //!   and the path-query engine;
@@ -83,6 +86,11 @@ pub mod sharded {
     pub use ltree_sharded::*;
 }
 
+/// The networked label store: server, client and wire protocol.
+pub mod remote {
+    pub use ltree_remote::*;
+}
+
 /// Baseline labeling schemes (sequential, gapped, list-labeling).
 pub mod baselines {
     pub use labeling_baselines::*;
@@ -118,16 +126,21 @@ pub mod rel {
 /// | `gap` | fixed-gap midpoints | `(gap)` |
 /// | `list-label` | even redistribution | `(bits)` or `(bits,tau)` |
 /// | `sharded` | segment-partitioned composite | `(inner)`, `(n,inner)`, or `(n,split,merge,inner)` |
+/// | `served` | in-process loopback server + remote client | `(inner)` |
+/// | `remote` | client for an external label server | `(host:port)` |
 ///
-/// `sharded` composes: its inner argument is any spec this registry
-/// resolves, recursively — `sharded(4,ltree(4,2))`, `sharded(2,gap)`.
-/// The full grammar lives in [`ltree_core::registry`]; `ARCHITECTURE.md`
-/// carries the same table for non-rustdoc readers.
+/// `sharded` and `served` compose: their inner argument is any spec this
+/// registry resolves, recursively — `sharded(4,ltree(4,2))`,
+/// `served(gap)`, `sharded(4,served(ltree))` (each segment behind its
+/// own loopback server). The full grammar lives in
+/// [`ltree_core::registry`]; `ARCHITECTURE.md` carries the same table
+/// for non-rustdoc readers.
 pub fn default_registry() -> SchemeRegistry {
     let mut reg = SchemeRegistry::with_builtin();
     ltree_virtual::register(&mut reg);
     labeling_baselines::register(&mut reg);
     ltree_sharded::register(&mut reg);
+    ltree_remote::register(&mut reg);
     reg
 }
 
@@ -164,6 +177,7 @@ pub mod prelude {
         LabelingScheme, LeafHandle, LeafId, OrderedLabeling, OrderedLabelingMut, Params,
         SchemeConfig, SchemeRegistry, Splice, SpliceBuilder, SpliceResult,
     };
+    pub use ltree_remote::{LabelServer, RemoteScheme, TransportStats};
     pub use ltree_sharded::{ShardedConfig, ShardedScheme};
     pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
     pub use ltree_virtual::VirtualLTree;
@@ -185,12 +199,19 @@ mod tests {
             "gap",
             "list-label",
             "sharded",
+            "served",
+            "remote",
         ] {
             assert!(reg.contains(name), "missing {name}");
         }
         // The composite spec resolves any registered inner, recursively.
         let mut s = Scheme::build("sharded(2,virtual(4,2))").unwrap();
         assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        // The networked composites nest the same way: every segment of
+        // the sharded store talks to its own loopback server.
+        let mut s = Scheme::build("sharded(2,served(ltree(4,2)))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        assert_eq!(s.cursor().count(), 10);
         let mut s = Scheme::build("ltree(8,2)").unwrap();
         let hs = s.bulk_build(16).unwrap();
         assert_eq!(s.cursor().count(), 16);

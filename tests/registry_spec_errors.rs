@@ -1,0 +1,116 @@
+//! Error-path coverage for the registry's spec-string parser and every
+//! factory's arity checking, over the **full default registry** — the
+//! unknown-name, unbalanced-parenthesis and wrong-arity cases the
+//! grammar in `ltree_core::registry` promises to reject with typed
+//! errors pointing back at the docs.
+
+use ltree::prelude::*;
+use ltree::LTreeError;
+
+fn build(spec: &str) -> Result<Box<dyn DynScheme>, LTreeError> {
+    default_registry().build(spec)
+}
+
+#[test]
+fn unknown_scheme_names_are_typed_and_helpful() {
+    for spec in ["nope", "nope(4)", "sharded(2,nope)", "served(nope)"] {
+        let err = build(spec).err().unwrap_or_else(|| panic!("{spec} built"));
+        assert!(
+            matches!(err, LTreeError::UnknownScheme { .. }),
+            "{spec}: {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("nope"), "{spec}: {msg}");
+        assert!(msg.contains("spec grammar"), "{spec}: {msg}");
+    }
+}
+
+#[test]
+fn unbalanced_parentheses_are_rejected_everywhere() {
+    for spec in [
+        "ltree(4,2",
+        "ltree(4,2))",
+        "ltree)4,2(",
+        "sharded(2,ltree(4,2)",
+        "sharded(2,ltree(4,2)))",
+        "served(ltree",
+        "served(ltree))",
+        "gap(",
+        ")",
+        "ltree,",
+    ] {
+        assert!(
+            matches!(build(spec), Err(LTreeError::InvalidSpec { .. })),
+            "{spec} must be an InvalidSpec error"
+        );
+    }
+}
+
+#[test]
+fn empty_and_malformed_argument_lists_are_rejected() {
+    for spec in ["", "   ", "(4,2)", "ltree(4,)", "ltree(,2)", "sharded(,)"] {
+        assert!(
+            matches!(build(spec), Err(LTreeError::InvalidSpec { .. })),
+            "{spec:?} must be an InvalidSpec error"
+        );
+    }
+}
+
+#[test]
+fn wrong_arity_is_rejected_per_factory() {
+    // Every factory checks its own argument count/shape.
+    for spec in [
+        "ltree(4)",
+        "ltree(4,2,1)",
+        "virtual(4)",
+        "virtual(4,2,1)",
+        "naive(1)",
+        "gap(1,2)",
+        "list-label(16,0.75,3)",
+        "sharded",            // composites need at least the inner
+        "sharded(4)",         // no inner spec
+        "sharded(ltree,2)",   // inner must come last
+        "sharded(2,4,ltree)", // (n,split,merge,inner) or shorter
+        "served",             // inner required
+        "served(ltree,gap)",  // exactly one inner
+        "served(4)",          // inner must be a spec, not a number
+        "remote",             // address required
+        "remote(1,2)",        // one address
+    ] {
+        assert!(
+            matches!(build(spec), Err(LTreeError::InvalidSpec { .. })),
+            "{spec} must be an InvalidSpec error"
+        );
+    }
+}
+
+#[test]
+fn numeric_argument_validation_is_typed() {
+    // Fractional or out-of-range numbers where integers are required.
+    for spec in ["ltree(4.5,2)", "sharded(2.5,ltree)", "gap(-1)"] {
+        assert!(
+            matches!(build(spec), Err(LTreeError::InvalidSpec { .. })),
+            "{spec} must be an InvalidSpec error"
+        );
+    }
+    // Structurally valid specs with semantically bad parameters surface
+    // the parameter error, not a parse error (and never a panic).
+    assert!(matches!(
+        build("ltree(5,2)"),
+        Err(LTreeError::InvalidParams { .. })
+    ));
+}
+
+#[test]
+fn whitespace_and_nesting_still_parse() {
+    // The flip side: the parser is strict about structure, not spacing.
+    for spec in [
+        " ltree( 4 , 2 ) ",
+        "sharded( 2 , ltree(4,2) )",
+        "served( sharded(2, gap) )",
+        "sharded(2,served(ltree(4,2)))",
+    ] {
+        let mut s = build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(s.bulk_build(6).unwrap().len(), 6, "{spec}");
+    }
+}

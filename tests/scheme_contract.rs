@@ -25,7 +25,8 @@ use ltree::rng::SplitMix64;
 /// Every scheme family the workspace ships, plus parameter variants that
 /// stress different shapes (wide L-Tree, minimal gap, sharded composites
 /// with thresholds low enough that the contract streams force segment
-/// splits and merges).
+/// splits and merges, and served composites that put a real TCP
+/// client/server pair — loopback, in-process — under every stream).
 const SPECS: &[&str] = &[
     "ltree(4,2)",
     "ltree(32,4)",
@@ -37,6 +38,9 @@ const SPECS: &[&str] = &[
     "sharded(4,ltree(4,2))",
     "sharded(2,24,4,ltree(4,2))",
     "sharded(3,16,2,gap)",
+    "served(ltree(4,2))",
+    "served(gap)",
+    "sharded(4,served(ltree(4,2)))",
 ];
 
 fn build(spec: &str) -> Box<dyn DynScheme> {
