@@ -77,6 +77,14 @@ pub fn default_config(scale: Scale) -> SweepConfig {
             // scheme as ltree(4,2), plus a wire; its cells carry the
             // round-trip count so batching shows up as a column.
             "served(ltree(4,2))".into(),
+            // The pooled client (4 connections; single-threaded replay,
+            // so this pins the pool's overhead at ~zero)…
+            "served(ltree(4,2),conns=4)".into(),
+            // …and the coalescing write buffer: same replay, adjacent
+            // splices merged and pipelined — the `rtt saved` column
+            // reports its round-trip savings against the plain served
+            // twin above.
+            "served(ltree(4,2),coalesce)".into(),
         ],
         profiles: None,
         sizes,
@@ -132,6 +140,15 @@ impl SweepCell {
             .iter()
             .filter(|(name, _)| !name.starts_with("net/"))
             .count()
+    }
+
+    /// For a cell whose spec enables the coalescing write buffer, the
+    /// spec of its non-coalescing twin (the same cell minus the
+    /// `coalesce` option) — the baseline the `rtt saved` column
+    /// compares round trips against. `None` for every other cell.
+    pub fn coalesce_twin_spec(&self) -> Option<String> {
+        let twin = self.spec.replace(",coalesce", "").replace("coalesce,", "");
+        (twin != self.spec).then_some(twin)
     }
 }
 
@@ -284,6 +301,22 @@ impl SweepReport {
             .collect()
     }
 
+    /// Round-trip savings of a coalescing cell against its
+    /// non-coalescing twin, as a percentage (positive = fewer trips).
+    /// `None` when the cell does not coalesce or the twin is missing.
+    pub fn coalesce_savings(&self, cell: &SweepCell) -> Option<f64> {
+        let twin_spec = cell.coalesce_twin_spec()?;
+        let rt = cell.round_trips()?;
+        let twin = self.cells.iter().find(|t| {
+            t.spec == twin_spec && t.workload == cell.workload && t.n == cell.n && t.ops == cell.ops
+        })?;
+        let twin_rt = twin.round_trips()?;
+        if twin_rt == 0 {
+            return None;
+        }
+        Some((twin_rt as f64 - rt as f64) * 100.0 / twin_rt as f64)
+    }
+
     /// The markdown table the terminal run prints.
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
@@ -303,6 +336,7 @@ impl SweepReport {
                 "ms",
                 "shards",
                 "rtt",
+                "rtt saved",
             ],
         );
         t.note("One seeded edit script per (n, workload), replayed by every scheme as");
@@ -311,7 +345,8 @@ impl SweepReport {
         t.note("same numbers are emitted to BENCH_sweep.json for CI.");
         t.note("shards = final segment count for partitioned schemes (the JSON report");
         t.note("carries the full per-shard counter breakdown); rtt = client round trips");
-        t.note("for remote schemes — batching is what keeps it near the splice count.");
+        t.note("for remote schemes — batching is what keeps it near the splice count;");
+        t.note("rtt saved = round trips a `coalesce` cell saved vs its plain twin.");
         for c in &self.cells {
             match &c.outcome {
                 Ok(m) => t.row(vec![
@@ -332,12 +367,17 @@ impl SweepReport {
                         None => "—".into(),
                         Some(rt) => rt.to_string(),
                     },
+                    match self.coalesce_savings(c) {
+                        None => "—".into(),
+                        Some(pct) => format!("{pct:.0}%"),
+                    },
                 ]),
                 Err(e) => t.row(vec![
                     c.n.to_string(),
                     c.workload.clone(),
                     c.spec.clone(),
                     format!("ERROR: {e}"),
+                    "—".into(),
                     "—".into(),
                     "—".into(),
                     "—".into(),
@@ -572,12 +612,14 @@ pub fn compare_with_baseline(
 mod tests {
     use super::*;
 
-    const TINY_SPECS: [&str; 5] = [
+    const TINY_SPECS: [&str; 7] = [
         "ltree(4,2)",
         "gap",
         "naive",
         "sharded(2,32,4,ltree(4,2))",
         "served(ltree(4,2))",
+        "served(ltree(4,2),conns=4)",
+        "served(ltree(4,2),coalesce)",
     ];
     const TINY_WORKLOADS: [&str; 6] = [
         "bulk-load",
@@ -603,10 +645,10 @@ mod tests {
     #[test]
     fn sweep_covers_the_cross_product_without_errors() {
         let report = run_sweep(&tiny_config());
-        assert_eq!(report.cells.len(), 5 * 6);
+        assert_eq!(report.cells.len(), 7 * 6);
         assert!(report.errored().is_empty(), "{:?}", report.errored());
         let table = report.to_table();
-        assert_eq!(table.rows.len(), 30);
+        assert_eq!(table.rows.len(), 42);
         // Every workload (doc-edit included) appears for every spec.
         for spec in TINY_SPECS {
             for wl in TINY_WORKLOADS {
@@ -630,7 +672,7 @@ mod tests {
         assert_eq!(errored.len(), 6, "one errored cell per workload");
         assert!(errored[0].1.contains("no-such-scheme"));
         // The rest of the matrix still ran.
-        assert_eq!(report.cells.len(), 6 * 6);
+        assert_eq!(report.cells.len(), 8 * 6);
     }
 
     #[test]
@@ -661,9 +703,12 @@ mod tests {
                     .round_trips()
                     .unwrap_or_else(|| panic!("{} × {} has no rtt", c.spec, c.workload));
                 assert!(rt > 0, "{} × {}", c.spec, c.workload);
+                if c.spec.contains("coalesce") {
+                    continue; // compared against its twin below
+                }
                 // The wire adds round trips, not label maintenance: the
-                // served(ltree(4,2)) cell must report exactly the
-                // ltree(4,2) counters for the same workload.
+                // served(ltree(4,2)) cells (pooled or not) must report
+                // exactly the ltree(4,2) counters for the same workload.
                 let local = report
                     .cells
                     .iter()
@@ -676,6 +721,39 @@ mod tests {
                 assert_eq!(c.round_trips(), None, "{}", c.spec);
             }
         }
+    }
+
+    /// The coalescing cells report savings against their plain twin,
+    /// and insert-dominated workloads really save round trips (the
+    /// whole point of write batching across calls).
+    #[test]
+    fn coalesce_cells_report_round_trip_savings() {
+        let report = run_sweep(&tiny_config());
+        let mut saw = 0;
+        for c in &report.cells {
+            if let Some(twin) = c.coalesce_twin_spec() {
+                assert_eq!(twin, "served(ltree(4,2))", "{}", c.spec);
+                let pct = report
+                    .coalesce_savings(c)
+                    .unwrap_or_else(|| panic!("{} × {}: no savings figure", c.spec, c.workload));
+                if c.workload == "bulk-load" || c.workload == "append-heavy" {
+                    assert!(
+                        pct > 0.0,
+                        "{} × {}: insert-dominated replay must save trips ({pct:.0}%)",
+                        c.spec,
+                        c.workload
+                    );
+                }
+                saw += 1;
+            } else {
+                assert!(
+                    report.coalesce_savings(c).is_none(),
+                    "{}: unexpected savings column",
+                    c.spec
+                );
+            }
+        }
+        assert_eq!(saw, 6, "one coalesce cell per workload");
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub enum LTreeError {
         /// Human-readable explanation.
         reason: &'static str,
     },
+    /// A `key=value` option (or bare flag) in a scheme spec was unknown,
+    /// duplicated, or carried a malformed value. Unlike
+    /// [`InvalidSpec`](Self::InvalidSpec) this names the offending key,
+    /// so `remote(host:port,conns=nope)` points at `conns`, not at the
+    /// whole spec.
+    InvalidOption {
+        /// The spec (or scheme name) the option appeared in.
+        spec: String,
+        /// The offending option key (or the raw argument, when it could
+        /// not even be split into `key=value`).
+        key: String,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
     /// A remote label store failed in transport or protocol terms:
     /// connect/read/write errors, a protocol-version mismatch, a
     /// malformed frame, or a peer error with no local structured form.
@@ -86,7 +100,16 @@ impl std::fmt::Display for LTreeError {
                 write!(
                     f,
                     "invalid scheme spec '{spec}': {reason} \
-                     (spec grammar: `ltree_core::registry` module docs)"
+                     (spec grammar: `ltree_core::registry` module docs \
+                     and the spec-grammar table in ARCHITECTURE.md)"
+                )
+            }
+            LTreeError::InvalidOption { spec, key, reason } => {
+                write!(
+                    f,
+                    "invalid option '{key}' in scheme spec '{spec}': {reason} \
+                     (option grammar: the spec-grammar table in ARCHITECTURE.md \
+                     and the `ltree_core::registry` module docs)"
                 )
             }
             LTreeError::Remote { context } => {
@@ -113,5 +136,18 @@ mod tests {
         assert!(e.to_string().contains("nope"));
         let e = LTreeError::LabelOverflow { height: 200 };
         assert!(e.to_string().contains("200"));
+    }
+
+    #[test]
+    fn option_errors_name_the_key_and_the_grammar_table() {
+        let e = LTreeError::InvalidOption {
+            spec: "remote".into(),
+            key: "conns".into(),
+            reason: "expected a positive integer",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("'conns'"), "{msg}");
+        assert!(msg.contains("ARCHITECTURE.md"), "{msg}");
+        assert!(msg.contains("positive integer"), "{msg}");
     }
 }

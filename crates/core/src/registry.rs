@@ -19,21 +19,27 @@
 //!
 //! A *spec* is a scheme name optionally followed by parenthesized
 //! arguments. Arguments are split at **top-level** commas (commas inside
-//! nested parentheses belong to the nested spec) and each argument is
-//! either a number or, recursively, another spec:
+//! nested parentheses belong to the nested spec) and each argument is a
+//! number, a `key=value` option, a bare flag, or — recursively — another
+//! spec:
 //!
 //! ```text
 //! spec  ::= name | name "(" args ")"
 //! args  ::= arg ("," arg)*
-//! arg   ::= number | spec          // nested specs only for composite schemes
-//! name  ::= [^(),]+                // trimmed; no parens or commas
+//! arg   ::= number | option | spec  // nested specs only for composite schemes
+//! option ::= key "=" value | flag   // trailing; consumed via SpecOptions
+//! name  ::= [^(),=]+                // trimmed; no parens, commas or '='
 //! ```
 //!
 //! Argument interpretation belongs to the factory registered for the
 //! name; numeric arguments override the corresponding [`SchemeConfig`]
-//! fields. The workspace ships these schemes (crates in parentheses
-//! register themselves via their `register` function; the facade crate
-//! composes them all into `default_registry()`):
+//! fields, and trailing options are consumed through [`SpecOptions`]
+//! (unknown or malformed options are typed
+//! [`LTreeError::InvalidOption`] errors naming the offending key — the
+//! option table lives next to the grammar table in `ARCHITECTURE.md`).
+//! The workspace ships these schemes (crates in parentheses register
+//! themselves via their `register` function; the facade crate composes
+//! them all into `default_registry()`):
 //!
 //! | spec | scheme | arguments |
 //! |------|--------|-----------|
@@ -127,16 +133,25 @@ pub fn as_u32(spec: &str, v: f64) -> Result<u32> {
     }
 }
 
-/// One parsed spec argument: a number, or — for composite schemes like
-/// `sharded(4,ltree(4,2))` — a nested spec string. See the
-/// [grammar](self#spec-string-grammar).
+/// One parsed spec argument: a number, a `key=value` option, or — for
+/// composite schemes like `sharded(4,ltree(4,2))` — a nested spec
+/// string. See the [grammar](self#spec-string-grammar).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecArg {
     /// A numeric argument (`4`, `0.8`).
     Num(f64),
     /// A nested scheme spec (`ltree(4,2)`, `gap`), built recursively by
-    /// composite factories.
+    /// composite factories — or a bare word a factory may interpret as a
+    /// flag option (`coalesce`).
     Spec(String),
+    /// A `key=value` option (`conns=4`). Interpretation belongs to the
+    /// factory; [`SpecOptions`] is the standard way to consume these.
+    Opt {
+        /// The option key (left of `=`), trimmed.
+        key: String,
+        /// The raw value (right of `=`), trimmed.
+        value: String,
+    },
 }
 
 impl SpecArg {
@@ -144,15 +159,158 @@ impl SpecArg {
     pub fn as_num(&self) -> Option<f64> {
         match self {
             SpecArg::Num(v) => Some(*v),
-            SpecArg::Spec(_) => None,
+            _ => None,
         }
     }
 
     /// The nested spec, if this argument is one.
     pub fn as_spec(&self) -> Option<&str> {
         match self {
-            SpecArg::Num(_) => None,
             SpecArg::Spec(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A typed view over the trailing `key=value` / bare-flag arguments of a
+/// spec, for composite factories that accept options
+/// (`remote(host:port,conns=4,retries=2,coalesce)`).
+///
+/// Factories `take_*` the keys they know, then call
+/// [`finish`](Self::finish), which rejects anything left over — so an
+/// unknown or misspelled option is a typed
+/// [`LTreeError::InvalidOption`] naming the offending key, never a
+/// silent no-op. Every error points back at the spec-grammar table in
+/// `ARCHITECTURE.md`.
+///
+/// ```
+/// use ltree_core::registry::{SpecArg, SpecOptions};
+///
+/// let args = [
+///     SpecArg::Opt { key: "conns".into(), value: "4".into() },
+///     SpecArg::Spec("coalesce".into()), // a bare flag
+/// ];
+/// let mut opts = SpecOptions::parse("remote", &args).unwrap();
+/// assert_eq!(opts.take_u32("conns").unwrap(), Some(4));
+/// assert!(opts.take_flag("coalesce").unwrap());
+/// assert!(!opts.take_flag("reconnect").unwrap()); // absent flag
+/// opts.finish().unwrap(); // nothing unknown left behind
+/// ```
+#[derive(Debug)]
+pub struct SpecOptions {
+    spec: String,
+    /// `(key, value)`; `None` value marks a bare flag.
+    entries: Vec<(String, Option<String>)>,
+}
+
+impl SpecOptions {
+    /// Interpret `args` as an option list: [`SpecArg::Opt`] entries and
+    /// bare words (flags). Numbers, nested specs and duplicate keys are
+    /// rejected here — positional arguments must come *before* the
+    /// options and be consumed by the factory first.
+    pub fn parse(spec: &str, args: &[SpecArg]) -> Result<SpecOptions> {
+        let mut entries: Vec<(String, Option<String>)> = Vec::with_capacity(args.len());
+        for arg in args {
+            let (key, value) = match arg {
+                SpecArg::Opt { key, value } => (key.clone(), Some(value.clone())),
+                SpecArg::Spec(word) if !word.contains('(') => (word.clone(), None),
+                other => {
+                    return Err(LTreeError::InvalidOption {
+                        spec: spec.to_owned(),
+                        key: match other {
+                            SpecArg::Num(v) => v.to_string(),
+                            SpecArg::Spec(s) => s.clone(),
+                            SpecArg::Opt { key, .. } => key.clone(),
+                        },
+                        reason: "expected key=value options or bare flags here \
+                                 (positional arguments come first)",
+                    })
+                }
+            };
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(LTreeError::InvalidOption {
+                    spec: spec.to_owned(),
+                    key,
+                    reason: "duplicate option",
+                });
+            }
+            entries.push((key, value));
+        }
+        Ok(SpecOptions {
+            spec: spec.to_owned(),
+            entries,
+        })
+    }
+
+    /// The spec (or scheme name) these options were parsed for — useful
+    /// when a consumer mints its own [`LTreeError::InvalidOption`].
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    fn take(&mut self, key: &str) -> Option<Option<String>> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    fn bad(&self, key: &str, reason: &'static str) -> LTreeError {
+        LTreeError::InvalidOption {
+            spec: self.spec.clone(),
+            key: key.to_owned(),
+            reason,
+        }
+    }
+
+    /// Consume a bare flag (`coalesce`). Present → `true`; absent →
+    /// `false`; present *with* a value (`coalesce=1`) → error.
+    pub fn take_flag(&mut self, key: &str) -> Result<bool> {
+        match self.take(key) {
+            None => Ok(false),
+            Some(None) => Ok(true),
+            Some(Some(_)) => Err(self.bad(key, "is a bare flag and takes no value")),
+        }
+    }
+
+    /// Consume a `key=N` option as a `u32`. Absent → `Ok(None)`.
+    pub fn take_u32(&mut self, key: &str) -> Result<Option<u32>> {
+        match self.take_u64(key)? {
+            None => Ok(None),
+            Some(v) if v <= u32::MAX as u64 => Ok(Some(v as u32)),
+            Some(_) => Err(self.bad(key, "value out of range")),
+        }
+    }
+
+    /// Consume a `key=N` option as a `u64`. Absent → `Ok(None)`.
+    pub fn take_u64(&mut self, key: &str) -> Result<Option<u64>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(None) => Err(self.bad(key, "needs a value (key=N)")),
+            Some(Some(v)) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| self.bad(key, "expected a non-negative integer value")),
+        }
+    }
+
+    /// Consume a `key=word` option as a raw string. Absent → `Ok(None)`.
+    pub fn take_str(&mut self, key: &str) -> Result<Option<String>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(None) => Err(self.bad(key, "needs a value (key=word)")),
+            Some(Some(v)) => Ok(Some(v)),
+        }
+    }
+
+    /// Reject anything the factory did not consume: the first leftover
+    /// key becomes an "unknown option" error naming it.
+    pub fn finish(self) -> Result<()> {
+        match self.entries.into_iter().next() {
+            None => Ok(()),
+            Some((key, _)) => Err(LTreeError::InvalidOption {
+                spec: self.spec,
+                key,
+                reason: "unknown option for this scheme",
+            }),
         }
     }
 }
@@ -283,11 +441,13 @@ impl SchemeRegistry {
                 for a in &args {
                     match a {
                         SpecArg::Num(v) => nums.push(*v),
-                        SpecArg::Spec(_) => return Err(LTreeError::InvalidSpec {
-                            spec: spec.to_owned(),
-                            reason:
-                                "arguments must be numbers (nested specs need a composite scheme)",
-                        }),
+                        SpecArg::Spec(_) | SpecArg::Opt { .. } => {
+                            return Err(LTreeError::InvalidSpec {
+                                spec: spec.to_owned(),
+                                reason: "arguments must be numbers (nested specs and \
+                                         key=value options need a composite scheme)",
+                            })
+                        }
                     }
                 }
                 f(config, &nums)
@@ -365,10 +525,42 @@ fn parse_spec(spec: &str) -> Result<(&str, Vec<SpecArg>)> {
             }
             if let Ok(v) = part.parse::<f64>() {
                 args.push(SpecArg::Num(v));
+                continue;
+            }
+            // `key=value` (with the `=` before any nested parenthesis)
+            // is an option; `remote(a,conns=4)` nested *inside* another
+            // spec keeps its `=` because the `(` comes first.
+            let eq = part.find('=');
+            let is_opt = match (eq, part.find('(')) {
+                (Some(e), Some(p)) => e < p,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if is_opt {
+                let (key, value) = part.split_at(eq.unwrap());
+                let (key, value) = (key.trim(), value[1..].trim());
+                if key.is_empty() {
+                    return Err(LTreeError::InvalidOption {
+                        spec: spec.to_owned(),
+                        key: part.to_owned(),
+                        reason: "missing option key before '='",
+                    });
+                }
+                if value.is_empty() {
+                    return Err(LTreeError::InvalidOption {
+                        spec: spec.to_owned(),
+                        key: key.to_owned(),
+                        reason: "missing option value after '='",
+                    });
+                }
+                args.push(SpecArg::Opt {
+                    key: key.to_owned(),
+                    value: value.to_owned(),
+                });
             } else {
-                // Anything that is not a number is a nested spec; its
-                // own validity is checked when the composite factory
-                // builds it.
+                // Anything else is a nested spec (or a bare flag a
+                // composite factory may accept); its own validity is
+                // checked when the factory consumes it.
                 args.push(SpecArg::Spec(part.to_owned()));
             }
         }
@@ -489,6 +681,92 @@ mod tests {
         assert_eq!(reg.build("wrap(wrap(ltree))").unwrap().name(), "ltree");
         assert!(reg.build("wrap(nope)").is_err());
         assert!(reg.build("wrap(ltree(4,2)").is_err(), "unbalanced");
+    }
+
+    #[test]
+    fn option_arguments_parse_and_misuse_is_typed() {
+        // key=value and bare flags reach composite factories as SpecArgs.
+        let (name, args) = parse_spec("remote(127.0.0.1:9, conns=4, coalesce)").unwrap();
+        assert_eq!(name, "remote");
+        assert_eq!(
+            args,
+            vec![
+                SpecArg::Spec("127.0.0.1:9".into()),
+                SpecArg::Opt {
+                    key: "conns".into(),
+                    value: "4".into()
+                },
+                SpecArg::Spec("coalesce".into()),
+            ]
+        );
+        // A nested spec keeps its own options intact (the '(' wins).
+        let (_, args) = parse_spec("sharded(2,remote(h:1,conns=4))").unwrap();
+        assert_eq!(args[1], SpecArg::Spec("remote(h:1,conns=4)".into()));
+        // Malformed options name the key.
+        for (spec, key) in [("remote(a:1,=4)", "=4"), ("remote(a:1,conns=)", "conns")] {
+            match parse_spec(spec) {
+                Err(LTreeError::InvalidOption { key: k, .. }) => assert_eq!(k, key, "{spec}"),
+                other => panic!("{spec}: expected InvalidOption, got {other:?}"),
+            }
+        }
+        // Plain factories reject options outright.
+        let reg = SchemeRegistry::with_builtin();
+        assert!(matches!(
+            reg.build("ltree(4,s=2)"),
+            Err(LTreeError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_options_accessors_and_unknown_keys() {
+        let args = [
+            SpecArg::Opt {
+                key: "retries".into(),
+                value: "2".into(),
+            },
+            SpecArg::Spec("reconnect".into()),
+            SpecArg::Opt {
+                key: "bogus".into(),
+                value: "1".into(),
+            },
+        ];
+        let mut opts = SpecOptions::parse("remote", &args).unwrap();
+        assert_eq!(opts.take_u32("retries").unwrap(), Some(2));
+        assert!(opts.take_flag("reconnect").unwrap());
+        assert_eq!(opts.take_u64("absent").unwrap(), None);
+        match opts.finish() {
+            Err(LTreeError::InvalidOption { key, .. }) => assert_eq!(key, "bogus"),
+            other => panic!("expected unknown-option error, got {other:?}"),
+        }
+        // A flag given a value, and a valued key used bare, both fail.
+        let mut opts = SpecOptions::parse(
+            "remote",
+            &[SpecArg::Opt {
+                key: "coalesce".into(),
+                value: "1".into(),
+            }],
+        )
+        .unwrap();
+        assert!(matches!(
+            opts.take_flag("coalesce"),
+            Err(LTreeError::InvalidOption { .. })
+        ));
+        let mut opts = SpecOptions::parse("remote", &[SpecArg::Spec("conns".into())]).unwrap();
+        assert!(matches!(
+            opts.take_u32("conns"),
+            Err(LTreeError::InvalidOption { .. })
+        ));
+        // Duplicates are rejected at parse time.
+        assert!(matches!(
+            SpecOptions::parse(
+                "remote",
+                &[
+                    SpecArg::Spec("coalesce".into()),
+                    SpecArg::Spec("coalesce".into())
+                ]
+            ),
+            Err(LTreeError::InvalidOption { .. })
+        ));
     }
 
     #[test]

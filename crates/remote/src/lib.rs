@@ -7,37 +7,63 @@
 //! amortize relabelings. The ancestry-labeling line of related work
 //! (Fraigniaud & Korman; Dahlgaard et al.) is about keeping labels
 //! compact precisely so they are cheap to ship across a boundary — here
-//! the boundary is a TCP connection.
+//! the boundary is a connection.
 //!
-//! Three layers:
+//! The crate is layered so the wire format, the connection model, and
+//! the scheme logic vary independently:
 //!
 //! * [`wire`] — a dependency-free length-prefixed frame codec covering
 //!   the full trait surface (point ops, typed splices, chunked
 //!   `(handle, label)` pages, stats), with explicit protocol-version and
 //!   error frames;
+//! * [`transport`] — one framed request/response channel:
+//!   [`TcpTransport`] (a socket) or [`LoopbackTransport`] (in-process,
+//!   same codec, no syscalls) behind the [`Transport`] trait;
+//! * [`pool`] — the connection model: an [`Endpoint`] mints transports
+//!   (a `host:port`, or a loopback onto a server); a
+//!   [`ConnectionPool`] owns `conns` of them so concurrent
+//!   readers spread over connections and hit the server's shared read
+//!   lock in parallel, while writes serialize through one pipelined
+//!   connection; a declarative [`ClientPolicy`]
+//!   (`{conns, retries, reconnect, op_timeout, coalesce}`) drives
+//!   automatic reconnect-and-retry on transport errors, with mandatory
+//!   page-cache invalidation on every reconnect;
 //! * [`LabelServer`] — a `std::net` TCP server hosting any
-//!   registry-built scheme behind an `RwLock`, thread-per-connection
-//!   with request pipelining, graceful shutdown, and per-connection
-//!   op/byte counters surfaced through [`Instrumented`](ltree_core::Instrumented);
-//! * [`RemoteScheme`] — the client: the whole trait family over the
-//!   wire, page-cached reads, one frame per splice, and transport
-//!   counters in `stats_breakdown()`.
+//!   registry-built scheme behind an `RwLock` (shared reads, exclusive
+//!   writes), thread-per-connection with request pipelining, graceful
+//!   shutdown, per-connection op/byte counters, and
+//!   [`loopback`](LabelServer::loopback) in-process connections;
+//!   [`ServerGroup`] launches *n* of them and hands back the
+//!   `sharded(n,remote(…))` deployment spec in one call;
+//! * [`RemoteScheme`] — the client: the whole trait family over a pool,
+//!   page-cached reads, one frame per splice, an opt-in coalescing
+//!   write buffer (adjacent single-op edits merge into splice runs,
+//!   flushed pipelined on any read), and transport counters in
+//!   `stats_breakdown()`.
 //!
 //! ## Registry specs
 //!
 //! [`register`] adds two composite specs (grammar in
-//! [`ltree_core::registry`]):
+//! [`ltree_core::registry`]; the same table lives in ARCHITECTURE.md):
 //!
 //! | spec | meaning |
 //! |------|---------|
-//! | `remote(host:port)` | connect to an already-running [`LabelServer`] |
-//! | `served(inner)` | spawn an in-process loopback server hosting `inner`, connect to it |
+//! | `remote(addrs[,options])` | connect to already-running [`LabelServer`]s; `addrs` is `host:port` or a `\|`-separated list (each build connects to the next entry, round-robin) |
+//! | `served(inner[,options])` | spawn an in-process loopback server hosting `inner`, connect to it |
 //!
-//! `served` is the zero-infrastructure form: tests, benches and CI get a
-//! real client/server pair (real sockets, real frames) from a plain spec
-//! string. And because it is just another registry scheme, it composes:
-//! `sharded(4,served(ltree(4,2)))` routes each segment's splices to its
-//! own server through the segment directory, unchanged.
+//! Options are `key=value` pairs / bare flags mapping onto
+//! [`ClientPolicy`]: `conns=N`, `retries=N`, `reconnect`,
+//! `timeout-ms=N`, `coalesce`. Defaults reproduce the plain
+//! single-connection client, so every pre-existing spec parses
+//! unchanged.
+//!
+//! `served` is the zero-infrastructure form: tests, benches and CI get
+//! a real client/server pair (real frames through the real codec) from
+//! a plain spec string. And because it is just another registry scheme,
+//! it composes: `sharded(4,served(ltree(4,2)))` routes each segment's
+//! splices to its own server through the segment directory, unchanged —
+//! and `sharded(4,remote(a\|b\|c\|d,conns=2))` is the same deployment
+//! over real processes, one spec string from [`ServerGroup::spec_with`].
 //!
 //! ```
 //! use ltree_core::registry::SchemeRegistry;
@@ -45,7 +71,7 @@
 //!
 //! let mut reg = SchemeRegistry::with_builtin();
 //! ltree_remote::register(&mut reg);
-//! let mut scheme = reg.build("served(ltree(4,2))").unwrap();
+//! let mut scheme = reg.build("served(ltree(4,2),conns=2,coalesce)").unwrap();
 //! let handles = scheme.bulk_build(10).unwrap();
 //! assert!(scheme.label_of(handles[3]).unwrap() < scheme.label_of(handles[4]).unwrap());
 //! ```
@@ -56,46 +82,90 @@
 pub mod wire;
 
 pub mod client;
+pub mod pool;
 pub mod server;
+pub mod transport;
 
 pub use client::{RemoteScheme, TransportStats};
-pub use server::{LabelServer, TransportCounters};
+pub use pool::{ClientPolicy, ConnectionPool, Endpoint};
+pub use server::{LabelServer, ServerGroup, TransportCounters};
+pub use transport::{LoopbackTransport, TcpTransport, Transport};
 pub use wire::PROTOCOL_VERSION;
 
-use ltree_core::registry::{SchemeRegistry, SpecArg};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ltree_core::registry::{SchemeRegistry, SpecArg, SpecOptions};
 use ltree_core::LTreeError;
 
-/// Register the `remote(host:port)` and `served(inner)` composite specs.
+/// Register the `remote(host:port[,options])` and
+/// `served(inner[,options])` composite specs.
 ///
-/// * `remote(host:port)` connects to an external [`LabelServer`]; the
-///   build fails with [`LTreeError::Remote`] when nothing listens there.
+/// * `remote(addrs)` connects to an external [`LabelServer`]; the build
+///   fails with [`LTreeError::Remote`] when nothing listens there.
+///   `addrs` is one `host:port` or a `|`-separated list: consecutive
+///   builds of the same list rotate through it, one address per build
+///   (so `sharded(n,remote(a|b|…))` — the [`ServerGroup`] deployment
+///   spec — puts each segment on its own server). Reconnects always
+///   redial the address the client was built with: the listed servers
+///   are *not* replicas of each other.
 /// * `served(inner)` builds `inner` against the same registry
 ///   (recursively — any spec works), hosts it on an in-process loopback
 ///   server, and hands back the connected [`RemoteScheme`].
+///
+/// Both accept trailing [`ClientPolicy`] options — `conns=N`,
+/// `retries=N`, `reconnect`, `timeout-ms=N`, `coalesce` — e.g.
+/// `remote(127.0.0.1:7878,conns=4,retries=2,coalesce)`. Unknown or
+/// malformed options are typed [`LTreeError::InvalidOption`] errors
+/// naming the key.
 pub fn register(reg: &mut SchemeRegistry) {
     reg.register_composite(
         "served",
-        "loopback-served remote store; args: (inner-spec)",
-        |reg, cfg, args| match args {
-            [SpecArg::Spec(inner)] => {
-                let scheme = reg.build_with(inner, cfg)?;
-                Ok(Box::new(RemoteScheme::served(scheme)?))
-            }
-            _ => Err(LTreeError::InvalidSpec {
-                spec: "served".into(),
-                reason: "expected exactly one inner scheme spec, e.g. served(ltree(4,2))",
-            }),
+        "loopback-served remote store; args: (inner-spec[,conns=N,retries=N,reconnect,timeout-ms=N,coalesce])",
+        |reg, cfg, args| {
+            let Some((SpecArg::Spec(inner), rest)) = args.split_first() else {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "served".into(),
+                    reason: "expected an inner scheme spec first, e.g. served(ltree(4,2))",
+                });
+            };
+            let mut opts = SpecOptions::parse("served", rest)?;
+            let policy = ClientPolicy::from_options(&mut opts)?;
+            opts.finish()?;
+            let scheme = reg.build_with(inner, cfg)?;
+            Ok(Box::new(RemoteScheme::served_with(scheme, policy)?))
         },
     );
+    // Consecutive builds of the same address list rotate their primary
+    // address, keyed per list, so one spec string fans a sharded store's
+    // segments out over a ServerGroup one-to-one.
+    let rotation: Arc<Mutex<HashMap<String, usize>>> = Arc::new(Mutex::new(HashMap::new()));
     reg.register_composite(
         "remote",
-        "client for an external label server; args: (host:port)",
-        |_, _, args| match args {
-            [SpecArg::Spec(addr)] => Ok(Box::new(RemoteScheme::connect(addr)?)),
-            _ => Err(LTreeError::InvalidSpec {
-                spec: "remote".into(),
-                reason: "expected exactly one host:port address, e.g. remote(127.0.0.1:7878)",
-            }),
+        "client for external label server(s); args: (host:port|host:port…[,conns=N,retries=N,reconnect,timeout-ms=N,coalesce])",
+        move |_, _, args| {
+            let Some((SpecArg::Spec(addrs), rest)) = args.split_first() else {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "remote".into(),
+                    reason: "expected a host:port address (or a |-separated list) first, \
+                             e.g. remote(127.0.0.1:7878,conns=4)",
+                });
+            };
+            let mut opts = SpecOptions::parse("remote", rest)?;
+            let policy = ClientPolicy::from_options(&mut opts)?;
+            opts.finish()?;
+            let list: Vec<String> = addrs.split('|').map(|a| a.trim().to_owned()).collect();
+            let primary = if list.len() > 1 {
+                let mut seen = rotation.lock().unwrap_or_else(|p| p.into_inner());
+                let next = seen.entry(addrs.clone()).or_insert(0);
+                let p = *next;
+                *next += 1;
+                p
+            } else {
+                0
+            };
+            let endpoint = Endpoint::tcp_rotated(list, primary)?;
+            Ok(Box::new(RemoteScheme::from_endpoint(endpoint, policy, None)?))
         },
     );
 }
@@ -312,7 +382,12 @@ mod tests {
         let mut s = reg.build("served(ltree(4,2))").unwrap();
         assert_eq!(s.name(), "remote");
         assert_eq!(s.bulk_build(12).unwrap().len(), 12);
-        for bad in ["served", "served()", "served(4)", "served(ltree,gap)"] {
+        // Policy options parse through the spec string.
+        let mut s = reg
+            .build("served(ltree(4,2),conns=3,retries=1,coalesce)")
+            .unwrap();
+        assert_eq!(s.bulk_build(4).unwrap().len(), 4);
+        for bad in ["served", "served()", "served(4)"] {
             assert!(
                 matches!(reg.build(bad), Err(LTreeError::InvalidSpec { .. })),
                 "{bad} must be rejected"
@@ -323,6 +398,23 @@ mod tests {
                 matches!(reg.build(bad), Err(LTreeError::InvalidSpec { .. })),
                 "{bad} must be rejected"
             );
+        }
+        // A second positional where an option belongs names the word;
+        // unknown/malformed options name the key.
+        for (bad, key) in [
+            ("served(ltree,gap)", "gap"),
+            ("served(ltree,bogus=1)", "bogus"),
+            ("served(ltree,conns=many)", "conns"),
+            ("served(ltree,conns=0)", "conns"),
+            ("served(ltree,coalesce=1)", "coalesce"),
+        ] {
+            match reg.build(bad) {
+                Err(LTreeError::InvalidOption { key: k, .. }) => {
+                    assert_eq!(k, key, "{bad}");
+                }
+                Err(other) => panic!("{bad}: expected InvalidOption, got {other:?}"),
+                Ok(_) => panic!("{bad}: expected InvalidOption, got a scheme"),
+            }
         }
         assert!(
             matches!(

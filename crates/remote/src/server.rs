@@ -22,16 +22,18 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 
+use ltree_core::registry::{SchemeConfig, SchemeRegistry};
 use ltree_core::{
     Cursor, DynScheme, Instrumented, LTreeError, LeafHandle, Result, SchemeStats, Splice,
 };
 
+use crate::transport::LoopbackTransport;
 use crate::wire::{
-    decode_request, encode_response, io_err, read_frame, write_frame, Request, Response,
+    decode_request, encode_response_capped, io_err, read_frame, write_frame, Request, Response,
     WireSplice, MAX_PAGE_ITEMS, PROTOCOL_VERSION,
 };
 
@@ -86,7 +88,7 @@ impl TransportCounters {
         )
     }
 
-    fn add(&self, ops: u64, bytes_in: u64, bytes_out: u64) {
+    pub(crate) fn add(&self, ops: u64, bytes_in: u64, bytes_out: u64) {
         self.ops.fetch_add(ops, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
         self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
@@ -96,8 +98,9 @@ impl TransportCounters {
 struct ConnReg {
     id: usize,
     /// A clone of the connection's socket, kept so shutdown can unblock
-    /// the thread's blocking read.
-    stream: TcpStream,
+    /// the thread's blocking read. `None` for in-process loopback
+    /// connections, which have no socket (and no thread) to unblock.
+    stream: Option<TcpStream>,
     counters: Arc<TransportCounters>,
     thread: Option<JoinHandle<()>>,
 }
@@ -131,6 +134,7 @@ pub struct LabelServer {
     scheme: SharedScheme,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<ConnReg>>>,
+    next_conn_id: Arc<AtomicUsize>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -144,22 +148,73 @@ impl LabelServer {
         let scheme: SharedScheme = Arc::new(RwLock::new(scheme));
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ConnReg>>> = Arc::new(Mutex::new(Vec::new()));
+        let next_conn_id = Arc::new(AtomicUsize::new(0));
         let accept = {
             let (scheme, stop, conns) = (scheme.clone(), stop.clone(), conns.clone());
-            std::thread::spawn(move || accept_loop(listener, scheme, stop, conns))
+            let ids = next_conn_id.clone();
+            std::thread::spawn(move || accept_loop(listener, scheme, stop, conns, ids))
         };
         Ok(LabelServer {
             addr,
             scheme,
             stop,
             conns,
+            next_conn_id,
             accept: Some(accept),
         })
     }
 
-    /// The address the server listens on (useful with port 0).
+    /// The address the server listens on (useful with port 0: every
+    /// test binds an ephemeral port and reads the real one back here).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Open an in-process [`LoopbackTransport`] onto this server's
+    /// scheme. The transport counts as one connection (it gets its own
+    /// `net/conn<i>/...` breakdown entry) and takes the same `RwLock`
+    /// the socket connections take, but frames never leave the process.
+    pub fn loopback(&self) -> LoopbackTransport {
+        make_loopback(&self.scheme, &self.stop, &self.conns, &self.next_conn_id)
+    }
+
+    /// A closure that mints loopback transports from the server
+    /// *internals* (so an [`Endpoint`](crate::pool::Endpoint) can
+    /// reconnect without borrowing the server value). Minting fails
+    /// once the server has shut down.
+    pub(crate) fn loopback_minter(
+        &self,
+    ) -> Box<dyn Fn() -> Result<LoopbackTransport> + Send + Sync> {
+        let scheme = self.scheme.clone();
+        let stop = self.stop.clone();
+        let conns = self.conns.clone();
+        let next_id = self.next_conn_id.clone();
+        Box::new(move || {
+            if stop.load(Ordering::SeqCst) {
+                return Err(LTreeError::Remote {
+                    context: "loopback: server is shut down".into(),
+                });
+            }
+            Ok(make_loopback(&scheme, &stop, &conns, &next_id))
+        })
+    }
+
+    /// Shut the server down and take the hosted scheme back out — the
+    /// primitive behind "restart the server on the same state" (bind a
+    /// new [`LabelServer`] with the returned scheme). Fails when live
+    /// loopback transports still share the scheme.
+    pub fn into_scheme(mut self) -> Result<Box<dyn DynScheme>> {
+        self.shutdown();
+        let scheme = Arc::clone(&self.scheme);
+        drop(self);
+        match Arc::try_unwrap(scheme) {
+            Ok(lock) => Ok(lock.into_inner().unwrap_or_else(|p| p.into_inner())),
+            Err(_) => Err(LTreeError::Remote {
+                context: "cannot take the scheme out of the server: in-process (loopback) \
+                          clients still reference it"
+                    .into(),
+            }),
+        }
     }
 
     /// Stop accepting, unblock and join every connection thread, then
@@ -171,7 +226,9 @@ impl LabelServer {
         // Unblock connection threads stuck in a blocking read.
         let conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
         for c in conns.iter() {
-            let _ = c.stream.shutdown(Shutdown::Both);
+            if let Some(stream) = &c.stream {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
         }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -186,7 +243,9 @@ impl LabelServer {
         // would hang this join forever.
         let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
         for c in conns.iter_mut() {
-            let _ = c.stream.shutdown(Shutdown::Both);
+            if let Some(stream) = &c.stream {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
             if let Some(t) = c.thread.take() {
                 let _ = t.join();
             }
@@ -222,13 +281,40 @@ impl Instrumented for LabelServer {
     }
 }
 
+/// Register one loopback connection and hand back its transport.
+fn make_loopback(
+    scheme: &SharedScheme,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<ConnReg>>>,
+    next_conn_id: &Arc<AtomicUsize>,
+) -> LoopbackTransport {
+    let counters = Arc::new(TransportCounters::default());
+    let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+    conns
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(ConnReg {
+            id,
+            stream: None,
+            counters: counters.clone(),
+            thread: None,
+        });
+    LoopbackTransport {
+        scheme: scheme.clone(),
+        stop: stop.clone(),
+        counters,
+        pending: std::collections::VecDeque::new(),
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     scheme: SharedScheme,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<ConnReg>>>,
+    next_conn_id: Arc<AtomicUsize>,
 ) {
-    for (id, incoming) in listener.incoming().enumerate() {
+    for incoming in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -237,6 +323,7 @@ fn accept_loop(
         let Ok(clone) = stream.try_clone() else {
             continue;
         };
+        let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
         let counters = Arc::new(TransportCounters::default());
         let thread = {
             let (scheme, counters, stop) = (scheme.clone(), counters.clone(), stop.clone());
@@ -247,7 +334,7 @@ fn accept_loop(
             .unwrap_or_else(|p| p.into_inner())
             .push(ConnReg {
                 id,
-                stream: clone,
+                stream: Some(clone),
                 counters,
                 thread: Some(thread),
             });
@@ -279,19 +366,7 @@ fn serve_conn(
             Ok(req) => handle_request(&scheme, req),
             Err(e) => Response::Err(e),
         };
-        let mut out = encode_response(&resp);
-        if out.len() > crate::wire::MAX_FRAME_BYTES {
-            // The operation was applied; dropping the connection here
-            // would hide that. Degrade to an error frame telling the
-            // client to re-read the result in pages.
-            out = encode_response(&Response::Err(LTreeError::Remote {
-                context: format!(
-                    "response of {} bytes exceeds the frame cap; the operation WAS applied — \
-                     re-read the result through paged requests",
-                    out.len()
-                ),
-            }));
-        }
+        let out = encode_response_capped(&resp);
         match write_frame(&mut writer, &out) {
             Ok(out_bytes) => counters.add(1, in_bytes, out_bytes),
             Err(_) => break,
@@ -306,7 +381,7 @@ fn ok_or_err<T>(r: Result<T>, f: impl FnOnce(T) -> Response) -> Response {
     }
 }
 
-fn handle_request(scheme: &RwLock<Box<dyn DynScheme>>, req: Request) -> Response {
+pub(crate) fn handle_request(scheme: &RwLock<Box<dyn DynScheme>>, req: Request) -> Response {
     match req {
         Request::Hello { version } => {
             if version == PROTOCOL_VERSION {
@@ -380,6 +455,118 @@ fn handle_request(scheme: &RwLock<Box<dyn DynScheme>>, req: Request) -> Response
             Response::Unit
         }
         Request::StatsBreakdown => Response::Breakdown(read_lock(scheme).stats_breakdown()),
+    }
+}
+
+/// A fleet of [`LabelServer`]s plus the spec that deploys over them —
+/// the one-call version of the "start every shard's host by hand"
+/// recipe. [`launch`](Self::launch) binds `n` ephemeral-port servers,
+/// each hosting a fresh registry-built `inner` scheme;
+/// [`spec`](Self::spec) hands back the ready-made
+/// `sharded(n,remote(addr1|addr2|…))` spec string. The `remote` factory
+/// rotates through a `|`-separated address list per build, so the
+/// sharded store's `n` segments land on the `n` servers one-to-one.
+///
+/// Servers shut down (gracefully, joining their threads) when the group
+/// drops — after any clients built from the spec.
+///
+/// ```
+/// use ltree_core::registry::SchemeRegistry;
+/// use ltree_core::OrderedLabelingMut;
+/// use ltree_remote::ServerGroup;
+///
+/// let mut reg = SchemeRegistry::with_builtin();
+/// ltree_sharded::register(&mut reg);
+/// ltree_remote::register(&mut reg);
+///
+/// let group = ServerGroup::launch(2, "ltree(4,2)", &reg).unwrap();
+/// // e.g. "sharded(2,remote(127.0.0.1:PORT_A|127.0.0.1:PORT_B))"
+/// let mut scheme = reg.build(&group.spec()).unwrap();
+/// assert_eq!(scheme.bulk_build(10).unwrap().len(), 10);
+/// // Each segment landed on its own server: connect to the hosts
+/// // directly and find the 10 items split across them.
+/// use ltree_core::OrderedLabeling;
+/// let per_host: Vec<usize> = group
+///     .addrs()
+///     .iter()
+///     .map(|a| ltree_remote::RemoteScheme::connect(a).unwrap().live_len())
+///     .collect();
+/// assert_eq!(per_host.iter().sum::<usize>(), 10);
+/// assert!(per_host.iter().all(|&n| n > 0), "{per_host:?}");
+/// ```
+pub struct ServerGroup {
+    servers: Vec<LabelServer>,
+}
+
+impl ServerGroup {
+    /// Bind `n` servers on OS-chosen ports (`127.0.0.1:0`), each
+    /// hosting a fresh `inner` scheme built against `reg` with the
+    /// default [`SchemeConfig`].
+    pub fn launch(n: usize, inner: &str, reg: &SchemeRegistry) -> Result<ServerGroup> {
+        Self::launch_with(n, inner, reg, &SchemeConfig::default())
+    }
+
+    /// [`launch`](Self::launch) with an explicit config for the inner
+    /// scheme builds.
+    pub fn launch_with(
+        n: usize,
+        inner: &str,
+        reg: &SchemeRegistry,
+        cfg: &SchemeConfig,
+    ) -> Result<ServerGroup> {
+        if n == 0 {
+            return Err(LTreeError::InvalidSpec {
+                spec: "ServerGroup".into(),
+                reason: "a server group needs at least one server",
+            });
+        }
+        let mut servers = Vec::with_capacity(n);
+        for _ in 0..n {
+            servers.push(LabelServer::bind(
+                "127.0.0.1:0",
+                reg.build_with(inner, cfg)?,
+            )?);
+        }
+        Ok(ServerGroup { servers })
+    }
+
+    /// The servers, in launch order (index `i` serves segment `i` of a
+    /// scheme built from [`spec`](Self::spec)).
+    pub fn servers(&self) -> &[LabelServer] {
+        &self.servers
+    }
+
+    /// The listening addresses, in launch order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.servers
+            .iter()
+            .map(|s| s.local_addr().to_string())
+            .collect()
+    }
+
+    /// The `|`-separated address list the `remote` spec consumes.
+    pub fn addr_list(&self) -> String {
+        self.addrs().join("|")
+    }
+
+    /// The deployment spec: `sharded(n,remote(addr1|…|addrN))`.
+    pub fn spec(&self) -> String {
+        format!(
+            "sharded({},remote({}))",
+            self.servers.len(),
+            self.addr_list()
+        )
+    }
+
+    /// [`spec`](Self::spec) with extra client options appended to the
+    /// `remote` inner spec, e.g. `spec_with("conns=4,retries=2")` →
+    /// `sharded(n,remote(addr1|…,conns=4,retries=2))`.
+    pub fn spec_with(&self, options: &str) -> String {
+        format!(
+            "sharded({},remote({},{options}))",
+            self.servers.len(),
+            self.addr_list()
+        )
     }
 }
 

@@ -159,12 +159,15 @@ pub enum Response {
 }
 
 /// Canonicalize an error for the wire: every variant travels as itself
-/// except [`LTreeError::InvalidParams`] / [`LTreeError::InvalidSpec`],
-/// whose `&'static str` reasons cannot be reconstructed by a peer — they
-/// become [`LTreeError::Remote`] carrying the rendered message.
+/// except [`LTreeError::InvalidParams`] / [`LTreeError::InvalidSpec`] /
+/// [`LTreeError::InvalidOption`], whose `&'static str` reasons cannot
+/// be reconstructed by a peer — they become [`LTreeError::Remote`]
+/// carrying the rendered message.
 pub fn wire_error(e: &LTreeError) -> LTreeError {
     match e {
-        LTreeError::InvalidParams { .. } | LTreeError::InvalidSpec { .. } => LTreeError::Remote {
+        LTreeError::InvalidParams { .. }
+        | LTreeError::InvalidSpec { .. }
+        | LTreeError::InvalidOption { .. } => LTreeError::Remote {
             context: e.to_string(),
         },
         other => other.clone(),
@@ -300,7 +303,9 @@ fn put_error(b: &mut Vec<u8>, e: &LTreeError) {
             put_str(b, &context);
         }
         // `wire_error` canonicalized these away.
-        LTreeError::InvalidParams { .. } | LTreeError::InvalidSpec { .. } => unreachable!(),
+        LTreeError::InvalidParams { .. }
+        | LTreeError::InvalidSpec { .. }
+        | LTreeError::InvalidOption { .. } => unreachable!(),
     }
 }
 
@@ -371,6 +376,25 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
     }
     b
+}
+
+/// Encode a response payload, degrading to an error frame when the
+/// encoding would exceed [`MAX_FRAME_BYTES`]. The operation has already
+/// been applied by then — dropping the connection would hide that — so
+/// the error frame tells the client to re-read the result in pages.
+/// Shared by every server-side transport (socket and loopback alike).
+pub fn encode_response_capped(resp: &Response) -> Vec<u8> {
+    let out = encode_response(resp);
+    if out.len() <= MAX_FRAME_BYTES {
+        return out;
+    }
+    encode_response(&Response::Err(LTreeError::Remote {
+        context: format!(
+            "response of {} bytes exceeds the frame cap; the operation WAS applied — \
+             re-read the result through paged requests",
+            out.len()
+        ),
+    }))
 }
 
 // ----------------------------------------------------------------------

@@ -126,15 +126,20 @@ pub mod rel {
 /// | `gap` | fixed-gap midpoints | `(gap)` |
 /// | `list-label` | even redistribution | `(bits)` or `(bits,tau)` |
 /// | `sharded` | segment-partitioned composite | `(inner)`, `(n,inner)`, or `(n,split,merge,inner)` |
-/// | `served` | in-process loopback server + remote client | `(inner)` |
-/// | `remote` | client for an external label server | `(host:port)` |
+/// | `served` | in-process loopback server + remote client | `(inner[,options])` |
+/// | `remote` | client for external label server(s) | `(addrs[,options])` |
 ///
 /// `sharded` and `served` compose: their inner argument is any spec this
 /// registry resolves, recursively — `sharded(4,ltree(4,2))`,
 /// `served(gap)`, `sharded(4,served(ltree))` (each segment behind its
-/// own loopback server). The full grammar lives in
-/// [`ltree_core::registry`]; `ARCHITECTURE.md` carries the same table
-/// for non-rustdoc readers.
+/// own loopback server). The remote client options (`conns=4`,
+/// `retries=2`, `reconnect`, `timeout-ms=500`, `coalesce`) configure a
+/// [`ltree_remote::ClientPolicy`]; `remote` also accepts a
+/// `|`-separated address list, rotated across builds, so
+/// `sharded(n,remote(a|b|…))` — the spec a
+/// [`ltree_remote::ServerGroup`] hands back — puts one segment on each
+/// host. The full grammar lives in [`ltree_core::registry`];
+/// `ARCHITECTURE.md` carries the same table for non-rustdoc readers.
 pub fn default_registry() -> SchemeRegistry {
     let mut reg = SchemeRegistry::with_builtin();
     ltree_virtual::register(&mut reg);
@@ -177,7 +182,9 @@ pub mod prelude {
         LabelingScheme, LeafHandle, LeafId, OrderedLabeling, OrderedLabelingMut, Params,
         SchemeConfig, SchemeRegistry, Splice, SpliceBuilder, SpliceResult,
     };
-    pub use ltree_remote::{LabelServer, RemoteScheme, TransportStats};
+    pub use ltree_remote::{
+        ClientPolicy, Endpoint, LabelServer, RemoteScheme, ServerGroup, Transport, TransportStats,
+    };
     pub use ltree_sharded::{ShardedConfig, ShardedScheme};
     pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
     pub use ltree_virtual::VirtualLTree;

@@ -72,10 +72,9 @@ fn wrong_arity_is_rejected_per_factory() {
         "sharded(ltree,2)",   // inner must come last
         "sharded(2,4,ltree)", // (n,split,merge,inner) or shorter
         "served",             // inner required
-        "served(ltree,gap)",  // exactly one inner
         "served(4)",          // inner must be a spec, not a number
         "remote",             // address required
-        "remote(1,2)",        // one address
+        "remote(1,2)",        // the address is a spec-shaped argument
     ] {
         assert!(
             matches!(build(spec), Err(LTreeError::InvalidSpec { .. })),
@@ -99,6 +98,60 @@ fn numeric_argument_validation_is_typed() {
         build("ltree(5,2)"),
         Err(LTreeError::InvalidParams { .. })
     ));
+}
+
+/// The `key=value` option syntax (`remote(addr,conns=4,coalesce)`):
+/// unknown and malformed options are [`LTreeError::InvalidOption`]
+/// errors that *name the offending key* and point at the spec-grammar
+/// table in ARCHITECTURE.md — never a silent no-op, never a vague
+/// whole-spec error.
+#[test]
+fn option_errors_name_the_key_and_point_at_the_grammar_table() {
+    for (spec, key) in [
+        // Unknown options (a stray word where options belong is one).
+        ("served(ltree,gap)", "gap"),
+        ("served(ltree,bogus=1)", "bogus"),
+        ("served(ltree(4,2),conns=2,nope)", "nope"),
+        // Malformed values.
+        ("served(ltree,conns=many)", "conns"),
+        ("served(ltree,conns=0)", "conns"),
+        ("served(ltree,retries=-1)", "retries"),
+        ("served(ltree,timeout-ms=soon)", "timeout-ms"),
+        // A flag given a value, and a valued key used bare.
+        ("served(ltree,coalesce=1)", "coalesce"),
+        ("served(ltree,conns)", "conns"),
+        // Duplicates.
+        ("served(ltree,conns=2,conns=3)", "conns"),
+        // Structurally broken options.
+        ("served(ltree,=4)", "=4"),
+        ("served(ltree,conns=)", "conns"),
+    ] {
+        let err = build(spec).err().unwrap_or_else(|| panic!("{spec} built"));
+        match &err {
+            LTreeError::InvalidOption { key: k, .. } => assert_eq!(k, key, "{spec}"),
+            other => panic!("{spec}: expected InvalidOption, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains(key), "{spec}: {msg}");
+        assert!(msg.contains("ARCHITECTURE.md"), "{spec}: {msg}");
+    }
+}
+
+/// The flip side: well-formed options build, on `served` and through
+/// arbitrary nesting.
+#[test]
+fn option_syntax_builds_when_well_formed() {
+    for spec in [
+        "served(ltree(4,2),conns=2)",
+        "served(ltree(4,2),conns=2,retries=1,reconnect,timeout-ms=2000)",
+        "served(gap,coalesce)",
+        "served( ltree(4,2) , conns=2 , coalesce )",
+        "sharded(2,served(ltree(4,2),conns=2))",
+    ] {
+        let mut s = build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(s.bulk_build(6).unwrap().len(), 6, "{spec}");
+        assert_eq!(s.cursor().count(), 6, "{spec}");
+    }
 }
 
 #[test]

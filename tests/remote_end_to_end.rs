@@ -145,6 +145,42 @@ fn ten_thousand_element_document_loads_in_constant_trips() {
     );
 }
 
+/// A `Document` over a pooled + coalescing client matches its local
+/// twin through the same edits — provisional handles, buffer flushes
+/// and the page cache are all invisible to the XML layer.
+#[test]
+fn document_over_coalescing_pooled_client_matches_local() {
+    let tree = generate(&book_catalog_profile(250), 31);
+    let text = ltree::xml::to_string(&tree).unwrap();
+    let mut remote = Document::parse_str(
+        &text,
+        Scheme::build("served(ltree(4,2),conns=2,coalesce)").unwrap(),
+    )
+    .unwrap();
+    let mut local = Document::parse_str(&text, Scheme::build("ltree(4,2)").unwrap()).unwrap();
+    remote.validate().unwrap();
+    let edit = |d: &mut Document<Box<dyn DynScheme>>| {
+        let root = d.tree().root().unwrap();
+        let (mut frag, fr) = ltree::xml::XmlTree::with_root("errata");
+        frag.add_child(fr, "item").unwrap();
+        let ids = d.insert_fragment(root, 0, &frag).unwrap();
+        let kids = d.tree().child_elements(root).unwrap();
+        let victim = *kids.last().unwrap();
+        if victim != ids[0] {
+            d.delete_subtree(victim).unwrap();
+        }
+        d.validate().unwrap();
+    };
+    edit(&mut remote);
+    edit(&mut local);
+    assert_eq!(remote.element_count(), local.element_count());
+    assert_eq!(
+        ltree::xml::to_string(remote.tree()).unwrap(),
+        ltree::xml::to_string(local.tree()).unwrap(),
+        "identical documents after identical edits"
+    );
+}
+
 /// The payoff composition: `sharded(n, served(inner))` routes each
 /// segment's splices to its own loopback server through the existing
 /// segment directory — a `Document` neither knows nor cares.

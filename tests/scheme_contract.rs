@@ -309,6 +309,43 @@ fn conformance_across_the_registry() {
     }
 }
 
+/// The pooled TCP client (`remote(host:port,conns=4)`) passes the
+/// identical conformance streams — a real external server per stream
+/// (bound on port 0, address plumbed back via `local_addr()`), four
+/// client connections over it, zero suite changes.
+#[test]
+fn conformance_remote_pooled_client() {
+    let boot = || {
+        ltree::remote::LabelServer::bind("127.0.0.1:0", build("ltree(4,2)"))
+            .unwrap_or_else(|e| panic!("bind: {e}"))
+    };
+    for seed in 0..4u64 {
+        let server = boot();
+        exercise(&format!("remote({},conns=4)", server.local_addr()), seed);
+    }
+    // Batch-vs-loop equivalence, each harness against its own server.
+    for seed in 100..103u64 {
+        let mut rng = SplitMix64::new(seed);
+        let initial = rng.gen_range(1..30);
+        let stream_len = rng.gen_range(1..40);
+        let ops = random_ops(&mut rng, stream_len);
+        let (sa, sb) = (boot(), boot());
+        let spec = |s: &ltree::remote::LabelServer| format!("remote({},conns=4)", s.local_addr());
+        let mut batched = Harness::new(build(&spec(&sa)), initial, format!("remote#batch {seed}"));
+        let mut looped = Harness::new(build(&spec(&sb)), initial, format!("remote#loop {seed}"));
+        for op in &ops {
+            batched.apply(op, true);
+            looped.apply(op, false);
+            batched.check_order();
+            looped.check_order();
+        }
+        batched.check_cursor();
+        looped.check_cursor();
+        assert_eq!(batched.scheme.live_len(), looped.scheme.live_len());
+        assert_eq!(batched.scheme.len(), looped.scheme.len());
+    }
+}
+
 /// Batch-vs-loop equivalence: the same logical stream applied with the
 /// native splice path and with single-insert loops must produce the
 /// same list (same live count, same relative order of the same logical
