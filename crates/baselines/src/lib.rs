@@ -25,7 +25,7 @@
 //! [`register`] to add them to a [`SchemeRegistry`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod gap;
 mod list_label;

@@ -67,6 +67,7 @@ pub fn all_ids() -> &'static [&'static str] {
 // X1 — Figure 1: region labeling answers book//title by label tests
 // ----------------------------------------------------------------------
 
+/// X1 — Figure 1: region labeling answers `/book//title` by label tests.
 pub fn x1() -> Vec<Table> {
     let xml = "<book><chapter><title>t</title></chapter><title>top</title></book>";
     let reg: SchemeRegistry = ltree::default_registry();
@@ -112,6 +113,7 @@ pub fn x1() -> Vec<Table> {
 // X2 — Figure 2: bulk load + two insertions, one split
 // ----------------------------------------------------------------------
 
+/// X2 — Figure 2 walkthrough: bulk load + two insertions, one split.
 pub fn x2() -> Vec<Table> {
     let params = Params::new(4, 2).expect("figure params");
     let (mut tree, leaves) = LTree::bulk_load(params, 8).expect("bulk load");
@@ -152,6 +154,7 @@ pub fn x2() -> Vec<Table> {
 // X3 — amortized insertion cost vs n (the O(log n) claim)
 // ----------------------------------------------------------------------
 
+/// X3 — amortized insertion cost vs `n` (the `O(log n)` claim).
 pub fn x3(scale: Scale) -> Vec<Table> {
     let sizes: &[usize] = scale.pick(&[1_000, 8_000][..], &[1_000, 10_000, 100_000][..]);
     let ops_for = |n: usize| scale.pick(2_000.min(n), 20_000.min(n));
@@ -207,6 +210,7 @@ pub fn x3(scale: Scale) -> Vec<Table> {
 // X4 — label width vs n (the O(log n) bits claim)
 // ----------------------------------------------------------------------
 
+/// X4 — label width vs `n` (the `O(log n)` bits claim).
 pub fn x4(scale: Scale) -> Vec<Table> {
     let sizes: &[usize] = scale.pick(
         &[1_000, 8_000][..],
@@ -246,6 +250,7 @@ pub fn x4(scale: Scale) -> Vec<Table> {
 // X5 — parameter sweep: measured cost surface vs the model optimum
 // ----------------------------------------------------------------------
 
+/// X5 — parameter sweep: measured cost surface vs the model optimum.
 pub fn x5(scale: Scale) -> Vec<Table> {
     let n = scale.pick(5_000, 50_000);
     let ops = scale.pick(5_000, 20_000);
@@ -304,6 +309,7 @@ pub fn x5(scale: Scale) -> Vec<Table> {
 // X6 — bit-budget-constrained tuning
 // ----------------------------------------------------------------------
 
+/// X6 — bit-budget-constrained tuning.
 pub fn x6(scale: Scale) -> Vec<Table> {
     let n = scale.pick(20_000u64, 100_000u64);
     let mut t = Table::new(
@@ -359,6 +365,7 @@ pub fn x6(scale: Scale) -> Vec<Table> {
 // X7 — workload-weighted tuning
 // ----------------------------------------------------------------------
 
+/// X7 — workload-weighted tuning.
 pub fn x7(scale: Scale) -> Vec<Table> {
     let n = scale.pick(1u64 << 16, 1u64 << 20);
     // The paper is from the 32-bit era: one machine word = 32 bits, so
@@ -407,6 +414,7 @@ pub fn x7(scale: Scale) -> Vec<Table> {
 // X8 — batch insertion (Section 4.1)
 // ----------------------------------------------------------------------
 
+/// X8 — batch insertion (Section 4.1).
 pub fn x8(scale: Scale) -> Vec<Table> {
     let n = scale.pick(10_000, 100_000);
     let total = scale.pick(8_192, 32_768);
@@ -449,6 +457,7 @@ pub fn x8(scale: Scale) -> Vec<Table> {
 // X9 — materialized vs virtual L-Tree (Section 4.2)
 // ----------------------------------------------------------------------
 
+/// X9 — materialized vs virtual L-Tree (Section 4.2).
 pub fn x9(scale: Scale) -> Vec<Table> {
     let sizes: &[usize] = scale.pick(&[2_000, 10_000][..], &[10_000, 100_000][..]);
     let mut t = Table::new(
@@ -501,6 +510,7 @@ pub fn x9(scale: Scale) -> Vec<Table> {
 // X10 — adaptivity to uneven insertion rates
 // ----------------------------------------------------------------------
 
+/// X10 — adaptivity to uneven insertion rates.
 pub fn x10(scale: Scale) -> Vec<Table> {
     let n = scale.pick(5_000, 50_000);
     let ops = scale.pick(5_000, 20_000);
@@ -545,6 +555,7 @@ pub fn x10(scale: Scale) -> Vec<Table> {
 // X11 — structural guarantees (Propositions 2 and 3)
 // ----------------------------------------------------------------------
 
+/// X11 — structural guarantees (Propositions 2 and 3).
 pub fn x11(scale: Scale) -> Vec<Table> {
     let n = scale.pick(2_000, 20_000);
     let ops = scale.pick(4_000, 20_000);
@@ -597,6 +608,7 @@ pub fn x11(scale: Scale) -> Vec<Table> {
 // X12 — deletions never relabel
 // ----------------------------------------------------------------------
 
+/// X12 — deletions never relabel.
 pub fn x12(scale: Scale) -> Vec<Table> {
     let n = scale.pick(5_000, 50_000);
     let mut t = Table::new(
@@ -633,6 +645,7 @@ pub fn x12(scale: Scale) -> Vec<Table> {
 // X13 — query processing: navigation vs label joins
 // ----------------------------------------------------------------------
 
+/// X13 — query processing: navigation vs label joins.
 pub fn x13(scale: Scale) -> Vec<Table> {
     let n = scale.pick(2_000, 20_000);
     let tree = generate(&auction_profile(n), 99);
@@ -700,6 +713,7 @@ pub fn x13(scale: Scale) -> Vec<Table> {
 // X14 — the RDBMS context: edge-table self-joins vs region-label join
 // ----------------------------------------------------------------------
 
+/// X14 — the RDBMS context: edge-table self-joins vs region-label join.
 pub fn x14(scale: Scale) -> Vec<Table> {
     use ltree::rel::{descendants_via_edge_joins, descendants_via_region_join, shred};
     let n = scale.pick(3_000, 30_000);

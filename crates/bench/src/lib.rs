@@ -17,6 +17,7 @@
 //! columns (wall-clock columns naturally vary).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod json;

@@ -85,6 +85,11 @@ pub fn default_config(scale: Scale) -> SweepConfig {
             // reports its round-trip savings against the plain served
             // twin above.
             "served(ltree(4,2),coalesce)".into(),
+            // The contract auditor over the same L-Tree shape: the
+            // `audit ovh` column reports its wall-clock overhead vs the
+            // plain ltree(4,2) twin (reported, never gated — the
+            // auditor is a verification tool, not a contender).
+            "checked(ltree(4,2))".into(),
         ],
         profiles: None,
         sizes,
@@ -134,11 +139,12 @@ impl SweepCell {
     }
 
     /// Breakdown entries that are segments (not `net/...` transport
-    /// counters) — what the table's shard-count column shows.
+    /// counters, not the auditor's `audit/...` bookkeeping) — what the
+    /// table's shard-count column shows.
     pub fn segment_count(&self) -> usize {
         self.shards
             .iter()
-            .filter(|(name, _)| !name.starts_with("net/"))
+            .filter(|(name, _)| !name.starts_with("net/") && !name.starts_with("audit/"))
             .count()
     }
 
@@ -149,6 +155,32 @@ impl SweepCell {
     pub fn coalesce_twin_spec(&self) -> Option<String> {
         let twin = self.spec.replace(",coalesce", "").replace("coalesce,", "");
         (twin != self.spec).then_some(twin)
+    }
+
+    /// For a cell whose spec is a `checked(...)` auditor wrapper, the
+    /// spec of the plain inner twin it audits (wrapper and any
+    /// `every=N` sampling option stripped) — the baseline the
+    /// `audit ovh` column compares wall-clock against. `None` for every
+    /// other cell.
+    pub fn checked_twin_spec(&self) -> Option<String> {
+        let inner = self
+            .spec
+            .strip_prefix("checked(")
+            .and_then(|s| s.strip_suffix(')'))?;
+        // Drop a trailing `,every=N` option; the inner spec itself may
+        // contain commas (`ltree(4,2)`), so only strip a suffix that
+        // parses as the option.
+        let inner = match inner.rfind(",every=") {
+            Some(pos)
+                if inner[pos + ",every=".len()..]
+                    .chars()
+                    .all(|c| c.is_ascii_digit()) =>
+            {
+                &inner[..pos]
+            }
+            _ => inner,
+        };
+        Some(inner.to_owned())
     }
 }
 
@@ -317,6 +349,25 @@ impl SweepReport {
         Some((twin_rt as f64 - rt as f64) * 100.0 / twin_rt as f64)
     }
 
+    /// Wall-clock overhead of a `checked(...)` cell against its plain
+    /// inner twin, as a percentage of the twin's in-scheme time
+    /// (positive = auditing costs time). Reported, never gated:
+    /// wall-clock is machine-dependent, and the auditor's O(n) shadow
+    /// audits are expected to dominate the wrapped scheme. `None` when
+    /// the cell is not `checked(...)` or the twin is missing.
+    pub fn checked_overhead(&self, cell: &SweepCell) -> Option<f64> {
+        let twin_spec = cell.checked_twin_spec()?;
+        let m = cell.outcome.as_ref().ok()?;
+        let twin = self.cells.iter().find(|t| {
+            t.spec == twin_spec && t.workload == cell.workload && t.n == cell.n && t.ops == cell.ops
+        })?;
+        let t = twin.outcome.as_ref().ok()?;
+        if t.scheme_wall_ns == 0 {
+            return None;
+        }
+        Some((m.scheme_wall_ns as f64 - t.scheme_wall_ns as f64) * 100.0 / t.scheme_wall_ns as f64)
+    }
+
     /// The markdown table the terminal run prints.
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
@@ -337,6 +388,7 @@ impl SweepReport {
                 "shards",
                 "rtt",
                 "rtt saved",
+                "audit ovh",
             ],
         );
         t.note("One seeded edit script per (n, workload), replayed by every scheme as");
@@ -346,7 +398,10 @@ impl SweepReport {
         t.note("shards = final segment count for partitioned schemes (the JSON report");
         t.note("carries the full per-shard counter breakdown); rtt = client round trips");
         t.note("for remote schemes — batching is what keeps it near the splice count;");
-        t.note("rtt saved = round trips a `coalesce` cell saved vs its plain twin.");
+        t.note("rtt saved = round trips a `coalesce` cell saved vs its plain twin;");
+        t.note("audit ovh = in-scheme wall-clock a `checked` cell costs vs its plain twin");
+        t.note("(reported, never gated — the contract auditor is verification, not a");
+        t.note("contender).");
         for c in &self.cells {
             match &c.outcome {
                 Ok(m) => t.row(vec![
@@ -371,12 +426,17 @@ impl SweepReport {
                         None => "—".into(),
                         Some(pct) => format!("{pct:.0}%"),
                     },
+                    match self.checked_overhead(c) {
+                        None => "—".into(),
+                        Some(pct) => format!("{pct:+.0}%"),
+                    },
                 ]),
                 Err(e) => t.row(vec![
                     c.n.to_string(),
                     c.workload.clone(),
                     c.spec.clone(),
                     format!("ERROR: {e}"),
+                    "—".into(),
                     "—".into(),
                     "—".into(),
                     "—".into(),

@@ -1,0 +1,426 @@
+//! An exhaustive interleaving explorer for small concurrency models.
+//!
+//! The workspace is dependency-free, so instead of the `loom` crate the
+//! concurrency claims in `crates/remote` are checked with this explorer:
+//! each thread of a model is an explicit state machine, and the explorer
+//! runs a depth-first search over **every** schedule (which runnable
+//! thread takes the next step, times any nondeterministic choice that
+//! step declares), cloning the whole model state to backtrack. Reaching
+//! a terminal state runs the model's invariant; a state where no thread
+//! can step is reported as a deadlock, with the schedule that got there.
+//!
+//! ## Scope, honestly stated
+//!
+//! The explorer is **sequentially consistent**: every step sees the
+//! effects of all earlier steps in its schedule. That matches the code
+//! being modeled — the remote crate's cross-thread protocol state lives
+//! behind `Mutex`/`RwLock`, and its atomics are either pure counters or
+//! the epoch (whose Acquire/Release pairing is documented at the site) —
+//! but it means weak-memory reorderings are out of scope, which is what
+//! the scheduled ThreadSanitizer CI lane is for. Models stay small
+//! (schedule counts explode combinatorially); [`Explorer::max_schedules`]
+//! bounds runaway models.
+//!
+//! ```
+//! use ltree_checked::interleave::{Explorer, Step, Thread};
+//!
+//! // Two threads increment a shared counter; with an atomic step the
+//! // final value is always 2 in every schedule.
+//! #[derive(Clone)]
+//! struct Inc(bool);
+//! impl Thread<u32> for Inc {
+//!     fn step(&mut self, shared: &mut u32, _choice: u32) -> Step {
+//!         *shared += 1;
+//!         self.0 = true;
+//!         Step::Done
+//!     }
+//! }
+//! let explored = Explorer::default()
+//!     .run(&0u32, &[Inc(false), Inc(false)], |s| {
+//!         (*s == 2).then_some(()).ok_or_else(|| format!("lost update: {s}"))
+//!     })
+//!     .unwrap();
+//! assert_eq!(explored.schedules, 2); // AB and BA
+//! ```
+
+/// What one step of a model thread did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The thread made progress and has more steps ahead.
+    Ran,
+    /// The thread cannot step right now (blocked on a lock/join/flag).
+    /// A blocked step **must not** mutate the shared state; the explorer
+    /// retries it after other threads run.
+    Blocked,
+    /// The thread finished; it will not be scheduled again.
+    Done,
+}
+
+/// One thread of a model: a cloneable state machine over shared state
+/// `S`. The explorer drives `step` with every `choice` in
+/// `0..choices()`, in every order allowed by the other threads.
+pub trait Thread<S>: Clone {
+    /// Execute the thread's next step. `choice` selects among the
+    /// nondeterministic alternatives the thread declared via
+    /// [`choices`](Thread::choices) (0 when there is only one).
+    fn step(&mut self, shared: &mut S, choice: u32) -> Step;
+
+    /// Number of nondeterministic alternatives for the *next* step
+    /// (e.g. "the connection fails here" vs "it survives"). Defaults
+    /// to 1 — deterministic.
+    fn choices(&self, shared: &S) -> u32 {
+        let _ = shared;
+        1
+    }
+}
+
+/// Why an exploration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A terminal state failed the invariant.
+    Invariant {
+        /// The invariant's own message.
+        message: String,
+        /// The `(thread, choice)` schedule that reached the state.
+        schedule: Vec<(usize, u32)>,
+    },
+    /// No thread could step and at least one was not done.
+    Deadlock {
+        /// Indices of the threads still blocked.
+        blocked: Vec<usize>,
+        /// The `(thread, choice)` schedule that reached the state.
+        schedule: Vec<(usize, u32)>,
+    },
+    /// The model exceeded [`Explorer::max_schedules`].
+    TooLarge {
+        /// The configured bound.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Invariant { message, schedule } => {
+                write!(f, "invariant violated: {message}; schedule {schedule:?}")
+            }
+            Violation::Deadlock { blocked, schedule } => {
+                write!(
+                    f,
+                    "deadlock: threads {blocked:?} blocked; schedule {schedule:?}"
+                )
+            }
+            Violation::TooLarge { limit } => {
+                write!(f, "model exceeds the {limit}-schedule exploration bound")
+            }
+        }
+    }
+}
+
+/// Statistics of a completed exploration — useful for asserting that a
+/// model really exercised the interleavings it claims to cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Number of distinct complete schedules that reached a terminal
+    /// state (every thread `Done`).
+    pub schedules: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+}
+
+/// The exhaustive explorer. `run` is the entry point; the only knob is
+/// the schedule bound.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Abort with [`Violation::TooLarge`] after this many complete
+    /// schedules — a guard against models too big to enumerate, not a
+    /// sampling mechanism.
+    pub max_schedules: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_schedules: 5_000_000,
+        }
+    }
+}
+
+/// One DFS node: the shared state plus every thread's private state.
+#[derive(Clone)]
+struct Node<S, T> {
+    shared: S,
+    threads: Vec<Option<T>>, // None = done
+}
+
+impl Explorer {
+    /// Explore every schedule of `threads` over `shared`, checking
+    /// `invariant` at every terminal state (all threads done). Returns
+    /// the exploration statistics, or the first violation found with
+    /// the schedule reproducing it.
+    pub fn run<S, T, F>(
+        &self,
+        shared: &S,
+        threads: &[T],
+        invariant: F,
+    ) -> Result<Explored, Violation>
+    where
+        S: Clone,
+        T: Thread<S>,
+        F: Fn(&S) -> Result<(), String>,
+    {
+        let mut stats = Explored {
+            schedules: 0,
+            steps: 0,
+        };
+        let root = Node {
+            shared: shared.clone(),
+            threads: threads.iter().cloned().map(Some).collect(),
+        };
+        let mut schedule = Vec::new();
+        self.dfs(&root, &invariant, &mut schedule, &mut stats)?;
+        Ok(stats)
+    }
+
+    fn dfs<S, T, F>(
+        &self,
+        node: &Node<S, T>,
+        invariant: &F,
+        schedule: &mut Vec<(usize, u32)>,
+        stats: &mut Explored,
+    ) -> Result<(), Violation>
+    where
+        S: Clone,
+        T: Thread<S>,
+        F: Fn(&S) -> Result<(), String>,
+    {
+        if node.threads.iter().all(Option::is_none) {
+            stats.schedules += 1;
+            if stats.schedules > self.max_schedules {
+                return Err(Violation::TooLarge {
+                    limit: self.max_schedules,
+                });
+            }
+            return invariant(&node.shared).map_err(|message| Violation::Invariant {
+                message,
+                schedule: schedule.clone(),
+            });
+        }
+
+        let mut progressed = false;
+        let mut blocked = Vec::new();
+        for i in 0..node.threads.len() {
+            let Some(t) = &node.threads[i] else { continue };
+            let alternatives = t.choices(&node.shared).max(1);
+            for choice in 0..alternatives {
+                let mut next = node.clone();
+                let t = next.threads[i].as_mut().expect("thread present");
+                match t.step(&mut next.shared, choice) {
+                    Step::Blocked => {
+                        // Blocked steps are side-effect free by contract;
+                        // drop the clone and retry deeper in the tree.
+                        if choice == 0 {
+                            blocked.push(i);
+                        }
+                        continue;
+                    }
+                    Step::Done => next.threads[i] = None,
+                    Step::Ran => {}
+                }
+                progressed = true;
+                stats.steps += 1;
+                schedule.push((i, choice));
+                self.dfs(&next, invariant, schedule, stats)?;
+                schedule.pop();
+            }
+        }
+        if !progressed {
+            return Err(Violation::Deadlock {
+                blocked,
+                schedule: schedule.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A thread taking `n` plain steps, then done.
+    #[derive(Clone)]
+    struct Stepper {
+        left: u32,
+    }
+    impl Thread<()> for Stepper {
+        fn step(&mut self, _shared: &mut (), _choice: u32) -> Step {
+            self.left -= 1;
+            if self.left == 0 {
+                Step::Done
+            } else {
+                Step::Ran
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_count_is_the_interleaving_binomial() {
+        // Two threads of 2 steps each: C(4,2) = 6 interleavings.
+        let explored = Explorer::default()
+            .run(&(), &[Stepper { left: 2 }, Stepper { left: 2 }], |_| Ok(()))
+            .unwrap();
+        assert_eq!(explored.schedules, 6);
+        // Three threads of 2 steps: 6!/(2!2!2!) = 90.
+        let explored = Explorer::default()
+            .run(
+                &(),
+                &[
+                    Stepper { left: 2 },
+                    Stepper { left: 2 },
+                    Stepper { left: 2 },
+                ],
+                |_| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(explored.schedules, 90);
+    }
+
+    /// Classic read-modify-write race: nonatomic increment loses updates
+    /// in some schedule, and the explorer finds that schedule.
+    #[derive(Clone)]
+    struct RacyInc {
+        seen: Option<u32>,
+    }
+    impl Thread<u32> for RacyInc {
+        fn step(&mut self, shared: &mut u32, _choice: u32) -> Step {
+            match self.seen {
+                None => {
+                    self.seen = Some(*shared); // read
+                    Step::Ran
+                }
+                Some(v) => {
+                    *shared = v + 1; // write back
+                    Step::Done
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_the_lost_update_schedule() {
+        let err = Explorer::default()
+            .run(
+                &0u32,
+                &[RacyInc { seen: None }, RacyInc { seen: None }],
+                |s| {
+                    if *s == 2 {
+                        Ok(())
+                    } else {
+                        Err(format!("lost update: {s}"))
+                    }
+                },
+            )
+            .unwrap_err();
+        match err {
+            Violation::Invariant { message, schedule } => {
+                assert!(message.contains("lost update"), "{message}");
+                // The reproducing schedule interleaves the reads.
+                assert_eq!(schedule.len(), 4);
+            }
+            other => panic!("expected invariant violation, got {other}"),
+        }
+    }
+
+    /// Two threads each taking two locks in opposite order deadlock in
+    /// the schedule where both hold one lock.
+    #[derive(Clone)]
+    struct OpposedLocker {
+        order: [usize; 2],
+        held: usize,
+    }
+    impl Thread<[bool; 2]> for OpposedLocker {
+        fn step(&mut self, locks: &mut [bool; 2], _choice: u32) -> Step {
+            if self.held < 2 {
+                let want = self.order[self.held];
+                if locks[want] {
+                    return Step::Blocked;
+                }
+                locks[want] = true;
+                self.held += 1;
+                Step::Ran
+            } else {
+                locks[self.order[0]] = false;
+                locks[self.order[1]] = false;
+                Step::Done
+            }
+        }
+    }
+
+    #[test]
+    fn detects_lock_order_deadlock_and_clears_ordered_locking() {
+        let ab = OpposedLocker {
+            order: [0, 1],
+            held: 0,
+        };
+        let ba = OpposedLocker {
+            order: [1, 0],
+            held: 0,
+        };
+        let err = Explorer::default()
+            .run(&[false, false], &[ab.clone(), ba], |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, Violation::Deadlock { .. }), "{err}");
+        // Same order on both sides: every schedule completes.
+        let explored = Explorer::default()
+            .run(&[false, false], &[ab.clone(), ab], |locks| {
+                if locks.iter().any(|&l| l) {
+                    Err("lock leaked".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert!(explored.schedules > 0);
+    }
+
+    /// `choices` forks the search: a coin-flip thread explores both
+    /// outcomes.
+    #[derive(Clone)]
+    struct Coin;
+    impl Thread<Vec<u32>> for Coin {
+        fn step(&mut self, shared: &mut Vec<u32>, choice: u32) -> Step {
+            shared.push(choice);
+            Step::Done
+        }
+        fn choices(&self, _shared: &Vec<u32>) -> u32 {
+            2
+        }
+    }
+
+    #[test]
+    fn nondeterministic_choices_fork_the_search() {
+        let mut outcomes = std::cell::RefCell::new(Vec::new());
+        Explorer::default()
+            .run(&Vec::new(), &[Coin, Coin], |s| {
+                outcomes.borrow_mut().push(s.clone());
+                Ok(())
+            })
+            .unwrap();
+        let outcomes = outcomes.get_mut();
+        // 2 orders × 2 × 2 choices, but order of identical pushes is
+        // indistinguishable: the value sequences cover all 2-bit pairs.
+        assert_eq!(outcomes.len(), 8);
+        for bits in [[0, 0], [0, 1], [1, 0], [1, 1]] {
+            assert!(outcomes.iter().any(|o| o == &bits), "{bits:?} missing");
+        }
+    }
+
+    #[test]
+    fn schedule_bound_is_enforced() {
+        let err = Explorer { max_schedules: 3 }
+            .run(&(), &[Stepper { left: 3 }, Stepper { left: 3 }], |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, Violation::TooLarge { limit: 3 }), "{err}");
+    }
+}

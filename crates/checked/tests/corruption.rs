@@ -1,0 +1,171 @@
+//! Negative tests: `checked(...)` must *report* a corrupted scheme, not
+//! rubber-stamp it. `Corrupt<S>` forwards to a healthy inner scheme
+//! until a shared switch flips, then lies in one specific way per mode;
+//! the auditor has to name the broken clause in its
+//! [`LTreeError::ContractViolation`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ltree_checked::CheckedScheme;
+use ltree_core::{
+    BatchLabeling, Instrumented, LTree, LTreeError, LeafHandle, OrderedLabeling,
+    OrderedLabelingMut, Params, Result, SchemeStats, Splice, SpliceResult,
+};
+
+/// Which lie the wrapper tells once the switch is on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Lie {
+    /// Invert labels: list order appears reversed.
+    LabelOrder,
+    /// Under-report `live_len` by one.
+    LiveLen,
+    /// `next_in_order` skips every other item: the cursor loses items.
+    CursorSkip,
+}
+
+struct Corrupt<S> {
+    inner: S,
+    lie: Lie,
+    lying: Arc<AtomicBool>,
+}
+
+impl<S> Corrupt<S> {
+    fn lying(&self) -> bool {
+        self.lying.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: OrderedLabeling> OrderedLabeling for Corrupt<S> {
+    fn name(&self) -> &'static str {
+        "corrupt"
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        let l = self.inner.label_of(h)?;
+        if self.lying() && self.lie == Lie::LabelOrder {
+            Ok(u128::MAX - l)
+        } else {
+            Ok(l)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn live_len(&self) -> usize {
+        let n = self.inner.live_len();
+        if self.lying() && self.lie == Lie::LiveLen {
+            n.saturating_sub(1)
+        } else {
+            n
+        }
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        self.inner.first_in_order()
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        let next = self.inner.next_in_order(h)?;
+        if self.lying() && self.lie == Lie::CursorSkip {
+            self.inner.next_in_order(next)
+        } else {
+            Some(next)
+        }
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        self.inner.label_space_bits()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+impl<S: OrderedLabelingMut> OrderedLabelingMut for Corrupt<S> {
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        self.inner.bulk_build(n)
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        self.inner.insert_first()
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        self.inner.insert_after(anchor)
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        self.inner.insert_before(anchor)
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        self.inner.delete(h)
+    }
+}
+
+impl<S: BatchLabeling> BatchLabeling for Corrupt<S> {
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        self.inner.insert_many_after(anchor, k)
+    }
+
+    fn delete_run(&mut self, first: LeafHandle, count: usize) -> Result<usize> {
+        self.inner.delete_run(first, count)
+    }
+
+    fn splice(&mut self, op: Splice) -> Result<SpliceResult> {
+        self.inner.splice(op)
+    }
+}
+
+impl<S: Instrumented> Instrumented for Corrupt<S> {
+    fn scheme_stats(&self) -> SchemeStats {
+        self.inner.scheme_stats()
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        self.inner.reset_scheme_stats()
+    }
+}
+
+/// Run a healthy prefix (audits pass), flip the lie on, and return the
+/// violation the next audited mutation reports.
+fn provoke(lie: Lie) -> LTreeError {
+    let switch = Arc::new(AtomicBool::new(false));
+    let inner = Corrupt {
+        inner: LTree::new(Params::new(4, 2).unwrap()),
+        lie,
+        lying: Arc::clone(&switch),
+    };
+    let mut s = CheckedScheme::new(inner);
+    let hs = s.bulk_build(12).unwrap();
+    s.insert_after(hs[5]).unwrap();
+    assert_eq!(s.audits_run(), 2, "healthy audits must pass");
+
+    switch.store(true, Ordering::Relaxed);
+    s.insert_after(hs[7]).unwrap_err()
+}
+
+#[test]
+fn label_order_lie_is_reported() {
+    let err = provoke(Lie::LabelOrder);
+    assert!(matches!(err, LTreeError::ContractViolation { .. }), "{err}");
+    assert!(err.to_string().contains("order"), "{err}");
+}
+
+#[test]
+fn live_len_lie_is_reported() {
+    let err = provoke(Lie::LiveLen);
+    assert!(matches!(err, LTreeError::ContractViolation { .. }), "{err}");
+    assert!(err.to_string().contains("live_len"), "{err}");
+}
+
+#[test]
+fn cursor_skip_lie_is_reported() {
+    let err = provoke(Lie::CursorSkip);
+    assert!(matches!(err, LTreeError::ContractViolation { .. }), "{err}");
+    assert!(err.to_string().contains("cursor"), "{err}");
+}

@@ -60,6 +60,19 @@ pub enum LTreeError {
         /// Human-readable explanation.
         reason: &'static str,
     },
+    /// A scheme wrapped in the `checked(...)` contract auditor violated
+    /// the ordered-labeling contract: the auditor's shadow model and the
+    /// scheme disagreed after a mutation (label order, cursor agreement,
+    /// `len`/`live_len` consistency, splice-vs-loop equivalence, or
+    /// stats monotonicity). This reports a **bug in the scheme**, not a
+    /// caller error — the wrapped scheme's state is still whatever the
+    /// mutation left behind.
+    ContractViolation {
+        /// Name of the offending scheme (`name()` of the wrapped inner).
+        scheme: String,
+        /// Which contract clause broke, with the observed evidence.
+        detail: String,
+    },
     /// A remote label store failed in transport or protocol terms:
     /// connect/read/write errors, a protocol-version mismatch, a
     /// malformed frame, or a peer error with no local structured form.
@@ -110,6 +123,13 @@ impl std::fmt::Display for LTreeError {
                     "invalid option '{key}' in scheme spec '{spec}': {reason} \
                      (option grammar: the spec-grammar table in ARCHITECTURE.md \
                      and the `ltree_core::registry` module docs)"
+                )
+            }
+            LTreeError::ContractViolation { scheme, detail } => {
+                write!(
+                    f,
+                    "ordered-labeling contract violated by scheme '{scheme}': {detail} \
+                     (reported by the checked(...) auditor; see `ltree-checked`)"
                 )
             }
             LTreeError::Remote { context } => {

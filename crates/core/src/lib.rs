@@ -63,7 +63,7 @@
 //! * [`invariants`] — a full structural checker used pervasively in tests.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arena;
 pub mod cost_model;

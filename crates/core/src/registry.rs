@@ -455,6 +455,35 @@ impl SchemeRegistry {
             Factory::Composite(f) => f(self, config, &args),
         }
     }
+
+    /// Validate a spec string against this registry **without building
+    /// anything**: parse it through the live grammar, check that the
+    /// top-level name is registered, and recurse into every argument
+    /// that is itself a parenthesized spec (`sharded(2,ltree(4,2))`
+    /// validates `ltree(4,2)` too). Bare-word arguments (`inner`,
+    /// flag names, `host:port` addresses) are factory-specific and
+    /// accepted here; numeric ranges are likewise only checked at
+    /// build time.
+    ///
+    /// `cargo xtask lint` runs this over every spec string quoted in
+    /// rustdoc and ARCHITECTURE.md, so documented examples cannot rot
+    /// away from the grammar the registry actually parses.
+    pub fn validate_spec(&self, spec: &str) -> Result<()> {
+        let (name, args) = parse_spec(spec)?;
+        if !self.contains(name) {
+            return Err(LTreeError::UnknownScheme {
+                name: name.to_owned(),
+            });
+        }
+        for arg in &args {
+            if let SpecArg::Spec(s) = arg {
+                if s.contains('(') {
+                    self.validate_spec(s)?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for SchemeRegistry {

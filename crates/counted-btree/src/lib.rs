@@ -33,7 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod iter;
 mod node;
@@ -128,6 +128,13 @@ impl<V> CountedBTree<V> {
     /// Node accesses since the last [`reset_touches`](Self::reset_touches)
     /// — the paper's cost unit for the virtual L-Tree's "extra
     /// computation".
+    ///
+    /// Ordering: `Relaxed` at every `touches` site (here, the reset,
+    /// and the `touch` adds). The counter is atomic only so read paths
+    /// like [`get`](Self::get) can count through `&self`; the tree
+    /// itself is not concurrently mutable (`&mut self` everywhere else)
+    /// and no memory is published under the counter, so no site needs
+    /// an ordering stronger than the RMW's built-in atomicity.
     pub fn touches(&self) -> u64 {
         self.touches.load(Ordering::Relaxed)
     }
@@ -187,6 +194,8 @@ impl<V> CountedBTree<V> {
     pub fn get_mut(&mut self, key: u128) -> Option<&mut V> {
         let mut touched = 0u64;
         let out = self.root.get_mut(key, &mut touched);
+        // Direct field access: `out` still borrows `self.root`, so the
+        // `touch` method (which borrows all of `self`) is unavailable.
         self.touches.fetch_add(touched, Ordering::Relaxed);
         out
     }

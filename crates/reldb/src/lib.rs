@@ -19,7 +19,7 @@
 //! plans the paper contrasts. Experiment X14 regenerates the comparison.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod plans;
 pub mod shred;

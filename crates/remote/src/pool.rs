@@ -245,11 +245,16 @@ pub struct ConnectionPool {
     endpoint: Endpoint,
     policy: ClientPolicy,
     slots: Vec<Mutex<Slot>>,
-    /// Round-robin start index for read checkout.
+    /// Round-robin start index for read checkout. `Relaxed` everywhere:
+    /// a scheduling hint, never synchronization.
     rotation: AtomicUsize,
     /// Bumped on every transport failure; the page cache is keyed on it,
     /// so reconnects invalidate cached labels unconditionally.
+    /// `Release` on the bump / `Acquire` on the read — the one atomic in
+    /// this crate that carries an ordering obligation (see `kill`).
     epoch: AtomicU64,
+    /// Successful reconnect count. `Relaxed` everywhere: statistics
+    /// only, reported through [`TransportStats`] and reset wholesale.
     reconnects: AtomicU64,
 }
 
@@ -294,6 +299,14 @@ impl ConnectionPool {
 
     /// The reconnect epoch: changes whenever any connection hit a
     /// transport failure. Cached reads from an older epoch are stale.
+    ///
+    /// Ordering: `Acquire`, pairing with the `Release` bump in the
+    /// (private) `kill`. A client that observes the new epoch here
+    /// also observes everything the killing thread published before the
+    /// bump, so an epoch-keyed cache entry can never pass validation
+    /// while missing the failover it is keyed against. The
+    /// `epoch_keyed_cache_never_serves_stale_data` model in
+    /// `tests/loom_models.rs` checks the protocol built on this pair.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
@@ -308,6 +321,11 @@ impl ConnectionPool {
     /// slot when all are busy.
     fn checkout_read(&self) -> MutexGuard<'_, Slot> {
         let n = self.slots.len();
+        // Ordering: `Relaxed` is enough — the counter only picks a
+        // start slot, and correctness (mutual exclusion, progress) comes
+        // from the slot mutexes below; see the `checkout_*` models in
+        // `tests/loom_models.rs`. The RMW itself is still atomic, so
+        // concurrent callers get distinct start hints.
         let start = self.rotation.fetch_add(1, Ordering::Relaxed) % n;
         for i in 0..n {
             if let Ok(guard) = self.slots[(start + i) % n].try_lock() {
@@ -392,6 +410,12 @@ impl ConnectionPool {
 
     fn kill(&self, slot: &mut Slot) {
         slot.transport = None;
+        // Ordering: `Release`, pairing with the `Acquire` load in
+        // [`epoch`](Self::epoch) — the write that invalidates every
+        // epoch-keyed cache must not be reorderable before the failure
+        // handling that precedes it. `Relaxed` here would let a reader
+        // validate its cache against the old epoch after the failover
+        // is visible elsewhere.
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -415,6 +439,9 @@ impl ConnectionPool {
                     // this op can be retried, so the session survives.
                     let reconnected = self.connect_slot(&mut slot).is_ok();
                     if reconnected {
+                        // Ordering: `Relaxed` — a pure statistics
+                        // counter; nothing is published under it and no
+                        // decision anywhere reads it for synchronization.
                         self.reconnects.fetch_add(1, Ordering::Relaxed);
                     }
                     let retryable = match fail.stage {

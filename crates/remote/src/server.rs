@@ -38,6 +38,12 @@ use crate::wire::{
 };
 
 /// Op/byte counters for one connection (or one client transport).
+///
+/// Ordering: every access is `Relaxed`. These are pure statistics —
+/// incremented on the serving thread, read by `stats_breakdown`; no
+/// other memory is published under them, and a momentarily torn *view*
+/// across the three counters is acceptable in a live report. The
+/// atomic RMW still guarantees no increment is ever lost.
 #[derive(Debug, Default)]
 pub struct TransportCounters {
     /// Requests served (server side) or round trips issued (client side).
@@ -219,7 +225,21 @@ impl LabelServer {
 
     /// Stop accepting, unblock and join every connection thread, then
     /// join the accept thread. Idempotent; also runs on drop.
+    ///
+    /// The two-pass signaling below is load-bearing: the
+    /// `two_pass_shutdown_loses_no_connection` model in
+    /// `tests/loom_models.rs` explores every interleaving of this
+    /// function against `accept_loop`, and its single-pass variant
+    /// demonstrates the lost-connection deadlock the second pass
+    /// prevents.
     pub fn shutdown(&mut self) {
+        // Ordering: `SeqCst` swap — `stop` is a control flag consulted
+        // from the accept loop, every serving thread and the loopback
+        // minter; the swap also makes shutdown idempotent (exactly one
+        // caller sees `false`). The flag synchronizes nothing but
+        // itself, so `AcqRel` would do; `SeqCst` keeps every stop-flag
+        // site in one total order for free — this path runs once per
+        // server lifetime.
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -315,6 +335,11 @@ fn accept_loop(
     next_conn_id: Arc<AtomicUsize>,
 ) {
     for incoming in listener.incoming() {
+        // This stop check runs *after* `accept()` returned and *before*
+        // the registration below — a connection that passes it can still
+        // be registered after shutdown's first signaling pass, which is
+        // exactly why `shutdown` signals twice (modeled step for step in
+        // `tests/loom_models.rs`).
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -323,6 +348,9 @@ fn accept_loop(
         let Ok(clone) = stream.try_clone() else {
             continue;
         };
+        // Ordering: `Relaxed` — ids only need uniqueness, which the
+        // atomic RMW guarantees on its own; nothing is published under
+        // the counter (same at the loopback minting site).
         let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
         let counters = Arc::new(TransportCounters::default());
         let thread = {

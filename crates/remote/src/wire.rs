@@ -302,6 +302,11 @@ fn put_error(b: &mut Vec<u8>, e: &LTreeError) {
             put_u8(b, 7);
             put_str(b, &context);
         }
+        LTreeError::ContractViolation { scheme, detail } => {
+            put_u8(b, 8);
+            put_str(b, &scheme);
+            put_str(b, &detail);
+        }
         // `wire_error` canonicalized these away.
         LTreeError::InvalidParams { .. }
         | LTreeError::InvalidSpec { .. }
@@ -526,6 +531,10 @@ fn decode_error(b: &mut Buf<'_>) -> Result<LTreeError> {
         5 => LTreeError::LabelOverflow { height: b.u8()? },
         6 => LTreeError::UnknownScheme { name: b.str()? },
         7 => LTreeError::Remote { context: b.str()? },
+        8 => LTreeError::ContractViolation {
+            scheme: b.str()?,
+            detail: b.str()?,
+        },
         _ => return Err(bad("bad error tag")),
     })
 }
@@ -654,7 +663,7 @@ mod tests {
 
     /// Every wire-expressible error, uniformly sampled.
     fn rand_error(rng: &mut SplitMix64) -> LTreeError {
-        match rng.gen_range(0..8) {
+        match rng.gen_range(0..9) {
             0 => LTreeError::UnknownHandle,
             1 => LTreeError::DeletedLeaf,
             2 => LTreeError::EmptyTree,
@@ -665,6 +674,10 @@ mod tests {
             },
             6 => LTreeError::UnknownScheme {
                 name: rand_string(rng),
+            },
+            7 => LTreeError::ContractViolation {
+                scheme: rand_string(rng),
+                detail: rand_string(rng),
             },
             _ => LTreeError::Remote {
                 context: rand_string(rng),

@@ -30,7 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use ltree_core::cost_model::{amortized_cost, label_bits, overall_cost};
 use ltree_core::Params;

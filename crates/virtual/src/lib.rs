@@ -28,7 +28,7 @@
 //! materializing the L-Tree" — experiment X9 measures exactly that.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use counted_btree::CountedBTree;
 use ltree_core::layout::{ceil_div, complete_offset, even_split, RootRebuild};

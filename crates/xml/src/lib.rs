@@ -30,7 +30,7 @@
 //!   structure's snapshot, so labels round-trip exactly).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod document;
 pub mod dom;

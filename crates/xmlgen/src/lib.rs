@@ -20,7 +20,7 @@
 //!   the whole parse → graft → splice funnel.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod docedit;
 pub mod gen;

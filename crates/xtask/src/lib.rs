@@ -1,0 +1,338 @@
+//! # `xtask` — workspace lint rules clippy cannot express
+//!
+//! A dependency-free, syntax-level checker for repo conventions, run in
+//! CI (and locally) as `cargo xtask lint`. Four rules:
+//!
+//! 1. **`crate-attrs`** — every crate's `lib.rs` carries
+//!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! 2. **`fixed-port`** — integration tests never bind or dial a fixed
+//!    TCP port (`127.0.0.1:7878`-style); only `:0` (OS-assigned) is
+//!    allowed, so parallel test runs cannot collide.
+//! 3. **`lock-unwrap`** — no unwrapping of `lock()`/`read()`/`write()`
+//!    results anywhere; the repo idiom is poison-tolerant recovery
+//!    (`unwrap_or_else(|p| p.into_inner())`), because a panicked
+//!    connection thread must not cascade into every later lock site.
+//! 4. **`spec-grammar`** — backtick-quoted registry spec strings in
+//!    rustdoc, `ARCHITECTURE.md` and README files (any `` `name(...)` ``
+//!    whose top-level name is a registered scheme) must parse against
+//!    the live grammar via
+//!    [`validate_spec`](ltree::SchemeRegistry::validate_spec), so docs
+//!    cannot drift from the registry.
+//!
+//! The rules are plain functions over `(path, content)` so the test
+//! suite can point them at seeded-violation fixtures under
+//! `tests/fixtures/` (which the workspace walker skips).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ltree::SchemeRegistry;
+
+/// One rule violation: file, 1-based line, rule id and message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Rule identifier (`crate-attrs`, `fixed-port`, `lock-unwrap`,
+    /// `spec-grammar`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Rule 1: a crate root must carry both lint attributes.
+pub fn check_crate_attrs(path: &Path, content: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        if !content.lines().any(|l| l.trim() == attr) {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: 0,
+                rule: "crate-attrs",
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 2: no fixed TCP ports in test code. Flags `127.0.0.1:<port>`
+/// and `localhost:<port>` for any literal port other than `0`.
+pub fn check_fixed_ports(path: &Path, content: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        for host in ["127.0.0.1:", "localhost:"] {
+            let mut rest = line;
+            let mut col = 0;
+            while let Some(pos) = rest.find(host) {
+                let after = &rest[pos + host.len()..];
+                let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+                if !digits.is_empty() && digits != "0" {
+                    out.push(Finding {
+                        path: path.to_path_buf(),
+                        line: idx + 1,
+                        rule: "fixed-port",
+                        message: format!(
+                            "fixed port `{host}{digits}` in a test — bind `:0` and pass \
+                             the OS-assigned address around instead"
+                        ),
+                    });
+                }
+                col += pos + host.len();
+                rest = &rest[pos + host.len()..];
+                let _ = col;
+            }
+        }
+    }
+    out
+}
+
+/// Rule 3: no `unwrap()` on lock results; poisoning must be recovered
+/// with `unwrap_or_else(|p| p.into_inner())` (the repo-wide idiom).
+pub fn check_lock_unwrap(path: &Path, content: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Assembled at runtime so the linter's own source does not contain
+    // the literal it hunts for.
+    let pats: Vec<String> = ["lock", "read", "write"]
+        .iter()
+        .map(|m| format!(".{m}().unwrap()"))
+        .collect();
+    for (idx, line) in content.lines().enumerate() {
+        for pat in &pats {
+            if line.contains(pat.as_str()) {
+                out.push(Finding {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "lock-unwrap",
+                    message: format!(
+                        "`{pat}` propagates lock poisoning — use \
+                         `unwrap_or_else(|p| p.into_inner())`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extract every backtick span from one line. Ignores multi-backtick
+/// fences (``` and longer).
+fn backtick_spans(line: &str) -> Vec<&str> {
+    let mut spans = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        if after.starts_with('`') {
+            // A fence or empty span: skip the run of backticks.
+            let run = after.chars().take_while(|&c| c == '`').count();
+            rest = &after[run..];
+            continue;
+        }
+        let Some(close) = after.find('`') else { break };
+        spans.push(&after[..close]);
+        rest = &after[close + 1..];
+    }
+    spans
+}
+
+/// Does this span look like a registry spec (`name(args)` over the
+/// whole span, scheme-name charset) as opposed to arbitrary quoted
+/// code? Returns the top-level name when it does.
+fn spec_shaped(span: &str) -> Option<&str> {
+    let open = span.find('(')?;
+    if !span.ends_with(')') {
+        return None;
+    }
+    let name = &span[..open];
+    let mut chars = name.chars();
+    let first = chars.next()?;
+    if !first.is_ascii_lowercase() {
+        return None;
+    }
+    if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+        return None;
+    }
+    Some(name)
+}
+
+/// Rule 4: backtick-quoted spec strings whose top-level name is a
+/// registered scheme must pass [`SchemeRegistry::validate_spec`].
+/// `markdown` restricts the scan to doc comments for `.rs` files and
+/// takes every line for `.md` files.
+pub fn check_spec_strings(
+    path: &Path,
+    content: &str,
+    reg: &SchemeRegistry,
+    markdown: bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (idx, raw) in content.lines().enumerate() {
+        let line = if markdown {
+            if raw.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            raw
+        } else {
+            let t = raw.trim_start();
+            if let Some(doc) = t.strip_prefix("///").or_else(|| t.strip_prefix("//!")) {
+                doc
+            } else {
+                continue;
+            }
+        };
+        for span in backtick_spans(line) {
+            let Some(name) = spec_shaped(span) else {
+                continue;
+            };
+            if !reg.contains(name) {
+                continue;
+            }
+            // Doc grammar templates use `[...]` for optional parts and
+            // `…`/`...` or capitalized metavariables for placeholders;
+            // strip the optional markers and skip spans that still hold
+            // placeholder characters rather than a concrete spec.
+            let concrete = span.replace(['[', ']'], "");
+            if concrete.contains('…')
+                || concrete.contains("...")
+                || concrete.chars().any(|c| c.is_ascii_uppercase())
+            {
+                continue;
+            }
+            if let Err(e) = reg.validate_spec(&concrete) {
+                out.push(Finding {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "spec-grammar",
+                    message: format!("quoted spec `{span}` does not parse: {e}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is this a path component the walker should never descend into?
+fn skipped_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !skipped_dir(&name) {
+                walk(&path, out)?;
+            }
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Is `path` inside a directory literally named `tests`?
+fn in_tests_dir(path: &Path) -> bool {
+    path.components()
+        .any(|c| c.as_os_str().to_string_lossy() == "tests")
+}
+
+/// Run every rule over the workspace rooted at `root`. The walker skips
+/// `target/`, dot-directories and `fixtures/` directories (the seeded
+/// violations for the lint's own tests live there).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let reg = ltree::default_registry();
+    let mut findings = Vec::new();
+
+    // Rule 1 runs over the known crate roots, so a crate *missing* its
+    // lib.rs attributes is caught even though the content scan below
+    // can only flag what exists.
+    let mut crate_roots = vec![root.join("src/lib.rs")];
+    for entry in fs::read_dir(root.join("crates"))? {
+        let lib = entry?.path().join("src/lib.rs");
+        if lib.exists() {
+            crate_roots.push(lib);
+        }
+    }
+    for lib in crate_roots {
+        let content = fs::read_to_string(&lib)?;
+        findings.extend(check_crate_attrs(&lib, &content));
+    }
+
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    for path in files {
+        let ext = path.extension().and_then(|e| e.to_str());
+        match ext {
+            Some("rs") => {
+                let content = fs::read_to_string(&path)?;
+                findings.extend(check_lock_unwrap(&path, &content));
+                if in_tests_dir(&path) {
+                    findings.extend(check_fixed_ports(&path, &content));
+                }
+                findings.extend(check_spec_strings(&path, &content, &reg, false));
+            }
+            Some("md") => {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name == "ARCHITECTURE.md" || name == "README.md" {
+                    let content = fs::read_to_string(&path)?;
+                    findings.extend(check_spec_strings(&path, &content, &reg, true));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backtick_spans_are_extracted() {
+        assert_eq!(
+            backtick_spans("use `ltree(4,2)` or `gap` here"),
+            vec!["ltree(4,2)", "gap"]
+        );
+        assert_eq!(backtick_spans("``` fenced"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn spec_shapes_are_recognized() {
+        assert_eq!(spec_shaped("ltree(4,2)"), Some("ltree"));
+        assert_eq!(spec_shaped("list-label(32)"), Some("list-label"));
+        assert_eq!(spec_shaped("sharded(2,checked(gap))"), Some("sharded"));
+        assert_eq!(spec_shaped("Params::new(4, 2)"), None);
+        assert_eq!(spec_shaped("insert_after(anchor)"), None);
+        assert_eq!(spec_shaped("gap"), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! `cargo xtask lint` — run the workspace lint rules (see the library
+//! docs for the rule list). Exits nonzero when any rule fires.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // cargo runs the binary with the *package* dir as manifest dir;
+    // the workspace root is two levels up (crates/xtask -> repo root).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        other => {
+            eprintln!("usage: cargo xtask lint");
+            eprintln!("unknown subcommand: {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let root = match args.next() {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root(),
+    };
+    let findings = match xtask::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("xtask lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("xtask lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,6 @@
+//! Seeded violations for the `spec-grammar` rule. Never compiled.
+//!
+//! A registered composite wrapping an unregistered inner scheme:
+//! `sharded(2,no-such-scheme(4))` must be flagged, while the healthy
+//! `sharded(2,ltree(4,2))` and non-spec code spans like
+//! `Params::new(4, 2)` must not.

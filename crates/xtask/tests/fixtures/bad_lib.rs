@@ -1,0 +1,5 @@
+//! Seeded violation: a crate root missing both required lint
+//! attributes (`crate-attrs` rule). Never compiled — the lint's own
+//! tests feed this file to the rule functions.
+
+pub fn undocumented_and_unprotected() {}

@@ -1,0 +1,13 @@
+//! Seeded violations for the `fixed-port` and `lock-unwrap` rules.
+//! Never compiled — the lint's own tests feed this file to the rule
+//! functions (and the workspace walker skips `fixtures/` directories).
+
+fn bad_port() {
+    let server = LabelServer::bind("127.0.0.1:7878");
+    let ok = TcpListener::bind("127.0.0.1:0"); // OS-assigned: allowed
+    let _ = (server, ok);
+}
+
+fn bad_lock(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,75 @@
+//! The lint must fail on seeded violations (fixtures) and pass on the
+//! live workspace — both directions, so a rule that silently stops
+//! firing breaks the build just like a rule violation does.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{
+    check_crate_attrs, check_fixed_ports, check_lock_unwrap, check_spec_strings, lint_workspace,
+};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let content = std::fs::read_to_string(&path).expect("fixture exists");
+    (path, content)
+}
+
+#[test]
+fn seeded_missing_attrs_are_flagged() {
+    let (path, content) = fixture("bad_lib.rs");
+    let findings = check_crate_attrs(&path, &content);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("forbid(unsafe_code)")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("deny(missing_docs)")));
+}
+
+#[test]
+fn seeded_fixed_port_is_flagged_but_os_assigned_is_not() {
+    let (path, content) = fixture("tests/bad_test.rs");
+    let findings = check_fixed_ports(&path, &content);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    // (Port spelled without the host so this assertion is not itself a
+    // fixed-port finding — tests/ dirs are in the rule's scan scope.)
+    assert!(findings[0].message.contains("7878"));
+}
+
+#[test]
+fn seeded_lock_unwrap_is_flagged() {
+    let (path, content) = fixture("tests/bad_test.rs");
+    let findings = check_lock_unwrap(&path, &content);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("into_inner"));
+}
+
+#[test]
+fn seeded_bad_spec_is_flagged_and_healthy_spans_are_not() {
+    let (path, content) = fixture("bad_docs.rs");
+    let reg = ltree::default_registry();
+    let findings = check_spec_strings(&path, &content, &reg, false);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("no-such-scheme"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "live workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

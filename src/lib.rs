@@ -68,6 +68,7 @@
 //! registered scheme over one workload).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use ltree_core::*;
 
@@ -89,6 +90,11 @@ pub mod sharded {
 /// The networked label store: server, client and wire protocol.
 pub mod remote {
     pub use ltree_remote::*;
+}
+
+/// The contract auditor (`checked(inner)`) and the interleaving explorer.
+pub mod checked {
+    pub use ltree_checked::*;
 }
 
 /// Baseline labeling schemes (sequential, gapped, list-labeling).
@@ -128,11 +134,13 @@ pub mod rel {
 /// | `sharded` | segment-partitioned composite | `(inner)`, `(n,inner)`, or `(n,split,merge,inner)` |
 /// | `served` | in-process loopback server + remote client | `(inner[,options])` |
 /// | `remote` | client for external label server(s) | `(addrs[,options])` |
+/// | `checked` | contract auditor over any scheme | `(inner[,every=N])` |
 ///
-/// `sharded` and `served` compose: their inner argument is any spec this
-/// registry resolves, recursively — `sharded(4,ltree(4,2))`,
+/// `sharded`, `served` and `checked` compose: their inner argument is
+/// any spec this registry resolves, recursively — `sharded(4,ltree(4,2))`,
 /// `served(gap)`, `sharded(4,served(ltree))` (each segment behind its
-/// own loopback server). The remote client options (`conns=4`,
+/// own loopback server), `sharded(2,checked(gap))` (every segment
+/// audited against its own shadow model). The remote client options (`conns=4`,
 /// `retries=2`, `reconnect`, `timeout-ms=500`, `coalesce`) configure a
 /// [`ltree_remote::ClientPolicy`]; `remote` also accepts a
 /// `|`-separated address list, rotated across builds, so
@@ -146,6 +154,7 @@ pub fn default_registry() -> SchemeRegistry {
     labeling_baselines::register(&mut reg);
     ltree_sharded::register(&mut reg);
     ltree_remote::register(&mut reg);
+    ltree_checked::register(&mut reg);
     reg
 }
 
@@ -176,6 +185,7 @@ pub mod prelude {
     pub use crate::{default_registry, Scheme};
     pub use counted_btree::CountedBTree;
     pub use labeling_baselines::{GapLabeling, ListLabeling, NaiveLabeling};
+    pub use ltree_checked::CheckedScheme;
     pub use ltree_core::order::OrderedList;
     pub use ltree_core::{
         BatchLabeling, CallCounter, CallCounts, Cursor, DynScheme, Instrumented, LTree, Label,
@@ -208,6 +218,7 @@ mod tests {
             "sharded",
             "served",
             "remote",
+            "checked",
         ] {
             assert!(reg.contains(name), "missing {name}");
         }
@@ -219,6 +230,11 @@ mod tests {
         let mut s = Scheme::build("sharded(2,served(ltree(4,2)))").unwrap();
         assert_eq!(s.bulk_build(10).unwrap().len(), 10);
         assert_eq!(s.cursor().count(), 10);
+        // The auditor composes in both directions.
+        let mut s = Scheme::build("checked(sharded(2,ltree(4,2)),every=2)").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        let mut s = Scheme::build("sharded(2,checked(gap))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
         let mut s = Scheme::build("ltree(8,2)").unwrap();
         let hs = s.bulk_build(16).unwrap();
         assert_eq!(s.cursor().count(), 16);

@@ -41,6 +41,9 @@ const SPECS: &[&str] = &[
     "served(ltree(4,2))",
     "served(gap)",
     "sharded(4,served(ltree(4,2)))",
+    "checked(ltree(4,2))",
+    "sharded(2,24,4,checked(ltree(4,2)))",
+    "checked(served(gap),every=4)",
 ];
 
 fn build(spec: &str) -> Box<dyn DynScheme> {
@@ -305,6 +308,24 @@ fn conformance_across_the_registry() {
     for spec in SPECS {
         for seed in 0..8u64 {
             exercise(spec, seed);
+        }
+    }
+}
+
+/// Every spec again, wrapped in the `checked(...)` contract auditor: the
+/// auditor's shadow model rides the identical streams on ltree, gap,
+/// sharded and served backends, and a violation anywhere would surface
+/// as a `ContractViolation` panic out of the harness's unwraps. This
+/// both audits the schemes a second way and exercises the auditor
+/// itself against every backend family.
+#[test]
+fn conformance_with_every_spec_wrapped_in_checked() {
+    for spec in SPECS {
+        if spec.starts_with("checked") {
+            continue; // already wrapped
+        }
+        for seed in 0..4u64 {
+            exercise(&format!("checked({spec})"), seed);
         }
     }
 }
