@@ -90,6 +90,13 @@ pub fn default_config(scale: Scale) -> SweepConfig {
             // plain ltree(4,2) twin (reported, never gated — the
             // auditor is a verification tool, not a contender).
             "checked(ltree(4,2))".into(),
+            // The durability wrapper over the same shape (dir-less →
+            // self-cleaning scratch dir; sync=never keeps the replay
+            // from fsyncing per op in CI): the `dur ovh` column reports
+            // its wall-clock overhead — WAL encode + append +
+            // checkpoints — vs the plain ltree(4,2) twin (reported,
+            // never gated, like `audit ovh`).
+            "durable(ltree(4,2),sync=never)".into(),
         ],
         profiles: None,
         sizes,
@@ -139,12 +146,17 @@ impl SweepCell {
     }
 
     /// Breakdown entries that are segments (not `net/...` transport
-    /// counters, not the auditor's `audit/...` bookkeeping) — what the
-    /// table's shard-count column shows.
+    /// counters, not the auditor's `audit/...` bookkeeping, not the
+    /// durability wrapper's `wal/...` log counters) — what the table's
+    /// shard-count column shows.
     pub fn segment_count(&self) -> usize {
         self.shards
             .iter()
-            .filter(|(name, _)| !name.starts_with("net/") && !name.starts_with("audit/"))
+            .filter(|(name, _)| {
+                !name.starts_with("net/")
+                    && !name.starts_with("audit/")
+                    && !name.starts_with("wal/")
+            })
             .count()
     }
 
@@ -180,6 +192,35 @@ impl SweepCell {
             }
             _ => inner,
         };
+        Some(inner.to_owned())
+    }
+
+    /// For a cell whose spec is a `durable(...)` wrapper, the spec of
+    /// the plain inner twin (wrapper and any `dir=`/`sync=`/
+    /// `checkpoint_every=` options stripped) — the baseline the
+    /// `dur ovh` column compares wall-clock against. `None` for every
+    /// other cell.
+    pub fn durable_twin_spec(&self) -> Option<String> {
+        let mut inner = self
+            .spec
+            .strip_prefix("durable(")
+            .and_then(|s| s.strip_suffix(')'))?;
+        // Drop trailing wrapper options; the inner spec itself may
+        // contain commas (`ltree(4,2)`), so only strip suffixes that
+        // parse as known `key=value` options.
+        loop {
+            let stripped = ["dir=", "sync=", "checkpoint_every="]
+                .iter()
+                .find_map(|key| {
+                    let pos = inner.rfind(&format!(",{key}"))?;
+                    let value = &inner[pos + 1 + key.len()..];
+                    (!value.is_empty() && !value.contains([',', '(', ')'])).then_some(&inner[..pos])
+                });
+            match stripped {
+                Some(rest) => inner = rest,
+                None => break,
+            }
+        }
         Some(inner.to_owned())
     }
 }
@@ -368,6 +409,27 @@ impl SweepReport {
         Some((m.scheme_wall_ns as f64 - t.scheme_wall_ns as f64) * 100.0 / t.scheme_wall_ns as f64)
     }
 
+    /// Wall-clock overhead of a `durable(...)` cell against its plain
+    /// inner twin, as a percentage of the twin's in-scheme time
+    /// (positive = the WAL costs time). Reported, never gated —
+    /// wall-clock is machine-dependent, and the durable cell's
+    /// `sync=never` figure measures encoding + appends + checkpoints,
+    /// not the fsyncs a production `sync=always` store would add.
+    /// `None` when the cell is not `durable(...)` or the twin is
+    /// missing.
+    pub fn durability_overhead(&self, cell: &SweepCell) -> Option<f64> {
+        let twin_spec = cell.durable_twin_spec()?;
+        let m = cell.outcome.as_ref().ok()?;
+        let twin = self.cells.iter().find(|t| {
+            t.spec == twin_spec && t.workload == cell.workload && t.n == cell.n && t.ops == cell.ops
+        })?;
+        let t = twin.outcome.as_ref().ok()?;
+        if t.scheme_wall_ns == 0 {
+            return None;
+        }
+        Some((m.scheme_wall_ns as f64 - t.scheme_wall_ns as f64) * 100.0 / t.scheme_wall_ns as f64)
+    }
+
     /// The markdown table the terminal run prints.
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
@@ -389,6 +451,7 @@ impl SweepReport {
                 "rtt",
                 "rtt saved",
                 "audit ovh",
+                "dur ovh",
             ],
         );
         t.note("One seeded edit script per (n, workload), replayed by every scheme as");
@@ -401,7 +464,9 @@ impl SweepReport {
         t.note("rtt saved = round trips a `coalesce` cell saved vs its plain twin;");
         t.note("audit ovh = in-scheme wall-clock a `checked` cell costs vs its plain twin");
         t.note("(reported, never gated — the contract auditor is verification, not a");
-        t.note("contender).");
+        t.note("contender); dur ovh = the same figure for a `durable` cell's write-ahead");
+        t.note("log (sync=never in the matrix, so it prices encoding + appends +");
+        t.note("checkpoints, not fsyncs — also reported, never gated).");
         for c in &self.cells {
             match &c.outcome {
                 Ok(m) => t.row(vec![
@@ -430,12 +495,17 @@ impl SweepReport {
                         None => "—".into(),
                         Some(pct) => format!("{pct:+.0}%"),
                     },
+                    match self.durability_overhead(c) {
+                        None => "—".into(),
+                        Some(pct) => format!("{pct:+.0}%"),
+                    },
                 ]),
                 Err(e) => t.row(vec![
                     c.n.to_string(),
                     c.workload.clone(),
                     c.spec.clone(),
                     format!("ERROR: {e}"),
+                    "—".into(),
                     "—".into(),
                     "—".into(),
                     "—".into(),
@@ -814,6 +884,72 @@ mod tests {
             }
         }
         assert_eq!(saw, 6, "one coalesce cell per workload");
+    }
+
+    /// The durable cell: counters identical to its plain twin (the
+    /// wrapper forwards the inner scheme's stats — durability is pure
+    /// overhead, never label maintenance), `wal/...` entries in the
+    /// breakdown but *not* in the shard count, and a `dur ovh` figure
+    /// against the twin.
+    #[test]
+    fn durable_cells_report_overhead_against_their_plain_twin() {
+        let mut cfg = tiny_config();
+        cfg.specs = vec![
+            "ltree(4,2)".into(),
+            "durable(ltree(4,2),sync=never)".into(),
+            "durable(ltree(4,2),sync=never,checkpoint_every=64)".into(),
+        ];
+        let report = run_sweep(&cfg);
+        assert!(report.errored().is_empty(), "{:?}", report.errored());
+        let mut saw = 0;
+        for c in &report.cells {
+            let Some(twin_spec) = c.durable_twin_spec() else {
+                assert!(
+                    report.durability_overhead(c).is_none(),
+                    "{}: unexpected dur ovh",
+                    c.spec
+                );
+                continue;
+            };
+            assert_eq!(twin_spec, "ltree(4,2)", "{}", c.spec);
+            // doc-edit cells record no separable in-scheme wall time
+            // (see `docedit`), so no overhead figure exists there —
+            // exactly like `audit ovh`.
+            if c.workload != "doc-edit" {
+                report
+                    .durability_overhead(c)
+                    .unwrap_or_else(|| panic!("{} × {}: no dur ovh figure", c.spec, c.workload));
+            }
+            assert_eq!(
+                c.segment_count(),
+                0,
+                "{}: wal/ entries are not shards",
+                c.spec
+            );
+            assert!(
+                c.shards.iter().any(|(n, _)| n == "wal/appends"),
+                "{}: breakdown carries the WAL counters",
+                c.spec
+            );
+            let twin = report
+                .cells
+                .iter()
+                .find(|t| t.spec == twin_spec && t.workload == c.workload && t.n == c.n)
+                .expect("plain twin exists");
+            let (m, tm) = (c.outcome.as_ref().unwrap(), twin.outcome.as_ref().unwrap());
+            assert_eq!(
+                m.label_writes, tm.label_writes,
+                "{} × {}",
+                c.spec, c.workload
+            );
+            assert_eq!(
+                m.relabel_events, tm.relabel_events,
+                "{} × {}",
+                c.spec, c.workload
+            );
+            saw += 1;
+        }
+        assert_eq!(saw, 12, "two durable cells per workload (6 workloads)");
     }
 
     #[test]

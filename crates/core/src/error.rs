@@ -73,6 +73,17 @@ pub enum LTreeError {
         /// Which contract clause broke, with the observed evidence.
         detail: String,
     },
+    /// A durable label store (write-ahead log or snapshot) failed:
+    /// genuine on-disk corruption (a *complete* record whose checksum
+    /// does not verify, a bad snapshot magic/version), an I/O failure
+    /// while appending/fsyncing, or an inconsistency detected during
+    /// recovery replay. A *torn* final record (crash mid-append) is not
+    /// an error — recovery truncates it and keeps the acknowledged
+    /// prefix.
+    Durability {
+        /// What failed, in storage terms.
+        context: String,
+    },
     /// A remote label store failed in transport or protocol terms:
     /// connect/read/write errors, a protocol-version mismatch, a
     /// malformed frame, or a peer error with no local structured form.
@@ -131,6 +142,9 @@ impl std::fmt::Display for LTreeError {
                     "ordered-labeling contract violated by scheme '{scheme}': {detail} \
                      (reported by the checked(...) auditor; see `ltree-checked`)"
                 )
+            }
+            LTreeError::Durability { context } => {
+                write!(f, "durable label store: {context}")
             }
             LTreeError::Remote { context } => {
                 write!(f, "remote label store: {context}")

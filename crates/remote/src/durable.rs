@@ -1,0 +1,805 @@
+//! # `durable(inner)` — crash-safe persistence over any labeling scheme
+//!
+//! [`DurableScheme`] wraps any registry scheme with the classic
+//! log-then-checkpoint durability protocol:
+//!
+//! * every successful mutation is appended to a [`wal`](crate::wal)
+//!   write-ahead log **and fsynced before the call returns** (under the
+//!   default [`SyncPolicy::Always`]) — so an acknowledged write is a
+//!   durable write;
+//! * every `checkpoint_every` mutations (and on demand via
+//!   [`checkpoint`](DurableScheme::checkpoint)) the whole logical state
+//!   is written as a compact snapshot — magic, version, body, FNV-1a
+//!   trailer, the `ltree_core::snapshot` idiom — and the log is
+//!   truncated;
+//! * [`open`](DurableScheme::open) recovers: load the latest valid
+//!   snapshot, replay the log tail (records the snapshot already
+//!   covers are skipped by sequence number), tolerate a torn final
+//!   record by truncating it away. Genuine corruption is a typed
+//!   [`LTreeError::Durability`] error.
+//!
+//! ## Stable handles across restarts
+//!
+//! The wrapper mints its own **durable handles** from a deterministic
+//! counter and keeps a two-way map to the inner scheme's handles. The
+//! log records mutations in durable-handle terms, so replaying them
+//! re-mints identical handles against a freshly rebuilt inner scheme —
+//! a client holding handles from before a crash can keep using them
+//! after recovery, even though the inner scheme (and its labels) were
+//! rebuilt from scratch. Labels may differ after recovery; the *list*
+//! (and therefore every order comparison) may not.
+//!
+//! Reads see live items only: the cursor skips deleted handles, a
+//! deleted durable handle answers [`LTreeError::DeletedLeaf`] forever
+//! (also after recovery), and an unknown one answers
+//! [`LTreeError::UnknownHandle`].
+//!
+//! ## Composition
+//!
+//! `durable(...)` is an ordinary registry composite:
+//! `served(durable(ltree(4,2)))` is a crash-safe label server,
+//! `checked(durable(gap))` audits the wrapper against a shadow model,
+//! and `sharded(2,durable(ltree(4,2)))` gives every segment its own
+//! log + snapshot. When no `dir=` option is given, a fresh scratch
+//! directory under the OS temp dir is created and removed again when
+//! the scheme is dropped.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use ltree_core::{
+    BatchLabeling, DynScheme, Instrumented, LTreeError, LeafHandle, OrderedLabeling,
+    OrderedLabelingMut, Result, SchemeStats,
+};
+
+use crate::wal::{
+    encode_record, fnv1a, scan_log, scratch_dir, DurableDir, FsDir, SNAP_FILE, WAL_FILE,
+};
+use crate::wire::{Request, WireSplice};
+
+/// Snapshot image magic: **L**-**T**ree **D**urable **S**cheme.
+const SNAP_MAGIC: &[u8; 4] = b"LTDS";
+/// Snapshot format version.
+const SNAP_VERSION: u16 = 1;
+
+fn store_err(context: impl Into<String>) -> LTreeError {
+    LTreeError::Durability {
+        context: context.into(),
+    }
+}
+
+/// When the log is made crash-durable relative to the acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync after every logged mutation, *before* returning to the
+    /// caller: an acknowledged write survives any crash. The default.
+    Always,
+    /// Never fsync explicitly (the OS flushes whenever it likes):
+    /// acknowledged writes can be lost in a crash. Exists to measure
+    /// the fsync cost — and to demonstrate, in the fault-injection
+    /// suite, that ack-before-fsync genuinely loses acknowledged data.
+    Never,
+}
+
+/// Tuning knobs for [`DurableScheme`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Fsync discipline; see [`SyncPolicy`].
+    pub sync: SyncPolicy,
+    /// Checkpoint (snapshot + log truncation) after this many logged
+    /// mutations; `0` disables automatic checkpoints.
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+#[derive(Default)]
+struct WalCounters {
+    appends: u64,
+    fsyncs: u64,
+    bytes: u64,
+    checkpoints: u64,
+    failed_checkpoints: u64,
+    replayed: u64,
+}
+
+/// The decoded snapshot body.
+struct Snapshot {
+    snap_seq: u64,
+    next_handle: u64,
+    live: Vec<u64>,
+    dead: Vec<u64>,
+}
+
+impl Snapshot {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.snap_seq.to_le_bytes());
+        out.extend_from_slice(&self.next_handle.to_le_bytes());
+        out.extend_from_slice(&(self.live.len() as u64).to_le_bytes());
+        for h in &self.live {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.dead.len() as u64).to_le_bytes());
+        for h in &self.dead {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 4 + 2 + 8 {
+            return Err(store_err("snapshot image is truncated"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(store_err("snapshot checksum does not verify"));
+        }
+        if &body[..4] != SNAP_MAGIC {
+            return Err(store_err("snapshot magic mismatch (not an LTDS image)"));
+        }
+        let version = u16::from_le_bytes(body[4..6].try_into().unwrap());
+        if version != SNAP_VERSION {
+            return Err(store_err(format!(
+                "snapshot version {version} is not supported (expected {SNAP_VERSION})"
+            )));
+        }
+        let mut pos = 6usize;
+        let u64_at = |p: &mut usize| -> Result<u64> {
+            let end = *p + 8;
+            let raw = body
+                .get(*p..end)
+                .ok_or_else(|| store_err("snapshot body is short"))?;
+            *p = end;
+            Ok(u64::from_le_bytes(raw.try_into().unwrap()))
+        };
+        let snap_seq = u64_at(&mut pos)?;
+        let next_handle = u64_at(&mut pos)?;
+        let live_n = u64_at(&mut pos)? as usize;
+        let mut live = Vec::with_capacity(live_n.min(body.len() / 8));
+        for _ in 0..live_n {
+            live.push(u64_at(&mut pos)?);
+        }
+        let dead_n = u64_at(&mut pos)? as usize;
+        let mut dead = Vec::with_capacity(dead_n.min(body.len() / 8));
+        for _ in 0..dead_n {
+            dead.push(u64_at(&mut pos)?);
+        }
+        if pos != body.len() {
+            return Err(store_err("snapshot body has trailing bytes"));
+        }
+        Ok(Snapshot {
+            snap_seq,
+            next_handle,
+            live,
+            dead,
+        })
+    }
+}
+
+/// A write-ahead-logged, snapshot-checkpointed wrapper around any
+/// [`DynScheme`]; see the [module docs](self) for the protocol.
+pub struct DurableScheme {
+    inner: Box<dyn DynScheme>,
+    dir: Box<dyn DurableDir>,
+    opts: DurableOptions,
+    /// durable handle → `Some(inner handle)` while live, `None` once
+    /// deleted. Grows monotonically: `len()` is the number of handles
+    /// ever minted.
+    slots: HashMap<u64, Option<u64>>,
+    /// inner handle → durable handle (kept for tombstones too, so the
+    /// cursor can skip inner tombstones it meets).
+    rev: HashMap<u64, u64>,
+    live: usize,
+    next_handle: u64,
+    next_seq: u64,
+    /// Highest sequence number the on-disk snapshot covers.
+    snap_seq: u64,
+    ops_since_checkpoint: u64,
+    wal: WalCounters,
+    /// A scratch directory this scheme created for itself (no `dir=`
+    /// given) and removes again on drop.
+    own_dir: Option<PathBuf>,
+}
+
+impl DurableScheme {
+    /// Open over any [`DurableDir`]: recover when it holds state,
+    /// start fresh when it does not. `inner` must be empty — recovery
+    /// rebuilds the list into it.
+    pub fn open(
+        inner: Box<dyn DynScheme>,
+        dir: Box<dyn DurableDir>,
+        opts: DurableOptions,
+    ) -> Result<Self> {
+        let mut me = DurableScheme {
+            inner,
+            dir,
+            opts,
+            slots: HashMap::new(),
+            rev: HashMap::new(),
+            live: 0,
+            next_handle: 1,
+            next_seq: 1,
+            snap_seq: 0,
+            ops_since_checkpoint: 0,
+            wal: WalCounters::default(),
+            own_dir: None,
+        };
+        if !me.inner.is_empty() {
+            return Err(store_err(
+                "durable(...) needs an empty inner scheme: recovery rebuilds the list into it",
+            ));
+        }
+        if let Some(image) = me.dir.read(SNAP_FILE)? {
+            let snap = Snapshot::decode(&image)?;
+            me.snap_seq = snap.snap_seq;
+            me.next_seq = snap.snap_seq + 1;
+            me.next_handle = snap.next_handle;
+            if !snap.live.is_empty() {
+                let ihs = me
+                    .inner
+                    .bulk_build(snap.live.len())
+                    .map_err(|e| store_err(format!("snapshot rebuild: {e}")))?;
+                for (dh, ih) in snap.live.iter().zip(&ihs) {
+                    me.slots.insert(*dh, Some(ih.0));
+                    me.rev.insert(ih.0, *dh);
+                }
+                me.live = snap.live.len();
+            }
+            for dh in snap.dead {
+                me.slots.insert(dh, None);
+            }
+        }
+        let log = me.dir.read(WAL_FILE)?.unwrap_or_default();
+        let scan = scan_log(&log)?;
+        for (seq, req) in &scan.records {
+            if *seq <= me.snap_seq {
+                continue; // the snapshot already covers this record
+            }
+            me.replay(req)
+                .map_err(|e| store_err(format!("replay of log record seq {seq}: {e}")))?;
+            me.next_seq = seq + 1;
+            me.wal.replayed += 1;
+        }
+        if scan.valid_len < log.len() as u64 {
+            // Torn tail from a crash mid-append: drop it so new records
+            // land on a clean boundary.
+            me.dir.truncate(WAL_FILE, scan.valid_len)?;
+        }
+        me.ops_since_checkpoint = me.wal.replayed;
+        Ok(me)
+    }
+
+    /// Open (or recover from) an on-disk directory.
+    pub fn open_path(inner: Box<dyn DynScheme>, path: &Path, opts: DurableOptions) -> Result<Self> {
+        Self::open(inner, Box::new(FsDir::open(path)?), opts)
+    }
+
+    /// Open over a fresh process-unique scratch directory that is
+    /// deleted again when the scheme drops — the dir-less registry
+    /// form `durable(inner)`.
+    pub fn open_scratch(inner: Box<dyn DynScheme>, opts: DurableOptions) -> Result<Self> {
+        let path = scratch_dir("durable");
+        let mut me = Self::open_path(inner, &path, opts)?;
+        me.own_dir = Some(path);
+        Ok(me)
+    }
+
+    /// Write a snapshot of the current state and truncate the log.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let mut live = Vec::with_capacity(self.live);
+        let mut cur = self.first_in_order();
+        while let Some(h) = cur {
+            live.push(h.0);
+            cur = self.next_in_order(h);
+        }
+        let mut dead: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.is_none())
+            .map(|(&h, _)| h)
+            .collect();
+        dead.sort_unstable();
+        let snap = Snapshot {
+            snap_seq: self.next_seq - 1,
+            next_handle: self.next_handle,
+            live,
+            dead,
+        };
+        self.dir.replace(SNAP_FILE, &snap.encode())?;
+        self.snap_seq = snap.snap_seq;
+        self.dir.truncate(WAL_FILE, 0)?;
+        self.ops_since_checkpoint = 0;
+        self.wal.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Log records replayed during [`open`](Self::open) — zero for a
+    /// fresh directory.
+    pub fn replayed_records(&self) -> u64 {
+        self.wal.replayed
+    }
+
+    /// Resolve a live durable handle to its inner handle.
+    fn live_inner(&self, h: LeafHandle) -> Result<u64> {
+        match self.slots.get(&h.0) {
+            Some(Some(ih)) => Ok(*ih),
+            Some(None) => Err(LTreeError::DeletedLeaf),
+            None => Err(LTreeError::UnknownHandle),
+        }
+    }
+
+    fn mint(&mut self, ih: u64) -> LeafHandle {
+        let dh = self.next_handle;
+        self.next_handle += 1;
+        self.slots.insert(dh, Some(ih));
+        self.rev.insert(ih, dh);
+        self.live += 1;
+        LeafHandle(dh)
+    }
+
+    fn mark_dead(&mut self, dh: u64) {
+        if let Some(slot) = self.slots.get_mut(&dh) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
+        }
+        // The rev entry stays: schemes that keep tombstones (the
+        // L-Tree) still yield the inner handle from `next_in_order`,
+        // and the cursor needs the mapping to know to skip it.
+    }
+
+    /// Next *live* durable handle after `dh` in list order, skipping
+    /// inner tombstones; `None` from a dead or unknown handle.
+    fn next_live(&self, dh: u64) -> Option<u64> {
+        let mut ih = (*self.slots.get(&dh)?)?;
+        loop {
+            ih = self.inner.next_in_order(LeafHandle(ih))?.0;
+            if let Some(&d) = self.rev.get(&ih) {
+                if matches!(self.slots.get(&d), Some(Some(_))) {
+                    return Some(d);
+                }
+            }
+        }
+    }
+
+    /// Append one record for an already-applied mutation, fsync per
+    /// policy, checkpoint on schedule. Failing here leaves the
+    /// in-memory state ahead of the log; callers treat the typed error
+    /// as "the store is no longer durable" and discard the instance.
+    fn log(&mut self, req: Request) -> Result<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = encode_record(seq, &req);
+        self.dir.append(WAL_FILE, &rec)?;
+        self.wal.appends += 1;
+        self.wal.bytes += rec.len() as u64;
+        if self.opts.sync == SyncPolicy::Always {
+            self.dir.sync(WAL_FILE)?;
+            self.wal.fsyncs += 1;
+        }
+        self.ops_since_checkpoint += 1;
+        if self.opts.checkpoint_every > 0 && self.ops_since_checkpoint >= self.opts.checkpoint_every
+        {
+            // The record is on disk: the operation is acknowledged no
+            // matter what happens to the checkpoint. A failed checkpoint
+            // leaves the snapshot + log pair it tried to compact — still
+            // a correct recovery image — and `ops_since_checkpoint`
+            // stays over the threshold, so the next logged op retries.
+            // (Acking and *then* failing would make a crashed checkpoint
+            // resurrect an "unacknowledged" yet durable record, breaking
+            // exact acked-prefix recovery.)
+            if self.checkpoint().is_err() {
+                self.wal.failed_checkpoints += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-apply one logged mutation during recovery (no re-logging).
+    /// The deterministic handle counter re-mints the same durable
+    /// handles the original run handed out.
+    fn replay(&mut self, req: &Request) -> Result<()> {
+        match req {
+            Request::BulkBuild(n) => {
+                let ihs = self.inner.bulk_build(*n as usize)?;
+                for ih in ihs {
+                    self.mint(ih.0);
+                }
+            }
+            Request::InsertFirst => {
+                let ih = self.inner.insert_first()?;
+                self.mint(ih.0);
+            }
+            Request::InsertAfter(a) => {
+                let ih = self.live_inner(LeafHandle(*a))?;
+                let nih = self.inner.insert_after(LeafHandle(ih))?;
+                self.mint(nih.0);
+            }
+            Request::InsertBefore(a) => {
+                let ih = self.live_inner(LeafHandle(*a))?;
+                let nih = self.inner.insert_before(LeafHandle(ih))?;
+                self.mint(nih.0);
+            }
+            Request::Delete(h) => {
+                let ih = self.live_inner(LeafHandle(*h))?;
+                self.inner.delete(LeafHandle(ih))?;
+                self.mark_dead(*h);
+            }
+            Request::Splice(WireSplice::InsertAfter { anchor, count }) => {
+                let ih = self.live_inner(LeafHandle(*anchor))?;
+                let nihs = self
+                    .inner
+                    .insert_many_after(LeafHandle(ih), *count as usize)?;
+                for nih in nihs {
+                    self.mint(nih.0);
+                }
+            }
+            Request::Splice(WireSplice::DeleteRun { first, count }) => {
+                let deleted = self.delete_live_run(LeafHandle(*first), *count as usize)?;
+                if deleted as u64 != *count {
+                    return Err(store_err(format!(
+                        "logged delete-run of {count} found only {deleted} live items"
+                    )));
+                }
+            }
+            other => {
+                return Err(store_err(format!(
+                    "log carries a non-mutating record: {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete up to `count` live items starting at the live handle
+    /// `first`, in list order. Shared by the live path and replay.
+    fn delete_live_run(&mut self, first: LeafHandle, count: usize) -> Result<usize> {
+        let mut run = vec![first.0];
+        let mut cur = first.0;
+        while run.len() < count {
+            match self.next_live(cur) {
+                Some(n) => {
+                    run.push(n);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        for &dh in &run {
+            let ih = self.live_inner(LeafHandle(dh))?;
+            self.inner.delete(LeafHandle(ih))?;
+            self.mark_dead(dh);
+        }
+        Ok(run.len())
+    }
+}
+
+impl Drop for DurableScheme {
+    fn drop(&mut self) {
+        if let Some(path) = &self.own_dir {
+            let _ = std::fs::remove_dir_all(path);
+        }
+    }
+}
+
+impl OrderedLabeling for DurableScheme {
+    fn name(&self) -> &'static str {
+        "durable"
+    }
+
+    fn label_of(&self, h: LeafHandle) -> Result<u128> {
+        let ih = self.live_inner(h)?;
+        self.inner.label_of(LeafHandle(ih))
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.live
+    }
+
+    fn first_in_order(&self) -> Option<LeafHandle> {
+        let mut ih = self.inner.first_in_order()?.0;
+        loop {
+            if let Some(&d) = self.rev.get(&ih) {
+                if matches!(self.slots.get(&d), Some(Some(_))) {
+                    return Some(LeafHandle(d));
+                }
+            }
+            ih = self.inner.next_in_order(LeafHandle(ih))?.0;
+        }
+    }
+
+    fn next_in_order(&self, h: LeafHandle) -> Option<LeafHandle> {
+        self.next_live(h.0).map(LeafHandle)
+    }
+
+    fn label_space_bits(&self) -> u32 {
+        self.inner.label_space_bits()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The two maps dominate the wrapper's own footprint.
+        self.inner.memory_bytes() + self.slots.len() * 24 + self.rev.len() * 16
+    }
+}
+
+impl OrderedLabelingMut for DurableScheme {
+    fn bulk_build(&mut self, n: usize) -> Result<Vec<LeafHandle>> {
+        if !self.slots.is_empty() {
+            return Err(LTreeError::NotEmpty);
+        }
+        let ihs = self.inner.bulk_build(n)?;
+        let out: Vec<LeafHandle> = ihs.iter().map(|ih| self.mint(ih.0)).collect();
+        self.log(Request::BulkBuild(n as u64))?;
+        Ok(out)
+    }
+
+    fn insert_first(&mut self) -> Result<LeafHandle> {
+        let ih = self.inner.insert_first()?;
+        let dh = self.mint(ih.0);
+        self.log(Request::InsertFirst)?;
+        Ok(dh)
+    }
+
+    fn insert_after(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let ih = self.live_inner(anchor)?;
+        let nih = self.inner.insert_after(LeafHandle(ih))?;
+        let dh = self.mint(nih.0);
+        self.log(Request::InsertAfter(anchor.0))?;
+        Ok(dh)
+    }
+
+    fn insert_before(&mut self, anchor: LeafHandle) -> Result<LeafHandle> {
+        let ih = self.live_inner(anchor)?;
+        let nih = self.inner.insert_before(LeafHandle(ih))?;
+        let dh = self.mint(nih.0);
+        self.log(Request::InsertBefore(anchor.0))?;
+        Ok(dh)
+    }
+
+    fn delete(&mut self, h: LeafHandle) -> Result<()> {
+        let ih = self.live_inner(h)?;
+        self.inner.delete(LeafHandle(ih))?;
+        self.mark_dead(h.0);
+        self.log(Request::Delete(h.0))
+    }
+}
+
+impl BatchLabeling for DurableScheme {
+    fn insert_many_after(&mut self, anchor: LeafHandle, k: usize) -> Result<Vec<LeafHandle>> {
+        if k == 0 {
+            return Err(LTreeError::EmptyBatch);
+        }
+        let ih = self.live_inner(anchor)?;
+        let nihs = self.inner.insert_many_after(LeafHandle(ih), k)?;
+        let out: Vec<LeafHandle> = nihs.iter().map(|nih| self.mint(nih.0)).collect();
+        self.log(Request::Splice(WireSplice::InsertAfter {
+            anchor: anchor.0,
+            count: k as u64,
+        }))?;
+        Ok(out)
+    }
+
+    fn delete_run(&mut self, first: LeafHandle, count: usize) -> Result<usize> {
+        if count == 0 {
+            return Ok(0);
+        }
+        match self.slots.get(&first.0) {
+            None => return Err(LTreeError::UnknownHandle),
+            Some(None) => return Ok(0), // dead anchor: the loop fallback's semantics
+            Some(Some(_)) => {}
+        }
+        let deleted = self.delete_live_run(first, count)?;
+        if deleted > 0 {
+            // Logged normalized — the actual count, so replay is exact.
+            self.log(Request::Splice(WireSplice::DeleteRun {
+                first: first.0,
+                count: deleted as u64,
+            }))?;
+        }
+        Ok(deleted)
+    }
+}
+
+impl Instrumented for DurableScheme {
+    fn scheme_stats(&self) -> SchemeStats {
+        self.inner.scheme_stats()
+    }
+
+    fn reset_scheme_stats(&mut self) {
+        self.inner.reset_scheme_stats();
+        self.wal = WalCounters {
+            replayed: self.wal.replayed,
+            ..WalCounters::default()
+        };
+    }
+
+    fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+        let mut out = self.inner.stats_breakdown();
+        let entry = |v: u64| SchemeStats {
+            node_touches: v,
+            ..SchemeStats::default()
+        };
+        out.push(("wal/appends".to_owned(), entry(self.wal.appends)));
+        out.push(("wal/fsyncs".to_owned(), entry(self.wal.fsyncs)));
+        out.push(("wal/bytes".to_owned(), entry(self.wal.bytes)));
+        out.push(("wal/checkpoints".to_owned(), entry(self.wal.checkpoints)));
+        out.push((
+            "wal/failed_checkpoints".to_owned(),
+            entry(self.wal.failed_checkpoints),
+        ));
+        out.push(("wal/replayed".to_owned(), entry(self.wal.replayed)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::SimDir;
+    use ltree_core::{Cursor, LTree, Params, Splice};
+
+    fn ltree() -> Box<dyn DynScheme> {
+        Box::new(LTree::new(Params::new(4, 2).unwrap()))
+    }
+
+    fn opts(sync: SyncPolicy, every: u64) -> DurableOptions {
+        DurableOptions {
+            sync,
+            checkpoint_every: every,
+        }
+    }
+
+    fn live_order(s: &DurableScheme) -> Vec<u64> {
+        Cursor::new(s).map(|h| h.0).collect()
+    }
+
+    #[test]
+    fn edits_survive_reopen_via_log_replay() {
+        let dir = SimDir::new(1);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir.clone()), opts(SyncPolicy::Always, 0))
+                .unwrap();
+        let hs = s.bulk_build(8).unwrap();
+        let mid = s.insert_after(hs[3]).unwrap();
+        s.delete(hs[5]).unwrap();
+        s.insert_many_after(hs[0], 3).unwrap();
+        let deleted = s.delete_run(hs[1], 2).unwrap();
+        assert_eq!(deleted, 2);
+        let before = live_order(&s);
+        let live = s.live_len();
+        let total = s.len();
+        drop(s);
+        let r = DurableScheme::open(ltree(), Box::new(dir), opts(SyncPolicy::Always, 0)).unwrap();
+        assert_eq!(live_order(&r), before, "identical list after recovery");
+        assert_eq!(r.live_len(), live);
+        assert_eq!(r.len(), total, "tombstones still tracked");
+        assert!(r.replayed_records() > 0, "state came from the log");
+        // Handles survive: the same durable handle resolves, deleted
+        // ones answer DeletedLeaf.
+        assert!(r.label_of(mid).is_ok());
+        assert!(matches!(r.label_of(hs[5]), Err(LTreeError::DeletedLeaf)));
+        assert!(matches!(
+            r.label_of(LeafHandle(9999)),
+            Err(LTreeError::UnknownHandle)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log_and_recovery_prefers_the_snapshot() {
+        let dir = SimDir::new(2);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir.clone()), opts(SyncPolicy::Always, 0))
+                .unwrap();
+        let hs = s.bulk_build(20).unwrap();
+        s.delete(hs[4]).unwrap();
+        s.checkpoint().unwrap();
+        assert_eq!(
+            dir.read(WAL_FILE).unwrap().unwrap().len(),
+            0,
+            "log truncated"
+        );
+        s.insert_after(hs[10]).unwrap(); // one post-checkpoint record
+        let want = live_order(&s);
+        drop(s);
+        let r = DurableScheme::open(ltree(), Box::new(dir), opts(SyncPolicy::Always, 0)).unwrap();
+        assert_eq!(live_order(&r), want);
+        assert_eq!(r.replayed_records(), 1, "only the log tail replays");
+    }
+
+    #[test]
+    fn automatic_checkpoints_fire_on_schedule() {
+        let dir = SimDir::new(3);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir.clone()), opts(SyncPolicy::Always, 4))
+                .unwrap();
+        let hs = s.bulk_build(4).unwrap(); // logged op 1
+        for _ in 0..7 {
+            s.insert_after(hs[0]).unwrap();
+        }
+        let snap = dir.read(SNAP_FILE).unwrap();
+        assert!(snap.is_some(), "a checkpoint must have fired");
+        let breakdown = s.stats_breakdown();
+        let checkpoints = breakdown
+            .iter()
+            .find(|(n, _)| n == "wal/checkpoints")
+            .unwrap()
+            .1
+            .node_touches;
+        assert_eq!(checkpoints, 2, "8 logged ops / every 4");
+    }
+
+    #[test]
+    fn splices_are_one_record_each_and_replay_identically() {
+        let dir = SimDir::new(4);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir.clone()), opts(SyncPolicy::Always, 0))
+                .unwrap();
+        let hs = s.bulk_build(10).unwrap();
+        s.splice(Splice::InsertAfter {
+            anchor: hs[2],
+            count: 50,
+        })
+        .unwrap();
+        s.splice(Splice::DeleteRun {
+            first: hs[4],
+            count: 30,
+        })
+        .unwrap();
+        let image = dir.read(WAL_FILE).unwrap().unwrap();
+        let scan = scan_log(&image).unwrap();
+        assert_eq!(scan.records.len(), 3, "bulk + 2 splices, one record each");
+        let want = live_order(&s);
+        drop(s);
+        let r = DurableScheme::open(ltree(), Box::new(dir), opts(SyncPolicy::Always, 0)).unwrap();
+        assert_eq!(live_order(&r), want);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = SimDir::new(5);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir.clone()), opts(SyncPolicy::Always, 0))
+                .unwrap();
+        s.bulk_build(6).unwrap();
+        s.checkpoint().unwrap();
+        drop(s);
+        // Flip a byte in the snapshot body.
+        let mut image = dir.read(SNAP_FILE).unwrap().unwrap();
+        image[7] ^= 0xff;
+        let mut d = dir.clone();
+        d.replace(SNAP_FILE, &image).unwrap();
+        match DurableScheme::open(ltree(), Box::new(dir), opts(SyncPolicy::Always, 0)) {
+            Err(LTreeError::Durability { context }) => {
+                assert!(context.contains("checksum"), "{context}")
+            }
+            Err(other) => panic!("expected a Durability error, got {other:?}"),
+            Ok(_) => panic!("expected a Durability error, got a recovered scheme"),
+        }
+    }
+
+    #[test]
+    fn scratch_dirs_are_removed_on_drop() {
+        let s = DurableScheme::open_scratch(ltree(), DurableOptions::default()).unwrap();
+        let path = s.own_dir.clone().unwrap();
+        assert!(path.exists());
+        drop(s);
+        assert!(!path.exists(), "scratch dir must be cleaned up");
+    }
+}

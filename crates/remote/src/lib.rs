@@ -41,15 +41,23 @@
 //!   flushed pipelined on any read), and transport counters in
 //!   `stats_breakdown()`.
 //!
+//! The crate also owns the **durability layer** (see [`durable`] and
+//! [`wal`]): [`DurableScheme`] wraps any scheme with a write-ahead log
+//! of wire-encoded splice frames (fsynced before the mutation returns)
+//! plus snapshot checkpoints, and recovers snapshot + log tail after a
+//! crash — [`LabelServer::recover_from_dir`] is the restart-from-disk
+//! server constructor.
+//!
 //! ## Registry specs
 //!
-//! [`register`] adds two composite specs (grammar in
+//! [`register`] adds three composite specs (grammar in
 //! [`ltree_core::registry`]; the same table lives in ARCHITECTURE.md):
 //!
 //! | spec | meaning |
 //! |------|---------|
 //! | `remote(addrs[,options])` | connect to already-running [`LabelServer`]s; `addrs` is `host:port` or a `\|`-separated list (each build connects to the next entry, round-robin) |
 //! | `served(inner[,options])` | spawn an in-process loopback server hosting `inner`, connect to it |
+//! | `durable(inner[,dir=PATH][,sync=always\|never][,checkpoint_every=N])` | write-ahead logged, snapshot-checkpointed wrapper; recovers from `dir` when it holds state, uses a self-cleaning scratch dir when `dir=` is omitted |
 //!
 //! Options are `key=value` pairs / bare flags mapping onto
 //! [`ClientPolicy`]: `conns=N`, `retries=N`, `reconnect`,
@@ -82,14 +90,18 @@
 pub mod wire;
 
 pub mod client;
+pub mod durable;
 pub mod pool;
 pub mod server;
 pub mod transport;
+pub mod wal;
 
 pub use client::{RemoteScheme, TransportStats};
+pub use durable::{DurableOptions, DurableScheme, SyncPolicy};
 pub use pool::{ClientPolicy, ConnectionPool, Endpoint};
 pub use server::{LabelServer, ServerGroup, TransportCounters};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};
+pub use wal::{scratch_dir, DurableDir, FsDir, SimDir};
 pub use wire::PROTOCOL_VERSION;
 
 use std::collections::HashMap;
@@ -98,8 +110,9 @@ use std::sync::{Arc, Mutex};
 use ltree_core::registry::{SchemeRegistry, SpecArg, SpecOptions};
 use ltree_core::LTreeError;
 
-/// Register the `remote(host:port[,options])` and
-/// `served(inner[,options])` composite specs.
+/// Register the `remote(host:port[,options])`,
+/// `served(inner[,options])` and `durable(inner[,options])` composite
+/// specs.
 ///
 /// * `remote(addrs)` connects to an external [`LabelServer`]; the build
 ///   fails with [`LTreeError::Remote`] when nothing listens there.
@@ -118,7 +131,65 @@ use ltree_core::LTreeError;
 /// `remote(127.0.0.1:7878,conns=4,retries=2,coalesce)`. Unknown or
 /// malformed options are typed [`LTreeError::InvalidOption`] errors
 /// naming the key.
+///
+/// * `durable(inner)` wraps `inner` in a [`DurableScheme`]: every
+///   mutation is appended to a write-ahead log (and fsynced, unless
+///   `sync=never`) before it is acknowledged, snapshots checkpoint the
+///   log every `checkpoint_every=N` logged records (default 1024), and
+///   reopening the same `dir=PATH` recovers snapshot + log tail. With
+///   no `dir=` the store lives in a unique scratch directory removed
+///   when the scheme is dropped — durable across `checkpoint`/reopen
+///   within the process, perfect for tests and sweeps.
 pub fn register(reg: &mut SchemeRegistry) {
+    reg.register_composite(
+        "durable",
+        "write-ahead logged, snapshot-checkpointed wrapper; args: (inner-spec[,dir=PATH,sync=always|never,checkpoint_every=N])",
+        |reg, cfg, args| {
+            let Some((SpecArg::Spec(inner), rest)) = args.split_first() else {
+                return Err(LTreeError::InvalidSpec {
+                    spec: "durable".into(),
+                    reason: "expected an inner scheme spec first, e.g. durable(ltree(4,2),dir=/path/to/store)",
+                });
+            };
+            let mut opts = SpecOptions::parse("durable", rest)?;
+            let dir = opts.take_str("dir")?;
+            let sync = match opts.take_str("sync")?.as_deref() {
+                None | Some("always") => SyncPolicy::Always,
+                Some("never") => SyncPolicy::Never,
+                Some(_) => {
+                    return Err(LTreeError::InvalidOption {
+                        spec: "durable".into(),
+                        key: "sync".into(),
+                        reason: "expected `always` or `never`",
+                    })
+                }
+            };
+            let checkpoint_every = match opts.take_u64("checkpoint_every")? {
+                Some(0) => {
+                    return Err(LTreeError::InvalidOption {
+                        spec: "durable".into(),
+                        key: "checkpoint_every".into(),
+                        reason: "must be at least 1 (records between checkpoints)",
+                    })
+                }
+                Some(n) => n,
+                None => DurableOptions::default().checkpoint_every,
+            };
+            opts.finish()?;
+            let inner = reg.build_with(inner, cfg)?;
+            let dopts = DurableOptions {
+                sync,
+                checkpoint_every,
+            };
+            let scheme = match dir {
+                Some(path) => {
+                    DurableScheme::open_path(inner, std::path::Path::new(&path), dopts)?
+                }
+                None => DurableScheme::open_scratch(inner, dopts)?,
+            };
+            Ok(Box::new(scheme))
+        },
+    );
     reg.register_composite(
         "served",
         "loopback-served remote store; args: (inner-spec[,conns=N,retries=N,reconnect,timeout-ms=N,coalesce])",

@@ -205,6 +205,24 @@ impl LabelServer {
         })
     }
 
+    /// Bind `addr` and serve a [`crate::DurableScheme`] recovered from
+    /// `dir` — the restart-from-disk constructor. `inner` must be a
+    /// freshly built (empty) scheme of the same kind the directory's
+    /// snapshot and write-ahead log were produced against; recovery
+    /// replays the durable state into it before the listener goes live,
+    /// so the first client request already sees the acknowledged
+    /// prefix. With an empty or missing `dir` this is just a durable
+    /// server starting from scratch.
+    pub fn recover_from_dir<A: ToSocketAddrs>(
+        addr: A,
+        inner: Box<dyn DynScheme>,
+        dir: &std::path::Path,
+        opts: crate::DurableOptions,
+    ) -> Result<LabelServer> {
+        let scheme = crate::DurableScheme::open_path(inner, dir, opts)?;
+        Self::bind(addr, Box::new(scheme))
+    }
+
     /// Shut the server down and take the hosted scheme back out — the
     /// primitive behind "restart the server on the same state" (bind a
     /// new [`LabelServer`] with the returned scheme). Fails when live

@@ -307,6 +307,10 @@ fn put_error(b: &mut Vec<u8>, e: &LTreeError) {
             put_str(b, &scheme);
             put_str(b, &detail);
         }
+        LTreeError::Durability { context } => {
+            put_u8(b, 9);
+            put_str(b, &context);
+        }
         // `wire_error` canonicalized these away.
         LTreeError::InvalidParams { .. }
         | LTreeError::InvalidSpec { .. }
@@ -535,6 +539,7 @@ fn decode_error(b: &mut Buf<'_>) -> Result<LTreeError> {
             scheme: b.str()?,
             detail: b.str()?,
         },
+        9 => LTreeError::Durability { context: b.str()? },
         _ => return Err(bad("bad error tag")),
     })
 }
@@ -663,7 +668,7 @@ mod tests {
 
     /// Every wire-expressible error, uniformly sampled.
     fn rand_error(rng: &mut SplitMix64) -> LTreeError {
-        match rng.gen_range(0..9) {
+        match rng.gen_range(0..10) {
             0 => LTreeError::UnknownHandle,
             1 => LTreeError::DeletedLeaf,
             2 => LTreeError::EmptyTree,
@@ -678,6 +683,9 @@ mod tests {
             7 => LTreeError::ContractViolation {
                 scheme: rand_string(rng),
                 detail: rand_string(rng),
+            },
+            8 => LTreeError::Durability {
+                context: rand_string(rng),
             },
             _ => LTreeError::Remote {
                 context: rand_string(rng),

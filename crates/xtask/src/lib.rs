@@ -1,7 +1,7 @@
 //! # `xtask` — workspace lint rules clippy cannot express
 //!
 //! A dependency-free, syntax-level checker for repo conventions, run in
-//! CI (and locally) as `cargo xtask lint`. Four rules:
+//! CI (and locally) as `cargo xtask lint`. Five rules:
 //!
 //! 1. **`crate-attrs`** — every crate's `lib.rs` carries
 //!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
@@ -18,6 +18,11 @@
 //!    the live grammar via
 //!    [`validate_spec`](ltree::SchemeRegistry::validate_spec), so docs
 //!    cannot drift from the registry.
+//! 5. **`fixed-path`** — integration tests never hard-code an absolute
+//!    filesystem path in a string literal; durable-store tests get
+//!    their on-disk space from `ltree::remote::scratch_dir` (or
+//!    `std::env::temp_dir()`), so parallel runs and sandboxed CI cannot
+//!    collide on shared paths.
 //!
 //! The rules are plain functions over `(path, content)` so the test
 //! suite can point them at seeded-violation fixtures under
@@ -41,7 +46,7 @@ pub struct Finding {
     /// 1-based line number (0 for whole-file findings).
     pub line: usize,
     /// Rule identifier (`crate-attrs`, `fixed-port`, `lock-unwrap`,
-    /// `spec-grammar`).
+    /// `spec-grammar`, `fixed-path`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -127,6 +132,40 @@ pub fn check_lock_unwrap(path: &Path, content: &str) -> Vec<Finding> {
                     message: format!(
                         "`{pat}` propagates lock poisoning — use \
                          `unwrap_or_else(|p| p.into_inner())`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule 5: no fixed absolute paths in test string literals. Flags a
+/// string literal opening straight into `/tmp/`, `/var/`, `/home/` or a
+/// Windows drive root — tests must derive scratch space at runtime
+/// (`ltree::remote::scratch_dir` / `std::env::temp_dir()`) so parallel
+/// runs never collide.
+pub fn check_fixed_paths(path: &Path, content: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Assembled at runtime so the linter's own source (and its tests)
+    // does not contain the literals it hunts for.
+    let mut pats: Vec<String> = ["tmp", "var", "home"]
+        .iter()
+        .map(|d| format!("\"/{d}/"))
+        .collect();
+    pats.push(format!("\"C:{}", '\\'));
+    for (idx, line) in content.lines().enumerate() {
+        for pat in &pats {
+            if let Some(pos) = line.find(pat.as_str()) {
+                let tail: String = line[pos + 1..].chars().take_while(|&c| c != '"').collect();
+                out.push(Finding {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "fixed-path",
+                    message: format!(
+                        "fixed filesystem path `{tail}` in a test — derive scratch space \
+                         at runtime (`ltree::remote::scratch_dir` or `std::env::temp_dir()`) \
+                         so parallel runs cannot collide"
                     ),
                 });
             }
@@ -297,6 +336,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 findings.extend(check_lock_unwrap(&path, &content));
                 if in_tests_dir(&path) {
                     findings.extend(check_fixed_ports(&path, &content));
+                    findings.extend(check_fixed_paths(&path, &content));
                 }
                 findings.extend(check_spec_strings(&path, &content, &reg, false));
             }

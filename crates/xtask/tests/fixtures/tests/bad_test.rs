@@ -1,6 +1,7 @@
-//! Seeded violations for the `fixed-port` and `lock-unwrap` rules.
-//! Never compiled — the lint's own tests feed this file to the rule
-//! functions (and the workspace walker skips `fixtures/` directories).
+//! Seeded violations for the `fixed-port`, `lock-unwrap` and
+//! `fixed-path` rules. Never compiled — the lint's own tests feed this
+//! file to the rule functions (and the workspace walker skips
+//! `fixtures/` directories).
 
 fn bad_port() {
     let server = LabelServer::bind("127.0.0.1:7878");
@@ -10,4 +11,11 @@ fn bad_port() {
 
 fn bad_lock(m: &std::sync::Mutex<u32>) -> u32 {
     *m.lock().unwrap()
+}
+
+fn bad_path() {
+    let wal = std::path::Path::new("/tmp/ltree-test/wal.log");
+    let ok = ltree::remote::scratch_dir("wal"); // derived at runtime: allowed
+    let also_ok = std::env::temp_dir().join("x"); // allowed
+    let _ = (wal, ok, also_ok);
 }

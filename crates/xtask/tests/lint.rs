@@ -5,7 +5,8 @@
 use std::path::{Path, PathBuf};
 
 use xtask::{
-    check_crate_attrs, check_fixed_ports, check_lock_unwrap, check_spec_strings, lint_workspace,
+    check_crate_attrs, check_fixed_paths, check_fixed_ports, check_lock_unwrap, check_spec_strings,
+    lint_workspace,
 };
 
 fn fixture(name: &str) -> (PathBuf, String) {
@@ -45,6 +46,15 @@ fn seeded_lock_unwrap_is_flagged() {
     let findings = check_lock_unwrap(&path, &content);
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert!(findings[0].message.contains("into_inner"));
+}
+
+#[test]
+fn seeded_fixed_path_is_flagged_but_derived_scratch_dirs_are_not() {
+    let (path, content) = fixture("tests/bad_test.rs");
+    let findings = check_fixed_paths(&path, &content);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("ltree-test"), "{findings:?}");
+    assert!(findings[0].message.contains("scratch_dir"), "{findings:?}");
 }
 
 #[test]

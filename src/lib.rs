@@ -134,13 +134,18 @@ pub mod rel {
 /// | `sharded` | segment-partitioned composite | `(inner)`, `(n,inner)`, or `(n,split,merge,inner)` |
 /// | `served` | in-process loopback server + remote client | `(inner[,options])` |
 /// | `remote` | client for external label server(s) | `(addrs[,options])` |
+/// | `durable` | write-ahead logged, snapshot-checkpointed wrapper | `(inner[,dir=PATH,sync=always\|never,checkpoint_every=N])` |
 /// | `checked` | contract auditor over any scheme | `(inner[,every=N])` |
 ///
-/// `sharded`, `served` and `checked` compose: their inner argument is
-/// any spec this registry resolves, recursively — `sharded(4,ltree(4,2))`,
-/// `served(gap)`, `sharded(4,served(ltree))` (each segment behind its
-/// own loopback server), `sharded(2,checked(gap))` (every segment
-/// audited against its own shadow model). The remote client options (`conns=4`,
+/// `sharded`, `served`, `durable` and `checked` compose: their inner
+/// argument is any spec this registry resolves, recursively —
+/// `sharded(4,ltree(4,2))`, `served(gap)`, `sharded(4,served(ltree))`
+/// (each segment behind its own loopback server),
+/// `sharded(2,checked(gap))` (every segment audited against its own
+/// shadow model), `served(durable(ltree(4,2),dir=…))` (a crash-safe
+/// label server), `checked(durable(gap))` (the auditor proving the
+/// durability wrapper preserves the ordered-labeling contract). The
+/// remote client options (`conns=4`,
 /// `retries=2`, `reconnect`, `timeout-ms=500`, `coalesce`) configure a
 /// [`ltree_remote::ClientPolicy`]; `remote` also accepts a
 /// `|`-separated address list, rotated across builds, so
@@ -193,7 +198,8 @@ pub mod prelude {
         SchemeConfig, SchemeRegistry, Splice, SpliceBuilder, SpliceResult,
     };
     pub use ltree_remote::{
-        ClientPolicy, Endpoint, LabelServer, RemoteScheme, ServerGroup, Transport, TransportStats,
+        ClientPolicy, DurableOptions, DurableScheme, Endpoint, LabelServer, RemoteScheme,
+        ServerGroup, SyncPolicy, Transport, TransportStats,
     };
     pub use ltree_sharded::{ShardedConfig, ShardedScheme};
     pub use ltree_tuning::{optimize_cost, optimize_cost_with_bits, optimize_workload};
@@ -218,6 +224,7 @@ mod tests {
             "sharded",
             "served",
             "remote",
+            "durable",
             "checked",
         ] {
             assert!(reg.contains(name), "missing {name}");
@@ -235,6 +242,13 @@ mod tests {
         assert_eq!(s.bulk_build(10).unwrap().len(), 10);
         let mut s = Scheme::build("sharded(2,checked(gap))").unwrap();
         assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        // The durability wrapper composes under a server and under the
+        // auditor (dir-less builds live in a self-cleaning scratch dir).
+        let mut s = Scheme::build("served(durable(ltree(4,2)))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        let mut s = Scheme::build("checked(durable(gap))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        assert_eq!(s.cursor().count(), 10);
         let mut s = Scheme::build("ltree(8,2)").unwrap();
         let hs = s.bulk_build(16).unwrap();
         assert_eq!(s.cursor().count(), 16);

@@ -1,0 +1,363 @@
+//! Crash-point fault injection for the durability layer.
+//!
+//! The contract under test: with `sync=always` (the default), every
+//! operation the store *acknowledges* (returns `Ok`) survives a crash,
+//! and nothing it did not acknowledge does. The [`SimDir`] storage
+//! simulator makes that testable at every single disk operation: arm a
+//! crash at mutating disk op `k`, drive a seeded workload until the
+//! storage dies mid-op, restart the directory, recover, and require the
+//! recovered live order to equal **exactly** the state after the last
+//! acknowledged operation.
+//!
+//! The sweep visits every `k` in `0..total_disk_ops` for several seeds
+//! (well over the 200 kill points the roadmap asks for), so the crash
+//! lands inside every append, every fsync, and every checkpoint
+//! replace/truncate the workload performs. A second sweep runs the same
+//! assertion with `sync=never` — acknowledging *before* the log reaches
+//! disk — and demonstrates that it fails, which is precisely why
+//! fsync-before-ack is the default.
+
+use ltree::prelude::*;
+use ltree::remote::wal::{encode_record, WAL_FILE};
+use ltree::remote::wire::Request;
+use ltree::remote::{DurableDir, DurableScheme, FsDir, SimDir, SyncPolicy};
+use ltree::rng::SplitMix64;
+use ltree::LTreeError;
+
+fn ltree_inner() -> Box<dyn DynScheme> {
+    Box::new(LTree::new(Params::new(4, 2).unwrap()))
+}
+
+fn opts(sync: SyncPolicy) -> DurableOptions {
+    DurableOptions {
+        sync,
+        // Small enough that the kill-point sweep crashes inside many
+        // automatic checkpoints, not just inside appends and fsyncs.
+        checkpoint_every: 7,
+    }
+}
+
+/// Drive a seeded workload against a durable store over `dir`, keeping
+/// a shadow copy of the live order that is updated only when the store
+/// acknowledges the mutation. Returns the acknowledged state; stops at
+/// the first error (the armed crash).
+///
+/// Everything is deterministic in `seed`: reruns over a different
+/// `SimDir` acknowledge the same prefix up to wherever the crash hits.
+fn drive(dir: &SimDir, seed: u64, sync: SyncPolicy) -> Vec<LeafHandle> {
+    let mut shadow: Vec<LeafHandle> = Vec::new();
+    let mut store = match DurableScheme::open(ltree_inner(), Box::new(dir.clone()), opts(sync)) {
+        Ok(s) => s,
+        Err(_) => return shadow,
+    };
+    match store.bulk_build(8) {
+        Ok(hs) => shadow = hs,
+        Err(_) => return shadow,
+    }
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..40 {
+        // Draw the whole op before applying it, so the rng stream (and
+        // with it the rest of the workload) does not depend on where a
+        // crash cuts the run.
+        let roll = rng.gen_range(0..100);
+        let ok = if roll < 30 || shadow.is_empty() {
+            let pos = if shadow.is_empty() {
+                0
+            } else {
+                rng.gen_range(0..shadow.len())
+            };
+            let r = if shadow.is_empty() {
+                store.insert_first()
+            } else if roll.is_multiple_of(2) {
+                store.insert_after(shadow[pos])
+            } else {
+                store.insert_before(shadow[pos])
+            };
+            match r {
+                Ok(h) => {
+                    let at = if shadow.is_empty() {
+                        0
+                    } else if roll.is_multiple_of(2) {
+                        pos + 1
+                    } else {
+                        pos
+                    };
+                    shadow.insert(at, h);
+                    true
+                }
+                Err(_) => false,
+            }
+        } else if roll < 50 {
+            let pos = rng.gen_range(0..shadow.len());
+            match store.delete(shadow[pos]) {
+                Ok(()) => {
+                    shadow.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            }
+        } else if roll < 75 {
+            let pos = rng.gen_range(0..shadow.len());
+            let k = rng.gen_range(1..5);
+            match store.insert_many_after(shadow[pos], k) {
+                Ok(hs) => {
+                    for (i, h) in hs.into_iter().enumerate() {
+                        shadow.insert(pos + 1 + i, h);
+                    }
+                    true
+                }
+                Err(_) => false,
+            }
+        } else if roll < 90 {
+            let pos = rng.gen_range(0..shadow.len());
+            let count = rng.gen_range(1..4);
+            match store.delete_run(shadow[pos], count) {
+                Ok(deleted) => {
+                    shadow.drain(pos..pos + deleted);
+                    true
+                }
+                Err(_) => false,
+            }
+        } else {
+            // An explicit checkpoint: no logical change, but it puts
+            // kill points inside snapshot replace + log truncate.
+            store.checkpoint().is_ok()
+        };
+        if !ok {
+            break;
+        }
+    }
+    shadow
+}
+
+fn recover(dir: &SimDir) -> ltree::Result<DurableScheme> {
+    DurableScheme::open(
+        ltree_inner(),
+        Box::new(dir.clone()),
+        opts(SyncPolicy::Always),
+    )
+}
+
+/// The tentpole sweep: for several seeds, crash at *every* mutating
+/// disk op the workload performs and require exact acked-prefix
+/// recovery each time.
+#[test]
+fn recovery_is_exact_at_every_kill_point() {
+    let mut kill_points = 0usize;
+    for seed in 0..3u64 {
+        // Dry run (no crash armed) to learn the disk-op count.
+        let dry = SimDir::new(seed);
+        let full = drive(&dry, seed, SyncPolicy::Always);
+        let total = dry.ops_done();
+        assert!(
+            total >= 70,
+            "seed {seed}: workload only performed {total} disk ops"
+        );
+        // A clean shutdown recovers the full state.
+        let rec = recover(&dry).unwrap();
+        assert_eq!(
+            rec.cursor().collect::<Vec<_>>(),
+            full,
+            "seed {seed}: clean reopen"
+        );
+        drop(rec);
+
+        for k in 0..total {
+            // Different dir seed per kill point: the torn-prefix length
+            // the simulator keeps varies across the sweep.
+            let dir = SimDir::new(seed.wrapping_mul(0x1_0000) ^ k);
+            dir.crash_after(k);
+            let acked = drive(&dir, seed, SyncPolicy::Always);
+            assert!(dir.crashed(), "seed {seed} kill {k}: crash never fired");
+            dir.restart();
+            let rec = recover(&dir)
+                .unwrap_or_else(|e| panic!("seed {seed} kill {k}: recovery failed: {e}"));
+            let got: Vec<LeafHandle> = rec.cursor().collect();
+            assert_eq!(
+                got, acked,
+                "seed {seed} kill {k}: recovered order != acknowledged prefix"
+            );
+            assert_eq!(rec.live_len(), acked.len(), "seed {seed} kill {k}");
+            // Labels must still be strictly ordered after recovery.
+            let mut prev = None;
+            for h in &got {
+                let l = rec.label_of(*h).unwrap();
+                assert!(prev.is_none_or(|p| p < l), "seed {seed} kill {k}");
+                prev = Some(l);
+            }
+            kill_points += 1;
+        }
+    }
+    assert!(
+        kill_points >= 200,
+        "only {kill_points} kill points exercised; the sweep must cover at least 200"
+    );
+}
+
+/// A recovered store is a working store: it keeps acknowledging and
+/// persisting writes, and a second crash recovers the extended prefix.
+#[test]
+fn recovery_composes_with_further_crashes() {
+    let dir = SimDir::new(99);
+    let mut acked = drive(&dir, 99, SyncPolicy::Always);
+    let mut store = recover(&dir).unwrap();
+    assert_eq!(store.cursor().collect::<Vec<_>>(), acked);
+    // Crash partway through a second burst of writes on the recovered
+    // store (each insert costs an append + an fsync).
+    dir.crash_after(9);
+    for _ in 0..10 {
+        match store.insert_first() {
+            Ok(h) => acked.insert(0, h),
+            Err(_) => break,
+        }
+    }
+    assert!(dir.crashed(), "second crash never fired");
+    dir.restart();
+    let rec = recover(&dir).unwrap();
+    assert_eq!(
+        rec.cursor().collect::<Vec<_>>(),
+        acked,
+        "second recovery must return the extended acknowledged prefix"
+    );
+}
+
+/// The negative control the roadmap demands: `sync=never` acknowledges
+/// before fsync, and the very same sweep shows acknowledged writes
+/// vanishing in a crash. If this test ever starts failing, the
+/// simulator has stopped modelling the loss that makes `sync=always`
+/// worth its latency.
+#[test]
+fn ack_before_fsync_demonstrably_loses_acknowledged_writes() {
+    let seed = 7u64;
+    let dry = SimDir::new(seed);
+    drive(&dry, seed, SyncPolicy::Never);
+    let total = dry.ops_done();
+    assert!(total >= 20, "sync=never workload did {total} disk ops");
+    let mut lost = 0usize;
+    for k in 0..total {
+        let dir = SimDir::new(seed.wrapping_mul(77) ^ k);
+        dir.crash_after(k);
+        let acked = drive(&dir, seed, SyncPolicy::Never);
+        if !dir.crashed() {
+            continue;
+        }
+        dir.restart();
+        match recover(&dir) {
+            Ok(rec) => {
+                if rec.cursor().collect::<Vec<_>>() != acked {
+                    lost += 1;
+                }
+            }
+            Err(_) => lost += 1,
+        }
+    }
+    assert!(
+        lost > 0,
+        "sync=never must lose acknowledged writes somewhere in a {total}-op sweep"
+    );
+}
+
+/// A torn final record — the crash hit mid-append and a prefix of the
+/// record still reached the platter — is not corruption: recovery keeps
+/// the acknowledged prefix, truncates the tail, and the log stays
+/// appendable across another reopen.
+#[test]
+fn a_torn_final_record_is_truncated_and_the_prefix_kept() {
+    let mut dir = SimDir::new(11);
+    let mut store = DurableScheme::open(
+        ltree_inner(),
+        Box::new(dir.clone()),
+        opts(SyncPolicy::Always),
+    )
+    .unwrap();
+    let hs = store.bulk_build(5).unwrap();
+    store.insert_after(hs[2]).unwrap();
+    let expect: Vec<LeafHandle> = store.cursor().collect();
+    drop(store);
+    // Fake the crash: fsync a strict prefix of a valid next record.
+    let rec = encode_record(1000, &Request::InsertFirst);
+    for cut in [1, rec.len() / 2, rec.len() - 1] {
+        dir.append(WAL_FILE, &rec[..cut]).unwrap();
+        dir.sync(WAL_FILE).unwrap();
+        let store = recover(&dir).unwrap();
+        assert_eq!(store.cursor().collect::<Vec<_>>(), expect, "cut {cut}");
+        drop(store);
+    }
+    // The tail was truncated, so the log is appendable again.
+    let mut store = recover(&dir).unwrap();
+    let h = store.insert_first().unwrap();
+    let mut expect2 = expect;
+    expect2.insert(0, h);
+    drop(store);
+    let store = recover(&dir).unwrap();
+    assert_eq!(store.cursor().collect::<Vec<_>>(), expect2);
+}
+
+/// A complete record with a bad checksum is genuine corruption and must
+/// surface as a typed [`LTreeError::Durability`], never a panic and
+/// never a silent truncation.
+#[test]
+fn corruption_inside_the_log_is_a_typed_error() {
+    let dir = SimDir::new(13);
+    let mut store = DurableScheme::open(
+        ltree_inner(),
+        Box::new(dir.clone()),
+        opts(SyncPolicy::Always),
+    )
+    .unwrap();
+    store.bulk_build(4).unwrap();
+    store.insert_first().unwrap();
+    drop(store);
+    let mut image = dir.read(WAL_FILE).unwrap().unwrap();
+    // Flip a byte inside the *first* record's body: a complete record
+    // fails its checksum, which is not a torn tail.
+    image[6] ^= 0x40;
+    let mut d = dir.clone();
+    d.truncate(WAL_FILE, 0).unwrap();
+    d.append(WAL_FILE, &image).unwrap();
+    d.sync(WAL_FILE).unwrap();
+    match recover(&dir) {
+        Err(LTreeError::Durability { context }) => {
+            assert!(
+                context.contains("checksum") || context.contains("decode"),
+                "{context}"
+            );
+        }
+        Err(other) => panic!("expected a Durability error, got {other:?}"),
+        Ok(_) => panic!("corrupted log recovered silently"),
+    }
+}
+
+/// The same recovery path over the real filesystem: a `durable(...)`
+/// store reopened from an on-disk directory (a fresh scratch dir, per
+/// the repo's no-fixed-paths rule) carries its state across instances.
+#[test]
+fn fs_backed_stores_recover_across_reopens() {
+    let root = ltree::remote::scratch_dir("durable-recovery");
+    let mut store = DurableScheme::open(
+        ltree_inner(),
+        Box::new(FsDir::open(&root).unwrap()),
+        opts(SyncPolicy::Always),
+    )
+    .unwrap();
+    let hs = store.bulk_build(6).unwrap();
+    store.insert_many_after(hs[1], 3).unwrap();
+    store.delete(hs[4]).unwrap();
+    store.checkpoint().unwrap();
+    store.insert_first().unwrap();
+    let expect: Vec<LeafHandle> = store.cursor().collect();
+    drop(store);
+    let store = DurableScheme::open(
+        ltree_inner(),
+        Box::new(FsDir::open(&root).unwrap()),
+        opts(SyncPolicy::Always),
+    )
+    .unwrap();
+    assert_eq!(store.cursor().collect::<Vec<_>>(), expect);
+    assert!(
+        store.replayed_records() >= 1,
+        "insert after checkpoint replays"
+    );
+    drop(store);
+    std::fs::remove_dir_all(&root).ok();
+}

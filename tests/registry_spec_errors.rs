@@ -137,6 +137,72 @@ fn option_errors_name_the_key_and_point_at_the_grammar_table() {
     }
 }
 
+/// The `durable(...)` wrapper's options: a missing inner spec is an
+/// [`LTreeError::InvalidSpec`]; bad `dir=`, `sync=` and
+/// `checkpoint_every=` values are [`LTreeError::InvalidOption`] errors
+/// naming the offending key.
+#[test]
+fn durable_option_errors_are_typed() {
+    for spec in ["durable", "durable(4)"] {
+        assert!(
+            matches!(build(spec), Err(LTreeError::InvalidSpec { .. })),
+            "{spec} must be an InvalidSpec error"
+        );
+    }
+    for (spec, key) in [
+        // `dir` and `sync` need values; `sync` only accepts two words.
+        ("durable(ltree(4,2),dir)", "dir"),
+        ("durable(ltree(4,2),dir=)", "dir"),
+        ("durable(ltree(4,2),sync)", "sync"),
+        ("durable(ltree(4,2),sync=sometimes)", "sync"),
+        // `checkpoint_every` must be a positive integer.
+        (
+            "durable(ltree(4,2),checkpoint_every=soon)",
+            "checkpoint_every",
+        ),
+        ("durable(ltree(4,2),checkpoint_every=0)", "checkpoint_every"),
+        (
+            "durable(ltree(4,2),checkpoint_every=-3)",
+            "checkpoint_every",
+        ),
+        // Unknown keys and duplicates behave like everywhere else.
+        ("durable(ltree(4,2),bogus=1)", "bogus"),
+        ("durable(gap,sync=never,sync=always)", "sync"),
+    ] {
+        let err = build(spec).err().unwrap_or_else(|| panic!("{spec} built"));
+        match &err {
+            LTreeError::InvalidOption { key: k, .. } => assert_eq!(k, key, "{spec}"),
+            other => panic!("{spec}: expected InvalidOption, got {other}"),
+        }
+        assert!(err.to_string().contains("ARCHITECTURE.md"), "{spec}");
+    }
+}
+
+/// And the flip side for `durable`: every well-formed option combination
+/// builds (dir-less stores live in a self-cleaning scratch directory).
+#[test]
+fn durable_option_syntax_builds_when_well_formed() {
+    for spec in [
+        "durable(ltree(4,2))",
+        "durable(gap,sync=never)",
+        "durable(ltree(4,2),sync=always,checkpoint_every=3)",
+        "served(durable(ltree(4,2),checkpoint_every=2))",
+        "checked(durable(gap,sync=never))",
+    ] {
+        let mut s = build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(s.bulk_build(6).unwrap().len(), 6, "{spec}");
+        assert_eq!(s.cursor().count(), 6, "{spec}");
+    }
+    // An explicit dir= builds too, against a scratch path (fixed paths
+    // in tests are lint errors).
+    let dir = ltree::remote::scratch_dir("spec-errors");
+    let spec = format!("durable(ltree(4,2),dir={})", dir.display());
+    let mut s = build(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+    assert_eq!(s.bulk_build(4).unwrap().len(), 4, "{spec}");
+    drop(s);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The flip side: well-formed options build, on `served` and through
 /// arbitrary nesting.
 #[test]

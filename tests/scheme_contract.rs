@@ -44,6 +44,13 @@ const SPECS: &[&str] = &[
     "checked(ltree(4,2))",
     "sharded(2,24,4,checked(ltree(4,2)))",
     "checked(served(gap),every=4)",
+    // Dir-less durable stores write to a per-build scratch directory
+    // that is removed when the scheme drops, so a static spec string is
+    // safe here; checkpoint_every=5 keeps snapshots in the loop too.
+    "durable(ltree(4,2))",
+    "durable(gap,sync=never,checkpoint_every=5)",
+    "served(durable(ltree(4,2)))",
+    "checked(durable(gap))",
 ];
 
 fn build(spec: &str) -> Box<dyn DynScheme> {
@@ -327,6 +334,22 @@ fn conformance_with_every_spec_wrapped_in_checked() {
         for seed in 0..4u64 {
             exercise(&format!("checked({spec})"), seed);
         }
+    }
+}
+
+/// The durability wrapper with an explicit `dir=` passes the identical
+/// conformance streams against a real on-disk directory (a fresh
+/// scratch dir per stream — fixed paths in tests are lint errors), and
+/// the `checked(...)` auditor rides the same on-disk store unchanged.
+#[test]
+fn conformance_durable_on_disk() {
+    for seed in 0..3u64 {
+        let dir = ltree::remote::scratch_dir("conformance");
+        let path = dir.display();
+        exercise(&format!("durable(ltree(4,2),dir={path})"), seed);
+        exercise(&format!("checked(durable(gap,dir={path}-auditee))"), seed);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(format!("{path}-auditee")).ok();
     }
 }
 
