@@ -5,6 +5,7 @@
 //! repro [--full | --quick] [x1 x2 … | all]
 //! repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R]
 //!             [--summary PATH]
+//! repro metrics <host:port | --smoke> [--out PATH]
 //! ```
 //!
 //! Experiments run at quick scale by default (seconds); `--full` uses
@@ -21,6 +22,14 @@
 //! to `$GITHUB_STEP_SUMMARY` so the comparison shows on the PR itself,
 //! not only in the artifact.
 //!
+//! `metrics` scrapes a running [`LabelServer`](ltree::prelude::LabelServer)
+//! over the wire `Metrics` request and prints the snapshot as
+//! Prometheus exposition text (to `--out PATH` instead, when given).
+//! `--smoke` skips the address: it spins up an in-process
+//! `served(traced(ltree(4,2)))` stack on a loopback port, drives a
+//! small seeded workload through a real TCP client, and scrapes that —
+//! CI uploads the result as a sample exposition artifact.
+//!
 //! Unknown experiment ids or flags are rejected **before** anything
 //! runs, with the list of valid names, and exit status 2.
 
@@ -28,17 +37,17 @@ use ltree_bench::{experiments, sweep, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = if args.first().map(String::as_str) == Some("sweep") {
-        sweep_main(&args[1..])
-    } else {
-        experiments_main(&args)
+    let code = match args.first().map(String::as_str) {
+        Some("sweep") => sweep_main(&args[1..]),
+        Some("metrics") => metrics_main(&args[1..]),
+        _ => experiments_main(&args),
     };
     std::process::exit(code);
 }
 
 fn usage() -> String {
     format!(
-        "usage:\n  repro [--full | --quick] [ids... | all]   run experiment tables\n  repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R] [--summary PATH]\n\nvalid experiment ids: {}, all",
+        "usage:\n  repro [--full | --quick] [ids... | all]   run experiment tables\n  repro sweep [--full | --quick] [--out PATH] [--baseline PATH] [--max-regress R] [--summary PATH]\n  repro metrics <host:port | --smoke> [--out PATH]   scrape a label server as Prometheus text\n\nvalid experiment ids: {}, all",
         experiments::all_ids().join(", ")
     )
 }
@@ -149,6 +158,11 @@ fn sweep_main(args: &[String]) -> i32 {
         report.scale
     );
     println!("{}", report.to_table().to_markdown());
+    // Multi-size runs (--full) also get the scale trend lines: how the
+    // amortized costs move as n grows, the axis the flat table buries.
+    if let Some(trends) = report.trend_table() {
+        println!("{}", trends.to_markdown());
+    }
 
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("cannot write {out}: {e}");
@@ -156,10 +170,15 @@ fn sweep_main(args: &[String]) -> i32 {
     }
     println!("wrote {out} ({} cells)", report.cells.len());
 
-    // The table alone, for CI step summaries — written before gating so
+    // The tables alone, for CI step summaries — written before gating so
     // a failing gate still publishes the numbers that explain it.
     if let Some(path) = summary {
-        if let Err(e) = std::fs::write(&path, report.to_table().to_markdown()) {
+        let mut text = report.to_table().to_markdown();
+        if let Some(trends) = report.trend_table() {
+            text.push('\n');
+            text.push_str(&trends.to_markdown());
+        }
+        if let Err(e) = std::fs::write(&path, text) {
             eprintln!("cannot write {path}: {e}");
             return 1;
         }
@@ -202,4 +221,114 @@ fn sweep_main(args: &[String]) -> i32 {
         }
     }
     i32::from(failed)
+}
+
+fn metrics_main(args: &[String]) -> i32 {
+    use ltree::obs::render_prometheus;
+    use ltree::prelude::{LabelServer, RemoteScheme};
+    use ltree::{BatchLabeling, Instrumented, OrderedLabeling, OrderedLabelingMut};
+
+    let mut addr: Option<String> = None;
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("--out needs a path\n{}", usage());
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown metrics flag: {flag}\n{}", usage());
+                return 2;
+            }
+            a if addr.is_none() => addr = Some(a.to_owned()),
+            other => {
+                eprintln!("unexpected metrics argument: {other}\n{}", usage());
+                return 2;
+            }
+        }
+    }
+    if smoke == addr.is_some() {
+        eprintln!(
+            "metrics needs exactly one of <host:port> or --smoke\n{}",
+            usage()
+        );
+        return 2;
+    }
+
+    // The smoke server lives for the whole scrape: drop tears it down.
+    let mut smoke_server: Option<LabelServer> = None;
+    let target = match addr {
+        Some(a) => a,
+        None => {
+            let scheme = match ltree::default_registry().build("traced(ltree(4,2))") {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot build the smoke scheme: {e}");
+                    return 1;
+                }
+            };
+            let server = match LabelServer::bind("127.0.0.1:0", scheme) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot bind the smoke server: {e}");
+                    return 1;
+                }
+            };
+            let a = server.local_addr().to_string();
+            smoke_server = Some(server);
+            a
+        }
+    };
+
+    let mut client = match RemoteScheme::connect(&target) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {target}: {e}");
+            return 1;
+        }
+    };
+    if smoke_server.is_some() {
+        // A small deterministic workload so every series the stack
+        // exposes — per-op and phase histograms included — has samples.
+        let mut drive = || -> Result<(), ltree::LTreeError> {
+            let hs = client.bulk_build(128)?;
+            let mid = client.insert_after(hs[40])?;
+            client.insert_before(hs[80])?;
+            let batch = client.insert_many_after(hs[100], 32)?;
+            client.delete_run(batch[0], 16)?;
+            client.delete(mid)?;
+            client.label_of(hs[0])?;
+            Ok(())
+        };
+        if let Err(e) = drive() {
+            eprintln!("smoke workload failed: {e}");
+            return 1;
+        }
+    }
+
+    let snapshot = client.metrics();
+    if snapshot.is_empty() {
+        // A healthy server always reports at least its net/ series; an
+        // empty snapshot means the scrape itself failed.
+        eprintln!("metrics scrape of {target} returned nothing");
+        return 1;
+    }
+    let text = render_prometheus(&snapshot);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            println!("wrote {path} ({} series)", snapshot.len());
+        }
+        None => print!("{text}"),
+    }
+    0
 }

@@ -6,9 +6,12 @@
 //! profile)` pair one seeded script is generated, and **every scheme
 //! spec replays the same script** as batched splices. Each cell records
 //! the [`SchemeStats`] counters (the paper's "nodes
-//! accessed for searching or relabeling" currency), label width, memory
-//! and wall time; a cell whose scheme construction or replay fails
-//! carries the error instead of silently vanishing.
+//! accessed for searching or relabeling" currency), label width, memory,
+//! wall time, and — via the `traced(…)` observability wrapper every cell
+//! replays under — per-call p50/p99 latency quantiles (reported and
+//! persisted, never gated: latency is machine-dependent); a cell whose
+//! scheme construction or replay fails carries the error instead of
+//! silently vanishing.
 //!
 //! Results render as the usual markdown table *and* serialize to the
 //! versioned `BENCH_sweep.json` (schema documented in
@@ -23,6 +26,7 @@ use crate::table::{f, Table};
 use crate::Scale;
 use ltree::gen::docedit::run_document_edits;
 use ltree::gen::{generate_edits, standard_profiles, EditProfile, WorkloadReport};
+use ltree::metrics::{HistogramSnapshot, Metric, MetricValue};
 use ltree::{Instrumented, LTreeError, SchemeStats};
 
 /// Version of the `BENCH_sweep.json` schema. Bump on any breaking field
@@ -247,10 +251,18 @@ pub struct CellMetrics {
     pub wall_ns: u64,
     /// Wall-clock inside scheme calls only, nanoseconds.
     pub scheme_wall_ns: u64,
+    /// Median per-call latency across all `obs/op/*` histograms of the
+    /// `traced(…)` wrapper every cell replays under, nanoseconds.
+    /// Machine-dependent like the wall-clock columns — reported, never
+    /// gated by the baseline check.
+    pub p50_ns: u64,
+    /// 99th-percentile per-call latency, nanoseconds (same source and
+    /// same never-gated status as `p50_ns`).
+    pub p99_ns: u64,
 }
 
 impl CellMetrics {
-    fn from_report(r: &WorkloadReport) -> Self {
+    fn from_report(r: &WorkloadReport, (p50_ns, p99_ns): (u64, u64)) -> Self {
         let SchemeStats {
             label_writes,
             node_touches,
@@ -267,6 +279,8 @@ impl CellMetrics {
             memory_bytes: r.memory_bytes as u64,
             wall_ns: r.wall.as_nanos() as u64,
             scheme_wall_ns: r.scheme_wall.as_nanos() as u64,
+            p50_ns,
+            p99_ns,
         }
     }
 
@@ -294,8 +308,28 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
 }
 
+/// Merge every `obs/op/*` latency histogram in a metrics snapshot into
+/// one distribution and take its (p50, p99), nanoseconds. `(0, 0)` when
+/// no samples were recorded (a cell that never entered the traced
+/// wrapper's call paths).
+fn latency_quantiles(metrics: &[Metric]) -> (u64, u64) {
+    let mut merged = HistogramSnapshot::new();
+    for m in metrics {
+        if let (true, MetricValue::Histogram(h)) = (m.name.starts_with("obs/op/"), &m.value) {
+            merged.merge(h);
+        }
+    }
+    (merged.quantile(0.50), merged.quantile(0.99))
+}
+
 /// Run the sweep. Per-cell failures are *recorded*, not propagated — a
 /// broken scheme must not hide the rest of the matrix.
+///
+/// Every cell replays under a `traced(…)` wrapper (never part of the
+/// recorded spec string): the wrapper's per-op latency histograms are
+/// where the cell's `p50_ns`/`p99_ns` figures come from, and its
+/// counters/breakdown forward to the inner scheme untouched, so the
+/// deterministic columns are exactly what the bare spec would record.
 pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
     let registry = ltree::default_registry();
     let mut cells = Vec::new();
@@ -309,10 +343,14 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
             let script = generate_edits(profile, n, ops, cfg.seed);
             for spec in &cfg.specs {
                 let measured = registry
-                    .build(spec)
+                    .build(&format!("traced({spec})"))
                     .and_then(|mut scheme| {
                         let report = script.replay(&mut scheme)?;
-                        Ok((CellMetrics::from_report(&report), scheme.stats_breakdown()))
+                        let latency = latency_quantiles(&scheme.metrics());
+                        Ok((
+                            CellMetrics::from_report(&report, latency),
+                            scheme.stats_breakdown(),
+                        ))
                     })
                     .map_err(|e: LTreeError| e.to_string());
                 cells.push(cell(spec, profile.name(), n, ops, measured));
@@ -324,13 +362,17 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
             // two per element, matching the leaf-stream cells).
             for spec in &cfg.specs {
                 let measured = registry
-                    .build(spec)
+                    .build(&format!("traced({spec})"))
                     .map_err(|e| e.to_string())
                     .and_then(|scheme| {
                         run_document_edits(scheme, n / 2, ops, cfg.seed).map_err(|e| e.to_string())
                     })
                     .map(|(report, scheme)| {
-                        (CellMetrics::from_report(&report), scheme.stats_breakdown())
+                        let latency = latency_quantiles(&scheme.metrics());
+                        (
+                            CellMetrics::from_report(&report, latency),
+                            scheme.stats_breakdown(),
+                        )
                     });
                 cells.push(cell(spec, "doc-edit", n, ops, measured));
             }
@@ -447,6 +489,8 @@ impl SweepReport {
                 "bits",
                 "KiB",
                 "ms",
+                "p50 µs",
+                "p99 µs",
                 "shards",
                 "rtt",
                 "rtt saved",
@@ -467,6 +511,9 @@ impl SweepReport {
         t.note("contender); dur ovh = the same figure for a `durable` cell's write-ahead");
         t.note("log (sync=never in the matrix, so it prices encoding + appends +");
         t.note("checkpoints, not fsyncs — also reported, never gated).");
+        t.note("p50/p99 µs = per-call latency quantiles from the traced wrapper's");
+        t.note("obs/op/* histograms every cell replays under (machine-dependent, so");
+        t.note("reported and persisted to the JSON but never gated, like ms).");
         for c in &self.cells {
             match &c.outcome {
                 Ok(m) => t.row(vec![
@@ -479,6 +526,8 @@ impl SweepReport {
                     m.label_space_bits.to_string(),
                     (m.memory_bytes / 1024).to_string(),
                     f(m.wall_ns as f64 / 1.0e6),
+                    f(m.p50_ns as f64 / 1.0e3),
+                    f(m.p99_ns as f64 / 1.0e3),
                     match c.segment_count() {
                         0 => "—".into(),
                         k => k.to_string(),
@@ -500,25 +549,73 @@ impl SweepReport {
                         Some(pct) => format!("{pct:+.0}%"),
                     },
                 ]),
-                Err(e) => t.row(vec![
-                    c.n.to_string(),
-                    c.workload.clone(),
-                    c.spec.clone(),
-                    format!("ERROR: {e}"),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                ]),
+                Err(e) => t.row(
+                    [c.n.to_string(), c.workload.clone(), c.spec.clone()]
+                        .into_iter()
+                        .chain(std::iter::once(format!("ERROR: {e}")))
+                        .chain(std::iter::repeat_n("—".to_string(), 12))
+                        .collect(),
+                ),
             };
         }
         t
+    }
+
+    /// Scale trend lines: for every `(workload, spec)` pair measured at
+    /// more than one initial size, how the headline numbers move from
+    /// the smallest to the largest `n` — the growth story a single-size
+    /// table cannot show. `None` when the sweep ran at one size (quick
+    /// scale), so callers print it only when it says something.
+    pub fn trend_table(&self) -> Option<Table> {
+        let mut sizes: Vec<usize> = self.cells.iter().map(|c| c.n).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let (&lo, &hi) = (sizes.first()?, sizes.last()?);
+        if lo == hi {
+            return None;
+        }
+        let mut t = Table::new(
+            format!("Scale trends — n={lo} → n={hi} ({} scale)", self.scale),
+            &[
+                "workload",
+                "scheme",
+                "relabels/op",
+                "cost/op",
+                "p99 µs",
+                "relabels growth",
+            ],
+        );
+        t.note("Each row pairs a (workload, scheme) cell at the smallest and largest");
+        t.note("sweep size; `a → b` reads small → large. relabels growth = the ratio");
+        t.note("of the two relabels/op figures — near ×1 means the amortized cost is");
+        t.note("flat in n (the paper's claim for the L-Tree family). Latency columns");
+        t.note("are machine-dependent and, as everywhere, never gated.");
+        let arrow = |a: f64, b: f64| format!("{} → {}", f(a), f(b));
+        for c in &self.cells {
+            if c.n != lo {
+                continue;
+            }
+            let Ok(m) = &c.outcome else { continue };
+            let Some(big) = self.cells.iter().find(|b| {
+                b.n == hi && b.spec == c.spec && b.workload == c.workload && b.outcome.is_ok()
+            }) else {
+                continue;
+            };
+            let bm = big.outcome.as_ref().expect("filtered to ok above");
+            t.row(vec![
+                c.workload.clone(),
+                c.spec.clone(),
+                arrow(m.relabels_per_op(), bm.relabels_per_op()),
+                arrow(m.cost_per_op(), bm.cost_per_op()),
+                arrow(m.p99_ns as f64 / 1.0e3, bm.p99_ns as f64 / 1.0e3),
+                if m.relabels_per_op() > 0.0 {
+                    format!("×{:.2}", bm.relabels_per_op() / m.relabels_per_op())
+                } else {
+                    "—".into()
+                },
+            ]);
+        }
+        Some(t)
     }
 
     /// Serialize to the versioned `BENCH_sweep.json` schema.
@@ -547,6 +644,12 @@ impl SweepReport {
                             ("memory_bytes".into(), m.memory_bytes.into()),
                             ("wall_ns".into(), m.wall_ns.into()),
                             ("scheme_wall_ns".into(), m.scheme_wall_ns.into()),
+                            // Additive within schema version 1: per-call
+                            // latency quantiles from the traced wrapper
+                            // (machine-dependent — dashboards only,
+                            // never read by the baseline gate).
+                            ("p50_ns".into(), m.p50_ns.into()),
+                            ("p99_ns".into(), m.p99_ns.into()),
                         ]);
                         // Additive within schema version 1: present for
                         // remote schemes only — the client's round-trip
@@ -641,6 +744,10 @@ impl SweepReport {
                     memory_bytes: field(c, "memory_bytes")?,
                     wall_ns: field(c, "wall_ns")?,
                     scheme_wall_ns: field(c, "scheme_wall_ns")?,
+                    // Additive in schema version 1 — absent from older
+                    // documents, so missing means "not recorded".
+                    p50_ns: c.get("p50_ns").and_then(Json::as_u64).unwrap_or(0),
+                    p99_ns: c.get("p99_ns").and_then(Json::as_u64).unwrap_or(0),
                 })
             } else {
                 Err(c
@@ -950,6 +1057,47 @@ mod tests {
             saw += 1;
         }
         assert_eq!(saw, 12, "two durable cells per workload (6 workloads)");
+    }
+
+    /// Every completed cell replays under `traced(…)`, so its latency
+    /// quantiles are real measurements: nonzero, ordered, and carried
+    /// through the JSON round trip like every other field.
+    #[test]
+    fn cells_carry_latency_quantiles_from_the_traced_wrapper() {
+        let report = run_sweep(&tiny_config());
+        for c in &report.cells {
+            let m = c.outcome.as_ref().unwrap();
+            assert!(m.p50_ns > 0, "{} × {}: empty p50", c.spec, c.workload);
+            assert!(
+                m.p99_ns >= m.p50_ns,
+                "{} × {}: p99 {} below p50 {}",
+                c.spec,
+                c.workload,
+                m.p99_ns,
+                m.p50_ns
+            );
+        }
+        // Older baseline documents predate the fields: absent reads as 0
+        // instead of a parse error, keeping the schema version stable.
+        let json = report.to_json().replace("\"p50_ns\"", "\"p50_gone\"");
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(back.cells[0].outcome.as_ref().unwrap().p50_ns, 0);
+    }
+
+    /// Trend lines exist exactly when the sweep spans several sizes, and
+    /// pair each (workload, scheme) across the extremes.
+    #[test]
+    fn trend_table_appears_only_for_multi_size_sweeps() {
+        let single = run_sweep(&tiny_config());
+        assert!(single.trend_table().is_none(), "one size → no trends");
+
+        let mut cfg = tiny_config();
+        cfg.specs = vec!["ltree(4,2)".into(), "gap".into()];
+        cfg.sizes = vec![128, 512];
+        let report = run_sweep(&cfg);
+        let t = report.trend_table().expect("two sizes → trends");
+        assert_eq!(t.rows.len(), 2 * 6, "one row per (scheme, workload)");
+        assert!(t.rows.iter().all(|r| r[2].contains(" → ")));
     }
 
     #[test]

@@ -493,7 +493,14 @@ impl<S: OrderedLabeling + Instrumented> Instrumented for CheckedScheme<S> {
                 ..SchemeStats::default()
             },
         ));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    fn metrics(&self) -> Vec<ltree_core::metrics::Metric> {
+        // The auditor adds no timings of its own; the inner stack's
+        // histograms pass through so `checked(traced(...))` scrapes.
+        self.inner.metrics()
     }
 }
 

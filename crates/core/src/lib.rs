@@ -59,6 +59,9 @@
 //!   scheme from a spec string like `"ltree(4,2)"`;
 //! * [`probe`] — call-level probes: [`CallCounter`] counts trait-method
 //!   traffic so bulk paths can prove they issue fewer write calls;
+//! * [`metrics`] — passive metric snapshots ([`Metric`],
+//!   [`HistogramSnapshot`] with bounded-error quantiles) returned by
+//!   [`Instrumented::metrics`]; the live recording side is `ltree-obs`;
 //! * [`cost_model`] — the closed-form cost/bit formulas of Section 3;
 //! * [`invariants`] — a full structural checker used pervasively in tests.
 
@@ -71,6 +74,7 @@ pub mod error;
 pub mod invariants;
 pub mod label;
 pub mod layout;
+pub mod metrics;
 pub mod node;
 pub mod order;
 pub mod params;
@@ -84,6 +88,7 @@ pub mod tree;
 
 pub use error::{LTreeError, Result};
 pub use label::Label;
+pub use metrics::{HistogramSnapshot, Metric, MetricValue};
 pub use order::OrderedList;
 pub use params::Params;
 pub use probe::{CallCounter, CallCounts};

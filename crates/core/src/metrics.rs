@@ -1,0 +1,347 @@
+//! Passive metric snapshots: the data types a scheme hands back from
+//! [`crate::Instrumented::metrics`].
+//!
+//! The paper's headline claim is *amortized* relabel cost — an average
+//! that by construction hides the spikes a rebalance causes. Counters
+//! ([`crate::SchemeStats`]) measure totals; making the amortization
+//! itself visible needs *distributions*: latency histograms with tail
+//! quantiles. This module holds only the **passive snapshot** side —
+//! plain data with merge and quantile math — so that every crate
+//! (wire codec, sharded aggregation, bench tables) can consume metrics
+//! without depending on the live recording machinery, which lives in
+//! `ltree-obs` (`MetricsRegistry`, atomically-updated histograms, the
+//! `traced(...)` wrapper).
+//!
+//! ## Bucket layout
+//!
+//! Histograms are log-bucketed with 32 sub-buckets per octave
+//! ([`SUB_BITS`] = 5): values below 32 get exact unit buckets, and a
+//! value `v ≥ 32` lands in the bucket keyed by its 5 bits below the
+//! most significant bit. Bucket width is `2^(msb-5)`, at most `1/32` of
+//! the bucket's lower bound, and snapshots report the bucket midpoint —
+//! so any reported quantile is within a relative error of `1/64` of the
+//! true sample (the property suite asserts `1/32` with slack). The
+//! index space is fixed ([`BUCKET_COUNT`] = 1920 covers all of `u64`),
+//! which makes merging two histograms a plain per-index sum — and
+//! therefore associative and commutative, the property per-shard and
+//! per-connection aggregation relies on.
+
+use std::fmt;
+
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per octave.
+pub const SUB_BITS: u32 = 5;
+
+/// Number of distinct bucket indices ([`bucket_index`] is always below
+/// this). 32 exact unit buckets + 59 octaves × 32 sub-buckets.
+pub const BUCKET_COUNT: u32 = (64 - SUB_BITS + 1) * (1 << SUB_BITS);
+
+/// The log-bucket index of a value. Monotone in `v`, exact below 32.
+pub fn bucket_index(v: u64) -> u32 {
+    if v < (1 << SUB_BITS) {
+        return v as u32;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as u32;
+    (msb - SUB_BITS + 1) * (1 << SUB_BITS) + sub
+}
+
+/// The representative value (bucket midpoint) for a bucket index.
+/// Inverse of [`bucket_index`] up to the bucket's relative error.
+pub fn value_for_index(idx: u32) -> u64 {
+    if idx < (1 << SUB_BITS) {
+        return idx as u64;
+    }
+    let block = idx >> SUB_BITS;
+    let msb = block + SUB_BITS - 1;
+    let sub = (idx & ((1 << SUB_BITS) - 1)) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lo = (1u64 << msb) + sub * width;
+    lo + width / 2
+}
+
+/// A frozen histogram: total count, total sum, and the sparse non-empty
+/// `(bucket index, count)` pairs in increasing index order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Non-empty buckets as `(index, count)`, sorted by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample into the snapshot (test/aggregation helper;
+    /// live recording happens lock-free in `ltree-obs`).
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+    }
+
+    /// Merge another snapshot into this one: per-index sum, so the
+    /// operation is associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the representative value of
+    /// the bucket holding the rank-`floor((count-1)·q)` sample. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).floor() as u64;
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                return value_for_index(idx);
+            }
+        }
+        // Unreachable when counts are consistent; fall back to the top.
+        self.buckets
+            .last()
+            .map_or(0, |&(idx, _)| value_for_index(idx))
+    }
+
+    /// Arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The value of one named metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// A point-in-time level (may go down).
+    Gauge(i64),
+    /// A latency/size distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a snapshot. Names are `/`-separated paths under
+/// a component prefix (`net/…`, `wal/…`, `audit/…`, `obs/…`); the full
+/// naming table lives in ARCHITECTURE.md's Observability section and is
+/// enforced by xtask lint rule 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// The metric's name (e.g. `obs/op/insert_after`).
+    pub name: String,
+    /// Its current value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// A named counter metric.
+    pub fn counter(name: impl Into<String>, value: u64) -> Self {
+        Metric {
+            name: name.into(),
+            value: MetricValue::Counter(value),
+        }
+    }
+
+    /// A named gauge metric.
+    pub fn gauge(name: impl Into<String>, value: i64) -> Self {
+        Metric {
+            name: name.into(),
+            value: MetricValue::Gauge(value),
+        }
+    }
+
+    /// A named histogram metric.
+    pub fn histogram(name: impl Into<String>, snap: HistogramSnapshot) -> Self {
+        Metric {
+            name: name.into(),
+            value: MetricValue::Histogram(snap),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            MetricValue::Counter(v) => write!(f, "{} = {v}", self.name),
+            MetricValue::Gauge(v) => write!(f, "{} = {v}", self.name),
+            MetricValue::Histogram(h) => write!(
+                f,
+                "{}: count={} mean={} p50={} p99={}",
+                self.name,
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ),
+        }
+    }
+}
+
+/// Sort a metric snapshot by name (stable output for scrapes and tests).
+pub fn sort_metrics(metrics: &mut [Metric]) {
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+}
+
+/// Merge several metric snapshots into one, name-sorted: same-named
+/// counters and gauges sum, same-named histograms merge bucket-wise.
+/// This is how a partitioned store (one instrument set per segment)
+/// reports a single coherent view. A kind clash on a name keeps the
+/// later value — snapshots from one process never clash.
+pub fn merge_metrics<I>(lists: I) -> Vec<Metric>
+where
+    I: IntoIterator<Item = Vec<Metric>>,
+{
+    let mut merged: std::collections::BTreeMap<String, MetricValue> =
+        std::collections::BTreeMap::new();
+    for m in lists.into_iter().flatten() {
+        match merged.entry(m.name) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(m.value);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), m.value) {
+                (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(&b),
+                (slot, v) => *slot = v,
+            },
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(name, value)| Metric { name, value })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Exact below 32, continuous across the first octave boundary.
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as u32);
+        }
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(63), 63);
+        assert_eq!(bucket_index(64), 64);
+        let mut prev = 0;
+        for shift in 0..58 {
+            for off in [0u64, 1, 3] {
+                let v = (97u64 << shift) + off;
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "monotone at {v}");
+                assert!(idx < BUCKET_COUNT);
+                prev = idx;
+            }
+        }
+        assert!(bucket_index(u64::MAX) < BUCKET_COUNT);
+    }
+
+    #[test]
+    fn representative_value_is_within_bucket_error() {
+        for shift in 0..60 {
+            for off in [0u64, 5, 11] {
+                let v = (41u64 << shift) + off;
+                let rep = value_for_index(bucket_index(v));
+                let err = rep.abs_diff(v);
+                assert!(err <= (v / 32).max(1), "v={v} rep={rep} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut h = HistogramSnapshot::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 100);
+        let p50 = h.quantile(0.5);
+        assert!(p50.abs_diff(50) <= 2, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99.abs_diff(99) <= 4, "p99={p99}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert!(h.quantile(1.0).abs_diff(100) <= 4);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_buckets() {
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        for v in [3u64, 3, 70, 1000] {
+            a.record(v);
+        }
+        for v in [3u64, 500, 1000] {
+            b.record(v);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count, 7);
+        assert_eq!(m.sum, a.sum + b.sum);
+        let at = |idx: u32| m.buckets.iter().find(|&&(i, _)| i == idx).map(|&(_, n)| n);
+        assert_eq!(at(bucket_index(3)), Some(3));
+        assert_eq!(at(bucket_index(1000)), Some(2));
+        // Buckets stay sorted.
+        assert!(m.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn merge_metrics_sums_by_name_and_sorts() {
+        let mut h1 = HistogramSnapshot::new();
+        h1.record(10);
+        let mut h2 = HistogramSnapshot::new();
+        h2.record(20);
+        let a = vec![
+            Metric::counter("z/ops", 2),
+            Metric::gauge("a/level", 3),
+            Metric::histogram("m/lat", h1.clone()),
+        ];
+        let b = vec![
+            Metric::counter("z/ops", 5),
+            Metric::gauge("a/level", -1),
+            Metric::histogram("m/lat", h2),
+        ];
+        let merged = merge_metrics([a, b]);
+        let names: Vec<_> = merged.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a/level", "m/lat", "z/ops"]);
+        assert_eq!(merged[2].value, MetricValue::Counter(7));
+        assert_eq!(merged[0].value, MetricValue::Gauge(2));
+        match &merged[1].value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 30);
+            }
+            other => panic!("expected a histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = HistogramSnapshot::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        let mut m = h.clone();
+        m.merge(&h);
+        assert_eq!(m, h);
+    }
+}

@@ -493,12 +493,24 @@ pub trait Instrumented {
     fn reset_scheme_stats(&mut self);
 
     /// Per-component breakdown of [`scheme_stats`](Self::scheme_stats),
-    /// as `(component, stats)` pairs. Empty for monolithic schemes (the
-    /// default); partitioned schemes (e.g. `ltree-sharded`) report one
-    /// entry per segment so the bench harness can show where the cost
-    /// concentrates. Components sum to at most the aggregate (retired
-    /// components may be folded into the aggregate only).
+    /// as `(component, stats)` pairs, **sorted by component name**.
+    /// Empty for monolithic schemes (the default); partitioned schemes
+    /// (e.g. `ltree-sharded`) report one entry per segment so the bench
+    /// harness can show where the cost concentrates. Components sum to
+    /// at most the aggregate (retired components may be folded into the
+    /// aggregate only).
     fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
+        Vec::new()
+    }
+
+    /// Time-based metrics: latency histograms, duration counters and
+    /// gauges as passive [`Metric`](crate::metrics::Metric) snapshots,
+    /// sorted by name. Empty by default — only instrumented wrappers
+    /// (`traced(...)`, `durable(...)`'s fsync timers) produce entries;
+    /// composing wrappers concatenate their own entries with the
+    /// inner scheme's so the full stack is visible through one call on
+    /// the outermost `Box<dyn DynScheme>`.
+    fn metrics(&self) -> Vec<crate::metrics::Metric> {
         Vec::new()
     }
 }
@@ -628,6 +640,9 @@ macro_rules! forward_instrumented {
         }
         fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
             (**self).stats_breakdown()
+        }
+        fn metrics(&self) -> Vec<crate::metrics::Metric> {
+            (**self).metrics()
         }
     };
 }

@@ -975,7 +975,23 @@ impl Instrumented for RemoteScheme {
                 ..SchemeStats::default()
             },
         ));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// The server's full metric snapshot — its own instrumentation
+    /// (request counter, phase histograms) plus the hosted scheme's
+    /// metrics — fetched in one round trip. This is how `repro metrics`
+    /// scrapes a running server. Empty on transport failure (the trait
+    /// cannot carry errors here).
+    fn metrics(&self) -> Vec<ltree_core::metrics::Metric> {
+        if !self.flush_quiet() {
+            return Vec::new();
+        }
+        match self.read_raw(Request::Metrics) {
+            Ok(Response::Metrics(m)) => m,
+            _ => Vec::new(),
+        }
     }
 }
 

@@ -47,10 +47,12 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
+use ltree_core::metrics::Metric;
 use ltree_core::{
     BatchLabeling, DynScheme, Instrumented, LTreeError, LeafHandle, OrderedLabeling,
     OrderedLabelingMut, Result, SchemeStats,
 };
+use ltree_obs::Histogram;
 
 use crate::wal::{
     encode_record, fnv1a, scan_log, scratch_dir, DurableDir, FsDir, SNAP_FILE, WAL_FILE,
@@ -209,6 +211,13 @@ pub struct DurableScheme {
     snap_seq: u64,
     ops_since_checkpoint: u64,
     wal: WalCounters,
+    /// Wall-clock cost of each `fsync` on the log file
+    /// (`wal/fsync-duration`, nanoseconds) — the price of the
+    /// ack-is-durable guarantee, visible through `metrics()`.
+    fsync_hist: Histogram,
+    /// Wall-clock cost of each checkpoint (`wal/checkpoint-duration`,
+    /// nanoseconds): snapshot encode + replace + log truncation.
+    checkpoint_hist: Histogram,
     /// A scratch directory this scheme created for itself (no `dir=`
     /// given) and removes again on drop.
     own_dir: Option<PathBuf>,
@@ -235,6 +244,8 @@ impl DurableScheme {
             snap_seq: 0,
             ops_since_checkpoint: 0,
             wal: WalCounters::default(),
+            fsync_hist: Histogram::new(),
+            checkpoint_hist: Histogram::new(),
             own_dir: None,
         };
         if !me.inner.is_empty() {
@@ -299,6 +310,7 @@ impl DurableScheme {
 
     /// Write a snapshot of the current state and truncate the log.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let start = std::time::Instant::now();
         let mut live = Vec::with_capacity(self.live);
         let mut cur = self.first_in_order();
         while let Some(h) = cur {
@@ -323,6 +335,8 @@ impl DurableScheme {
         self.dir.truncate(WAL_FILE, 0)?;
         self.ops_since_checkpoint = 0;
         self.wal.checkpoints += 1;
+        self.checkpoint_hist
+            .record(start.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -387,7 +401,9 @@ impl DurableScheme {
         self.wal.appends += 1;
         self.wal.bytes += rec.len() as u64;
         if self.opts.sync == SyncPolicy::Always {
+            let start = std::time::Instant::now();
             self.dir.sync(WAL_FILE)?;
+            self.fsync_hist.record(start.elapsed().as_nanos() as u64);
             self.wal.fsyncs += 1;
         }
         self.ops_since_checkpoint += 1;
@@ -628,6 +644,8 @@ impl Instrumented for DurableScheme {
             replayed: self.wal.replayed,
             ..WalCounters::default()
         };
+        self.fsync_hist = Histogram::new();
+        self.checkpoint_hist = Histogram::new();
     }
 
     fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
@@ -645,6 +663,17 @@ impl Instrumented for DurableScheme {
             entry(self.wal.failed_checkpoints),
         ));
         out.push(("wal/replayed".to_owned(), entry(self.wal.replayed)));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn metrics(&self) -> Vec<Metric> {
+        let mut out = vec![
+            Metric::histogram("wal/fsync-duration", self.fsync_hist.snapshot()),
+            Metric::histogram("wal/checkpoint-duration", self.checkpoint_hist.snapshot()),
+        ];
+        out.extend(self.inner.metrics());
+        ltree_core::metrics::sort_metrics(&mut out);
         out
     }
 }
@@ -792,6 +821,47 @@ mod tests {
             Err(other) => panic!("expected a Durability error, got {other:?}"),
             Ok(_) => panic!("expected a Durability error, got a recovered scheme"),
         }
+    }
+
+    #[test]
+    fn fsync_and_checkpoint_durations_flow_into_metrics() {
+        let dir = SimDir::new(6);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir), opts(SyncPolicy::Always, 0)).unwrap();
+        let hs = s.bulk_build(4).unwrap();
+        s.insert_after(hs[0]).unwrap();
+        s.checkpoint().unwrap();
+        let metrics = s.metrics();
+        let hist = |name: &str| match &metrics.iter().find(|m| m.name == name).unwrap().value {
+            ltree_core::metrics::MetricValue::Histogram(h) => h.clone(),
+            other => panic!("{name} should be a histogram, got {other:?}"),
+        };
+        assert_eq!(hist("wal/fsync-duration").count, 2, "one per logged op");
+        assert_eq!(hist("wal/checkpoint-duration").count, 1);
+        let names: Vec<_> = metrics.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "metrics come back name-sorted");
+        // The reset discipline clears the histograms too.
+        s.reset_scheme_stats();
+        assert_eq!(s.metrics().len(), 2, "inner scheme reports no metrics");
+        assert_eq!(hist("wal/fsync-duration").count, 2, "snapshot is passive");
+        match &s.metrics()[0].value {
+            ltree_core::metrics::MetricValue::Histogram(h) => assert_eq!(h.count, 0),
+            other => panic!("expected a histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breakdown_entries_are_name_sorted() {
+        let dir = SimDir::new(7);
+        let mut s =
+            DurableScheme::open(ltree(), Box::new(dir), opts(SyncPolicy::Always, 0)).unwrap();
+        s.bulk_build(4).unwrap();
+        let names: Vec<_> = s.stats_breakdown().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!
 //! * [`wire`] — a dependency-free length-prefixed frame codec covering
 //!   the full trait surface (point ops, typed splices, chunked
-//!   `(handle, label)` pages, stats), with explicit protocol-version and
-//!   error frames;
+//!   `(handle, label)` pages, stats, and a `Metrics` scrape frame
+//!   carrying counter/gauge/histogram snapshots), with explicit
+//!   protocol-version and error frames;
 //! * [`transport`] — one framed request/response channel:
 //!   [`TcpTransport`] (a socket) or [`LoopbackTransport`] (in-process,
 //!   same codec, no syscalls) behind the [`Transport`] trait;
@@ -31,7 +32,9 @@
 //! * [`LabelServer`] — a `std::net` TCP server hosting any
 //!   registry-built scheme behind an `RwLock` (shared reads, exclusive
 //!   writes), thread-per-connection with request pipelining, graceful
-//!   shutdown, per-connection op/byte counters, and
+//!   shutdown, per-connection op/byte counters, per-request phase
+//!   latency histograms (decode / lock-wait / apply / encode) answered
+//!   live through the wire `Metrics` request, and
 //!   [`loopback`](LabelServer::loopback) in-process connections;
 //!   [`ServerGroup`] launches *n* of them and hands back the
 //!   `sharded(n,remote(…))` deployment spec in one call;

@@ -239,6 +239,18 @@ struct Failure {
 
 type CallResult = std::result::Result<Response, Failure>;
 
+/// Append the request's tag name to a transport error context, so a
+/// timeout or broken pipe in a log names the operation it interrupted.
+/// Non-`Remote` errors pass through untouched.
+fn tag_with_request(error: LTreeError, verb: &str, req: &Request) -> LTreeError {
+    match error {
+        LTreeError::Remote { context } => LTreeError::Remote {
+            context: format!("{context} (while {verb} {})", req.name()),
+        },
+        other => other,
+    }
+}
+
 /// `policy.conns` transports to one endpoint, with checkout, reconnect
 /// and retry. See the [module docs](self).
 pub struct ConnectionPool {
@@ -376,7 +388,10 @@ impl ConnectionPool {
 
     /// One send+recv on an already-checked-out slot, connecting it
     /// lazily first. Transport failures kill the slot's transport and
-    /// bump the reconnect epoch.
+    /// bump the reconnect epoch. Transport error contexts are tagged
+    /// with the request name (`"… while sending Splice::InsertAfter"`)
+    /// so a timeout in a log names the operation that hung, not just
+    /// the peer.
     fn exchange(&self, slot: &mut Slot, req: &Request) -> CallResult {
         if slot.transport.is_none() {
             self.connect_slot(slot)?;
@@ -388,7 +403,7 @@ impl ConnectionPool {
                 self.kill(slot);
                 return Err(Failure {
                     stage: FailStage::Send,
-                    error,
+                    error: tag_with_request(error, "sending", req),
                 });
             }
         }
@@ -402,7 +417,7 @@ impl ConnectionPool {
                 self.kill(slot);
                 Err(Failure {
                     stage: FailStage::Recv,
-                    error,
+                    error: tag_with_request(error, "awaiting", req),
                 })
             }
         }
@@ -543,7 +558,7 @@ impl WriteConn<'_> {
             }
             Err(e) => {
                 self.pool.kill(&mut self.slot);
-                Err(e)
+                Err(tag_with_request(e, "sending", req))
             }
         }
     }
@@ -574,5 +589,32 @@ impl WriteConn<'_> {
     /// Charge one round trip to this connection's counters.
     pub fn count_round_trip(&mut self) {
         self.slot.stats.round_trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltree_core::{LTree, Params};
+
+    #[test]
+    fn transport_errors_name_the_request() {
+        let mut server = crate::server::LabelServer::bind(
+            "127.0.0.1:0",
+            Box::new(LTree::new(Params::new(4, 2).unwrap())),
+        )
+        .unwrap();
+        let pool = ConnectionPool::connect(
+            Endpoint::tcp(&server.local_addr().to_string()).unwrap(),
+            ClientPolicy::default(),
+        )
+        .unwrap();
+        server.shutdown();
+        let err = pool.call_read(&Request::Len).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("Len"),
+            "transport error should name the request tag: {msg}"
+        );
     }
 }

@@ -25,11 +25,14 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use ltree_core::metrics::{sort_metrics, Metric};
 use ltree_core::registry::{SchemeConfig, SchemeRegistry};
 use ltree_core::{
     Cursor, DynScheme, Instrumented, LTreeError, LeafHandle, Result, SchemeStats, Splice,
 };
+use ltree_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::transport::LoopbackTransport;
 use crate::wire::{
@@ -101,6 +104,61 @@ impl TransportCounters {
     }
 }
 
+/// The server's own live instrumentation: the request counter, the
+/// active-connection gauge, and the four per-request phase histograms
+/// (`net/phase/{decode,lock-wait,apply,encode}`, nanoseconds). Shared by
+/// every connection thread and by loopback transports; a `Metrics` wire
+/// request (or [`Instrumented::metrics`] on the server) snapshots it
+/// together with the hosted scheme's own metrics.
+pub(crate) struct ServerMetrics {
+    registry: MetricsRegistry,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) active_conns: Arc<Gauge>,
+    pub(crate) decode: Arc<Histogram>,
+    pub(crate) lock_wait: Arc<Histogram>,
+    pub(crate) apply: Arc<Histogram>,
+    pub(crate) encode: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Arc<ServerMetrics> {
+        let registry = MetricsRegistry::new();
+        let requests = registry.counter("net/requests");
+        let active_conns = registry.gauge("net/active-conns");
+        let decode = registry.histogram("net/phase/decode");
+        let lock_wait = registry.histogram("net/phase/lock-wait");
+        let apply = registry.histogram("net/phase/apply");
+        let encode = registry.histogram("net/phase/encode");
+        Arc::new(ServerMetrics {
+            registry,
+            requests,
+            active_conns,
+            decode,
+            lock_wait,
+            apply,
+            encode,
+        })
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<Metric> {
+        self.registry.snapshot()
+    }
+}
+
+/// The full scrape: the server's own instrumentation concatenated with
+/// the hosted scheme's [`Instrumented::metrics`], sorted by name. One
+/// function backs the wire `Metrics` handler and the host-side
+/// [`Instrumented`] impl, so both views agree counter-for-counter.
+pub(crate) fn full_metrics(
+    scheme: &RwLock<Box<dyn DynScheme>>,
+    metrics: &ServerMetrics,
+) -> Vec<Metric> {
+    let mut out = metrics.snapshot();
+    out.extend(read_lock(scheme).metrics());
+    sort_metrics(&mut out);
+    out
+}
+
 struct ConnReg {
     id: usize,
     /// A clone of the connection's socket, kept so shutdown can unblock
@@ -138,6 +196,7 @@ fn write_lock(s: &RwLock<Box<dyn DynScheme>>) -> RwLockWriteGuard<'_, Box<dyn Dy
 pub struct LabelServer {
     addr: SocketAddr,
     scheme: SharedScheme,
+    metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<ConnReg>>>,
     next_conn_id: Arc<AtomicUsize>,
@@ -152,17 +211,19 @@ impl LabelServer {
         let listener = TcpListener::bind(addr).map_err(io_err)?;
         let addr = listener.local_addr().map_err(io_err)?;
         let scheme: SharedScheme = Arc::new(RwLock::new(scheme));
+        let metrics = ServerMetrics::new();
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<ConnReg>>> = Arc::new(Mutex::new(Vec::new()));
         let next_conn_id = Arc::new(AtomicUsize::new(0));
         let accept = {
             let (scheme, stop, conns) = (scheme.clone(), stop.clone(), conns.clone());
-            let ids = next_conn_id.clone();
-            std::thread::spawn(move || accept_loop(listener, scheme, stop, conns, ids))
+            let (metrics, ids) = (metrics.clone(), next_conn_id.clone());
+            std::thread::spawn(move || accept_loop(listener, scheme, metrics, stop, conns, ids))
         };
         Ok(LabelServer {
             addr,
             scheme,
+            metrics,
             stop,
             conns,
             next_conn_id,
@@ -181,7 +242,13 @@ impl LabelServer {
     /// `net/conn<i>/...` breakdown entry) and takes the same `RwLock`
     /// the socket connections take, but frames never leave the process.
     pub fn loopback(&self) -> LoopbackTransport {
-        make_loopback(&self.scheme, &self.stop, &self.conns, &self.next_conn_id)
+        make_loopback(
+            &self.scheme,
+            &self.metrics,
+            &self.stop,
+            &self.conns,
+            &self.next_conn_id,
+        )
     }
 
     /// A closure that mints loopback transports from the server
@@ -192,6 +259,7 @@ impl LabelServer {
         &self,
     ) -> Box<dyn Fn() -> Result<LoopbackTransport> + Send + Sync> {
         let scheme = self.scheme.clone();
+        let metrics = self.metrics.clone();
         let stop = self.stop.clone();
         let conns = self.conns.clone();
         let next_id = self.next_conn_id.clone();
@@ -201,7 +269,7 @@ impl LabelServer {
                     context: "loopback: server is shut down".into(),
                 });
             }
-            Ok(make_loopback(&scheme, &stop, &conns, &next_id))
+            Ok(make_loopback(&scheme, &metrics, &stop, &conns, &next_id))
         })
     }
 
@@ -315,13 +383,20 @@ impl Instrumented for LabelServer {
         for c in conns.iter() {
             out.extend(c.counters.breakdown_entries(&format!("net/conn{}", c.id)));
         }
+        drop(conns);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    fn metrics(&self) -> Vec<Metric> {
+        full_metrics(&self.scheme, &self.metrics)
     }
 }
 
 /// Register one loopback connection and hand back its transport.
 fn make_loopback(
     scheme: &SharedScheme,
+    metrics: &Arc<ServerMetrics>,
     stop: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<ConnReg>>>,
     next_conn_id: &Arc<AtomicUsize>,
@@ -339,6 +414,7 @@ fn make_loopback(
         });
     LoopbackTransport {
         scheme: scheme.clone(),
+        metrics: metrics.clone(),
         stop: stop.clone(),
         counters,
         pending: std::collections::VecDeque::new(),
@@ -348,6 +424,7 @@ fn make_loopback(
 fn accept_loop(
     listener: TcpListener,
     scheme: SharedScheme,
+    metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<ConnReg>>>,
     next_conn_id: Arc<AtomicUsize>,
@@ -373,7 +450,8 @@ fn accept_loop(
         let counters = Arc::new(TransportCounters::default());
         let thread = {
             let (scheme, counters, stop) = (scheme.clone(), counters.clone(), stop.clone());
-            std::thread::spawn(move || serve_conn(stream, scheme, counters, stop))
+            let metrics = metrics.clone();
+            std::thread::spawn(move || serve_conn(stream, scheme, metrics, counters, stop))
         };
         conns
             .lock()
@@ -394,12 +472,14 @@ fn accept_loop(
 fn serve_conn(
     stream: TcpStream,
     scheme: SharedScheme,
+    metrics: Arc<ServerMetrics>,
     counters: Arc<TransportCounters>,
     stop: Arc<AtomicBool>,
 ) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    metrics.active_conns.add(1);
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     while !stop.load(Ordering::SeqCst) {
@@ -408,16 +488,22 @@ fn serve_conn(
             Ok(None) | Err(_) => break,
         };
         let in_bytes = 4 + payload.len() as u64;
-        let resp = match decode_request(&payload) {
-            Ok(req) => handle_request(&scheme, req),
+        let t = Instant::now();
+        let decoded = decode_request(&payload);
+        metrics.decode.record(t.elapsed().as_nanos() as u64);
+        let resp = match decoded {
+            Ok(req) => handle_request(&scheme, &metrics, req),
             Err(e) => Response::Err(e),
         };
+        let t = Instant::now();
         let out = encode_response_capped(&resp);
+        metrics.encode.record(t.elapsed().as_nanos() as u64);
         match write_frame(&mut writer, &out) {
             Ok(out_bytes) => counters.add(1, in_bytes, out_bytes),
             Err(_) => break,
         }
     }
+    metrics.active_conns.add(-1);
 }
 
 fn ok_or_err<T>(r: Result<T>, f: impl FnOnce(T) -> Response) -> Response {
@@ -427,7 +513,50 @@ fn ok_or_err<T>(r: Result<T>, f: impl FnOnce(T) -> Response) -> Response {
     }
 }
 
-pub(crate) fn handle_request(scheme: &RwLock<Box<dyn DynScheme>>, req: Request) -> Response {
+pub(crate) fn handle_request(
+    scheme: &RwLock<Box<dyn DynScheme>>,
+    metrics: &ServerMetrics,
+    req: Request,
+) -> Response {
+    metrics.requests.inc();
+    let start = Instant::now();
+    // Lock-wait is accumulated by the closures below; the apply phase is
+    // everything else in this function (the time actually holding the
+    // lock and running the scheme). Both are recorded per request.
+    let waited = std::cell::Cell::new(0u64);
+    let rl = || {
+        let t = Instant::now();
+        let g = read_lock(scheme);
+        waited.set(waited.get() + t.elapsed().as_nanos() as u64);
+        g
+    };
+    let wl = || {
+        let t = Instant::now();
+        let g = write_lock(scheme);
+        waited.set(waited.get() + t.elapsed().as_nanos() as u64);
+        g
+    };
+    let resp = dispatch(rl, wl, metrics, scheme, req);
+    let total = start.elapsed().as_nanos() as u64;
+    let lock_wait = waited.get();
+    metrics.lock_wait.record(lock_wait);
+    metrics.apply.record(total.saturating_sub(lock_wait));
+    resp
+}
+
+fn dispatch<'a, R, W>(
+    rl: R,
+    wl: W,
+    metrics: &ServerMetrics,
+    scheme: &'a RwLock<Box<dyn DynScheme>>,
+    req: Request,
+) -> Response
+where
+    R: Fn() -> RwLockReadGuard<'a, Box<dyn DynScheme>>,
+    W: Fn() -> RwLockWriteGuard<'a, Box<dyn DynScheme>>,
+{
+    let read_lock = |_: &RwLock<Box<dyn DynScheme>>| rl();
+    let write_lock = |_: &RwLock<Box<dyn DynScheme>>| wl();
     match req {
         Request::Hello { version } => {
             if version == PROTOCOL_VERSION {
@@ -501,6 +630,12 @@ pub(crate) fn handle_request(scheme: &RwLock<Box<dyn DynScheme>>, req: Request) 
             Response::Unit
         }
         Request::StatsBreakdown => Response::Breakdown(read_lock(scheme).stats_breakdown()),
+        Request::Metrics => {
+            let mut out = metrics.snapshot();
+            out.extend(read_lock(scheme).metrics());
+            sort_metrics(&mut out);
+            Response::Metrics(out)
+        }
     }
 }
 

@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use ltree_core::{DynScheme, LTreeError, Result};
 
-use crate::server::{handle_request, TransportCounters};
+use crate::server::{handle_request, ServerMetrics, TransportCounters};
 use crate::wire::{
     decode_request, decode_response, encode_request, encode_response_capped, io_err, read_frame,
     write_frame, Request, Response,
@@ -130,6 +130,7 @@ impl Drop for TcpTransport {
 /// [`LabelServer::loopback`]: crate::server::LabelServer::loopback
 pub struct LoopbackTransport {
     pub(crate) scheme: Arc<RwLock<Box<dyn DynScheme>>>,
+    pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) stop: Arc<AtomicBool>,
     pub(crate) counters: Arc<TransportCounters>,
     pub(crate) pending: VecDeque<Vec<u8>>,
@@ -145,10 +146,15 @@ impl Transport for LoopbackTransport {
         let payload = encode_request(req);
         let in_bytes = 4 + payload.len() as u64;
         // Round-trip through the codec so loopback exercises exactly
-        // the bytes a socket would carry.
+        // the bytes a socket would carry — timed into the same phase
+        // histograms the socket path records.
+        let t = std::time::Instant::now();
         let req = decode_request(&payload)?;
-        let resp = handle_request(&self.scheme, req);
+        self.metrics.decode.record(t.elapsed().as_nanos() as u64);
+        let resp = handle_request(&self.scheme, &self.metrics, req);
+        let t = std::time::Instant::now();
         let out = encode_response_capped(&resp);
+        self.metrics.encode.record(t.elapsed().as_nanos() as u64);
         self.counters.add(1, in_bytes, 4 + out.len() as u64);
         self.pending.push_back(out);
         Ok(in_bytes)

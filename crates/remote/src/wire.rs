@@ -30,11 +30,14 @@
 //! Every frame type round-trips exactly (`decode(encode(f)) == f`);
 //! `tests` drive that with a SplitMix64 fuzzer, error frames included.
 
+use ltree_core::metrics::{HistogramSnapshot, Metric, MetricValue, BUCKET_COUNT};
 use ltree_core::{LTreeError, Result, SchemeStats};
 
 /// Protocol version spoken by this build. Bump on any frame change;
 /// peers reject mismatches at the handshake.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version history: 1 — initial protocol; 2 — adds the
+/// [`Request::Metrics`] / [`Response::Metrics`] scrape frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on a single frame's payload: fits a bulk-build response of
 /// up to ~8.3 million handles, and fails fast on a corrupt length
@@ -96,6 +99,41 @@ pub enum Request {
     ResetStats,
     /// [`stats_breakdown`](ltree_core::Instrumented::stats_breakdown).
     StatsBreakdown,
+    /// A full metrics scrape: the server's own instrumentation (request
+    /// counters, per-phase latency histograms) concatenated with the
+    /// hosted scheme's [`metrics`](ltree_core::Instrumented::metrics),
+    /// sorted by name. Since protocol version 2.
+    Metrics,
+}
+
+impl Request {
+    /// The request's tag name, for error contexts and logs — so a
+    /// timeout says *which* operation timed out.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "Hello",
+            Request::Name => "Name",
+            Request::LabelOf(_) => "LabelOf",
+            Request::Len => "Len",
+            Request::LiveLen => "LiveLen",
+            Request::FirstInOrder => "FirstInOrder",
+            Request::NextInOrder(_) => "NextInOrder",
+            Request::LabelSpaceBits => "LabelSpaceBits",
+            Request::MemoryBytes => "MemoryBytes",
+            Request::BulkBuild(_) => "BulkBuild",
+            Request::InsertFirst => "InsertFirst",
+            Request::InsertAfter(_) => "InsertAfter",
+            Request::InsertBefore(_) => "InsertBefore",
+            Request::Delete(_) => "Delete",
+            Request::Splice(WireSplice::InsertAfter { .. }) => "Splice::InsertAfter",
+            Request::Splice(WireSplice::DeleteRun { .. }) => "Splice::DeleteRun",
+            Request::Page { .. } => "Page",
+            Request::Stats => "Stats",
+            Request::ResetStats => "ResetStats",
+            Request::StatsBreakdown => "StatsBreakdown",
+            Request::Metrics => "Metrics",
+        }
+    }
 }
 
 /// A [`ltree_core::Splice`] in wire form (handles as raw `u64`s).
@@ -156,6 +194,9 @@ pub enum Response {
     /// The operation failed; see [`wire_error`] for which variants
     /// travel losslessly.
     Err(LTreeError),
+    /// A metrics snapshot (counters, gauges, histograms), sorted by
+    /// name. Since protocol version 2.
+    Metrics(Vec<Metric>),
 }
 
 /// Canonicalize an error for the wire: every variant travels as itself
@@ -205,6 +246,34 @@ fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
         Some(h) => {
             put_u8(buf, 1);
             put_u64(buf, h);
+        }
+    }
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_metric(buf: &mut Vec<u8>, m: &Metric) {
+    put_str(buf, &m.name);
+    match &m.value {
+        MetricValue::Counter(v) => {
+            put_u8(buf, 0);
+            put_u64(buf, *v);
+        }
+        MetricValue::Gauge(v) => {
+            put_u8(buf, 1);
+            put_i64(buf, *v);
+        }
+        MetricValue::Histogram(h) => {
+            put_u8(buf, 2);
+            put_u64(buf, h.count);
+            put_u64(buf, h.sum);
+            put_u32(buf, h.buckets.len() as u32);
+            for (idx, n) in &h.buckets {
+                put_u32(buf, *idx);
+                put_u64(buf, *n);
+            }
         }
     }
 }
@@ -279,6 +348,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => put_u8(&mut b, 17),
         Request::ResetStats => put_u8(&mut b, 18),
         Request::StatsBreakdown => put_u8(&mut b, 19),
+        Request::Metrics => put_u8(&mut b, 20),
     }
     b
 }
@@ -383,6 +453,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u8(&mut b, 13);
             put_error(&mut b, e);
         }
+        Response::Metrics(metrics) => {
+            put_u8(&mut b, 14);
+            put_u32(&mut b, metrics.len() as u32);
+            for m in metrics {
+                put_metric(&mut b, m);
+            }
+        }
     }
     b
 }
@@ -464,6 +541,40 @@ impl<'a> Buf<'a> {
         }
     }
 
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn metric(&mut self) -> Result<Metric> {
+        let name = self.str()?;
+        Ok(match self.u8()? {
+            0 => Metric::counter(name, self.u64()?),
+            1 => Metric::gauge(name, self.i64()?),
+            2 => {
+                let count = self.u64()?;
+                let sum = self.u64()?;
+                let n = self.u32()? as usize;
+                let mut buckets = Vec::with_capacity(n.min(BUCKET_COUNT as usize));
+                for _ in 0..n {
+                    let idx = self.u32()?;
+                    if idx >= BUCKET_COUNT {
+                        return Err(bad("histogram bucket index out of range"));
+                    }
+                    buckets.push((idx, self.u64()?));
+                }
+                Metric::histogram(
+                    name,
+                    HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                )
+            }
+            _ => return Err(bad("bad metric kind tag")),
+        })
+    }
+
     fn stats(&mut self) -> Result<SchemeStats> {
         Ok(SchemeStats {
             inserts: self.u64()?,
@@ -519,6 +630,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request> {
         17 => Request::Stats,
         18 => Request::ResetStats,
         19 => Request::StatsBreakdown,
+        20 => Request::Metrics,
         _ => return Err(bad("bad request tag")),
     };
     b.finish()?;
@@ -589,6 +701,14 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response> {
             Response::Breakdown(entries)
         }
         13 => Response::Err(decode_error(&mut b)?),
+        14 => {
+            let n = b.u32()? as usize;
+            let mut metrics = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                metrics.push(b.metric()?);
+            }
+            Response::Metrics(metrics)
+        }
         _ => return Err(bad("bad response tag")),
     };
     b.finish()?;
@@ -693,8 +813,38 @@ mod tests {
         }
     }
 
+    fn rand_metric(rng: &mut SplitMix64) -> Metric {
+        let name = rand_string(rng);
+        match rng.gen_range(0..3) {
+            0 => Metric::counter(name, rng.next_u64()),
+            1 => Metric::gauge(name, rng.next_u64() as i64),
+            _ => {
+                let n = rng.gen_range(0..10);
+                let mut buckets: Vec<(u32, u64)> = (0..n)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..BUCKET_COUNT as usize) as u32,
+                            rng.next_u64() >> 16,
+                        )
+                    })
+                    .collect();
+                buckets.sort_unstable();
+                buckets.dedup_by_key(|(idx, _)| *idx);
+                let count = buckets.iter().map(|(_, n)| n).sum();
+                Metric::histogram(
+                    name,
+                    HistogramSnapshot {
+                        count,
+                        sum: rng.next_u64(),
+                        buckets,
+                    },
+                )
+            }
+        }
+    }
+
     fn rand_request(rng: &mut SplitMix64) -> Request {
-        match rng.gen_range(0..19) {
+        match rng.gen_range(0..20) {
             0 => Request::Hello {
                 version: rng.next_u64() as u32,
             },
@@ -724,6 +874,7 @@ mod tests {
                 limit: rng.next_u64() as u32,
             },
             17 => Request::Stats,
+            18 => Request::Metrics,
             _ => {
                 if rng.gen_bool(0.5) {
                     Request::ResetStats
@@ -735,7 +886,7 @@ mod tests {
     }
 
     fn rand_response(rng: &mut SplitMix64) -> Response {
-        match rng.gen_range(0..13) {
+        match rng.gen_range(0..14) {
             0 => Response::Hello {
                 version: rng.next_u64() as u32,
             },
@@ -767,6 +918,10 @@ mod tests {
                         .map(|_| (rand_string(rng), rand_stats(rng)))
                         .collect(),
                 )
+            }
+            12 => {
+                let n = rng.gen_range(0..6);
+                Response::Metrics((0..n).map(|_| rand_metric(rng)).collect())
             }
             _ => Response::Err(rand_error(rng)),
         }
@@ -820,6 +975,11 @@ mod tests {
         ok.push(0);
         assert!(decode_request(&ok).is_err(), "trailing bytes");
         assert!(decode_response(&[13, 99]).is_err(), "bad error tag");
+        // Metrics frame: count 1, empty name, unknown kind tag 9.
+        assert!(
+            decode_response(&[14, 1, 0, 0, 0, 0, 0, 0, 0, 9]).is_err(),
+            "bad metric kind tag"
+        );
         assert!(
             decode_response(&[2, 4, 0, 0, 0, 0xff, 0xfe, 0x01, 0x02]).is_err(),
             "bad utf8"

@@ -787,15 +787,29 @@ impl<S: LabelingScheme> Instrumented for ShardedScheme<S> {
         }
     }
 
-    /// One entry per segment, in global order, keyed `shard0..shardN`.
+    /// One entry per segment, keyed `shard0..shardN` by global rank and
+    /// sorted by name (the workspace-wide breakdown ordering contract).
     /// Counters folded from retired (merged-away) segments appear only
     /// in the aggregate.
     fn stats_breakdown(&self) -> Vec<(String, SchemeStats)> {
-        self.order
+        let mut out: Vec<(String, SchemeStats)> = self
+            .order
             .iter()
             .enumerate()
             .map(|(i, &s)| (format!("shard{i}"), self.shard(s).scheme.scheme_stats()))
-            .collect()
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Segment metrics merged into one view: same-named counters sum,
+    /// same-named histograms merge bucket-wise — so
+    /// `sharded(4,traced(…))` reports one `obs/op/*` family spanning
+    /// all segments, not four disjoint ones.
+    fn metrics(&self) -> Vec<ltree_core::metrics::Metric> {
+        ltree_core::metrics::merge_metrics(
+            self.order.iter().map(|&s| self.shard(s).scheme.metrics()),
+        )
     }
 }
 

@@ -1,7 +1,7 @@
 //! # `xtask` — workspace lint rules clippy cannot express
 //!
 //! A dependency-free, syntax-level checker for repo conventions, run in
-//! CI (and locally) as `cargo xtask lint`. Five rules:
+//! CI (and locally) as `cargo xtask lint`. Six rules:
 //!
 //! 1. **`crate-attrs`** — every crate's `lib.rs` carries
 //!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
@@ -23,6 +23,13 @@
 //!    their on-disk space from `ltree::remote::scratch_dir` (or
 //!    `std::env::temp_dir()`), so parallel runs and sandboxed CI cannot
 //!    collide on shared paths.
+//! 6. **`metric-names`** — every breakdown/metric series name the
+//!    workspace mints (a string literal under the `net/`, `wal/`,
+//!    `audit/` or `obs/` namespaces) must appear in `ARCHITECTURE.md`'s
+//!    Observability naming table, so a new series cannot ship
+//!    undocumented. Format placeholders and literal indices normalize
+//!    to `<i>` before the lookup, matching the table's
+//!    `net/conn<i>/round-trips`-style family rows.
 //!
 //! The rules are plain functions over `(path, content)` so the test
 //! suite can point them at seeded-violation fixtures under
@@ -46,7 +53,7 @@ pub struct Finding {
     /// 1-based line number (0 for whole-file findings).
     pub line: usize,
     /// Rule identifier (`crate-attrs`, `fixed-port`, `lock-unwrap`,
-    /// `spec-grammar`, `fixed-path`).
+    /// `spec-grammar`, `fixed-path`, `metric-names`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -275,6 +282,143 @@ pub fn check_spec_strings(
     out
 }
 
+/// The metric/breakdown namespaces rule 6 polices. Assembled at runtime
+/// so the linter's own prefix list is not itself a candidate.
+fn metric_prefixes() -> Vec<String> {
+    ["net", "wal", "audit", "obs"]
+        .iter()
+        .map(|p| format!("{p}/"))
+        .collect()
+}
+
+/// Every complete (non-escaped) `"…"` string literal on one line.
+fn string_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur: Option<String> = None;
+    let mut escape = false;
+    for c in line.chars() {
+        match cur.as_mut() {
+            Some(s) => {
+                if escape {
+                    escape = false;
+                    s.push(c);
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    out.push(cur.take().expect("checked via as_mut"));
+                } else {
+                    s.push(c);
+                }
+            }
+            None => {
+                if c == '"' {
+                    cur = Some(String::new());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Canonical form of a series name for the naming-table lookup: format
+/// placeholders (`{…}`) and literal digit runs both become `<i>`, so
+/// `net/conn{}` in a `format!` and `net/conn0/round-trips` in a test
+/// both resolve to the table's `net/conn<i>…` family row.
+fn normalize_metric_name(name: &str) -> String {
+    let mut out = String::new();
+    let mut chars = name.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            for n in chars.by_ref() {
+                if n == '}' {
+                    break;
+                }
+            }
+            out.push_str("<i>");
+        } else if c.is_ascii_digit() {
+            while chars.peek().is_some_and(char::is_ascii_digit) {
+                chars.next();
+            }
+            out.push_str("<i>");
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Does a documented naming-table entry cover a normalized candidate?
+/// `<i>` in the candidate matches any non-`/` run in the entry, and an
+/// entry extending past the candidate still counts — prefix literals
+/// (`starts_with("net/conn")` filters) are covered by the family rows
+/// they select.
+fn metric_name_matches(entry: &str, candidate: &str) -> bool {
+    if let Some(pos) = candidate.find("<i>") {
+        let (head, rest) = (&candidate[..pos], &candidate[pos + 3..]);
+        let Some(tail) = entry.strip_prefix(head) else {
+            return false;
+        };
+        let limit = tail.find('/').unwrap_or(tail.len());
+        (0..=limit).any(|k| metric_name_matches(&tail[k..], rest))
+    } else {
+        entry.starts_with(candidate)
+    }
+}
+
+/// The series names `ARCHITECTURE.md` documents: every backtick-quoted
+/// span under a policed namespace, wherever it appears in the file (the
+/// Observability naming table in practice).
+pub fn documented_metric_names(architecture: &str) -> Vec<String> {
+    let prefixes = metric_prefixes();
+    let mut out = Vec::new();
+    for line in architecture.lines() {
+        for span in backtick_spans(line) {
+            if prefixes.iter().any(|p| span.starts_with(p.as_str())) {
+                out.push(span.to_owned());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Rule 6: every series name a string literal mints under the policed
+/// namespaces must appear in the `ARCHITECTURE.md` naming table
+/// (`documented`, from [`documented_metric_names`]). Literals that are
+/// prose (whitespace or `*`) or bare namespace filters (trailing `/`)
+/// are not names and are skipped.
+pub fn check_metric_names(path: &Path, content: &str, documented: &[String]) -> Vec<Finding> {
+    let prefixes = metric_prefixes();
+    let mut out = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        for lit in string_literals(line) {
+            if !prefixes.iter().any(|p| lit.starts_with(p.as_str())) {
+                continue;
+            }
+            if lit.ends_with('/') || lit.contains('*') || lit.chars().any(char::is_whitespace) {
+                continue;
+            }
+            let candidate = normalize_metric_name(&lit);
+            if !documented
+                .iter()
+                .any(|d| metric_name_matches(d, &candidate))
+            {
+                out.push(Finding {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "metric-names",
+                    message: format!(
+                        "series name `{lit}` is not in ARCHITECTURE.md's Observability \
+                         naming table — document it (as `{candidate}`) before shipping it"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Is this a path component the walker should never descend into?
 fn skipped_dir(name: &str) -> bool {
     name == "target" || name == "fixtures" || name.starts_with('.')
@@ -310,6 +454,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let reg = ltree::default_registry();
     let mut findings = Vec::new();
 
+    // Rule 6 checks every minted series name against the architecture
+    // doc's naming table; a missing doc means nothing is documented.
+    let documented = fs::read_to_string(root.join("ARCHITECTURE.md"))
+        .map(|text| documented_metric_names(&text))
+        .unwrap_or_default();
+
     // Rule 1 runs over the known crate roots, so a crate *missing* its
     // lib.rs attributes is caught even though the content scan below
     // can only flag what exists.
@@ -339,6 +489,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                     findings.extend(check_fixed_paths(&path, &content));
                 }
                 findings.extend(check_spec_strings(&path, &content, &reg, false));
+                findings.extend(check_metric_names(&path, &content, &documented));
             }
             Some("md") => {
                 let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -364,6 +515,23 @@ mod tests {
             vec!["ltree(4,2)", "gap"]
         );
         assert_eq!(backtick_spans("``` fenced"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn metric_names_normalize_and_match_family_rows() {
+        assert_eq!(normalize_metric_name("net/conn{}"), "net/conn<i>");
+        assert_eq!(
+            normalize_metric_name("net/conn17/round-trips"),
+            "net/conn<i>/round-trips"
+        );
+        assert_eq!(normalize_metric_name("net/requests"), "net/requests");
+
+        let row = "net/conn<i>/round-trips";
+        assert!(metric_name_matches(row, "net/conn<i>/round-trips"));
+        assert!(metric_name_matches(row, "net/conn<i>"));
+        assert!(metric_name_matches(row, "net/conn"), "prefix filters");
+        assert!(metric_name_matches("net/phase/decode", "net/phase/<i>"));
+        assert!(!metric_name_matches("net/requests", "net/round-trips"));
     }
 
     #[test]

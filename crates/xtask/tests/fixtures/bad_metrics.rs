@@ -1,0 +1,10 @@
+//! Seeded violation for the `metric-names` rule: mints a series name
+//! that no naming table documents (plus healthy names that are).
+
+fn main() {
+    let documented = "net/requests";
+    let family = "net/conn7/round-trips";
+    let prefix_filter = "obs/op/";
+    let undocumented = "obs/op/no_such_op";
+    let _ = (documented, family, prefix_filter, undocumented);
+}

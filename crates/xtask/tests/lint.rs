@@ -5,8 +5,8 @@
 use std::path::{Path, PathBuf};
 
 use xtask::{
-    check_crate_attrs, check_fixed_paths, check_fixed_ports, check_lock_unwrap, check_spec_strings,
-    lint_workspace,
+    check_crate_attrs, check_fixed_paths, check_fixed_ports, check_lock_unwrap, check_metric_names,
+    check_spec_strings, documented_metric_names, lint_workspace,
 };
 
 fn fixture(name: &str) -> (PathBuf, String) {
@@ -67,6 +67,38 @@ fn seeded_bad_spec_is_flagged_and_healthy_spans_are_not() {
         findings[0].message.contains("no-such-scheme"),
         "{findings:?}"
     );
+}
+
+#[test]
+fn seeded_undocumented_metric_name_is_flagged_but_table_rows_cover_families() {
+    let (path, content) = fixture("bad_metrics.rs");
+    // A miniature naming table: an exact row and an `<i>` family row.
+    let documented = vec![
+        "net/requests".to_string(),
+        "net/conn<i>/round-trips".to_string(),
+    ];
+    let findings = check_metric_names(&path, &content, &documented);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    // (Name assembled at runtime so this test is not itself a finding.)
+    let bad = ["obs", "op", "no_such_op"].join("/");
+    assert!(findings[0].message.contains(&bad), "{findings:?}");
+    assert!(findings[0].rule == "metric-names");
+}
+
+#[test]
+fn the_architecture_naming_table_covers_the_live_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("ARCHITECTURE.md")).expect("doc exists");
+    let documented = documented_metric_names(&text);
+    // The table documents at least the big families; an empty scrape of
+    // the doc would make rule 6 vacuously fire on everything.
+    for expected in ["net/requests", "wal/fsync-duration", "audit/runs"] {
+        assert!(
+            documented.iter().any(|d| d == expected),
+            "naming table lost `{expected}`: {documented:?}"
+        );
+    }
+    assert!(documented.iter().any(|d| d.starts_with("obs/op/")));
 }
 
 #[test]

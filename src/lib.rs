@@ -97,6 +97,12 @@ pub mod checked {
     pub use ltree_checked::*;
 }
 
+/// The observability layer: metrics registry, latency histograms, span
+/// event log and the `traced(inner)` wrapper.
+pub mod obs {
+    pub use ltree_obs::*;
+}
+
 /// Baseline labeling schemes (sequential, gapped, list-labeling).
 pub mod baselines {
     pub use labeling_baselines::*;
@@ -136,15 +142,18 @@ pub mod rel {
 /// | `remote` | client for external label server(s) | `(addrs[,options])` |
 /// | `durable` | write-ahead logged, snapshot-checkpointed wrapper | `(inner[,dir=PATH,sync=always\|never,checkpoint_every=N])` |
 /// | `checked` | contract auditor over any scheme | `(inner[,every=N])` |
+/// | `traced` | latency-tracing wrapper over any scheme | `(inner[,slow_us=N])` |
 ///
-/// `sharded`, `served`, `durable` and `checked` compose: their inner
+/// `sharded`, `served`, `durable`, `checked` and `traced` compose: their inner
 /// argument is any spec this registry resolves, recursively —
 /// `sharded(4,ltree(4,2))`, `served(gap)`, `sharded(4,served(ltree))`
 /// (each segment behind its own loopback server),
 /// `sharded(2,checked(gap))` (every segment audited against its own
 /// shadow model), `served(durable(ltree(4,2),dir=…))` (a crash-safe
 /// label server), `checked(durable(gap))` (the auditor proving the
-/// durability wrapper preserves the ordered-labeling contract). The
+/// durability wrapper preserves the ordered-labeling contract),
+/// `served(traced(ltree(4,2)))` (a label server whose per-op latency
+/// histograms are scrapable over the wire `Metrics` request). The
 /// remote client options (`conns=4`,
 /// `retries=2`, `reconnect`, `timeout-ms=500`, `coalesce`) configure a
 /// [`ltree_remote::ClientPolicy`]; `remote` also accepts a
@@ -160,6 +169,7 @@ pub fn default_registry() -> SchemeRegistry {
     ltree_sharded::register(&mut reg);
     ltree_remote::register(&mut reg);
     ltree_checked::register(&mut reg);
+    ltree_obs::register(&mut reg);
     reg
 }
 
@@ -197,6 +207,7 @@ pub mod prelude {
         LabelingScheme, LeafHandle, LeafId, OrderedLabeling, OrderedLabelingMut, Params,
         SchemeConfig, SchemeRegistry, Splice, SpliceBuilder, SpliceResult,
     };
+    pub use ltree_obs::{render_prometheus, MetricsRegistry, TracedScheme};
     pub use ltree_remote::{
         ClientPolicy, DurableOptions, DurableScheme, Endpoint, LabelServer, RemoteScheme,
         ServerGroup, SyncPolicy, Transport, TransportStats,
@@ -226,6 +237,7 @@ mod tests {
             "remote",
             "durable",
             "checked",
+            "traced",
         ] {
             assert!(reg.contains(name), "missing {name}");
         }
@@ -249,6 +261,14 @@ mod tests {
         let mut s = Scheme::build("checked(durable(gap))").unwrap();
         assert_eq!(s.bulk_build(10).unwrap().len(), 10);
         assert_eq!(s.cursor().count(), 10);
+        // The tracing wrapper composes everywhere and surfaces nested
+        // metrics (its own op histograms + the durable fsync timings).
+        let mut s = Scheme::build("traced(durable(ltree(4,2)))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
+        let metrics = s.metrics();
+        assert!(metrics.iter().any(|m| m.name == "obs/op/bulk_build"));
+        let mut s = Scheme::build("sharded(2,traced(gap))").unwrap();
+        assert_eq!(s.bulk_build(10).unwrap().len(), 10);
         let mut s = Scheme::build("ltree(8,2)").unwrap();
         let hs = s.bulk_build(16).unwrap();
         assert_eq!(s.cursor().count(), 16);

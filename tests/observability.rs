@@ -1,0 +1,153 @@
+//! End-to-end observability acceptance: a live port-0 [`LabelServer`]
+//! hosting `traced(durable(ltree(4,2)))` answers the wire `Metrics`
+//! request with a snapshot that agrees **counter-for-counter** with the
+//! in-process registry — including nonzero fsync-duration and per-op
+//! latency histograms — and the snapshot renders as Prometheus text.
+//!
+//! The scrape travels over a real TCP connection (client →
+//! `Request::Metrics` frame → server → `Response::Metrics` frame), so
+//! the whole codec path for histogram frames is exercised too.
+
+use ltree::prelude::*;
+use ltree_core::metrics::{Metric, MetricValue};
+
+fn hist_count(ms: &[Metric], name: &str) -> u64 {
+    match &ms
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("missing metric {name}"))
+        .value
+    {
+        MetricValue::Histogram(h) => h.count,
+        other => panic!("{name} should be a histogram, got {other:?}"),
+    }
+}
+
+fn counter(ms: &[Metric], name: &str) -> u64 {
+    match &ms
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("missing metric {name}"))
+        .value
+    {
+        MetricValue::Counter(v) => *v,
+        other => panic!("{name} should be a counter, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_metrics_scrape_agrees_with_the_in_process_registry() {
+    let scheme = default_registry()
+        .build("traced(durable(ltree(4,2)))")
+        .unwrap();
+    let server = LabelServer::bind("127.0.0.1:0", scheme).unwrap();
+    let mut client = RemoteScheme::connect(&server.local_addr().to_string()).unwrap();
+
+    // A workload touching every phase: bulk load, point ops, a batch
+    // splice, a delete run, and reads.
+    let hs = client.bulk_build(64).unwrap();
+    let mid = client.insert_after(hs[10]).unwrap();
+    client.insert_before(hs[20]).unwrap();
+    client.delete(mid).unwrap();
+    let batch = client.insert_many_after(hs[30], 25).unwrap();
+    client.delete_run(batch[0], 10).unwrap();
+    client.label_of(hs[0]).unwrap();
+
+    // Scrape over TCP *first*: the scrape's own apply/encode samples are
+    // recorded after its response frame is built, so the in-process
+    // snapshot taken afterwards can only run ahead on `net/` series —
+    // never the other way around.
+    let scraped = client.metrics();
+    let local = server.metrics();
+
+    // Scheme-owned series (`obs/…`, `wal/…`) agree counter-for-counter:
+    // nothing touched the scheme between the two snapshots.
+    let scheme_owned = |ms: &[Metric]| -> Vec<Metric> {
+        ms.iter()
+            .filter(|m| m.name.starts_with("obs/") || m.name.starts_with("wal/"))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        scheme_owned(&scraped),
+        scheme_owned(&local),
+        "wire scrape must mirror the in-process registry exactly"
+    );
+
+    // The histograms the acceptance criteria name, all nonzero.
+    assert!(hist_count(&scraped, "wal/fsync-duration") > 0, "fsyncs ran");
+    assert_eq!(hist_count(&scraped, "obs/op/bulk_build"), 1);
+    assert_eq!(hist_count(&scraped, "obs/op/insert_after"), 1);
+    assert_eq!(hist_count(&scraped, "obs/op/insert_before"), 1);
+    assert_eq!(hist_count(&scraped, "obs/op/delete"), 1);
+    // Batch edits travel as typed `Splice` frames and land on the
+    // scheme's `splice` entry point, so they record under `obs/op/splice`.
+    assert_eq!(hist_count(&scraped, "obs/op/splice"), 2);
+    assert!(hist_count(&scraped, "obs/op/label_of") >= 1);
+
+    // Server-side series ride along: request counting and per-request
+    // phase histograms are present and nonzero in the scrape.
+    assert!(counter(&scraped, "net/requests") >= 8);
+    for phase in ["decode", "lock-wait", "apply", "encode"] {
+        assert!(
+            hist_count(&scraped, &format!("net/phase/{phase}")) > 0,
+            "net/phase/{phase} must have samples"
+        );
+    }
+
+    // The scrape is name-sorted (the wire contract for stable output).
+    let names: Vec<&str> = scraped.iter().map(|m| m.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+
+    // And it renders as Prometheus exposition text.
+    let text = render_prometheus(&scraped);
+    assert!(text.contains("ltree_net_requests_total"));
+    assert!(text.contains("ltree_wal_fsync_duration"));
+    assert!(text.contains("quantile=\"0.99\""));
+}
+
+/// The breakdown-ordering contract (deterministic, name-sorted) holds
+/// at every collection point in the stack.
+#[test]
+fn stats_breakdowns_are_name_sorted_everywhere() {
+    for spec in [
+        "checked(ltree(4,2))",
+        "sharded(4,ltree(4,2))",
+        "durable(ltree(4,2))",
+        "served(traced(ltree(4,2)))",
+        "traced(durable(gap))",
+    ] {
+        let mut s = default_registry().build(spec).unwrap();
+        let hs = s.bulk_build(40).unwrap();
+        s.insert_after(hs[3]).unwrap();
+        s.delete(hs[7]).unwrap();
+        let names: Vec<String> = s.stats_breakdown().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "{spec}: breakdown must be name-sorted");
+    }
+}
+
+/// `sharded(…,traced(…))` reports one merged `obs/op/*` family spanning
+/// all segments instead of per-segment duplicates.
+#[test]
+fn sharded_merges_traced_metrics_across_segments() {
+    let mut s = default_registry()
+        .build("sharded(4,traced(ltree(4,2)))")
+        .unwrap();
+    let hs = s.bulk_build(40).unwrap();
+    s.insert_after(hs[5]).unwrap();
+    s.insert_after(hs[35]).unwrap();
+    let ms = s.metrics();
+    let bulk: Vec<&Metric> = ms
+        .iter()
+        .filter(|m| m.name == "obs/op/bulk_build")
+        .collect();
+    assert_eq!(bulk.len(), 1, "one merged series, not one per segment");
+    match &bulk[0].value {
+        MetricValue::Histogram(h) => assert_eq!(h.count, 4, "all four segments' builds merged"),
+        other => panic!("expected a histogram, got {other:?}"),
+    }
+}

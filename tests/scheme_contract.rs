@@ -51,6 +51,13 @@ const SPECS: &[&str] = &[
     "durable(gap,sync=never,checkpoint_every=5)",
     "served(durable(ltree(4,2)))",
     "checked(durable(gap))",
+    // The tracing wrapper must be behaviorally transparent: the whole
+    // contract holds unchanged with it in the stack, at any layer.
+    "traced(ltree(4,2))",
+    "traced(gap,slow_us=0)",
+    "served(traced(ltree(4,2)))",
+    "traced(durable(ltree(4,2)))",
+    "sharded(2,24,4,traced(ltree(4,2)))",
 ];
 
 fn build(spec: &str) -> Box<dyn DynScheme> {
