@@ -32,6 +32,7 @@ struct Corrupt<S> {
 
 impl<S> Corrupt<S> {
     fn lying(&self) -> bool {
+        // relaxed: the test flips the flag from the same thread; no ordering needed.
         self.lying.load(Ordering::Relaxed)
     }
 }
@@ -145,6 +146,7 @@ fn provoke(lie: Lie) -> LTreeError {
     s.insert_after(hs[5]).unwrap();
     assert_eq!(s.audits_run(), 2, "healthy audits must pass");
 
+    // relaxed: same-thread flag flip; the next call observes it in program order.
     switch.store(true, Ordering::Relaxed);
     s.insert_after(hs[7]).unwrap_err()
 }

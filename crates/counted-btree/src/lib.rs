@@ -136,16 +136,19 @@ impl<V> CountedBTree<V> {
     /// and no memory is published under the counter, so no site needs
     /// an ordering stronger than the RMW's built-in atomicity.
     pub fn touches(&self) -> u64 {
+        // relaxed: the tree is not concurrently mutated; the counter carries no ordering.
         self.touches.load(Ordering::Relaxed)
     }
 
     /// Reset the access counter.
     pub fn reset_touches(&self) {
+        // relaxed: reset carries no ordering (see the field docs above).
         self.touches.store(0, Ordering::Relaxed);
     }
 
     #[inline]
     fn touch(&self, n: u64) {
+        // relaxed: counting only; the RMW's atomicity is all that is needed.
         self.touches.fetch_add(n, Ordering::Relaxed);
     }
 

@@ -79,16 +79,19 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // relaxed: independent statistic; no other memory is published under it.
         self.0.fetch_add(n, AtomicOrdering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed: advisory read; scrapes tolerate slight staleness.
         self.0.load(AtomicOrdering::Relaxed)
     }
 
     /// Zero the counter.
     pub fn reset(&self) {
+        // relaxed: reset races with concurrent adds benignly (counts are advisory).
         self.0.store(0, AtomicOrdering::Relaxed);
     }
 }
@@ -105,16 +108,19 @@ impl Gauge {
 
     /// Set the level.
     pub fn set(&self, v: i64) {
+        // relaxed: last-writer-wins level; nothing synchronizes through it.
         self.0.store(v, AtomicOrdering::Relaxed);
     }
 
     /// Shift the level by `delta` (may be negative).
     pub fn add(&self, delta: i64) {
+        // relaxed: independent level shift; no other memory depends on it.
         self.0.fetch_add(delta, AtomicOrdering::Relaxed);
     }
 
     /// Current level.
     pub fn get(&self) -> i64 {
+        // relaxed: advisory read; scrapes tolerate slight staleness.
         self.0.load(AtomicOrdering::Relaxed)
     }
 }
@@ -148,6 +154,8 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
+        // relaxed: buckets and sum are independent statistics; snapshot()
+        // re-derives the count from buckets, so tearing between them is tolerated.
         self.buckets[bucket_index(v) as usize].fetch_add(1, AtomicOrdering::Relaxed);
         self.sum.fetch_add(v, AtomicOrdering::Relaxed);
     }
@@ -159,6 +167,7 @@ impl Histogram {
         let mut buckets = Vec::new();
         let mut count = 0u64;
         for (idx, b) in self.buckets.iter().enumerate() {
+            // relaxed: the snapshot is advisory; a sample racing the scan may be missed.
             let n = b.load(AtomicOrdering::Relaxed);
             if n > 0 {
                 count += n;
@@ -167,6 +176,7 @@ impl Histogram {
         }
         HistogramSnapshot {
             count,
+            // relaxed: sum may tear against buckets under concurrent record; advisory.
             sum: self.sum.load(AtomicOrdering::Relaxed),
             buckets,
         }
@@ -174,6 +184,7 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // relaxed: advisory count; a concurrent record may be missed.
         self.buckets
             .iter()
             .map(|b| b.load(AtomicOrdering::Relaxed))
@@ -183,8 +194,10 @@ impl Histogram {
     /// Zero every bucket.
     pub fn reset(&self) {
         for b in &self.buckets {
+            // relaxed: reset races with concurrent record benignly.
             b.store(0, AtomicOrdering::Relaxed);
         }
+        // relaxed: same as the buckets — the sum is advisory.
         self.sum.store(0, AtomicOrdering::Relaxed);
     }
 }
@@ -330,6 +343,7 @@ impl EventLog {
         let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
         if ring.len() == self.capacity {
             ring.pop_front();
+            // relaxed: eviction statistic only; ring mutations are ordered by the mutex.
             self.dropped.fetch_add(1, AtomicOrdering::Relaxed);
         }
         ring.push_back(ev);
@@ -353,12 +367,14 @@ impl EventLog {
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // relaxed: advisory statistic read.
         self.dropped.load(AtomicOrdering::Relaxed)
     }
 
     /// Drop every retained event and zero the eviction counter.
     pub fn clear(&self) {
         self.ring.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        // relaxed: the ring lock orders the clear; the counter is advisory.
         self.dropped.store(0, AtomicOrdering::Relaxed);
     }
 }

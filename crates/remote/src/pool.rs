@@ -320,6 +320,7 @@ impl ConnectionPool {
     /// `epoch_keyed_cache_never_serves_stale_data` model in
     /// `tests/loom_models.rs` checks the protocol built on this pair.
     pub fn epoch(&self) -> u64 {
+        // acquire: pairs with the Release epoch bump (see the doc above).
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -501,6 +502,7 @@ impl ConnectionPool {
     /// pool-level reconnect count.
     pub fn transport_stats(&self) -> TransportStats {
         let mut total = TransportStats {
+            // relaxed: statistic only; the slot stats below are mutex-ordered anyway.
             reconnects: self.reconnects.load(Ordering::Relaxed),
             ..TransportStats::default()
         };
@@ -527,6 +529,7 @@ impl ConnectionPool {
         for i in 0..self.slots.len() {
             self.lock_slot(i).stats = TransportStats::default();
         }
+        // relaxed: advisory counter reset; races with reconnect accounting benignly.
         self.reconnects.store(0, Ordering::Relaxed);
     }
 }

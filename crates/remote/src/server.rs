@@ -91,6 +91,7 @@ impl TransportCounters {
     pub fn breakdown_entries(&self, prefix: &str) -> Vec<(String, SchemeStats)> {
         transport_entries(
             prefix,
+            // relaxed: independent transport statistics; tearing across them is fine.
             self.ops.load(Ordering::Relaxed),
             self.bytes_in.load(Ordering::Relaxed),
             self.bytes_out.load(Ordering::Relaxed),
@@ -98,6 +99,7 @@ impl TransportCounters {
     }
 
     pub(crate) fn add(&self, ops: u64, bytes_in: u64, bytes_out: u64) {
+        // relaxed: independent statistics; no memory is published under them.
         self.ops.fetch_add(ops, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
         self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
@@ -264,6 +266,7 @@ impl LabelServer {
         let conns = self.conns.clone();
         let next_id = self.next_conn_id.clone();
         Box::new(move || {
+            // seqcst: every stop-flag site shares one total order with shutdown's swap.
             if stop.load(Ordering::SeqCst) {
                 return Err(LTreeError::Remote {
                     context: "loopback: server is shut down".into(),
@@ -326,6 +329,7 @@ impl LabelServer {
         // itself, so `AcqRel` would do; `SeqCst` keeps every stop-flag
         // site in one total order for free — this path runs once per
         // server lifetime.
+        // seqcst: one total order across every stop-flag site, at once-per-lifetime cost.
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -402,6 +406,7 @@ fn make_loopback(
     next_conn_id: &Arc<AtomicUsize>,
 ) -> LoopbackTransport {
     let counters = Arc::new(TransportCounters::default());
+    // relaxed: ids only need uniqueness (see the TCP minting site below).
     let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
     conns
         .lock()
@@ -435,6 +440,7 @@ fn accept_loop(
         // be registered after shutdown's first signaling pass, which is
         // exactly why `shutdown` signals twice (modeled step for step in
         // `tests/loom_models.rs`).
+        // seqcst: stop-flag sites share one total order with shutdown's swap.
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -482,6 +488,7 @@ fn serve_conn(
     metrics.active_conns.add(1);
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    // seqcst: stop-flag sites share one total order with shutdown's swap.
     while !stop.load(Ordering::SeqCst) {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,

@@ -138,6 +138,7 @@ pub struct LoopbackTransport {
 
 impl Transport for LoopbackTransport {
     fn send(&mut self, req: &Request) -> Result<u64> {
+        // seqcst: stop-flag sites share one total order with shutdown's swap.
         if self.stop.load(Ordering::SeqCst) {
             return Err(LTreeError::Remote {
                 context: "loopback: server is shut down".into(),

@@ -458,6 +458,7 @@ impl DurableDir for SimDir {
 /// `cargo xtask lint` `fixed-path` rule forbids in tests).
 pub fn scratch_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // relaxed: uniqueness only; the RMW's atomicity suffices.
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     std::env::temp_dir().join(format!("ltree-{tag}-{}-{n}", std::process::id()))
 }

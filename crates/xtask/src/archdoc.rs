@@ -1,0 +1,226 @@
+//! Machine-read sections of `ARCHITECTURE.md`.
+//!
+//! Two conventions make the architecture doc *load-bearing* instead of
+//! descriptive prose that drifts:
+//!
+//! * **`[xtask:crate-graph]`** — the declared crate dependency graph.
+//!   One `name = dep dep …` line per workspace package; a following
+//!   `[xtask:crate-graph.dev]` section declares the extra edges
+//!   `[dev-dependencies]` (tests/examples) may add. Rule 9
+//!   (`crate-layering`) fails the build on any `Cargo.toml` or `use`
+//!   edge the graph does not permit.
+//! * **`[xtask:wire-error-tags]`** — the `LTreeError`-variant ↔ wire
+//!   tag table, `tag = Variant` per line plus one
+//!   `canonicalized = Variant …` line for the variants
+//!   `wire_error` folds into `Remote` before encoding. Rule 10
+//!   (`wire-tags`) cross-checks it against the encode and decode paths
+//!   in `wire.rs` and the `LTreeError` enum itself.
+//!
+//! Both parsers return `Err(reason)` on a missing or malformed section
+//! — the lint surfaces that as a finding, so an edit that breaks the
+//! machine-read shape fails CI the same way a bad edge does.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The declared crate dependency graph.
+#[derive(Debug, Default, Clone)]
+pub struct CrateGraph {
+    /// Permitted `[dependencies]` edges: crate → set of dep names.
+    pub edges: BTreeMap<String, BTreeSet<String>>,
+    /// Extra edges permitted only for dev contexts (`[dev-dependencies]`,
+    /// code under `tests/` / `examples/` / `benches/`).
+    pub dev_edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CrateGraph {
+    /// Is `from → to` permitted? `dev` widens the check to the
+    /// dev-dependency edges.
+    pub fn allows(&self, from: &str, to: &str, dev: bool) -> bool {
+        if from == to {
+            return true;
+        }
+        let main = self.edges.get(from).is_some_and(|s| s.contains(to));
+        let devd = dev && self.dev_edges.get(from).is_some_and(|s| s.contains(to));
+        main || devd
+    }
+
+    /// Is `name` declared at all (has a graph row)?
+    pub fn declares(&self, name: &str) -> bool {
+        self.edges.contains_key(name)
+    }
+}
+
+fn crate_name_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+}
+
+/// Parse the `[xtask:crate-graph]` (and optional
+/// `[xtask:crate-graph.dev]`) section out of the architecture doc.
+pub fn parse_crate_graph(text: &str) -> Result<CrateGraph, String> {
+    let mut graph = CrateGraph::default();
+    #[derive(PartialEq)]
+    enum State {
+        Seeking,
+        Main,
+        Dev,
+    }
+    let mut state = State::Seeking;
+    let mut seen = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        match line {
+            "[xtask:crate-graph]" => {
+                state = State::Main;
+                seen = true;
+                continue;
+            }
+            "[xtask:crate-graph.dev]" => {
+                state = State::Dev;
+                continue;
+            }
+            _ => {}
+        }
+        if state == State::Seeking {
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("```") {
+            state = State::Seeking; // fence closed the block
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!(
+                "line {}: expected `name = deps…`, got `{line}`",
+                idx + 1
+            ));
+        };
+        let name = line[..eq].trim();
+        if !crate_name_ok(name) {
+            return Err(format!("line {}: bad crate name `{name}`", idx + 1));
+        }
+        let mut deps = BTreeSet::new();
+        for dep in line[eq + 1..].split_whitespace() {
+            if !crate_name_ok(dep) {
+                return Err(format!("line {}: bad dep name `{dep}`", idx + 1));
+            }
+            deps.insert(dep.to_string());
+        }
+        let map = match state {
+            State::Dev => &mut graph.dev_edges,
+            _ => &mut graph.edges,
+        };
+        if map.insert(name.to_string(), deps).is_some() {
+            return Err(format!("line {}: duplicate row for `{name}`", idx + 1));
+        }
+    }
+    if !seen {
+        return Err("no [xtask:crate-graph] section found".into());
+    }
+    Ok(graph)
+}
+
+/// The declared wire-tag table.
+#[derive(Debug, Default, Clone)]
+pub struct WireTagTable {
+    /// tag → `LTreeError` variant name.
+    pub tags: BTreeMap<u8, String>,
+    /// Variants `wire_error` canonicalizes away before encoding.
+    pub canonicalized: BTreeSet<String>,
+}
+
+/// Parse the `[xtask:wire-error-tags]` section out of the architecture
+/// doc.
+pub fn parse_wire_tags(text: &str) -> Result<WireTagTable, String> {
+    let mut table = WireTagTable::default();
+    let mut in_section = false;
+    let mut seen = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line == "[xtask:wire-error-tags]" {
+            in_section = true;
+            seen = true;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("```") || line.starts_with('[') {
+            in_section = false;
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!(
+                "line {}: expected `tag = Variant`, got `{line}`",
+                idx + 1
+            ));
+        };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        if key == "canonicalized" {
+            for v in val.split_whitespace() {
+                table.canonicalized.insert(v.to_string());
+            }
+            continue;
+        }
+        let tag: u8 = key
+            .parse()
+            .map_err(|_| format!("line {}: bad tag `{key}`", idx + 1))?;
+        if val.is_empty() || !val.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return Err(format!("line {}: bad variant name `{val}`", idx + 1));
+        }
+        if table.tags.insert(tag, val.to_string()).is_some() {
+            return Err(format!("line {}: duplicate tag `{tag}`", idx + 1));
+        }
+    }
+    if !seen {
+        return Err("no [xtask:wire-error-tags] section found".into());
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_graph_parses_main_and_dev_sections() {
+        let doc = "\
+prose\n```text\n[xtask:crate-graph]\na =\nb = a\n[xtask:crate-graph.dev]\nb = c\n```\nmore\n";
+        let g = parse_crate_graph(doc).unwrap();
+        assert!(g.allows("b", "a", false));
+        assert!(!g.allows("a", "b", false));
+        assert!(!g.allows("b", "c", false));
+        assert!(g.allows("b", "c", true));
+        assert!(g.allows("a", "a", false), "self edges always allowed");
+        assert!(g.declares("a") && !g.declares("c"));
+    }
+
+    #[test]
+    fn malformed_graph_rows_error() {
+        assert!(parse_crate_graph("[xtask:crate-graph]\nnot a row\n").is_err());
+        assert!(parse_crate_graph("[xtask:crate-graph]\nBad = a\n").is_err());
+        assert!(parse_crate_graph("no section").is_err());
+        assert!(parse_crate_graph("[xtask:crate-graph]\na =\na =\n").is_err());
+    }
+
+    #[test]
+    fn wire_tags_parse_and_reject_duplicates() {
+        let t = parse_wire_tags(
+            "[xtask:wire-error-tags]\n0 = UnknownHandle\n1 = DeletedLeaf\n\
+             canonicalized = InvalidSpec InvalidParams\n```\n",
+        )
+        .unwrap();
+        assert_eq!(t.tags[&0], "UnknownHandle");
+        assert!(t.canonicalized.contains("InvalidSpec"));
+        assert!(parse_wire_tags("[xtask:wire-error-tags]\n0 = A\n0 = B\n").is_err());
+        assert!(parse_wire_tags("[xtask:wire-error-tags]\nx = A\n").is_err());
+        assert!(parse_wire_tags("nothing").is_err());
+    }
+}

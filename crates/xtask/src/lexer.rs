@@ -1,0 +1,529 @@
+//! A dependency-free Rust lexer — the substrate `ltree-analyze` builds
+//! its workspace model on.
+//!
+//! The lexer is *lossless and total*: it never fails, never panics, and
+//! every byte of the input is covered either by a token span or by
+//! inter-token whitespace (the `lexer` test suite asserts this over the
+//! whole live workspace, plus a SplitMix64 fuzz over mutated files).
+//! It understands the token classes a syntax-level lint needs to get
+//! right — the classes the previous substring-matching rules could not
+//! see:
+//!
+//! * raw strings with any hash depth (`r#"…"#`), byte strings
+//!   (`b"…"`), raw byte strings (`br#"…"#`), raw identifiers
+//!   (`r#type`);
+//! * nested block comments (`/* /* */ */`), with doc / non-doc
+//!   classification for both line (`///` vs `////`, `//!`) and block
+//!   (`/** … */`, `/*! … */`) forms;
+//! * lifetimes vs char literals (`'a` vs `'a'`, including escapes);
+//! * numeric literals with type suffixes, float points and exponent
+//!   signs (`1_000u64`, `1.5e-3`) without swallowing range operators
+//!   (`0..n`).
+//!
+//! Unterminated constructs (an open block comment or string at EOF)
+//! consume to end of input rather than erroring — a lint must keep
+//! lexing whatever the tree throws at it.
+
+use std::fmt;
+
+/// Token classification. Comments are tokens (rules reason about
+/// comment *placement*, e.g. the atomics audit), so nothing is thrown
+/// away at lex time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `Ordering`, …).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Lifetime or loop label (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Byte char literal (`b'a'`).
+    ByteChar,
+    /// Ordinary string literal, escapes included (`"…"`).
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`).
+    RawStr,
+    /// Byte string literal (`b"…"`).
+    ByteStr,
+    /// Raw byte string literal (`br"…"`, `br#"…"#`).
+    RawByteStr,
+    /// Numeric literal (integer or float, suffixes included).
+    Num,
+    /// Non-doc line comment (`//`, `////`).
+    LineComment,
+    /// Doc line comment (`///`, `//!`).
+    LineDoc,
+    /// Non-doc block comment (`/* … */`, nesting handled).
+    BlockComment,
+    /// Doc block comment (`/** … */`, `/*! … */`).
+    BlockDoc,
+    /// Any single punctuation byte (`.`, `{`, `<`, …). Multi-byte
+    /// operators arrive as adjacent `Punct` tokens (`-` `>` for `->`).
+    Punct,
+}
+
+impl TokKind {
+    /// Is this token a comment (doc or not)?
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokKind::LineComment | TokKind::LineDoc | TokKind::BlockComment | TokKind::BlockDoc
+        )
+    }
+
+    /// Is this token a doc comment?
+    pub fn is_doc(self) -> bool {
+        matches!(self, TokKind::LineDoc | TokKind::BlockDoc)
+    }
+
+    /// Is this token any flavor of string literal?
+    pub fn is_string(self) -> bool {
+        matches!(
+            self,
+            TokKind::Str | TokKind::RawStr | TokKind::ByteStr | TokKind::RawByteStr
+        )
+    }
+}
+
+/// One lexed token: classification plus byte span and 1-based start
+/// line. Spans index the source the token was lexed from; the model
+/// owns that source, so tokens are plain copyable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}@{}..{} (line {})",
+            self.kind, self.start, self.end, self.line
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a complete token stream. Total: consumes every byte,
+/// never panics; see the module docs for the guarantees.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.src.len() {
+            let b = self.src[self.i];
+            if b.is_ascii_whitespace() {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+                continue;
+            }
+            let start = self.i;
+            let line = self.line;
+            let kind = self.next_kind(b);
+            debug_assert!(self.i > start, "lexer must make progress");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.i,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    /// Consume the construct starting with `b` at `self.i`, advancing
+    /// `self.i` and `self.line`, and return its kind.
+    fn next_kind(&mut self, b: u8) -> TokKind {
+        match b {
+            b'/' if self.peek(1) == b'/' => self.line_comment(),
+            b'/' if self.peek(1) == b'*' => self.block_comment(),
+            b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => self.raw_string_or_ident(1),
+            b'b' if self.peek(1) == b'"' => {
+                self.i += 1;
+                self.string();
+                TokKind::ByteStr
+            }
+            b'b' if self.peek(1) == b'\'' => {
+                self.i += 1;
+                self.char_literal();
+                TokKind::ByteChar
+            }
+            b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                self.i += 1;
+                match self.raw_string_or_ident(1) {
+                    TokKind::RawStr => TokKind::RawByteStr,
+                    // `br#ident` is not Rust; lexed as an ident for
+                    // totality.
+                    other => other,
+                }
+            }
+            b'"' => self.string(),
+            b'\'' => self.lifetime_or_char(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.i += 1;
+                TokKind::Punct
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        let start = self.i;
+        while self.i < self.src.len() && self.src[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = &self.src[start..self.i];
+        // `///` is doc, `////…` is not (rustc's rule); `//!` is doc.
+        let doc =
+            (text.starts_with(b"///") && !text.starts_with(b"////")) || text.starts_with(b"//!");
+        if doc {
+            TokKind::LineDoc
+        } else {
+            TokKind::LineComment
+        }
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        let start = self.i;
+        self.i += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.i < self.src.len() && depth > 0 {
+            match self.src[self.i] {
+                b'/' if self.peek(1) == b'*' => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                b'*' if self.peek(1) == b'/' => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let text = &self.src[start..self.i];
+        // `/** … */` and `/*! … */` are doc; `/**/` (empty) and
+        // `/*** …` are not — mirroring rustc.
+        let doc =
+            (text.starts_with(b"/**") && text.len() > 4 && text[3] != b'*' && text[3] != b'/')
+                || text.starts_with(b"/*!");
+        if doc {
+            TokKind::BlockDoc
+        } else {
+            TokKind::BlockComment
+        }
+    }
+
+    /// `self.i` is at `r`. Either a raw string (`r"…"` / `r#…#"…"#…#`)
+    /// or a raw identifier (`r#ident`) or a plain ident starting with
+    /// `r`. `hash_off` is where the `#`/`"` run starts relative to
+    /// `self.i` (1 for `r…`, also 1 after the `b` of `br…` was
+    /// consumed).
+    fn raw_string_or_ident(&mut self, hash_off: usize) -> TokKind {
+        let mut hashes = 0usize;
+        while self.peek(hash_off + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(hash_off + hashes) == b'"' {
+            self.i += hash_off + hashes + 1; // past `r##…"`
+                                             // Scan for `"` followed by `hashes` hashes.
+            while self.i < self.src.len() {
+                let c = self.src[self.i];
+                if c == b'\n' {
+                    self.line += 1;
+                    self.i += 1;
+                    continue;
+                }
+                if c == b'"' {
+                    let mut k = 1;
+                    while k <= hashes && self.peek(k) == b'#' {
+                        k += 1;
+                    }
+                    if k == hashes + 1 {
+                        self.i += 1 + hashes;
+                        return TokKind::RawStr;
+                    }
+                }
+                self.i += 1;
+            }
+            return TokKind::RawStr; // unterminated: consumed to EOF
+        }
+        if hashes >= 1 && is_ident_start(self.peek(hash_off + hashes)) {
+            // Raw identifier `r#ident`.
+            self.i += hash_off + hashes;
+            self.consume_ident_run();
+            return TokKind::RawIdent;
+        }
+        // Plain identifier starting with `r` (or `br` — impossible in
+        // valid Rust, but the lexer is total).
+        self.ident()
+    }
+
+    fn string(&mut self) -> TokKind {
+        self.i += 1; // opening quote
+        while self.i < self.src.len() {
+            match self.src[self.i] {
+                b'\\' => {
+                    // Escape: skip the escaped byte too; a line
+                    // continuation (`\` + newline) still counts a line.
+                    if self.peek(1) == b'\n' {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                b'"' => {
+                    self.i += 1;
+                    return TokKind::Str;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.i = self.src.len(); // an escape at EOF may have overshot
+        TokKind::Str // unterminated
+    }
+
+    /// `self.i` is at `'`. Rust's rule: `'x` followed by ident-start
+    /// where the char after is not another `'` is a lifetime (`'a`,
+    /// `'static`); everything else is a char literal (`'a'`, `'\n'`).
+    fn lifetime_or_char(&mut self) -> TokKind {
+        let n1 = self.peek(1);
+        if is_ident_start(n1) && self.peek(2) != b'\'' {
+            self.i += 1;
+            self.consume_ident_run();
+            return TokKind::Lifetime;
+        }
+        self.char_literal()
+    }
+
+    fn char_literal(&mut self) -> TokKind {
+        self.i += 1; // opening quote
+        while self.i < self.src.len() {
+            match self.src[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    return TokKind::Char;
+                }
+                // A raw newline cannot appear in a char literal; bail
+                // so a stray quote never swallows the rest of the file.
+                b'\n' => return TokKind::Char,
+                _ => self.i += 1,
+            }
+        }
+        self.i = self.src.len();
+        TokKind::Char
+    }
+
+    fn consume_ident_run(&mut self) {
+        while self.i < self.src.len() && is_ident_continue(self.src[self.i]) {
+            self.i += 1;
+        }
+    }
+
+    fn ident(&mut self) -> TokKind {
+        self.consume_ident_run();
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Integer / prefix / suffix run: `0xFF`, `1_000u64`, `17`.
+        self.consume_num_run();
+        // Fractional part: only when `.` is followed by a digit, so
+        // `0..n` and `x.0` tokenize as range / field access.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.i += 1;
+            self.consume_num_run();
+        }
+        // Exponent sign: `1e-3`, `2.5E+7` — the run above stopped at
+        // the sign with `e`/`E` as its last byte.
+        if (self.peek(0) == b'+' || self.peek(0) == b'-')
+            && matches!(self.src[self.i - 1], b'e' | b'E')
+            && self.peek(1).is_ascii_digit()
+        {
+            self.i += 1;
+            self.consume_num_run();
+        }
+        TokKind::Num
+    }
+
+    fn consume_num_run(&mut self) {
+        while self.i < self.src.len()
+            && (self.src[self.i].is_ascii_alphanumeric() || self.src[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+    }
+}
+
+/// Decode the *value* of a string-literal token: the text between the
+/// quotes with `\"` and `\\` unescaped (other escapes are left as-is —
+/// the rules match plain substrings like host:port patterns, for which
+/// exotic escapes are irrelevant). Raw strings are returned verbatim
+/// between their delimiters. Returns `None` for non-string tokens.
+pub fn string_value(tok: &Token, src: &str) -> Option<String> {
+    let text = tok.text(src);
+    let inner = match tok.kind {
+        TokKind::Str => text
+            .strip_prefix('"')?
+            .strip_suffix('"')
+            .unwrap_or(&text[1..]),
+        TokKind::ByteStr => text
+            .strip_prefix("b\"")?
+            .strip_suffix('"')
+            .unwrap_or(&text[2..]),
+        TokKind::RawStr | TokKind::RawByteStr => {
+            let after = text.trim_start_matches('b');
+            let after = after.strip_prefix('r')?;
+            let hashes = after.bytes().take_while(|&b| b == b'#').count();
+            let body = &after[hashes..];
+            let body = body.strip_prefix('"').unwrap_or(body);
+            let end = body.len().saturating_sub(1 + hashes);
+            return Some(body.get(..end).unwrap_or("").to_string());
+        }
+        _ => return None,
+    };
+    if !inner.contains('\\') {
+        return Some(inner.to_string());
+    }
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("<'a> 'a' '\\n' 'static 'x"),
+            vec![Punct, Lifetime, Punct, Char, Char, Lifetime, Lifetime]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_idents() {
+        use TokKind::*;
+        assert_eq!(
+            kinds(r####"r"a" r#"b"c"# r#type br#"d"# b"e""####),
+            vec![RawStr, RawStr, RawIdent, RawByteStr, ByteStr]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_classes() {
+        use TokKind::*;
+        assert_eq!(kinds("/* a /* b */ c */ x"), vec![BlockComment, Ident]);
+        assert_eq!(
+            kinds("/// d\n//// n\n//! d\n// n"),
+            vec![LineDoc, LineComment, LineDoc, LineComment]
+        );
+        assert_eq!(
+            kinds("/** d */ /*! d */ /**/"),
+            vec![BlockDoc, BlockDoc, BlockComment]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        use TokKind::*;
+        assert_eq!(kinds("0..10"), vec![Num, Punct, Punct, Num]);
+        assert_eq!(
+            kinds("1.5e-3 0xFFu64 x.0"),
+            vec![Num, Num, Ident, Punct, Num]
+        );
+    }
+
+    #[test]
+    fn string_values_unescape_quotes() {
+        let src = r#""a\"b" r"c\d""#;
+        let toks = lex(src);
+        assert_eq!(string_value(&toks[0], src).unwrap(), "a\"b");
+        assert_eq!(string_value(&toks[1], src).unwrap(), "c\\d");
+    }
+
+    #[test]
+    fn every_gap_is_whitespace() {
+        let src = "fn main() { let s = \"x // not a comment\"; } // tail";
+        let toks = lex(src);
+        let mut prev = 0;
+        for t in &toks {
+            assert!(src[prev..t.start].chars().all(char::is_whitespace));
+            prev = t.end;
+        }
+        assert!(src[prev..].chars().all(char::is_whitespace));
+    }
+}

@@ -1,49 +1,84 @@
 //! # `xtask` — workspace lint rules clippy cannot express
 //!
-//! A dependency-free, syntax-level checker for repo conventions, run in
-//! CI (and locally) as `cargo xtask lint`. Six rules:
+//! A dependency-free semantic checker for repo conventions, run in CI
+//! (and locally) as `cargo xtask lint`. Where the first generation of
+//! this linter substring-matched raw lines, the current one is founded
+//! on a real model: [`lexer`] is a total, dependency-free Rust lexer
+//! (raw strings, nested block comments, lifetimes vs char literals,
+//! doc-comment classification), [`model`] reads and lexes every
+//! workspace source file exactly once and locates fn items and crate
+//! manifests, and [`archdoc`] parses the machine-read sections of
+//! `ARCHITECTURE.md`. The rules in [`rules`] query that model, which
+//! is why they can see scopes and cross-file structure — and why
+//! string literals and comments can no longer produce false positives
+//! for the token-based rules.
 //!
-//! 1. **`crate-attrs`** — every crate's `lib.rs` carries
-//!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
-//! 2. **`fixed-port`** — integration tests never bind or dial a fixed
-//!    TCP port (`127.0.0.1:7878`-style); only `:0` (OS-assigned) is
-//!    allowed, so parallel test runs cannot collide.
-//! 3. **`lock-unwrap`** — no unwrapping of `lock()`/`read()`/`write()`
-//!    results anywhere; the repo idiom is poison-tolerant recovery
-//!    (`unwrap_or_else(|p| p.into_inner())`), because a panicked
-//!    connection thread must not cascade into every later lock site.
-//! 4. **`spec-grammar`** — backtick-quoted registry spec strings in
-//!    rustdoc, `ARCHITECTURE.md` and README files (any `` `name(...)` ``
-//!    whose top-level name is a registered scheme) must parse against
-//!    the live grammar via
-//!    [`validate_spec`](ltree::SchemeRegistry::validate_spec), so docs
-//!    cannot drift from the registry.
-//! 5. **`fixed-path`** — integration tests never hard-code an absolute
-//!    filesystem path in a string literal; durable-store tests get
-//!    their on-disk space from `ltree::remote::scratch_dir` (or
-//!    `std::env::temp_dir()`), so parallel runs and sandboxed CI cannot
-//!    collide on shared paths.
-//! 6. **`metric-names`** — every breakdown/metric series name the
-//!    workspace mints (a string literal under the `net/`, `wal/`,
-//!    `audit/` or `obs/` namespaces) must appear in `ARCHITECTURE.md`'s
-//!    Observability naming table, so a new series cannot ship
-//!    undocumented. Format placeholders and literal indices normalize
-//!    to `<i>` before the lookup, matching the table's
-//!    `net/conn<i>/round-trips`-style family rows.
+//! Ten rules (ids in parentheses):
 //!
-//! The rules are plain functions over `(path, content)` so the test
-//! suite can point them at seeded-violation fixtures under
-//! `tests/fixtures/` (which the workspace walker skips).
+//! 1. (`crate-attrs`) every crate root carries `#![forbid(unsafe_code)]`
+//!    and `#![deny(missing_docs)]`.
+//! 2. (`fixed-port`) test string literals never name a fixed TCP port —
+//!    only `:0` (OS-assigned).
+//! 3. (`lock-unwrap`) no `.lock().unwrap()` (or `read`/`write`) — the
+//!    repo idiom is poison-tolerant `unwrap_or_else(|p| p.into_inner())`.
+//! 4. (`spec-grammar`) backtick-quoted registry specs in rustdoc and
+//!    markdown must parse against the live grammar.
+//! 5. (`fixed-path`) test string literals never hard-code an absolute
+//!    filesystem path; scratch space is derived at runtime.
+//! 6. (`metric-names`) every minted metric series name must appear in
+//!    `ARCHITECTURE.md`'s Observability naming table.
+//! 7. (`lock-order`) no cycles in the workspace-wide "lock B acquired
+//!    while A's guard is live" graph — static deadlock detection.
+//! 8. (`atomics-audit`) every `Ordering::*` use carries an adjacent
+//!    why-comment; `SeqCst` additionally needs a `// seqcst: …`
+//!    justification.
+//! 9. (`crate-layering`) every cross-crate `Cargo.toml`/`use` edge must
+//!    be permitted by `ARCHITECTURE.md`'s `[xtask:crate-graph]`.
+//! 10. (`wire-tags`) the error-variant ↔ wire-tag table extracted from
+//!     `wire.rs` must be unique, exhaustive, encode/decode-consistent
+//!     and agree with `ARCHITECTURE.md`'s `[xtask:wire-error-tags]`.
+//!
+//! A file can opt out of one rule with a justified escape hatch:
+//! `// xtask-allow: <rule-id> — <why this file is exempt>`. A missing
+//! or trivial justification, or an unknown rule id, is itself a
+//! finding (`xtask-allow`).
+//!
+//! The rules are plain functions over model types so the test suite can
+//! point them at seeded-violation fixtures under `tests/fixtures/`
+//! (which the workspace walker skips).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod archdoc;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use ltree::SchemeRegistry;
+use model::{SourceFile, Workspace};
+pub use rules::*;
+
+/// Every rule id `lint` can emit, in rule-number order (the final
+/// `xtask-allow` entry is the meta-rule policing the escape hatch
+/// itself).
+pub const RULE_IDS: [&str; 11] = [
+    "crate-attrs",
+    "fixed-port",
+    "lock-unwrap",
+    "spec-grammar",
+    "fixed-path",
+    "metric-names",
+    "lock-order",
+    "atomics-audit",
+    "crate-layering",
+    "wire-tags",
+    "xtask-allow",
+];
 
 /// One rule violation: file, 1-based line, rule id and message.
 #[derive(Debug, Clone)]
@@ -52,8 +87,7 @@ pub struct Finding {
     pub path: PathBuf,
     /// 1-based line number (0 for whole-file findings).
     pub line: usize,
-    /// Rule identifier (`crate-attrs`, `fixed-port`, `lock-unwrap`,
-    /// `spec-grammar`, `fixed-path`, `metric-names`).
+    /// Rule identifier (one of [`RULE_IDS`]).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -72,475 +106,305 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Rule 1: a crate root must carry both lint attributes.
-pub fn check_crate_attrs(path: &Path, content: &str) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
-        if !content.lines().any(|l| l.trim() == attr) {
-            out.push(Finding {
-                path: path.to_path_buf(),
-                line: 0,
-                rule: "crate-attrs",
-                message: format!("crate root is missing `{attr}`"),
-            });
-        }
-    }
-    out
-}
-
-/// Rule 2: no fixed TCP ports in test code. Flags `127.0.0.1:<port>`
-/// and `localhost:<port>` for any literal port other than `0`.
-pub fn check_fixed_ports(path: &Path, content: &str) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for (idx, line) in content.lines().enumerate() {
-        for host in ["127.0.0.1:", "localhost:"] {
-            let mut rest = line;
-            let mut col = 0;
-            while let Some(pos) = rest.find(host) {
-                let after = &rest[pos + host.len()..];
-                let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
-                if !digits.is_empty() && digits != "0" {
-                    out.push(Finding {
-                        path: path.to_path_buf(),
-                        line: idx + 1,
-                        rule: "fixed-port",
-                        message: format!(
-                            "fixed port `{host}{digits}` in a test — bind `:0` and pass \
-                             the OS-assigned address around instead"
-                        ),
-                    });
-                }
-                col += pos + host.len();
-                rest = &rest[pos + host.len()..];
-                let _ = col;
-            }
-        }
-    }
-    out
-}
-
-/// Rule 3: no `unwrap()` on lock results; poisoning must be recovered
-/// with `unwrap_or_else(|p| p.into_inner())` (the repo-wide idiom).
-pub fn check_lock_unwrap(path: &Path, content: &str) -> Vec<Finding> {
-    let mut out = Vec::new();
-    // Assembled at runtime so the linter's own source does not contain
-    // the literal it hunts for.
-    let pats: Vec<String> = ["lock", "read", "write"]
-        .iter()
-        .map(|m| format!(".{m}().unwrap()"))
-        .collect();
-    for (idx, line) in content.lines().enumerate() {
-        for pat in &pats {
-            if line.contains(pat.as_str()) {
-                out.push(Finding {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "lock-unwrap",
-                    message: format!(
-                        "`{pat}` propagates lock poisoning — use \
-                         `unwrap_or_else(|p| p.into_inner())`"
-                    ),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Rule 5: no fixed absolute paths in test string literals. Flags a
-/// string literal opening straight into `/tmp/`, `/var/`, `/home/` or a
-/// Windows drive root — tests must derive scratch space at runtime
-/// (`ltree::remote::scratch_dir` / `std::env::temp_dir()`) so parallel
-/// runs never collide.
-pub fn check_fixed_paths(path: &Path, content: &str) -> Vec<Finding> {
-    let mut out = Vec::new();
-    // Assembled at runtime so the linter's own source (and its tests)
-    // does not contain the literals it hunts for.
-    let mut pats: Vec<String> = ["tmp", "var", "home"]
-        .iter()
-        .map(|d| format!("\"/{d}/"))
-        .collect();
-    pats.push(format!("\"C:{}", '\\'));
-    for (idx, line) in content.lines().enumerate() {
-        for pat in &pats {
-            if let Some(pos) = line.find(pat.as_str()) {
-                let tail: String = line[pos + 1..].chars().take_while(|&c| c != '"').collect();
-                out.push(Finding {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "fixed-path",
-                    message: format!(
-                        "fixed filesystem path `{tail}` in a test — derive scratch space \
-                         at runtime (`ltree::remote::scratch_dir` or `std::env::temp_dir()`) \
-                         so parallel runs cannot collide"
-                    ),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Extract every backtick span from one line. Ignores multi-backtick
-/// fences (``` and longer).
-fn backtick_spans(line: &str) -> Vec<&str> {
-    let mut spans = Vec::new();
-    let mut rest = line;
-    while let Some(open) = rest.find('`') {
-        let after = &rest[open + 1..];
-        if after.starts_with('`') {
-            // A fence or empty span: skip the run of backticks.
-            let run = after.chars().take_while(|&c| c == '`').count();
-            rest = &after[run..];
+/// Scan one file's comments for `xtask-allow: <rule-id> — <why>`
+/// escape hatches. Returns the rule ids this file may suppress, plus
+/// findings for malformed hatches (unknown rule id, missing or trivial
+/// justification).
+pub fn file_allows(file: &SourceFile) -> (BTreeSet<&'static str>, Vec<Finding>) {
+    const MARKER: &str = "xtask-allow:";
+    let mut allowed = BTreeSet::new();
+    let mut findings = Vec::new();
+    for tok in &file.tokens {
+        // The hatch must be a plain comment: rustdoc *describing* the
+        // mechanism (like this crate's own docs) is not an opt-out.
+        if !tok.kind.is_comment() || tok.kind.is_doc() {
             continue;
         }
-        let Some(close) = after.find('`') else { break };
-        spans.push(&after[..close]);
-        rest = &after[close + 1..];
-    }
-    spans
-}
-
-/// Does this span look like a registry spec (`name(args)` over the
-/// whole span, scheme-name charset) as opposed to arbitrary quoted
-/// code? Returns the top-level name when it does.
-fn spec_shaped(span: &str) -> Option<&str> {
-    let open = span.find('(')?;
-    if !span.ends_with(')') {
-        return None;
-    }
-    let name = &span[..open];
-    let mut chars = name.chars();
-    let first = chars.next()?;
-    if !first.is_ascii_lowercase() {
-        return None;
-    }
-    if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
-        return None;
-    }
-    Some(name)
-}
-
-/// Rule 4: backtick-quoted spec strings whose top-level name is a
-/// registered scheme must pass [`SchemeRegistry::validate_spec`].
-/// `markdown` restricts the scan to doc comments for `.rs` files and
-/// takes every line for `.md` files.
-pub fn check_spec_strings(
-    path: &Path,
-    content: &str,
-    reg: &SchemeRegistry,
-    markdown: bool,
-) -> Vec<Finding> {
-    let mut out = Vec::new();
-    let mut in_fence = false;
-    for (idx, raw) in content.lines().enumerate() {
-        let line = if markdown {
-            if raw.trim_start().starts_with("```") {
-                in_fence = !in_fence;
-                continue;
-            }
-            if in_fence {
-                continue;
-            }
-            raw
-        } else {
-            let t = raw.trim_start();
-            if let Some(doc) = t.strip_prefix("///").or_else(|| t.strip_prefix("//!")) {
-                doc
-            } else {
-                continue;
-            }
-        };
-        for span in backtick_spans(line) {
-            let Some(name) = spec_shaped(span) else {
+        let text = tok.text(&file.content);
+        for (off, line) in text.lines().enumerate() {
+            let Some(pos) = line.find(MARKER) else {
                 continue;
             };
-            if !reg.contains(name) {
-                continue;
-            }
-            // Doc grammar templates use `[...]` for optional parts and
-            // `…`/`...` or capitalized metavariables for placeholders;
-            // strip the optional markers and skip spans that still hold
-            // placeholder characters rather than a concrete spec.
-            let concrete = span.replace(['[', ']'], "");
-            if concrete.contains('…')
-                || concrete.contains("...")
-                || concrete.chars().any(|c| c.is_ascii_uppercase())
-            {
-                continue;
-            }
-            if let Err(e) = reg.validate_spec(&concrete) {
-                out.push(Finding {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "spec-grammar",
-                    message: format!("quoted spec `{span}` does not parse: {e}"),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// The metric/breakdown namespaces rule 6 polices. Assembled at runtime
-/// so the linter's own prefix list is not itself a candidate.
-fn metric_prefixes() -> Vec<String> {
-    ["net", "wal", "audit", "obs"]
-        .iter()
-        .map(|p| format!("{p}/"))
-        .collect()
-}
-
-/// Every complete (non-escaped) `"…"` string literal on one line.
-fn string_literals(line: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur: Option<String> = None;
-    let mut escape = false;
-    for c in line.chars() {
-        match cur.as_mut() {
-            Some(s) => {
-                if escape {
-                    escape = false;
-                    s.push(c);
-                } else if c == '\\' {
-                    escape = true;
-                } else if c == '"' {
-                    out.push(cur.take().expect("checked via as_mut"));
-                } else {
-                    s.push(c);
-                }
-            }
-            None => {
-                if c == '"' {
-                    cur = Some(String::new());
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Canonical form of a series name for the naming-table lookup: format
-/// placeholders (`{…}`) and literal digit runs both become `<i>`, so
-/// `net/conn{}` in a `format!` and `net/conn0/round-trips` in a test
-/// both resolve to the table's `net/conn<i>…` family row.
-fn normalize_metric_name(name: &str) -> String {
-    let mut out = String::new();
-    let mut chars = name.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c == '{' {
-            for n in chars.by_ref() {
-                if n == '}' {
-                    break;
-                }
-            }
-            out.push_str("<i>");
-        } else if c.is_ascii_digit() {
-            while chars.peek().is_some_and(char::is_ascii_digit) {
-                chars.next();
-            }
-            out.push_str("<i>");
-        } else {
-            out.push(c);
-        }
-    }
-    out
-}
-
-/// Does a documented naming-table entry cover a normalized candidate?
-/// `<i>` in the candidate matches any non-`/` run in the entry, and an
-/// entry extending past the candidate still counts — prefix literals
-/// (`starts_with("net/conn")` filters) are covered by the family rows
-/// they select.
-fn metric_name_matches(entry: &str, candidate: &str) -> bool {
-    if let Some(pos) = candidate.find("<i>") {
-        let (head, rest) = (&candidate[..pos], &candidate[pos + 3..]);
-        let Some(tail) = entry.strip_prefix(head) else {
-            return false;
-        };
-        let limit = tail.find('/').unwrap_or(tail.len());
-        (0..=limit).any(|k| metric_name_matches(&tail[k..], rest))
-    } else {
-        entry.starts_with(candidate)
-    }
-}
-
-/// The series names `ARCHITECTURE.md` documents: every backtick-quoted
-/// span under a policed namespace, wherever it appears in the file (the
-/// Observability naming table in practice).
-pub fn documented_metric_names(architecture: &str) -> Vec<String> {
-    let prefixes = metric_prefixes();
-    let mut out = Vec::new();
-    for line in architecture.lines() {
-        for span in backtick_spans(line) {
-            if prefixes.iter().any(|p| span.starts_with(p.as_str())) {
-                out.push(span.to_owned());
-            }
-        }
-    }
-    out.sort();
-    out.dedup();
-    out
-}
-
-/// Rule 6: every series name a string literal mints under the policed
-/// namespaces must appear in the `ARCHITECTURE.md` naming table
-/// (`documented`, from [`documented_metric_names`]). Literals that are
-/// prose (whitespace or `*`) or bare namespace filters (trailing `/`)
-/// are not names and are skipped.
-pub fn check_metric_names(path: &Path, content: &str, documented: &[String]) -> Vec<Finding> {
-    let prefixes = metric_prefixes();
-    let mut out = Vec::new();
-    for (idx, line) in content.lines().enumerate() {
-        for lit in string_literals(line) {
-            if !prefixes.iter().any(|p| lit.starts_with(p.as_str())) {
-                continue;
-            }
-            if lit.ends_with('/') || lit.contains('*') || lit.chars().any(char::is_whitespace) {
-                continue;
-            }
-            let candidate = normalize_metric_name(&lit);
-            if !documented
-                .iter()
-                .any(|d| metric_name_matches(d, &candidate))
-            {
-                out.push(Finding {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "metric-names",
+            let at = tok.line as usize + off;
+            let rest = line[pos + MARKER.len()..].trim_start();
+            let id = rest.split(|c: char| c.is_whitespace()).next().unwrap_or("");
+            let Some(&known) = RULE_IDS.iter().find(|&&r| r == id) else {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: at,
+                    rule: "xtask-allow",
                     message: format!(
-                        "series name `{lit}` is not in ARCHITECTURE.md's Observability \
-                         naming table — document it (as `{candidate}`) before shipping it"
+                        "`xtask-allow: {id}` names no known rule (known ids: {})",
+                        RULE_IDS.join(", ")
                     ),
                 });
+                continue;
+            };
+            // The justification is whatever follows the id, minus
+            // leading separator punctuation. Ten characters is the
+            // floor that forces an actual sentence.
+            let why = rest[id.len()..]
+                .trim_start_matches(|c: char| {
+                    c.is_whitespace() || c == '-' || c == '—' || c == '–' || c == ':'
+                })
+                .trim();
+            if why.len() < 10 {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: at,
+                    rule: "xtask-allow",
+                    message: format!(
+                        "`xtask-allow: {id}` has no justification — say why this file \
+                         is exempt (`xtask-allow: {id} — <reason>`)"
+                    ),
+                });
+                continue;
             }
+            allowed.insert(known);
         }
     }
-    out
+    (allowed, findings)
 }
 
-/// Is this a path component the walker should never descend into?
-fn skipped_dir(name: &str) -> bool {
-    name == "target" || name == "fixtures" || name.starts_with('.')
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if entry.file_type()?.is_dir() {
-            if !skipped_dir(&name) {
-                walk(&path, out)?;
-            }
-        } else {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Is `path` inside a directory literally named `tests`?
-fn in_tests_dir(path: &Path) -> bool {
-    path.components()
-        .any(|c| c.as_os_str().to_string_lossy() == "tests")
-}
-
-/// Run every rule over the workspace rooted at `root`. The walker skips
-/// `target/`, dot-directories and `fixtures/` directories (the seeded
-/// violations for the lint's own tests live there).
+/// Run every rule over the workspace rooted at `root`. Equivalent to
+/// [`lint_workspace_rules`] with an empty filter.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    lint_workspace_rules(root, &[])
+}
+
+/// Run the lint over the workspace rooted at `root`, keeping only the
+/// rule ids in `only` (empty = all rules). The workspace is read and
+/// lexed exactly once ([`Workspace::load`]); every rule shares the
+/// cached token streams.
+pub fn lint_workspace_rules(root: &Path, only: &[String]) -> io::Result<Vec<Finding>> {
+    let ws = Workspace::load(root)?;
     let reg = ltree::default_registry();
     let mut findings = Vec::new();
 
-    // Rule 6 checks every minted series name against the architecture
+    // Per-file escape hatches (and the findings for malformed ones).
+    let mut allows: BTreeMap<PathBuf, BTreeSet<&'static str>> = BTreeMap::new();
+    for file in &ws.files {
+        let (set, bad) = file_allows(file);
+        findings.extend(bad);
+        if !set.is_empty() {
+            allows.insert(file.path.clone(), set);
+        }
+    }
+
+    // R6 checks every minted series name against the architecture
     // doc's naming table; a missing doc means nothing is documented.
-    let documented = fs::read_to_string(root.join("ARCHITECTURE.md"))
-        .map(|text| documented_metric_names(&text))
+    let documented = ws
+        .architecture
+        .as_deref()
+        .map(documented_metric_names)
         .unwrap_or_default();
 
-    // Rule 1 runs over the known crate roots, so a crate *missing* its
+    // R1 runs over the known crate roots, so a crate *missing* its
     // lib.rs attributes is caught even though the content scan below
     // can only flag what exists.
-    let mut crate_roots = vec![root.join("src/lib.rs")];
-    for entry in fs::read_dir(root.join("crates"))? {
-        let lib = entry?.path().join("src/lib.rs");
-        if lib.exists() {
-            crate_roots.push(lib);
+    for c in &ws.crates {
+        let rel = if c.dir.is_empty() {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{}/src/lib.rs", c.dir)
+        };
+        if let Some(f) = ws.files.iter().find(|f| f.rel == rel) {
+            findings.extend(check_crate_attrs(&f.path, &f.content));
         }
-    }
-    for lib in crate_roots {
-        let content = fs::read_to_string(&lib)?;
-        findings.extend(check_crate_attrs(&lib, &content));
     }
 
-    let mut files = Vec::new();
-    walk(root, &mut files)?;
-    files.sort();
-    for path in files {
-        let ext = path.extension().and_then(|e| e.to_str());
-        match ext {
-            Some("rs") => {
-                let content = fs::read_to_string(&path)?;
-                findings.extend(check_lock_unwrap(&path, &content));
-                if in_tests_dir(&path) {
-                    findings.extend(check_fixed_ports(&path, &content));
-                    findings.extend(check_fixed_paths(&path, &content));
-                }
-                findings.extend(check_spec_strings(&path, &content, &reg, false));
-                findings.extend(check_metric_names(&path, &content, &documented));
-            }
-            Some("md") => {
-                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                if name == "ARCHITECTURE.md" || name == "README.md" {
-                    let content = fs::read_to_string(&path)?;
-                    findings.extend(check_spec_strings(&path, &content, &reg, true));
-                }
-            }
-            _ => {}
+    // Per-file rules, one pass over the shared token streams.
+    let mut edges = Vec::new();
+    for file in &ws.files {
+        findings.extend(check_lock_unwrap(file));
+        if file.in_tests {
+            findings.extend(check_fixed_ports(file));
+            findings.extend(check_fixed_paths(file));
+        }
+        findings.extend(check_spec_strings_rs(file, &reg));
+        findings.extend(check_metric_names(file, &documented));
+        findings.extend(check_atomics(file));
+        edges.extend(lock_edges(file));
+    }
+    // R7 is workspace-wide: the lock-order graph unions every
+    // function's edges before the cycle search.
+    findings.extend(lock_cycle_findings(&edges));
+
+    for (path, content) in &ws.markdown {
+        findings.extend(check_spec_strings_md(path, content, &reg));
+    }
+
+    // R9: the declared crate graph is load-bearing — malformed or
+    // missing is itself a finding, not a skip.
+    let arch_path = root.join("ARCHITECTURE.md");
+    match ws.architecture.as_deref().map(archdoc::parse_crate_graph) {
+        Some(Ok(graph)) => findings.extend(check_layering(&ws, &graph)),
+        Some(Err(e)) => findings.push(Finding {
+            path: arch_path.clone(),
+            line: 0,
+            rule: "crate-layering",
+            message: format!("[xtask:crate-graph] is malformed: {e}"),
+        }),
+        None => findings.push(Finding {
+            path: arch_path.clone(),
+            line: 0,
+            rule: "crate-layering",
+            message: "ARCHITECTURE.md is missing — the declared crate graph cannot be \
+                      checked"
+                .to_string(),
+        }),
+    }
+
+    // R10 runs when this workspace has the wire codec at all (the
+    // fixture mini-workspaces do not).
+    if let Some(wire) = ws
+        .files
+        .iter()
+        .find(|f| f.rel == "crates/remote/src/wire.rs")
+    {
+        let error_enum = ws
+            .files
+            .iter()
+            .find(|f| f.rel == "crates/core/src/error.rs");
+        match ws.architecture.as_deref().map(archdoc::parse_wire_tags) {
+            Some(Ok(table)) => findings.extend(check_wire_tags(wire, error_enum, &table)),
+            Some(Err(e)) => findings.push(Finding {
+                path: arch_path,
+                line: 0,
+                rule: "wire-tags",
+                message: format!("[xtask:wire-error-tags] is malformed: {e}"),
+            }),
+            None => {} // already reported by the missing-doc finding above
         }
     }
+
+    // Apply the escape hatches (the meta-rule's own findings are never
+    // suppressible), then the CLI rule filter.
+    findings.retain(|f| {
+        f.rule == "xtask-allow" || !allows.get(&f.path).is_some_and(|set| set.contains(f.rule))
+    });
+    if !only.is_empty() {
+        findings.retain(|f| only.iter().any(|r| r == f.rule));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
     Ok(findings)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as the `--json` machine output:
+/// `{"count":N,"findings":[{"rule":…,"file":…,"line":N,"message":…}]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"count\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path.display().to_string()),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render one finding as a GitHub Actions workflow command, so CI
+/// findings land as annotations on the PR diff.
+pub fn github_annotation(f: &Finding) -> String {
+    let esc = |s: &str| {
+        s.replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A")
+    };
+    format!(
+        "::error file={},line={},title=xtask {}::{}",
+        esc(&f.path.display().to_string()),
+        f.line.max(1),
+        f.rule,
+        esc(&f.message)
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
-    #[test]
-    fn backtick_spans_are_extracted() {
-        assert_eq!(
-            backtick_spans("use `ltree(4,2)` or `gap` here"),
-            vec!["ltree(4,2)", "gap"]
-        );
-        assert_eq!(backtick_spans("``` fenced"), Vec::<&str>::new());
+    fn file(content: &str) -> SourceFile {
+        SourceFile {
+            path: PathBuf::from("mem.rs"),
+            rel: "mem.rs".into(),
+            crate_name: None,
+            in_tests: false,
+            content: content.to_string(),
+            tokens: lex(content),
+        }
     }
 
     #[test]
-    fn metric_names_normalize_and_match_family_rows() {
-        assert_eq!(normalize_metric_name("net/conn{}"), "net/conn<i>");
-        assert_eq!(
-            normalize_metric_name("net/conn17/round-trips"),
-            "net/conn<i>/round-trips"
-        );
-        assert_eq!(normalize_metric_name("net/requests"), "net/requests");
+    fn allows_parse_and_police_justifications() {
+        let ok = file("// xtask-allow: fixed-port — exercises literal dial strings\n");
+        let (set, bad) = file_allows(&ok);
+        assert!(set.contains("fixed-port") && bad.is_empty());
 
-        let row = "net/conn<i>/round-trips";
-        assert!(metric_name_matches(row, "net/conn<i>/round-trips"));
-        assert!(metric_name_matches(row, "net/conn<i>"));
-        assert!(metric_name_matches(row, "net/conn"), "prefix filters");
-        assert!(metric_name_matches("net/phase/decode", "net/phase/<i>"));
-        assert!(!metric_name_matches("net/requests", "net/round-trips"));
+        let unjustified = file("// xtask-allow: fixed-port\n");
+        let (set, bad) = file_allows(&unjustified);
+        assert!(set.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "xtask-allow");
+
+        let unknown = file("// xtask-allow: no-such-rule — whatever reason\n");
+        let (set, bad) = file_allows(&unknown);
+        assert!(set.is_empty());
+        assert!(bad[0].message.contains("no known rule"));
     }
 
     #[test]
-    fn spec_shapes_are_recognized() {
-        assert_eq!(spec_shaped("ltree(4,2)"), Some("ltree"));
-        assert_eq!(spec_shaped("list-label(32)"), Some("list-label"));
-        assert_eq!(spec_shaped("sharded(2,checked(gap))"), Some("sharded"));
-        assert_eq!(spec_shaped("Params::new(4, 2)"), None);
-        assert_eq!(spec_shaped("insert_after(anchor)"), None);
-        assert_eq!(spec_shaped("gap"), None);
+    fn json_output_escapes_and_counts() {
+        let f = Finding {
+            path: PathBuf::from("a/b.rs"),
+            line: 7,
+            rule: "fixed-port",
+            message: "say \"no\"\nplease".to_string(),
+        };
+        let json = render_json(&[f]);
+        assert!(json.starts_with("{\"count\":1,"));
+        assert!(json.contains("\\\"no\\\"\\n"));
+        assert!(render_json(&[]).contains("\"count\":0"));
+    }
+
+    #[test]
+    fn github_annotations_escape_newlines_and_floor_lines() {
+        let f = Finding {
+            path: PathBuf::from("x.rs"),
+            line: 0,
+            rule: "crate-attrs",
+            message: "a\nb".to_string(),
+        };
+        let a = github_annotation(&f);
+        assert!(a.starts_with("::error file=x.rs,line=1,"));
+        assert!(a.ends_with("a%0Ab"));
     }
 }

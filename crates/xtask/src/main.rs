@@ -1,5 +1,13 @@
-//! `cargo xtask lint` — run the workspace lint rules (see the library
-//! docs for the rule list). Exits nonzero when any rule fires.
+//! `cargo xtask lint [--json] [--rule <id>]... [root]` — run the
+//! workspace lint rules (see the library docs for the rule list).
+//! Exits nonzero when any rule fires.
+//!
+//! `--json` switches to the machine output
+//! (`{"count":…,"findings":[…]}`); `--rule <id>` restricts the run to
+//! the named rules (repeatable). When `GITHUB_ACTIONS` is set in the
+//! environment, findings are additionally emitted as
+//! `::error file=…,line=…::` workflow commands so they land as
+//! annotations on the PR diff.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -16,34 +24,76 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root exists")
 }
 
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--json] [--rule <id>]... [root]");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => {}
-        other => {
-            eprintln!("usage: cargo xtask lint");
-            eprintln!("unknown subcommand: {other:?}");
-            return ExitCode::FAILURE;
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        eprintln!("unknown subcommand: {:?}", args.first());
+        return usage();
     }
-    let root = match args.next() {
-        Some(p) => PathBuf::from(p),
-        None => workspace_root(),
-    };
-    let findings = match xtask::lint_workspace(&root) {
+    let mut json = false;
+    let mut rules: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--rule" => {
+                i += 1;
+                let Some(id) = args.get(i) else {
+                    eprintln!("--rule needs a rule id");
+                    return usage();
+                };
+                if !xtask::RULE_IDS.contains(&id.as_str()) {
+                    eprintln!(
+                        "unknown rule id `{id}` (known: {})",
+                        xtask::RULE_IDS.join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+                rules.push(id.clone());
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                return usage();
+            }
+            path => root = Some(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let findings = match xtask::lint_workspace_rules(&root, &rules) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("xtask lint: i/o error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if findings.is_empty() {
+    if json {
+        println!("{}", xtask::render_json(&findings));
+    } else if findings.is_empty() {
         println!("xtask lint: clean");
-        return ExitCode::SUCCESS;
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("xtask lint: {} finding(s)", findings.len());
     }
-    for f in &findings {
-        println!("{f}");
+    if std::env::var("GITHUB_ACTIONS")
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+    {
+        for f in &findings {
+            println!("{}", xtask::github_annotation(f));
+        }
     }
-    println!("xtask lint: {} finding(s)", findings.len());
-    ExitCode::FAILURE
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

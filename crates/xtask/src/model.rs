@@ -1,0 +1,444 @@
+//! The workspace model: every source file read and lexed **once**,
+//! crate manifests parsed, function items located — the compact derived
+//! structure the semantic rules query instead of rescanning the raw
+//! tree (the same move the ancestry-labeling line of work makes for
+//! tree queries: answer structural questions from a derived model).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One lexed workspace source file. The token stream is produced once
+/// at load time and shared by every rule (the old linter re-read and
+/// re-scanned the tree once per rule).
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Name of the workspace package owning this file, when known.
+    pub crate_name: Option<String>,
+    /// Is the file inside a directory literally named `tests`?
+    pub in_tests: bool,
+    /// Raw content.
+    pub content: String,
+    /// Complete token stream (comments included).
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Tokens that are not comments — the stream most structural rules
+    /// pattern-match over.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| !t.kind.is_comment())
+    }
+}
+
+/// One workspace crate as declared by its `Cargo.toml`.
+#[derive(Debug, Clone)]
+pub struct CrateManifest {
+    /// Package name (`[package] name`).
+    pub name: String,
+    /// Manifest directory relative to the workspace root (`""` for the
+    /// root package).
+    pub dir: String,
+    /// `[dependencies]` keys.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` keys.
+    pub dev_deps: Vec<String>,
+    /// 1-based manifest lines of each `[dependencies]` entry, keyed by
+    /// dep name (for findings that point at the manifest).
+    pub dep_lines: BTreeMap<String, usize>,
+}
+
+/// The loaded workspace: files, manifests, and the architecture doc.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Every `.rs` file outside `target/`, dot-dirs and `fixtures/`,
+    /// lexed, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// Markdown files the doc rules scan: `(path, content)` for
+    /// `ARCHITECTURE.md` and every `README.md`.
+    pub markdown: Vec<(PathBuf, String)>,
+    /// Workspace crate manifests (root package included, when present).
+    pub crates: Vec<CrateManifest>,
+    /// `ARCHITECTURE.md` content, when the root has one.
+    pub architecture: Option<String>,
+}
+
+/// Is this a path component the walker never descends into?
+/// (`fixtures/` holds the lint's own seeded violations.)
+fn skipped_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !skipped_dir(&name) {
+                walk(&path, out)?;
+            }
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Minimal `Cargo.toml` reader: package name plus the keys of
+/// `[dependencies]` / `[dev-dependencies]`. The workspace is
+/// dependency-free, so every entry is a `key = { path = … }` or
+/// `key = "…"` line — a full TOML parser is not needed.
+fn parse_manifest(dir_rel: &str, text: &str) -> Option<CrateManifest> {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut dev_deps = Vec::new();
+    let mut dep_lines = BTreeMap::new();
+    let mut section = "";
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line;
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        match section {
+            "[package]" if key == "name" => {
+                name = line[eq + 1..].trim().trim_matches('"').to_string().into();
+            }
+            "[dependencies]" => {
+                deps.push(key.to_string());
+                dep_lines.insert(key.to_string(), idx + 1);
+            }
+            "[dev-dependencies]" => {
+                dev_deps.push(key.to_string());
+                dep_lines.entry(key.to_string()).or_insert(idx + 1);
+            }
+            _ => {}
+        }
+    }
+    Some(CrateManifest {
+        name: name?,
+        dir: dir_rel.to_string(),
+        deps,
+        dev_deps,
+        dep_lines,
+    })
+}
+
+impl Workspace {
+    /// Walk and read the workspace rooted at `root` — each file read
+    /// and lexed exactly once.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        walk(root, &mut paths)?;
+        paths.sort();
+
+        let mut crates = Vec::new();
+        if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+            if let Some(m) = parse_manifest("", &text) {
+                crates.push(m);
+            }
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in fs::read_dir(&crates_dir)? {
+                let dir = entry?.path();
+                let manifest = dir.join("Cargo.toml");
+                if let Ok(text) = fs::read_to_string(&manifest) {
+                    let dir_rel = format!(
+                        "crates/{}",
+                        dir.file_name()
+                            .map(|n| n.to_string_lossy())
+                            .unwrap_or_default()
+                    );
+                    if let Some(m) = parse_manifest(&dir_rel, &text) {
+                        crates.push(m);
+                    }
+                }
+            }
+        }
+
+        let mut files = Vec::new();
+        let mut markdown = Vec::new();
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("rs") => {
+                    let content = fs::read_to_string(&path)?;
+                    let tokens = lex(&content);
+                    let crate_name = owning_crate(&rel, &crates);
+                    let in_tests = rel.split('/').any(|c| c == "tests");
+                    files.push(SourceFile {
+                        path,
+                        rel,
+                        crate_name,
+                        in_tests,
+                        content,
+                        tokens,
+                    });
+                }
+                Some("md") => {
+                    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    if name == "ARCHITECTURE.md" || name == "README.md" {
+                        markdown.push((path.clone(), fs::read_to_string(&path)?));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let architecture = fs::read_to_string(root.join("ARCHITECTURE.md")).ok();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            markdown,
+            crates,
+            architecture,
+        })
+    }
+
+    /// The manifest for `name`, if any.
+    pub fn manifest(&self, name: &str) -> Option<&CrateManifest> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+}
+
+/// Which workspace package owns a file at `rel`? Files under
+/// `crates/<dir>/` belong to that crate; everything else (root `src/`,
+/// `tests/`, `examples/`) belongs to the root package.
+fn owning_crate(rel: &str, crates: &[CrateManifest]) -> Option<String> {
+    for c in crates {
+        if !c.dir.is_empty() && rel.starts_with(&format!("{}/", c.dir)) {
+            return Some(c.name.clone());
+        }
+    }
+    crates
+        .iter()
+        .find(|c| c.dir.is_empty())
+        .map(|c| c.name.clone())
+}
+
+/// One function item located in a token stream: its name, the type of
+/// the innermost enclosing `impl` block (if any), and the token-index
+/// range of its body (braces included).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Self type of the innermost enclosing `impl`, last path segment
+    /// (`impl Instrumented for ShardedScheme<S>` → `ShardedScheme`).
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, `{` and `}` included.
+    pub body: Range<usize>,
+}
+
+#[derive(Debug)]
+enum Scope {
+    Impl(String),
+    Fn { item: usize },
+    Other,
+}
+
+/// Locate every `fn` item (with a body) in `file`, attributing each to
+/// its innermost enclosing `impl` type. Signature parsing tracks paren
+/// and angle-bracket depth so generic bounds and `->` arrows never
+/// confuse the body-brace search; a `;` before the body (trait method
+/// declarations) abandons the candidate.
+pub fn fn_items(file: &SourceFile) -> Vec<FnItem> {
+    let src = &file.content;
+    let toks: Vec<(usize, &Token)> = file
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.kind.is_comment())
+        .collect();
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending_impl: Option<String> = None;
+    // A pending `fn`: (name, line, paren depth, angle depth).
+    let mut pending_fn: Option<(String, u32, i32, i32)> = None;
+
+    let mut k = 0;
+    while k < toks.len() {
+        let (idx, tok) = toks[k];
+        let text = tok.text(src);
+        match tok.kind {
+            TokKind::Ident if text == "impl" && pending_fn.is_none() => {
+                pending_impl = Some(parse_impl_type(&toks, k + 1, src));
+            }
+            TokKind::Ident if text == "fn" && pending_fn.is_none() => {
+                let name = toks
+                    .get(k + 1)
+                    .filter(|(_, t)| matches!(t.kind, TokKind::Ident | TokKind::RawIdent))
+                    .map(|(_, t)| t.text(src).trim_start_matches("r#").to_string());
+                if let Some(name) = name {
+                    pending_fn = Some((name, tok.line, 0, 0));
+                    k += 2;
+                    continue;
+                }
+            }
+            TokKind::Punct => {
+                let c = text.as_bytes()[0];
+                if let Some((name, line, paren, angle)) = pending_fn.as_mut() {
+                    match c {
+                        b'(' | b'[' => *paren += 1,
+                        b')' | b']' => *paren -= 1,
+                        b'<' if *paren == 0 => *angle += 1,
+                        b'>' if *paren == 0 => {
+                            // `->` and `=>` are arrows, not closers.
+                            let prev = k.checked_sub(1).map(|p| toks[p].1.text(src)).unwrap_or("");
+                            if prev != "-" && prev != "=" {
+                                *angle = (*angle - 1).max(0);
+                            }
+                        }
+                        b';' if *paren == 0 && *angle == 0 => {
+                            pending_fn = None; // bodyless declaration
+                        }
+                        b'{' if *paren == 0 && *angle == 0 => {
+                            let impl_type = scopes.iter().rev().find_map(|s| match s {
+                                Scope::Impl(t) => Some(t.clone()),
+                                _ => None,
+                            });
+                            items.push(FnItem {
+                                name: name.clone(),
+                                impl_type,
+                                line: *line,
+                                body: idx..idx, // end patched at `}`
+                            });
+                            let item = items.len() - 1;
+                            pending_fn = None;
+                            scopes.push(Scope::Fn { item });
+                            k += 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                } else if c == b'{' {
+                    scopes.push(match pending_impl.take() {
+                        Some(t) => Scope::Impl(t),
+                        None => Scope::Other,
+                    });
+                } else if c == b'}' {
+                    if let Some(Scope::Fn { item }) = scopes.pop() {
+                        items[item].body.end = idx + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Unterminated bodies (truncated input) extend to the last token.
+    let end = file.tokens.len();
+    for item in &mut items {
+        if item.body.end <= item.body.start {
+            item.body.end = end;
+        }
+    }
+    items
+}
+
+/// Parse the self type of an `impl` header starting at `toks[k]`:
+/// skip the generic parameter list, then take the last path segment of
+/// the type — and if a top-level `for` follows (trait impls), take the
+/// type after it instead.
+fn parse_impl_type(toks: &[(usize, &Token)], mut k: usize, src: &str) -> String {
+    let mut angle = 0i32;
+    let mut last_seg = String::new();
+    while k < toks.len() {
+        let t = toks[k].1;
+        let text = t.text(src);
+        match text {
+            "<" => angle += 1,
+            ">" => {
+                let prev = k.checked_sub(1).map(|p| toks[p].1.text(src)).unwrap_or("");
+                if prev != "-" && prev != "=" {
+                    angle = (angle - 1).max(0);
+                }
+            }
+            "{" | "where" if angle == 0 => break,
+            "for" if angle == 0 => last_seg.clear(),
+            _ if t.kind == TokKind::Ident && angle == 0 => last_seg = text.to_string(),
+            _ => {}
+        }
+        k += 1;
+    }
+    last_seg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(content: &str) -> SourceFile {
+        SourceFile {
+            path: PathBuf::from("mem.rs"),
+            rel: "mem.rs".into(),
+            crate_name: None,
+            in_tests: false,
+            content: content.to_string(),
+            tokens: lex(content),
+        }
+    }
+
+    #[test]
+    fn fn_items_find_bodies_and_impl_types() {
+        let f = file(
+            "impl<S: Scheme> Instrumented for Sharded<S> {\n\
+             fn stats(&self) -> u64 { self.n }\n\
+             }\n\
+             fn free(x: Vec<u8>) -> Result<(), E> { drop(x); Ok(()) }\n\
+             trait T { fn decl(&self); }\n",
+        );
+        let items = fn_items(&f);
+        let names: Vec<_> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["stats", "free"]);
+        assert_eq!(items[0].impl_type.as_deref(), Some("Sharded"));
+        assert_eq!(items[1].impl_type, None);
+        // Body ranges cover the braces.
+        let body: Vec<_> = f.tokens[items[1].body.clone()]
+            .iter()
+            .map(|t| t.text(&f.content))
+            .collect();
+        assert_eq!(body.first().copied(), Some("{"));
+        assert_eq!(body.last().copied(), Some("}"));
+    }
+
+    #[test]
+    fn manifests_parse_name_and_dep_keys() {
+        let m = parse_manifest(
+            "crates/x",
+            "[package]\nname = \"x\"\n[dependencies]\na = { path = \"../a\" }\n\
+             [dev-dependencies]\nb = { path = \"../b\" }\n",
+        )
+        .unwrap();
+        assert_eq!(m.name, "x");
+        assert_eq!(m.deps, vec!["a"]);
+        assert_eq!(m.dev_deps, vec!["b"]);
+        assert_eq!(m.dep_lines["a"], 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded R8 violations: an ordering with no adjacent why-comment and
+//! an unjustified `SeqCst`. The healthy case proves a nearby non-doc
+//! comment satisfies the rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Doc comments describe the API, not the ordering choice — this one
+/// must NOT satisfy the audit.
+pub fn bare(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed)
+}
+
+pub fn unjustified(x: &AtomicU64) {
+    // a total order felt nice (no seqcst marker, so this fails)
+    x.store(1, Ordering::SeqCst);
+}
+
+pub fn healthy(x: &AtomicU64) -> u64 {
+    // acquire: pairs with the fixture's imaginary release store
+    x.load(Ordering::Acquire)
+}

@@ -1,0 +1,17 @@
+//! Seeded R7 violation: two functions acquire the same two locks in
+//! opposite orders — a genuine deadlock the interleaving explorer
+//! could only find if both paths happened to be modeled.
+
+fn forward(recv: &std::sync::Mutex<Vec<u8>>, send: &std::sync::Mutex<Vec<u8>>) {
+    let r = recv.lock();
+    let s = send.lock();
+    drop(s);
+    drop(r);
+}
+
+fn backward(recv: &std::sync::Mutex<Vec<u8>>, send: &std::sync::Mutex<Vec<u8>>) {
+    let s = send.lock();
+    let r = recv.lock();
+    drop(r);
+    drop(s);
+}

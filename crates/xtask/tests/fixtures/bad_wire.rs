@@ -1,0 +1,28 @@
+//! Seeded R10 violations: a duplicate encode tag, an encode/decode
+//! disagreement, and a tag that is decoded but never encoded. (Never
+//! compiled — only lexed by the wire-tag extractor.)
+
+fn put_error(b: &mut Vec<u8>, e: &LTreeError) {
+    match e {
+        LTreeError::UnknownHandle { handle } => {
+            put_u8(b, 0);
+            put_u64(b, *handle);
+        }
+        LTreeError::DeletedLeaf { handle } => {
+            put_u8(b, 0);
+            put_u64(b, *handle);
+        }
+        LTreeError::EmptyTree => {
+            put_u8(b, 2);
+        }
+    }
+}
+
+fn decode_error(buf: &[u8]) -> LTreeError {
+    match tag {
+        0 => LTreeError::UnknownHandle { handle },
+        2 => LTreeError::NotEmpty,
+        7 => LTreeError::Remote { context },
+        _ => unreachable!(),
+    }
+}

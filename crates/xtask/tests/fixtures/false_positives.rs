@@ -1,0 +1,24 @@
+//! Regression fixture for the old false-positive classes: every
+//! pattern below lives in a comment or a string literal, and the
+//! token-based rules (R2/R3/R5/R6) must report ZERO findings here.
+//!
+//! Rustdoc may quote anything: dial `127.0.0.1:7878`, unlink
+//! `/tmp/somewhere`, chain `.lock().unwrap()`, mint `net/nope` — none
+//! of these are code.
+
+// Plain comments too: a port like 127.0.0.1:7878, a path like
+// /tmp/ltree-scratch, a chain like .write().unwrap(), and a quoted
+// series name like "net/not-a-real-series".
+
+/* Block comments as well: localhost:9999 and /var/run/ltree and
+   .read().unwrap() — still not findings. */
+
+pub fn healthy() {
+    // A string literal may *mention* the lock-unwrap chain — it is
+    // prose, not a call chain, once the rule reads tokens:
+    let _doc = "never call .lock().unwrap() — recover the poison instead";
+    // Raw strings can hold comment-looking text with the same chains:
+    let _raw = r#"
+        // .read().unwrap() inside a raw string
+    "#;
+}

@@ -1,0 +1,26 @@
+//! Lexer torture fixture: every nasty token class in one file.
+/* outer /* nested /* deeper */ still nested */ outer again */
+//// Four slashes: a plain line comment, not rustdoc.
+/*** three stars: plain block comment ***/
+/**/
+pub fn torture<'a, 'b: 'a>(x: &'a str) -> char {
+    let _r = r#"raw "with quotes" and \no escapes"#;
+    let _r2 = r##"one hash "# inside"##;
+    let _b = b"bytes \x00\n";
+    let _bc = b'\xff';
+    let _rb = br#"raw bytes "with quotes""#;
+    let _c = 'a';
+    let _esc = '\n';
+    let _q = '\'';
+    let _life: &'a str = x;
+    let _range = 0..10;
+    let _float = 1.5e3;
+    let _hex = 0xFF_u64;
+    let r#type = 7usize;
+    let _ = r#type;
+    // line comment with 'a lifetime-looking text and "quotes"
+    let _s = "escaped \" quote and \\ backslash";
+    let _multi = "a string
+spanning lines";
+    _c
+}

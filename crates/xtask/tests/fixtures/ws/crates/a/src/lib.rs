@@ -1,0 +1,8 @@
+//! Fixture crate `wa`: fully clean.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A healthy item.
+pub fn thing() -> u32 {
+    1
+}

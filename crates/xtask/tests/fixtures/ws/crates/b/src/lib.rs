@@ -1,0 +1,6 @@
+//! Fixture crate `wb`: uses `wa` although the declared crate graph
+//! does not permit the edge (R9 fires on the manifest and the `use`).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use wa::thing;

@@ -1,0 +1,4 @@
+//! An unjustified escape hatch: produces an `xtask-allow` finding and
+//! suppresses nothing.
+
+// xtask-allow: fixed-port

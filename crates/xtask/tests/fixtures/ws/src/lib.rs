@@ -1,0 +1,32 @@
+//! Fixture crate root: missing both lint attributes (R1), carrying a
+//! genuine two-lock ordering cycle (R7) and an unjustified `SeqCst`
+//! (R8).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+pub struct Queues {
+    pub recv: Mutex<Vec<u8>>,
+    pub send: Mutex<Vec<u8>>,
+    pub halt: AtomicBool,
+}
+
+impl Queues {
+    pub fn forward(&self) {
+        let r = self.recv.lock();
+        let s = self.send.lock();
+        drop(s);
+        drop(r);
+    }
+
+    pub fn backward(&self) {
+        let s = self.send.lock();
+        let r = self.recv.lock();
+        drop(r);
+        drop(s);
+    }
+
+    pub fn stop(&self) {
+        self.halt.store(true, Ordering::SeqCst);
+    }
+}

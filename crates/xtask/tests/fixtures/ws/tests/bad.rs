@@ -1,0 +1,9 @@
+//! Seeded violations in a tests dir: a fixed TCP port (R2), a
+//! poison-propagating unwrap (R3) and a fixed filesystem path (R5).
+
+#[test]
+fn bad() {
+    let _addr = "127.0.0.1:7878";
+    let _path = "/tmp/ltree-fixture";
+    let _v = m.lock().unwrap();
+}

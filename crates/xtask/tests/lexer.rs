@@ -1,0 +1,220 @@
+//! Lexer contract tests: a torture fixture round-tripped token by
+//! token, classification spot-checks for every nasty token class, and a
+//! SplitMix64 fuzz asserting the lexer is total — never panics, spans
+//! in-bounds and monotone — over random byte mutations of real
+//! workspace files.
+
+use std::path::Path;
+
+use ltree::rng::SplitMix64;
+use xtask::lexer::{lex, string_value, TokKind, Token};
+
+fn torture_src() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/torture.rs");
+    std::fs::read_to_string(path).expect("torture fixture exists")
+}
+
+/// The losslessness invariant: spans are monotone, non-overlapping and
+/// in-bounds, and every byte between tokens is whitespace.
+fn assert_covered(src: &str, tokens: &[Token]) {
+    let bytes = src.as_bytes();
+    let mut cursor = 0usize;
+    let mut line = 1u32;
+    for tok in tokens {
+        assert!(tok.start >= cursor, "overlap at {tok}");
+        assert!(tok.end > tok.start, "empty span at {tok}");
+        assert!(tok.end <= src.len(), "out of bounds at {tok}");
+        for &b in &bytes[cursor..tok.start] {
+            assert!(
+                b.is_ascii_whitespace(),
+                "uncovered byte {b:#x} before {tok}"
+            );
+        }
+        let expected_line = line + count_newlines(&bytes[cursor..tok.start]);
+        assert_eq!(tok.line, expected_line, "line drift at {tok}");
+        line = expected_line + count_newlines(&bytes[tok.start..tok.end]);
+        cursor = tok.end;
+    }
+    for &b in &bytes[cursor..] {
+        assert!(b.is_ascii_whitespace(), "uncovered trailing byte {b:#x}");
+    }
+}
+
+fn count_newlines(bytes: &[u8]) -> u32 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u32
+}
+
+#[test]
+fn torture_fixture_round_trips_token_by_token() {
+    let src = torture_src();
+    let tokens = lex(&src);
+    assert_covered(&src, &tokens);
+    // Reconstruction: token texts joined by the original gaps equal the
+    // source, byte for byte.
+    let mut rebuilt = String::new();
+    let mut cursor = 0usize;
+    for tok in &tokens {
+        rebuilt.push_str(&src[cursor..tok.start]);
+        rebuilt.push_str(tok.text(&src));
+        cursor = tok.end;
+    }
+    rebuilt.push_str(&src[cursor..]);
+    assert_eq!(rebuilt, src);
+}
+
+/// Find the first token whose text matches, panicking with the full
+/// stream on a miss so failures are diagnosable.
+fn find<'a>(tokens: &'a [Token], src: &str, text: &str) -> &'a Token {
+    tokens
+        .iter()
+        .find(|t| t.text(src) == text)
+        .unwrap_or_else(|| panic!("no token `{text}` in {tokens:?}"))
+}
+
+#[test]
+fn torture_fixture_classifies_every_nasty_class() {
+    let src = torture_src();
+    let tokens = lex(&src);
+
+    // Nested block comment: one token spanning all three levels.
+    let nested = find(
+        &tokens,
+        &src,
+        "/* outer /* nested /* deeper */ still nested */ outer again */",
+    );
+    assert_eq!(nested.kind, TokKind::BlockComment);
+
+    // `////` and `/***` are plain comments, not rustdoc.
+    assert_eq!(
+        find(
+            &tokens,
+            &src,
+            "//// Four slashes: a plain line comment, not rustdoc."
+        )
+        .kind,
+        TokKind::LineComment
+    );
+    assert_eq!(
+        find(&tokens, &src, "/*** three stars: plain block comment ***/").kind,
+        TokKind::BlockComment
+    );
+    // `/**/` is empty, hence a plain block comment.
+    assert_eq!(find(&tokens, &src, "/**/").kind, TokKind::BlockComment);
+    // `//!` inner doc on line 1.
+    assert_eq!(tokens[0].kind, TokKind::LineDoc);
+
+    // Raw strings at both hash depths, verbatim values.
+    let raw = find(
+        &tokens,
+        &src,
+        r####"r#"raw "with quotes" and \no escapes"#"####,
+    );
+    assert_eq!(raw.kind, TokKind::RawStr);
+    assert_eq!(
+        string_value(raw, &src).as_deref(),
+        Some(r#"raw "with quotes" and \no escapes"#)
+    );
+    assert_eq!(
+        find(&tokens, &src, r####"r##"one hash "# inside"##"####).kind,
+        TokKind::RawStr
+    );
+
+    // Byte strings, byte chars, raw byte strings.
+    assert_eq!(
+        find(&tokens, &src, r#"b"bytes \x00\n""#).kind,
+        TokKind::ByteStr
+    );
+    assert_eq!(find(&tokens, &src, r"b'\xff'").kind, TokKind::ByteChar);
+    assert_eq!(
+        find(&tokens, &src, r####"br#"raw bytes "with quotes""#"####).kind,
+        TokKind::RawByteStr
+    );
+
+    // Chars vs lifetimes — including escaped quote and newline chars.
+    assert_eq!(find(&tokens, &src, "'a'").kind, TokKind::Char);
+    assert_eq!(find(&tokens, &src, r"'\n'").kind, TokKind::Char);
+    assert_eq!(find(&tokens, &src, r"'\''").kind, TokKind::Char);
+    assert_eq!(find(&tokens, &src, "'a").kind, TokKind::Lifetime);
+    assert_eq!(find(&tokens, &src, "'b").kind, TokKind::Lifetime);
+
+    // Numbers: range operator not swallowed, float exponent, hex with
+    // suffix, integer with suffix.
+    assert_eq!(find(&tokens, &src, "0").kind, TokKind::Num);
+    assert_eq!(find(&tokens, &src, "10").kind, TokKind::Num);
+    assert_eq!(find(&tokens, &src, "1.5e3").kind, TokKind::Num);
+    assert_eq!(find(&tokens, &src, "0xFF_u64").kind, TokKind::Num);
+    assert_eq!(find(&tokens, &src, "7usize").kind, TokKind::Num);
+
+    // Raw identifier.
+    assert_eq!(find(&tokens, &src, "r#type").kind, TokKind::RawIdent);
+
+    // Escapes inside ordinary strings unescape, multi-line strings are
+    // one token.
+    let esc = find(&tokens, &src, r#""escaped \" quote and \\ backslash""#);
+    assert_eq!(esc.kind, TokKind::Str);
+    assert_eq!(
+        string_value(esc, &src).as_deref(),
+        Some(r#"escaped " quote and \ backslash"#)
+    );
+    let multi = find(&tokens, &src, "\"a string\nspanning lines\"");
+    assert_eq!(multi.kind, TokKind::Str);
+}
+
+#[test]
+fn unterminated_constructs_lex_to_end_of_input() {
+    for src in [
+        "/* never closed",
+        "\"never closed",
+        "r#\"never closed",
+        "b'",
+        "// fine\n/* open /* nested",
+    ] {
+        let tokens = lex(src);
+        assert_covered(src, &tokens);
+    }
+}
+
+// ------------------------------------------------------------------
+// Fuzz: mutate real workspace files byte by byte and assert the lexer
+// stays total. Deterministic seeds so failures reproduce.
+// ------------------------------------------------------------------
+
+#[test]
+fn fuzzed_mutations_of_real_files_never_break_the_lexer() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = [
+        manifest.join("src/lexer.rs"),
+        manifest.join("src/rules.rs"),
+        manifest.join("tests/fixtures/torture.rs"),
+        manifest.join("../core/src/error.rs"),
+        manifest.join("../remote/src/wire.rs"),
+    ];
+    for (i, path) in sources.iter().enumerate() {
+        let original = std::fs::read_to_string(path).expect("source exists");
+        let mut rng = SplitMix64::new(0xA11C_E5ED ^ (i as u64));
+        for round in 0..40 {
+            let mut bytes = original.clone().into_bytes();
+            // Up to eight random byte substitutions per round — enough
+            // to split string delimiters, break comment closers and
+            // truncate escapes.
+            let edits = 1 + (rng.next_u64() % 8) as usize;
+            for _ in 0..edits {
+                let at = (rng.next_u64() as usize) % bytes.len();
+                bytes[at] = (rng.next_u64() & 0xFF) as u8;
+            }
+            // Invalid UTF-8 becomes U+FFFD — the lexer only ever sees
+            // valid strings, like the model layer guarantees.
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            let tokens = lex(&mutated);
+            let mut cursor = 0usize;
+            for tok in &tokens {
+                assert!(
+                    tok.start >= cursor && tok.end > tok.start && tok.end <= mutated.len(),
+                    "bad span {tok} (file {}, round {round})",
+                    path.display()
+                );
+                cursor = tok.end;
+            }
+        }
+    }
+}
